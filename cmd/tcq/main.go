@@ -1,0 +1,132 @@
+// tcq is the interactive TelegraphCQ client. Statements end with ';'
+// and may span lines. Continuous queries open cursors whose rows stream
+// to the terminal as "[cursor] row"; CLOSE <n>; cancels one.
+//
+// Usage:
+//
+//	tcq -addr 127.0.0.1:5432
+//	tcq -addr 127.0.0.1:5432 -f setup.sql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"telegraphcq/internal/server"
+	"telegraphcq/internal/sql"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5432", "FrontEnd address of tcqd")
+	script := flag.String("f", "", "execute statements from file, then exit")
+	flag.Parse()
+
+	cli, err := server.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cli.Close()
+
+	run := func(stmt string) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			return
+		}
+		upper := strings.ToUpper(stmt)
+		switch {
+		case strings.HasPrefix(upper, "SELECT"):
+			id, rows, err := cli.Query(stmt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			fmt.Printf("cursor %d open; rows follow (CLOSE %d; to cancel)\n", id, id)
+			go func() {
+				for r := range rows {
+					fmt.Printf("[%d] %s\n", id, r)
+				}
+				fmt.Printf("cursor %d done\n", id)
+			}()
+		case strings.HasPrefix(upper, "CLOSE"):
+			var id int
+			if _, err := fmt.Sscanf(upper, "CLOSE %d", &id); err != nil {
+				fmt.Fprintln(os.Stderr, "usage: CLOSE <cursor>;")
+				return
+			}
+			if err := cli.CloseCursor(id); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			fmt.Printf("cursor %d closed\n", id)
+		default:
+			if err := cli.Exec(stmt); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			fmt.Println("ok")
+		}
+	}
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stmts, err := sql.ParseScript(string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		_ = stmts // parsed for validation; send raw split below
+		for _, stmt := range splitStatements(string(data)) {
+			run(stmt)
+		}
+		return
+	}
+
+	fmt.Println("telegraphcq client — end statements with ';' (Ctrl-D to exit)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var buf strings.Builder
+	fmt.Print("tcq> ")
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			for _, stmt := range splitStatements(buf.String()) {
+				run(stmt)
+			}
+			buf.Reset()
+			fmt.Print("tcq> ")
+		}
+	}
+}
+
+// splitStatements splits on ';' outside single-quoted strings.
+func splitStatements(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\'' {
+			inStr = !inStr
+		}
+		if c == ';' && !inStr {
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteByte(c)
+	}
+	if strings.TrimSpace(cur.String()) != "" {
+		out = append(out, cur.String())
+	}
+	return out
+}

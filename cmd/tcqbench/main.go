@@ -1,0 +1,49 @@
+// tcqbench regenerates the experiment tables of EXPERIMENTS.md: each
+// experiment (E1–E10) reproduces one performance claim of the
+// TelegraphCQ paper or its companion systems. See DESIGN.md §4 for the
+// experiment ↔ claim ↔ module map.
+//
+// Usage:
+//
+//	tcqbench               # run everything at scale 1
+//	tcqbench -run E3,E6    # selected experiments
+//	tcqbench -scale 4      # more tuples, smoother numbers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"telegraphcq/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	flag.Parse()
+
+	var tables []*experiments.Table
+	start := time.Now()
+	if *run == "" {
+		tables = experiments.All(*scale)
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			tab := experiments.ByID(strings.TrimSpace(id), *scale)
+			if tab == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E10)\n", id)
+				os.Exit(2)
+			}
+			tables = append(tables, tab)
+		}
+	}
+	for i, tab := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(tab.Render())
+	}
+	fmt.Printf("\n%d experiment(s) in %v (scale %d)\n", len(tables), time.Since(start).Round(time.Millisecond), *scale)
+}

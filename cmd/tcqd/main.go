@@ -1,0 +1,58 @@
+// tcqd is the TelegraphCQ daemon: it listens on a FrontEnd port for SQL
+// (DDL, INSERT, continuous SELECT with FOR-loop windows) and on a
+// Wrapper port for pushed stream data ("stream,field,field,..." lines).
+//
+// Usage:
+//
+//	tcqd -front :5432 -wrapper :5433
+//
+// Try it with cmd/tcq (interactive client) and cmd/tcqgen (data
+// generator).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"telegraphcq/internal/executor"
+	"telegraphcq/internal/server"
+)
+
+func main() {
+	front := flag.String("front", "127.0.0.1:5432", "FrontEnd (query) listen address")
+	wrapper := flag.String("wrapper", "127.0.0.1:5433", "Wrapper (data ingress) listen address")
+	mode := flag.String("class-mode", "footprint", "query class placement: footprint|single|per-query")
+	batch := flag.Int("batch", 1, "eddy tuple-batching knob")
+	hops := flag.Int("fixed-hops", 1, "eddy operator-fixing knob")
+	flag.Parse()
+
+	opts := executor.Options{Batch: *batch, FixedHops: *hops}
+	switch *mode {
+	case "footprint":
+		opts.Mode = executor.ClassByFootprint
+	case "single":
+		opts.Mode = executor.ClassSingle
+	case "per-query":
+		opts.Mode = executor.ClassPerQuery
+	default:
+		fmt.Fprintf(os.Stderr, "bad -class-mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	srv := server.New(opts)
+	f, w, err := srv.Start(*front, *wrapper)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("telegraphcq: frontend on %s, wrapper on %s\n", f, w)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("telegraphcq: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,84 @@
+// tcqgen feeds synthetic workloads into a running tcqd's Wrapper port:
+// the paper's stock ticker, skewed network flows, or sensor readings —
+// with controllable rate and burstiness (§1.1's "extremely high or
+// bursty" arrivals).
+//
+// Usage:
+//
+//	tcqgen -addr 127.0.0.1:5433 -workload stocks -n 100000 -rate 5000
+//
+// The matching streams (create them via tcq first):
+//
+//	CREATE STREAM ClosingStockPrices (timestamp int, stockSymbol string, closingPrice float);
+//	CREATE STREAM flows (src string, dst string, port int, bytes float);
+//	CREATE STREAM sensors (node int, temp float, light float);
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"telegraphcq/internal/server"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5433", "Wrapper address of tcqd")
+	wl := flag.String("workload", "stocks", "stocks|flows|sensors")
+	n := flag.Int("n", 10000, "tuples to generate")
+	rate := flag.Float64("rate", 0, "tuples/second (0 = unpaced)")
+	burst := flag.Int("burst", 1, "tuples per burst")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var rows []*tuple.Tuple
+	var stream string
+	switch *wl {
+	case "stocks":
+		stream = "ClosingStockPrices"
+		rows = workload.Stocks{Seed: *seed}.Rows(*n)
+	case "flows":
+		stream = "flows"
+		rows = workload.Flows{Seed: *seed}.Rows(*n)
+	case "sensors":
+		stream = "sensors"
+		rows = workload.Sensors{Seed: *seed, SpikeProb: 0.01}.Rows(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	push, err := server.DialPush(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer push.Close()
+
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) * float64(*burst) / *rate)
+	}
+	start := time.Now()
+	for i, r := range rows {
+		fields := make([]string, len(r.Values))
+		for j, v := range r.Values {
+			fields[j] = v.String()
+		}
+		if err := push.Push(stream, fields...); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if interval > 0 && (i+1)%*burst == 0 {
+			_ = push.Flush()
+			time.Sleep(interval)
+		}
+	}
+	_ = push.Flush()
+	el := time.Since(start)
+	fmt.Printf("pushed %d %s tuples in %v (%.0f/s)\n",
+		len(rows), *wl, el.Round(time.Millisecond), float64(len(rows))/el.Seconds())
+}

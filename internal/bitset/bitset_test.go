@@ -1,0 +1,250 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(10)
+	if s.Contains(3) {
+		t.Fatal("empty set contains 3")
+	}
+	s.Add(3)
+	s.Add(64) // forces growth past the preallocated word
+	s.Add(0)
+	if !s.Contains(3) || !s.Contains(64) || !s.Contains(0) {
+		t.Fatalf("missing added elements: %v", s)
+	}
+	if s.Contains(2) || s.Contains(65) || s.Contains(1000) {
+		t.Fatalf("contains elements never added: %v", s)
+	}
+	s.Remove(3)
+	if s.Contains(3) {
+		t.Fatal("remove failed")
+	}
+	s.Remove(9999) // no-op beyond allocation
+	if got := s.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+}
+
+func TestNegativeIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	New(0).Add(-1)
+}
+
+func TestContainsNegative(t *testing.T) {
+	if New(0).Contains(-5) {
+		t.Fatal("Contains(-5) = true")
+	}
+}
+
+func TestCountEmptyClear(t *testing.T) {
+	s := FromIndices(1, 2, 3, 100)
+	if s.Count() != 4 || s.Empty() {
+		t.Fatalf("Count=%d Empty=%v", s.Count(), s.Empty())
+	}
+	s.Clear()
+	if s.Count() != 0 || !s.Empty() {
+		t.Fatalf("after Clear: Count=%d Empty=%v", s.Count(), s.Empty())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(1, 2)
+	b := a.Clone()
+	b.Add(77)
+	if a.Contains(77) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !b.Contains(1) || !b.Contains(2) {
+		t.Fatal("Clone lost elements")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromIndices(500)
+	b := FromIndices(1, 2, 3)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatalf("CopyFrom: %v != %v", b, a)
+	}
+	b.Add(600)
+	if a.Contains(600) {
+		t.Fatal("CopyFrom shares storage")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromIndices(1, 2, 3, 70)
+	b := FromIndices(2, 3, 4)
+
+	u := a.Clone()
+	u.Union(b)
+	if want := FromIndices(1, 2, 3, 4, 70); !u.Equal(want) {
+		t.Fatalf("Union = %v, want %v", u, want)
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	if want := FromIndices(2, 3); !i.Equal(want) {
+		t.Fatalf("Intersect = %v, want %v", i, want)
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	if want := FromIndices(1, 70); !d.Equal(want) {
+		t.Fatalf("Subtract = %v, want %v", d, want)
+	}
+
+	if !a.IntersectsWith(b) {
+		t.Fatal("IntersectsWith(a,b) = false")
+	}
+	if a.IntersectsWith(FromIndices(99)) {
+		t.Fatal("IntersectsWith disjoint = true")
+	}
+	if !i.SubsetOf(a) || !i.SubsetOf(b) {
+		t.Fatal("intersection not subset of operands")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("a subset of b")
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	a := FromIndices(1)
+	b := FromIndices(1)
+	b.Add(200)
+	b.Remove(200) // leaves trailing zero words
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("Equal is sensitive to trailing zero words")
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := FromIndices(3, 64, 130)
+	cases := []struct{ from, want int }{
+		{-5, 3}, {0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 130}, {130, 130}, {131, -1},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := New(0).Next(0); got != -1 {
+		t.Errorf("Next on empty = %d, want -1", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromIndices(1, 2, 3, 4)
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("early stop: %v", seen)
+	}
+}
+
+func TestIndicesSorted(t *testing.T) {
+	s := FromIndices(130, 3, 64)
+	got := s.Indices()
+	if !sort.IntsAreSorted(got) || len(got) != 3 {
+		t.Fatalf("Indices = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromIndices(1, 5).String(); got != "{1, 5}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(0).String(); got != "{}" {
+		t.Fatalf("String empty = %q", got)
+	}
+}
+
+// Property: a set behaves like a map[int]bool under a random operation
+// sequence.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := New(0)
+		m := map[int]bool{}
+		for _, op := range ops {
+			i := int(op % 512)
+			switch op % 3 {
+			case 0:
+				s.Add(i)
+				m[i] = true
+			case 1:
+				s.Remove(i)
+				delete(m, i)
+			case 2:
+				if s.Contains(i) != m[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(m) {
+			return false
+		}
+		for i := range m {
+			if !s.Contains(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Union is commutative and Subtract then Union restores a superset.
+func TestQuickAlgebraLaws(t *testing.T) {
+	gen := func(r *rand.Rand) *Set {
+		s := New(0)
+		for i := 0; i < r.Intn(50); i++ {
+			s.Add(r.Intn(300))
+		}
+		return s
+	}
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a, b := gen(r), gen(r)
+		ab := a.Clone()
+		ab.Union(b)
+		ba := b.Clone()
+		ba.Union(a)
+		if !ab.Equal(ba) {
+			t.Fatalf("union not commutative: %v %v", a, b)
+		}
+		// (a - b) ∪ (a ∩ b) == a
+		diff := a.Clone()
+		diff.Subtract(b)
+		inter := a.Clone()
+		inter.Intersect(b)
+		diff.Union(inter)
+		if !diff.Equal(a) {
+			t.Fatalf("partition law fails: a=%v b=%v", a, b)
+		}
+	}
+}
+
+func BenchmarkAddContains(b *testing.B) {
+	s := New(1024)
+	for i := 0; i < b.N; i++ {
+		s.Add(i % 1024)
+		if !s.Contains(i % 1024) {
+			b.Fatal("missing")
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package cacq implements Continuously Adaptive Continuous Queries
+// (Madden et al., SIGMOD 2002; §3.1 of the TelegraphCQ paper): a single
+// Eddy executes the "super-query" that is the disjunction of all
+// registered client queries. Per-tuple lineage (the Queries bitmap)
+// records which clients remain interested; grouped filters evaluate all
+// single-variable boolean factors over an attribute at once; SteMs are
+// shared across every query that joins the same pair of streams.
+package cacq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"telegraphcq/internal/bitset"
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/stem"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// Query is one client continuous query registered with the engine.
+type Query struct {
+	// ID is the client-assigned identifier; it indexes lineage bitmaps
+	// and must be small and unique within the engine.
+	ID int
+	// Select lists output expressions (ignored when Aggs is set).
+	Select []expr.Expr
+	// SelectNames optionally names the output columns.
+	SelectNames []string
+	// Where is the full predicate; the engine decomposes it into
+	// grouped-filter factors, SteM join factors, and a residual.
+	Where expr.Expr
+	// Sources is the query footprint: the streams/tables it reads.
+	Sources []string
+	// Window, when set, scopes join state and drives aggregates.
+	Window *window.Spec
+	// GroupBy and Aggs turn the query into a windowed aggregate.
+	GroupBy []*expr.ColumnRef
+	Aggs    []operator.AggSpec
+	// StartTime binds ST in the window's for-loop.
+	StartTime int64
+}
+
+// Footprint returns the sorted source set (query-class key, §4.2.2).
+func (q *Query) Footprint() []string {
+	fp := append([]string(nil), q.Sources...)
+	sort.Strings(fp)
+	return fp
+}
+
+// Deliver receives one result row for one query.
+type Deliver func(queryID int, row *tuple.Tuple)
+
+// registered is the engine-side state of one query.
+type registered struct {
+	q        *Query
+	fpKey    string
+	residual expr.Expr
+	project  *operator.Project
+	agg      *operator.WindowAgg
+	// retention is the per-source tuple retention width implied by the
+	// query's window (math.MaxInt64 = keep forever).
+	retention map[string]int64
+	delivered int64
+}
+
+// Engine is a shared CACQ dataflow over one query class.
+type Engine struct {
+	ed       *eddy.Eddy
+	deliver  Deliver
+	gfilters map[string]*operator.GroupedFilter // per qualified column
+	stems    map[string]*operator.StemModule    // per source
+	queries  map[int]*registered
+	// interest maps source → bitset of query IDs reading it.
+	interest map[string]*bitset.Set
+	maxSeq   map[string]int64
+
+	stats EngineStats
+}
+
+// EngineStats counts engine-level activity.
+type EngineStats struct {
+	Pushed    int64
+	Delivered int64
+}
+
+// NewEngine builds an empty shared engine. policy nil defaults to a
+// lottery with seed 1.
+func NewEngine(policy eddy.Policy, deliver Deliver) *Engine {
+	if policy == nil {
+		policy = eddy.NewLottery(1)
+	}
+	e := &Engine{
+		deliver:  deliver,
+		gfilters: map[string]*operator.GroupedFilter{},
+		stems:    map[string]*operator.StemModule{},
+		queries:  map[int]*registered{},
+		interest: map[string]*bitset.Set{},
+		maxSeq:   map[string]int64{},
+	}
+	e.ed = eddy.New(nil, policy, e.output)
+	return e
+}
+
+// Eddy exposes the underlying router (stats, knobs).
+func (e *Engine) Eddy() *eddy.Eddy { return e.ed }
+
+// Stats returns engine counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// QueryCount returns the number of registered queries.
+func (e *Engine) QueryCount() int { return len(e.queries) }
+
+// AddQuery registers q: its boolean factors are folded into the shared
+// grouped filters and SteMs, and its bit joins the interest set of each
+// source it reads.
+func (e *Engine) AddQuery(q *Query) error {
+	if _, dup := e.queries[q.ID]; dup {
+		return fmt.Errorf("cacq: duplicate query id %d", q.ID)
+	}
+	if len(q.Sources) == 0 {
+		return fmt.Errorf("cacq: query %d has no sources", q.ID)
+	}
+	r := &registered{q: q, retention: map[string]int64{}}
+	fp := q.Footprint()
+	r.fpKey = fmt.Sprint(fp)
+
+	// Decompose the predicate.
+	var residuals []expr.Expr
+	var joinFactors []expr.JoinFactor
+	for _, factor := range expr.Conjuncts(q.Where) {
+		if rf, ok := expr.AsRangeFactor(factor); ok {
+			col := rf.Col
+			if col.Source == "" && len(q.Sources) == 1 {
+				// Qualify unqualified columns on single-source queries so
+				// grouped filters shared across queries agree on the key.
+				col = expr.Col(q.Sources[0], col.Name)
+				rf.Col = col
+			}
+			g := e.gfilters[col.String()]
+			if g == nil {
+				g = operator.NewGroupedFilter(col)
+				e.gfilters[col.String()] = g
+				e.ed.AddModule(g)
+			}
+			if err := g.AddFactor(q.ID, rf); err != nil {
+				return err
+			}
+			continue
+		}
+		if jf, ok := expr.AsJoinFactor(factor); ok && jf.Left.Source != "" &&
+			jf.Right.Source != "" && jf.Left.Source != jf.Right.Source {
+			joinFactors = append(joinFactors, jf)
+			continue
+		}
+		residuals = append(residuals, factor)
+	}
+	r.residual = expr.Conjoin(residuals)
+
+	// Join factors: ensure a SteM per joined source, register factors.
+	for _, jf := range joinFactors {
+		for _, side := range []*expr.ColumnRef{jf.Left, jf.Right} {
+			sm := e.stems[side.Source]
+			if sm == nil {
+				var keyExpr expr.Expr
+				var indexCol *expr.ColumnRef
+				if jf.Op == expr.OpEq {
+					keyExpr = expr.Col(side.Source, side.Name)
+					indexCol = expr.Col(side.Source, side.Name)
+				}
+				sm = operator.NewStemModule(side.Source, stem.New(side.Source, keyExpr), nil, indexCol)
+				e.stems[side.Source] = sm
+				e.ed.AddModule(sm)
+			}
+			sm.AddFactor(jf)
+		}
+	}
+
+	// Window: retention per source and optional aggregate.
+	if q.Window != nil {
+		if err := q.Window.Validate(); err != nil {
+			return fmt.Errorf("cacq: query %d window: %w", q.ID, err)
+		}
+		kind, width, _ := q.Window.Classify()
+		for _, d := range q.Window.Defs {
+			switch kind {
+			case window.KindSliding:
+				r.retention[d.Stream] = width
+			default:
+				r.retention[d.Stream] = math.MaxInt64
+			}
+		}
+	}
+	if len(q.Aggs) > 0 {
+		if q.Window == nil || len(q.Sources) != 1 {
+			return fmt.Errorf("cacq: query %d: aggregates need a window over a single stream", q.ID)
+		}
+		agg, err := operator.NewWindowAgg(fmt.Sprintf("q%d.agg", q.ID),
+			q.Sources[0], q.Window, q.StartTime, q.GroupBy, q.Aggs, operator.StrategyAuto)
+		if err != nil {
+			return err
+		}
+		r.agg = agg
+	} else if len(q.Select) > 0 {
+		r.project = operator.NewProject(fmt.Sprintf("q%d", q.ID), q.Select, q.SelectNames)
+	}
+
+	for _, src := range q.Sources {
+		in := e.interest[src]
+		if in == nil {
+			in = bitset.New(q.ID + 1)
+			e.interest[src] = in
+		}
+		in.Add(q.ID)
+	}
+	e.queries[q.ID] = r
+	return nil
+}
+
+// RemoveQuery deregisters a query; its grouped-filter factors are
+// deleted and its interest bits cleared. In-flight tuples may still
+// carry its bit; delivery drops rows for unknown queries.
+func (e *Engine) RemoveQuery(id int) {
+	r, ok := e.queries[id]
+	if !ok {
+		return
+	}
+	delete(e.queries, id)
+	for _, g := range e.gfilters {
+		g.RemoveQuery(id)
+	}
+	for _, src := range r.q.Sources {
+		if in := e.interest[src]; in != nil {
+			in.Remove(id)
+		}
+	}
+}
+
+// Push admits one source tuple. The tuple's schema must name its source
+// stream; its Queries lineage is initialized to the interest set.
+func (e *Engine) Push(t *tuple.Tuple) error {
+	if len(t.Schema.Sources) != 1 {
+		return fmt.Errorf("cacq: pushed tuple must have exactly one source, got %v", t.Schema.Sources)
+	}
+	src := t.Schema.Sources[0]
+	in := e.interest[src]
+	if in == nil || in.Empty() {
+		return nil // no query reads this stream
+	}
+	t.Lineage().Queries.CopyFrom(in)
+	e.stats.Pushed++
+	if t.TS.Seq > e.maxSeq[src] {
+		e.maxSeq[src] = t.TS.Seq
+	}
+	if err := e.ed.Admit(t); err != nil {
+		return err
+	}
+	e.evict(src)
+	return nil
+}
+
+// evict drops SteM state no window can reach anymore: tuples older than
+// maxSeq − (largest retention over queries reading src) + 1.
+func (e *Engine) evict(src string) {
+	sm := e.stems[src]
+	if sm == nil {
+		return
+	}
+	maxRet := int64(0)
+	anyQuery := false
+	for _, r := range e.queries {
+		for _, qsrc := range r.q.Sources {
+			if qsrc != src {
+				continue
+			}
+			anyQuery = true
+			ret, ok := r.retention[src]
+			if !ok {
+				ret = math.MaxInt64 // unwindowed join: keep everything
+			}
+			if ret > maxRet {
+				maxRet = ret
+			}
+		}
+	}
+	if !anyQuery || maxRet == math.MaxInt64 || maxRet == 0 {
+		return
+	}
+	horizon := e.maxSeq[src] - maxRet + 1
+	if horizon > 0 {
+		sm.EvictBefore(horizon)
+	}
+}
+
+// Run processes all queued work to quiescence.
+func (e *Engine) Run() error { return e.ed.RunUntilIdle(0) }
+
+// Flush ends the input streams and drains all state.
+func (e *Engine) Flush() error {
+	if err := e.ed.Flush(); err != nil {
+		return err
+	}
+	// Close per-query aggregates.
+	for id, r := range e.queries {
+		if r.agg != nil {
+			if err := r.agg.Flush(e.aggEmit(id, r)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// output is the eddy's completion callback: demultiplex to queries.
+func (e *Engine) output(t *tuple.Tuple) {
+	if t.Lin == nil {
+		return
+	}
+	srcs := t.Schema.Sources
+	t.Lin.Queries.ForEach(func(id int) bool {
+		r, ok := e.queries[id]
+		if !ok {
+			return true // query left the system
+		}
+		// Exact footprint match: a query over {S} must not receive
+		// {S,T} join tuples and vice versa.
+		if !sameSources(srcs, r.q.Sources) {
+			return true
+		}
+		e.deliverTo(id, r, t)
+		return true
+	})
+}
+
+func sameSources(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) deliverTo(id int, r *registered, t *tuple.Tuple) {
+	if r.residual != nil {
+		ok, err := expr.Truthy(r.residual, t)
+		if err != nil || !ok {
+			return
+		}
+	}
+	if r.agg != nil {
+		_, _ = r.agg.Process(t, e.aggEmit(id, r))
+		return
+	}
+	row := t
+	if r.project != nil {
+		var err error
+		row, err = r.project.Apply(t)
+		if err != nil {
+			return
+		}
+	}
+	r.delivered++
+	e.stats.Delivered++
+	e.deliver(id, row)
+}
+
+func (e *Engine) aggEmit(id int, r *registered) operator.Emit {
+	return func(row *tuple.Tuple) {
+		r.delivered++
+		e.stats.Delivered++
+		e.deliver(id, row)
+	}
+}
+
+// Delivered returns the per-query delivered row count.
+func (e *Engine) Delivered(id int) int64 {
+	if r, ok := e.queries[id]; ok {
+		return r.delivered
+	}
+	return 0
+}

@@ -1,0 +1,202 @@
+// Package catalog is TelegraphCQ's metadata store: stream and table
+// definitions, their schemas, and column-name resolution for unqualified
+// references. It corresponds to the System Catalog inherited from
+// PostgreSQL in Figure 4 (one of the components reused "with only
+// minimal change").
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"telegraphcq/internal/tuple"
+)
+
+// SourceKind distinguishes unbounded streams from static tables.
+type SourceKind uint8
+
+const (
+	KindStream SourceKind = iota
+	KindTable
+)
+
+func (k SourceKind) String() string {
+	if k == KindTable {
+		return "table"
+	}
+	return "stream"
+}
+
+// Source is a named stream or table.
+type Source struct {
+	Name   string
+	Kind   SourceKind
+	Schema *tuple.Schema
+	// Archived streams are spooled to disk for historical queries.
+	Archived bool
+
+	mu   sync.RWMutex
+	rows []*tuple.Tuple // table contents (streams keep none here)
+	seq  int64          // stream: last assigned sequence number
+}
+
+// Rows returns a snapshot of a table's contents.
+func (s *Source) Rows() []*tuple.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*tuple.Tuple(nil), s.rows...)
+}
+
+// Insert appends a row to a table.
+func (s *Source) Insert(t *tuple.Tuple) error {
+	if s.Kind != KindTable {
+		return fmt.Errorf("catalog: INSERT into stream %s (use a wrapper)", s.Name)
+	}
+	if len(t.Values) != s.Schema.Arity() {
+		return fmt.Errorf("catalog: %s expects %d values, got %d", s.Name, s.Schema.Arity(), len(t.Values))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = append(s.rows, t)
+	return nil
+}
+
+// NextSeq assigns the next logical sequence number for a stream (tuples
+// are stamped at ingress; logical time is per stream).
+func (s *Source) NextSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return s.seq
+}
+
+// AdvanceTo accepts a source-assigned logical timestamp (the paper's
+// "multiple simultaneous notions of time", §4.1): seq may repeat the
+// current instant (simultaneous tuples) but must not move backwards.
+func (s *Source) AdvanceTo(seq int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq < s.seq {
+		return fmt.Errorf("catalog: %s: timestamp %d before current %d", s.Name, seq, s.seq)
+	}
+	s.seq = seq
+	return nil
+}
+
+// CurSeq returns the last assigned sequence number.
+func (s *Source) CurSeq() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// Catalog is the metadata root.
+type Catalog struct {
+	mu      sync.RWMutex
+	sources map[string]*Source
+}
+
+// New builds an empty catalog.
+func New() *Catalog {
+	return &Catalog{sources: map[string]*Source{}}
+}
+
+// CreateStream registers a stream with the given columns. Column sources
+// are forced to the stream name.
+func (c *Catalog) CreateStream(name string, cols []tuple.Column, archived bool) (*Source, error) {
+	return c.create(name, cols, KindStream, archived)
+}
+
+// CreateTable registers a static table.
+func (c *Catalog) CreateTable(name string, cols []tuple.Column) (*Source, error) {
+	return c.create(name, cols, KindTable, false)
+}
+
+func (c *Catalog) create(name string, cols []tuple.Column, kind SourceKind, archived bool) (*Source, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: empty source name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: %s has no columns", name)
+	}
+	qualified := make([]tuple.Column, len(cols))
+	seen := map[string]bool{}
+	for i, col := range cols {
+		if col.Name == "" {
+			return nil, fmt.Errorf("catalog: %s column %d unnamed", name, i)
+		}
+		if seen[col.Name] {
+			return nil, fmt.Errorf("catalog: %s: duplicate column %s", name, col.Name)
+		}
+		seen[col.Name] = true
+		col.Source = name
+		qualified[i] = col
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.sources[name]; dup {
+		return nil, fmt.Errorf("catalog: %s already exists", name)
+	}
+	s := &Source{Name: name, Kind: kind, Schema: tuple.NewSchema(qualified...), Archived: archived}
+	c.sources[name] = s
+	return s, nil
+}
+
+// Lookup returns the named source.
+func (c *Catalog) Lookup(name string) (*Source, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.sources[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown stream or table %q", name)
+	}
+	return s, nil
+}
+
+// Drop removes a source definition.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sources[name]; !ok {
+		return fmt.Errorf("catalog: unknown stream or table %q", name)
+	}
+	delete(c.sources, name)
+	return nil
+}
+
+// Names lists registered sources, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.sources))
+	for n := range c.sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolveColumn finds the unique source (among the given candidates)
+// defining an unqualified column name.
+func (c *Catalog) ResolveColumn(name string, among []string) (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	found := ""
+	for _, srcName := range among {
+		s, ok := c.sources[srcName]
+		if !ok {
+			continue
+		}
+		if _, err := s.Schema.ColumnIndex(srcName, name); err == nil {
+			if found != "" {
+				return "", fmt.Errorf("catalog: column %q is ambiguous (%s, %s)", name, found, srcName)
+			}
+			found = srcName
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("catalog: unknown column %q", name)
+	}
+	return found, nil
+}

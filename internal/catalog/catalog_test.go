@@ -1,0 +1,115 @@
+package catalog
+
+import (
+	"testing"
+
+	"telegraphcq/internal/tuple"
+)
+
+func cols(names ...string) []tuple.Column {
+	out := make([]tuple.Column, len(names))
+	for i, n := range names {
+		out[i] = tuple.Column{Name: n, Kind: tuple.KindFloat}
+	}
+	return out
+}
+
+func TestCreateLookupDrop(t *testing.T) {
+	c := New()
+	s, err := c.CreateStream("quotes", cols("price"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != KindStream || !s.Archived || s.Schema.Cols[0].Source != "quotes" {
+		t.Fatalf("stream: %+v", s)
+	}
+	got, err := c.Lookup("quotes")
+	if err != nil || got != s {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	if _, err := c.Lookup("nope"); err == nil {
+		t.Fatal("lookup unknown succeeded")
+	}
+	if err := c.Drop("quotes"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("quotes"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	c := New()
+	if _, err := c.CreateStream("", cols("a"), false); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := c.CreateStream("s", nil, false); err == nil {
+		t.Fatal("no columns accepted")
+	}
+	if _, err := c.CreateStream("s", []tuple.Column{{Name: ""}}, false); err == nil {
+		t.Fatal("unnamed column accepted")
+	}
+	if _, err := c.CreateStream("s", cols("a", "a"), false); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	_, _ = c.CreateStream("s", cols("a"), false)
+	if _, err := c.CreateTable("s", cols("a")); err == nil {
+		t.Fatal("duplicate source accepted")
+	}
+}
+
+func TestTableInsert(t *testing.T) {
+	c := New()
+	tab, _ := c.CreateTable("t", cols("a", "b"))
+	if err := tab.Insert(tuple.New(tab.Schema, tuple.Float(1), tuple.Float(2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(tuple.New(tab.Schema, tuple.Float(1))); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if got := tab.Rows(); len(got) != 1 || got[0].Values[1].F != 2 {
+		t.Fatalf("rows: %v", got)
+	}
+	st, _ := c.CreateStream("str", cols("a"), false)
+	if err := st.Insert(tuple.New(st.Schema, tuple.Float(1))); err == nil {
+		t.Fatal("insert into stream accepted")
+	}
+}
+
+func TestSeqAssignment(t *testing.T) {
+	c := New()
+	s, _ := c.CreateStream("s", cols("a"), false)
+	if s.NextSeq() != 1 || s.NextSeq() != 2 || s.CurSeq() != 2 {
+		t.Fatal("sequence numbers wrong")
+	}
+}
+
+func TestResolveColumn(t *testing.T) {
+	c := New()
+	_, _ = c.CreateStream("a", cols("x", "y"), false)
+	_, _ = c.CreateStream("b", cols("y", "z"), false)
+	src, err := c.ResolveColumn("x", []string{"a", "b"})
+	if err != nil || src != "a" {
+		t.Fatalf("x: %s %v", src, err)
+	}
+	if _, err := c.ResolveColumn("y", []string{"a", "b"}); err == nil {
+		t.Fatal("ambiguous column resolved")
+	}
+	if _, err := c.ResolveColumn("w", []string{"a", "b"}); err == nil {
+		t.Fatal("unknown column resolved")
+	}
+	// Restricting the candidate set disambiguates.
+	if src, err := c.ResolveColumn("y", []string{"b"}); err != nil || src != "b" {
+		t.Fatalf("restricted: %s %v", src, err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	c := New()
+	_, _ = c.CreateStream("zebra", cols("a"), false)
+	_, _ = c.CreateTable("apple", cols("a"))
+	got := c.Names()
+	if len(got) != 2 || got[0] != "apple" || got[1] != "zebra" {
+		t.Fatalf("names: %v", got)
+	}
+}

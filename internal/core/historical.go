@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// submitHistorical executes a SELECT whose for-loop window moves
+// backward: the §4.1.1 "browsing system where the user might want to
+// query historical portions of the stream using windows that move
+// backwards starting from the present time". Such queries run against
+// the stream's disk archive (via the window-driven scanner) rather than
+// the live dataflow, produce a finite result, and complete immediately.
+func (s *System) submitHistorical(sel *sql.Select) (*Query, error) {
+	if len(sel.From) != 1 {
+		return nil, fmt.Errorf("core: historical queries read one archived stream")
+	}
+	stream := sel.From[0].Source
+	src, err := s.cat.Lookup(stream)
+	if err != nil {
+		return nil, err
+	}
+	a := s.Archive(stream)
+	if a == nil {
+		return nil, fmt.Errorf("core: backward windows need an ARCHIVED stream (%s is not)", stream)
+	}
+	name := sel.From[0].Name()
+
+	// Qualify unqualified columns against the (possibly aliased) schema.
+	schema := src.Schema
+	if name != stream {
+		schema = schema.Rename(name)
+	}
+	qualify := func(e expr.Expr) error {
+		for _, c := range expr.Columns(e, nil) {
+			if c.Source == "" {
+				c.Source = name
+			}
+			if _, err := schema.ColumnIndex(c.Source, c.Name); err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+		}
+		return nil
+	}
+	if sel.Where != nil {
+		if err := qualify(sel.Where); err != nil {
+			return nil, err
+		}
+	}
+
+	// Split the SELECT list: aggregates vs scalar projections.
+	var aggs []operator.AggSpec
+	var projExprs []expr.Expr
+	var projNames []string
+	for _, item := range sel.Items {
+		switch {
+		case item.Agg != nil:
+			if item.Agg.Arg != nil {
+				if err := qualify(item.Agg.Arg); err != nil {
+					return nil, err
+				}
+			}
+			aggs = append(aggs, *item.Agg)
+		case item.Star:
+			for _, col := range schema.Cols {
+				projExprs = append(projExprs, expr.Col(col.Source, col.Name))
+				projNames = append(projNames, col.Name)
+			}
+		default:
+			if err := qualify(item.Expr); err != nil {
+				return nil, err
+			}
+			projExprs = append(projExprs, item.Expr)
+			projNames = append(projNames, item.As)
+		}
+	}
+	for _, g := range sel.GroupBy {
+		if err := qualify(g); err != nil {
+			return nil, err
+		}
+	}
+	if len(aggs) == 0 && len(sel.GroupBy) > 0 {
+		return nil, fmt.Errorf("core: GROUP BY without aggregates")
+	}
+
+	// Remap the window defs to the alias and bind ST to "the present".
+	spec := *sel.Window
+	spec.Defs = append([]window.Def(nil), sel.Window.Defs...)
+	for i := range spec.Defs {
+		if spec.Defs[i].Stream == name || spec.Defs[i].Stream == stream {
+			spec.Defs[i].Stream = stream // archive scans use the base name
+		} else {
+			return nil, fmt.Errorf("core: WindowIs over unknown source %q", spec.Defs[i].Stream)
+		}
+	}
+	st := src.CurSeq()
+
+	var project *operator.Project
+	if len(aggs) == 0 && len(projExprs) > 0 {
+		project = operator.NewProject(fmt.Sprintf("hist.%s", name), projExprs, projNames)
+	}
+
+	var results []*tuple.Tuple
+	scanErr := a.ScanWindow(&spec, stream, st, func(inst window.Instance, rows []*tuple.Tuple) bool {
+		// Filter (tuples come back under the base name; rename for alias
+		// references).
+		var kept []*tuple.Tuple
+		for _, t := range rows {
+			tt := t
+			if name != stream {
+				tt = t.Clone()
+				tt.Schema = schema
+			}
+			if sel.Where != nil {
+				ok, err := expr.Truthy(sel.Where, tt)
+				if err != nil || !ok {
+					continue
+				}
+			}
+			kept = append(kept, tt)
+		}
+		if len(aggs) > 0 {
+			// Evaluate the aggregates over this window instance via a
+			// snapshot aggregate anchored to the instance's range.
+			rng := inst.Ranges[stream]
+			snap := window.Snapshot(name, rng.Left, rng.Right)
+			agg, err := operator.NewWindowAgg(fmt.Sprintf("hist.t=%d", inst.T), name,
+				snap, 0, sel.GroupBy, aggs, operator.StrategyAuto)
+			if err != nil {
+				return false
+			}
+			emit := func(r *tuple.Tuple) {
+				// Stamp the loop value t of the *backward* loop, not the
+				// snapshot's internal t.
+				r.Values[0] = tuple.Int(inst.T)
+				results = append(results, r)
+			}
+			for _, t := range kept {
+				if _, err := agg.Process(t, emit); err != nil {
+					return false
+				}
+			}
+			_ = agg.Flush(emit)
+			return true
+		}
+		for _, t := range kept {
+			row := t
+			if project != nil {
+				var err error
+				row, err = project.Apply(t)
+				if err != nil {
+					continue
+				}
+			}
+			results = append(results, row)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if sel.Limit > 0 && int64(len(results)) > sel.Limit {
+		results = results[:sel.Limit]
+	}
+	return &Query{ID: -1, sys: s, static: results}, nil
+}

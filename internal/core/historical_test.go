@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"telegraphcq/internal/tuple"
+)
+
+func histSys(t *testing.T) *System {
+	t.Helper()
+	s := newSys(t, true)
+	s.MustExec(`CREATE STREAM ticks (sym string, price float) ARCHIVED`)
+	for seq := int64(1); seq <= 100; seq++ {
+		sym := "A"
+		if seq%2 == 0 {
+			sym = "B"
+		}
+		err := s.PushAt("ticks", seq, tuple.String(sym), tuple.Float(float64(seq)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func drainStatic(q *Query) []*tuple.Tuple {
+	var out []*tuple.Tuple
+	for {
+		r, ok := q.TryNext()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// The paper's §4.1.1 browsing query through SQL: a backward-moving
+// window over an archived stream, completing immediately.
+func TestHistoricalBackwardSelect(t *testing.T) {
+	s := histSys(t)
+	q, err := s.Submit(`
+		SELECT sym, price FROM ticks
+		WHERE sym = 'A'
+		FOR (t = ST; t > ST - 40; t -= 20) {
+			WindowIs(ticks, t - 19, t);
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainStatic(q)
+	// Two windows of 20 ticks each, half are 'A': 10 + 10.
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+	// First window is [81,100]: prices 81..99 odd.
+	if rows[0].Values[1].F < 81 {
+		t.Fatalf("first window row: %v", rows[0])
+	}
+	if _, ok := q.Next(); ok {
+		t.Fatal("historical query did not complete")
+	}
+	if err := q.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Backward aggregates: one result row per backward window instance.
+func TestHistoricalBackwardAggregate(t *testing.T) {
+	s := histSys(t)
+	q, err := s.Submit(`
+		SELECT avg(price) FROM ticks
+		FOR (t = ST; t > ST - 60; t -= 20) {
+			WindowIs(ticks, t - 19, t);
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainStatic(q)
+	if len(rows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(rows))
+	}
+	// Windows [81,100], [61,80], [41,60]: averages 90.5, 70.5, 50.5.
+	want := []float64{90.5, 70.5, 50.5}
+	for i, r := range rows {
+		if r.Values[1].F != want[i] {
+			t.Fatalf("window %d avg = %v, want %v", i, r.Values[1], want[i])
+		}
+		// The t column carries the backward loop value.
+		if r.Values[0].I != 100-int64(i)*20 {
+			t.Fatalf("window %d t = %v", i, r.Values[0])
+		}
+	}
+}
+
+// Grouped backward aggregates.
+func TestHistoricalBackwardGroupBy(t *testing.T) {
+	s := histSys(t)
+	q, err := s.Submit(`
+		SELECT sym, count(*) FROM ticks
+		GROUP BY sym
+		FOR (t = ST; t > ST - 20; t -= 20) {
+			WindowIs(ticks, t - 19, t);
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainStatic(q)
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Values[2].I != 10 {
+			t.Fatalf("group count: %v", r)
+		}
+	}
+}
+
+func TestHistoricalErrors(t *testing.T) {
+	s := newSys(t, true)
+	s.MustExec(`CREATE STREAM live (v float)`) // not archived
+	if _, err := s.Submit(`
+		SELECT v FROM live
+		FOR (t = ST; t > ST - 10; t -= 5) { WindowIs(live, t - 4, t); }`); err == nil {
+		t.Fatal("backward window over unarchived stream accepted")
+	}
+	if _, err := s.Submit(`
+		SELECT v FROM live
+		FOR (t = ST; t > ST - 10; t -= 5) { WindowIs(nope, t - 4, t); }`); err == nil {
+		t.Fatal("bad WindowIs accepted")
+	}
+}
+
+func TestHistoricalLimit(t *testing.T) {
+	s := histSys(t)
+	q, err := s.Submit(`
+		SELECT price FROM ticks
+		FOR (t = ST; t > ST - 100; t -= 10) { WindowIs(ticks, t - 9, t); }
+		`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := drainStatic(q)
+	q2, err := s.Submit(`
+		SELECT price FROM ticks LIMIT 7
+		FOR (t = ST; t > ST - 100; t -= 10) { WindowIs(ticks, t - 9, t); }
+		`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited := drainStatic(q2)
+	if len(all) != 100 || len(limited) != 7 {
+		t.Fatalf("rows: %d / %d", len(all), len(limited))
+	}
+}

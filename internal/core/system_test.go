@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/executor"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// executorOptionsSmall gives a tiny result queue to exercise shedding.
+func executorOptionsSmall() executor.Options {
+	return executor.Options{SubscriptionCap: 4}
+}
+
+func newSys(t *testing.T, archived bool) *System {
+	t.Helper()
+	opts := Options{}
+	if archived {
+		opts.DataDir = t.TempDir()
+	}
+	s := NewSystem(opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func pushN(t *testing.T, s *System, n int) {
+	t.Helper()
+	for i := 1; i <= n; i++ {
+		err := s.Push("quotes", tuple.String("MSFT"), tuple.Float(float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func collectRows(t *testing.T, s *System, q *Query, want int) []*tuple.Tuple {
+	t.Helper()
+	if err := s.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	var out []*tuple.Tuple
+	deadline := time.Now().Add(2 * time.Second)
+	for len(out) < want && time.Now().Before(deadline) {
+		if r, ok := q.TryNext(); ok {
+			out = append(out, r)
+			continue
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return out
+}
+
+func TestEmbeddedQuickstart(t *testing.T) {
+	s := newSys(t, false)
+	s.MustExec(`CREATE STREAM quotes (sym string, price float)`)
+	q, err := s.Submit(`SELECT sym, price FROM quotes WHERE price > 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushN(t, s, 10)
+	rows := collectRows(t, s, q, 3)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if err := q.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	s := newSys(t, false)
+	if err := s.Exec(`SELECT 1 FROM x`); err == nil {
+		t.Fatal("SELECT via Exec accepted")
+	}
+	if err := s.Exec(`CREATE STREAM s (a int) ARCHIVED`); err == nil {
+		t.Fatal("ARCHIVED without DataDir accepted")
+	}
+	if err := s.Exec(`garbage`); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := s.Exec(`INSERT INTO nope VALUES (1)`); err == nil {
+		t.Fatal("insert into unknown accepted")
+	}
+}
+
+func TestMustExecPanics(t *testing.T) {
+	s := newSys(t, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustExec did not panic")
+		}
+	}()
+	s.MustExec(`garbage`)
+}
+
+func TestArchiveAndScanHistory(t *testing.T) {
+	s := newSys(t, true)
+	s.MustExec(`CREATE STREAM quotes (sym string, price float) ARCHIVED`)
+	// A query must exist for pushes to be routed, but archiving happens
+	// regardless of standing queries.
+	pushN(t, s, 100)
+	if s.CurSeq("quotes") != 100 {
+		t.Fatalf("CurSeq = %d", s.CurSeq("quotes"))
+	}
+	if a := s.Archive("quotes"); a == nil || a.Count() != 100 {
+		t.Fatalf("archive count = %v", a)
+	}
+	// Browse backwards from the present: 3 windows of 10.
+	var got []int
+	err := s.ScanHistory("quotes", window.Backward("quotes", 10, 10, 3), 100,
+		func(inst window.Instance, rows []*tuple.Tuple) bool {
+			got = append(got, len(rows))
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 10 || got[2] != 10 {
+		t.Fatalf("history windows: %v", got)
+	}
+}
+
+func TestScanHistoryUnarchived(t *testing.T) {
+	s := newSys(t, false)
+	s.MustExec(`CREATE STREAM quotes (sym string, price float)`)
+	err := s.ScanHistory("quotes", window.Backward("quotes", 5, 5, 1), 10,
+		func(window.Instance, []*tuple.Tuple) bool { return true })
+	if err == nil {
+		t.Fatal("history over unarchived stream succeeded")
+	}
+}
+
+func TestTableInsertAndJoin(t *testing.T) {
+	s := newSys(t, false)
+	s.MustExec(`CREATE STREAM trades (sym string, qty int)`)
+	s.MustExec(`CREATE TABLE companies (sym string, hq string)`)
+	s.MustExec(`INSERT INTO companies VALUES ('A', 'SF'), ('B', 'NY')`)
+	q, err := s.Submit(`SELECT trades.sym, hq FROM trades, companies WHERE trades.sym = companies.sym`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Push("trades", tuple.String("B"), tuple.Int(5))
+	rows := collectRows(t, s, q, 1)
+	if len(rows) != 1 || rows[0].Values[1].S != "NY" {
+		t.Fatalf("rows: %v", rows)
+	}
+}
+
+func TestConcurrentQueriesOverManyStreams(t *testing.T) {
+	s := newSys(t, false)
+	for i := 0; i < 4; i++ {
+		s.MustExec(fmt.Sprintf(`CREATE STREAM s%d (v float)`, i))
+	}
+	var qs []*Query
+	for i := 0; i < 4; i++ {
+		q, err := s.Submit(fmt.Sprintf(`SELECT v FROM s%d WHERE v >= 0`, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q)
+	}
+	if s.Executor().EOCount() != 4 {
+		t.Fatalf("EOs = %d", s.Executor().EOCount())
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 10; j++ {
+			_ = s.Push(fmt.Sprintf("s%d", i), tuple.Float(float64(j)))
+		}
+	}
+	for i, q := range qs {
+		rows := collectRows(t, s, q, 10)
+		if len(rows) != 10 {
+			t.Fatalf("stream %d: %d rows", i, len(rows))
+		}
+	}
+}
+
+func TestCloseIdempotentAndDropped(t *testing.T) {
+	s := NewSystem(Options{Executor: executorOptionsSmall()})
+	s.MustExec(`CREATE STREAM s (v float)`)
+	q, _ := s.Submit(`SELECT v FROM s`)
+	for i := 0; i < 100; i++ {
+		_ = s.Push("s", tuple.Float(1))
+	}
+	_ = s.Barrier()
+	time.Sleep(10 * time.Millisecond)
+	if q.Dropped() == 0 {
+		t.Fatal("expected shedding with tiny subscription")
+	}
+	s.Close()
+	s.Close()
+}

@@ -1,0 +1,62 @@
+package eddy
+
+import (
+	"testing"
+	"time"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/tuple"
+)
+
+// An asynchronous index AM inside the eddy: probes park in the
+// rendezvous buffer, completions surface through idle cycles, and Flush
+// drains in-flight lookups — the [GW00] pattern of §2.2 running under
+// adaptive routing.
+func TestEddyWithAsyncIndex(t *testing.T) {
+	tSchema := tuple.NewSchema(
+		tuple.Column{Source: "T", Name: "sym", Kind: tuple.KindString},
+		tuple.Column{Source: "T", Name: "rating", Kind: tuple.KindInt},
+	)
+	table := map[string][]*tuple.Tuple{
+		"MSFT": {tuple.New(tSchema, tuple.String("MSFT"), tuple.Int(5))},
+		"IBM":  {tuple.New(tSchema, tuple.String("IBM"), tuple.Int(3))},
+	}
+	lookups := 0
+	ai := operator.NewAsyncIndex("idx", "T", expr.Col("S", "sym"), "sym",
+		func(k tuple.Value) ([]*tuple.Tuple, error) {
+			lookups++
+			return table[k.S], nil
+		}, 2*time.Millisecond)
+	// A filter on the joined result keeps routing non-trivial.
+	f := operator.NewFilter("f", expr.Bin(expr.OpGt, expr.Col("T", "rating"), expr.Lit(tuple.Int(4))))
+
+	var out []*tuple.Tuple
+	e := New([]operator.Module{ai, f}, NewLottery(2), func(x *tuple.Tuple) {
+		if x.Schema.HasSource("T") {
+			out = append(out, x)
+		}
+	})
+	sSchema := tuple.NewSchema(tuple.Column{Source: "S", Name: "sym", Kind: tuple.KindString})
+	for i, sym := range []string{"MSFT", "IBM", "MSFT", "NONE", "IBM"} {
+		tp := tuple.New(sSchema, tuple.String(sym))
+		tp.TS = tuple.Timestamp{Seq: int64(i) + 1}
+		if err := e.Admit(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Matches: MSFT(rating 5) passes the filter ×2; IBM(3) filtered out.
+	if len(out) != 2 {
+		t.Fatalf("outputs = %d, want 2", len(out))
+	}
+	// The cache bounds remote lookups to distinct keys.
+	if lookups != 3 {
+		t.Fatalf("remote lookups = %d, want 3 (MSFT, IBM, NONE)", lookups)
+	}
+	if ai.Pending() != 0 {
+		t.Fatalf("pending after flush = %d", ai.Pending())
+	}
+}

@@ -1,0 +1,453 @@
+package eddy
+
+import (
+	"fmt"
+	"time"
+
+	"telegraphcq/internal/bitset"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/tuple"
+)
+
+// Alternative marks modules that are interchangeable access paths: when
+// a tuple is routed to one member of a non-empty group, every member of
+// that group is marked done for it. This is how an Eddy hybridizes join
+// algorithms (§2.2): the index AM and the SteM probe compete in the
+// lottery, and the winner per tuple decides the method.
+type Alternative interface {
+	Group() string
+}
+
+// Stats counts Eddy activity.
+type Stats struct {
+	Admitted    int64 // source + derived tuples entering routing
+	Routed      int64 // tuple→module routing decisions executed
+	ChooseCalls int64 // policy invocations (batching amortizes these)
+	Outputs     int64 // tuples that completed all modules
+	Dropped     int64
+	Bounced     int64
+}
+
+// Eddy routes tuples among a set of modules according to a Policy.
+// It is single-threaded: one Execution Object drives it via Admit and
+// Run. The zero value is not usable; call New.
+type Eddy struct {
+	modules []operator.Module
+	stems   []*operator.StemModule
+	policy  Policy
+	output  func(*tuple.Tuple)
+
+	groups map[string]*bitset.Set // alternative-group name → member set
+
+	work   []*batch // FIFO of batches awaiting routing
+	stats  Stats
+	serial int64 // admission serial: stamps Tuple.Arrival
+
+	// BatchSize groups same-schema source tuples so one routing decision
+	// covers many tuples (§4.3 "batching tuples ... reduce per-tuple
+	// costs"). 1 disables batching.
+	BatchSize int
+	// FixedHops routes each batch through this many modules per policy
+	// decision (§4.3 "fixing operators"). 1 re-decides every hop.
+	FixedHops int
+
+	pendingBatch map[string]*batch // open admission batches by schema signature
+	pendingOrder []string
+}
+
+// batch is a set of tuples sharing a routing state. With BatchSize 1
+// every batch holds one tuple.
+type batch struct {
+	tuples []*tuple.Tuple
+	ready  *bitset.Set
+	done   *bitset.Set
+	// bounces counts consecutive all-bounce rounds to detect stalls.
+	bounces int
+}
+
+// New builds an Eddy over the given modules. output receives tuples that
+// have been handled by every interested module (the caller decides which
+// queries they satisfy).
+func New(modules []operator.Module, policy Policy, output func(*tuple.Tuple)) *Eddy {
+	e := &Eddy{
+		modules:      modules,
+		policy:       policy,
+		output:       output,
+		groups:       map[string]*bitset.Set{},
+		BatchSize:    1,
+		FixedHops:    1,
+		pendingBatch: map[string]*batch{},
+	}
+	for i, m := range modules {
+		if sm, ok := m.(*operator.StemModule); ok {
+			e.stems = append(e.stems, sm)
+		}
+		if alt, ok := m.(Alternative); ok && alt.Group() != "" {
+			g := e.groups[alt.Group()]
+			if g == nil {
+				g = bitset.New(len(modules))
+				e.groups[alt.Group()] = g
+			}
+			g.Add(i)
+		}
+	}
+	return e
+}
+
+// Modules returns the routed module list (index order matters to
+// policies).
+func (e *Eddy) Modules() []operator.Module { return e.modules }
+
+// AddModule appends a module at runtime and returns its index. Tuples
+// already in flight are not re-routed through it; new admissions are —
+// the discipline for folding freshly registered queries into a running
+// dataflow (§4.2.1 "plans are dynamically folded into the running
+// queries").
+func (e *Eddy) AddModule(m operator.Module) int {
+	idx := len(e.modules)
+	e.modules = append(e.modules, m)
+	if sm, ok := m.(*operator.StemModule); ok {
+		e.stems = append(e.stems, sm)
+	}
+	if alt, ok := m.(Alternative); ok && alt.Group() != "" {
+		g := e.groups[alt.Group()]
+		if g == nil {
+			g = bitset.New(len(e.modules))
+			e.groups[alt.Group()] = g
+		}
+		g.Add(idx)
+	}
+	return idx
+}
+
+// Stats returns a copy of the counters.
+func (e *Eddy) Stats() Stats { return e.stats }
+
+// readyBits computes the fresh ready bitmap for a tuple entering routing.
+func (e *Eddy) readyBits(t *tuple.Tuple) *bitset.Set {
+	r := bitset.New(len(e.modules))
+	for i, m := range e.modules {
+		if m.Interested(t) {
+			r.Add(i)
+		}
+	}
+	return r
+}
+
+// Admit enters a source tuple into the dataflow: it is stamped with its
+// admission serial, built into the SteM of its base relation
+// (build-before-probe plus the arrival constraint keeps symmetric joins
+// exactly-once), then queued for routing.
+func (e *Eddy) Admit(t *tuple.Tuple) error {
+	e.serial++
+	t.Arrival = e.serial
+	for _, sm := range e.stems {
+		if sm.IsBase(t) {
+			if err := sm.Build(t); err != nil {
+				return err
+			}
+		}
+	}
+	e.enqueue(t)
+	return nil
+}
+
+// sig is the batching key: tuples sharing a source signature share
+// routing state.
+func sig(s *tuple.Schema) string {
+	k := ""
+	for _, src := range s.Sources {
+		k += src + "\x00"
+	}
+	return k
+}
+
+// enqueue adds a source tuple to routing, batching with same-signature
+// peers when BatchSize > 1.
+func (e *Eddy) enqueue(t *tuple.Tuple) {
+	e.stats.Admitted++
+	if e.BatchSize <= 1 {
+		e.work = append(e.work, &batch{
+			tuples: []*tuple.Tuple{t},
+			ready:  e.readyBits(t),
+			done:   bitset.New(len(e.modules)),
+		})
+		return
+	}
+	key := sig(t.Schema)
+	b := e.pendingBatch[key]
+	if b == nil {
+		b = &batch{ready: e.readyBits(t), done: bitset.New(len(e.modules))}
+		e.pendingBatch[key] = b
+		e.pendingOrder = append(e.pendingOrder, key)
+	}
+	b.tuples = append(b.tuples, t)
+	if len(b.tuples) >= e.BatchSize {
+		delete(e.pendingBatch, key)
+		e.removePendingOrder(key)
+		e.work = append(e.work, b)
+	}
+}
+
+// enqueueDerived admits a module-produced tuple (join match, window
+// result) with an inherited done set: modules the producing cascade has
+// already visited are not revisited, which keeps multiway joins
+// exactly-once and avoids re-filtering columns already filtered.
+func (e *Eddy) enqueueDerived(t *tuple.Tuple, done *bitset.Set) {
+	e.stats.Admitted++
+	ready := e.readyBits(t)
+	d := bitset.New(len(e.modules))
+	if done != nil {
+		d.CopyFrom(done)
+	}
+	if t.Lin != nil {
+		d.Union(&t.Lin.Done)
+	}
+	ready.Subtract(d)
+	// Alternative groups: a done member marks the whole group done.
+	for _, g := range e.groups {
+		if d.IntersectsWith(g) {
+			ready.Subtract(g)
+		}
+	}
+	e.work = append(e.work, &batch{tuples: []*tuple.Tuple{t}, ready: ready, done: d})
+}
+
+func (e *Eddy) removePendingOrder(key string) {
+	for i, x := range e.pendingOrder {
+		if x == key {
+			e.pendingOrder = append(e.pendingOrder[:i], e.pendingOrder[i+1:]...)
+			return
+		}
+	}
+}
+
+// flushPending moves partially filled admission batches into the work
+// queue (called when the source pauses or ends).
+func (e *Eddy) flushPending() {
+	for _, k := range e.pendingOrder {
+		if b := e.pendingBatch[k]; b != nil && len(b.tuples) > 0 {
+			e.work = append(e.work, b)
+		}
+		delete(e.pendingBatch, k)
+	}
+	e.pendingOrder = e.pendingOrder[:0]
+}
+
+// Pending reports queued work (batches awaiting routing).
+func (e *Eddy) Pending() int {
+	n := len(e.work)
+	for _, b := range e.pendingBatch {
+		if len(b.tuples) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Step performs one routing decision (one batch through up to FixedHops
+// modules). It reports whether any work was done.
+func (e *Eddy) Step() (bool, error) {
+	if len(e.work) == 0 {
+		e.flushPending()
+		if len(e.work) == 0 {
+			return e.idleModules()
+		}
+	}
+	b := e.work[0]
+	e.work = e.work[1:]
+
+	hops := e.FixedHops
+	if hops < 1 {
+		hops = 1
+	}
+	if ranker, ok := e.policy.(Ranker); ok && hops > 1 {
+		// Operator fixing (§4.3): one policy decision yields a sequence
+		// of modules the batch is routed through without re-deciding.
+		e.stats.ChooseCalls++
+		seq := ranker.Rank(b.ready, nil)
+		for _, m := range seq {
+			if hops == 0 || b.ready.Empty() || len(b.tuples) == 0 {
+				break
+			}
+			if !b.ready.Contains(m) {
+				continue // an earlier hop retired this module's group
+			}
+			hops--
+			if err := e.routeBatch(b, m); err != nil {
+				return true, err
+			}
+		}
+	} else {
+		for hop := 0; hop < hops; hop++ {
+			if b.ready.Empty() || len(b.tuples) == 0 {
+				break
+			}
+			m := e.policy.Choose(b.ready)
+			e.stats.ChooseCalls++
+			if m < 0 {
+				break
+			}
+			if err := e.routeBatch(b, m); err != nil {
+				return true, err
+			}
+		}
+	}
+	if len(b.tuples) > 0 && !b.ready.Empty() {
+		e.work = append(e.work, b)
+		return true, nil
+	}
+	// Routing complete: deliver survivors.
+	for _, t := range b.tuples {
+		e.stats.Outputs++
+		e.output(t)
+	}
+	return true, nil
+}
+
+// routeBatch routes every tuple of b to module m. Tuples the module
+// bounces are split into a separate retry batch (with m still ready for
+// them) so that tuples that did pass are never re-processed by m.
+func (e *Eddy) routeBatch(b *batch, m int) error {
+	mod := e.modules[m]
+	survivors := b.tuples[:0]
+	var bounced []*tuple.Tuple
+	// Emissions during this batch inherit the batch's done set plus the
+	// module being visited, so cascades never revisit this module.
+	inherit := b.done.Clone()
+	inherit.Add(m)
+	emit := func(x *tuple.Tuple) { e.enqueueDerived(x, inherit) }
+	for _, t := range b.tuples {
+		start := time.Now()
+		out, err := mod.Process(t, emit)
+		cost := time.Since(start).Nanoseconds()
+		if err != nil {
+			return fmt.Errorf("module %s: %w", mod.Name(), err)
+		}
+		e.stats.Routed++
+		produced := 0
+		switch out {
+		case operator.Pass:
+			survivors = append(survivors, t)
+			produced = 1
+		case operator.Drop:
+			e.stats.Dropped++
+		case operator.Consumed:
+			// The module retained the tuple; derived tuples arrive via
+			// emit, possibly later (async). Stamp the done set on the
+			// tuple so deferred emissions inherit it.
+			t.Lineage().Done.CopyFrom(inherit)
+		case operator.Bounce:
+			e.stats.Bounced++
+			bounced = append(bounced, t)
+			// Back-pressure: a module that cannot absorb work returns
+			// the tuple, so it pays a ticket rather than earning one.
+			produced = 2
+		}
+		e.policy.Observe(m, out, produced, cost)
+	}
+	for i := len(survivors); i < len(b.tuples); i++ {
+		b.tuples[i] = nil
+	}
+	b.tuples = survivors
+	if len(bounced) > 0 {
+		retry := &batch{
+			tuples:  bounced,
+			ready:   b.ready.Clone(), // m still ready for these
+			done:    b.done.Clone(),
+			bounces: b.bounces + 1,
+		}
+		if retry.bounces > 3 {
+			// Stalled on async work: let idle cycles make progress.
+			if _, err := e.idleModules(); err != nil {
+				return err
+			}
+			retry.bounces = 0
+		}
+		e.work = append(e.work, retry)
+	}
+	e.markDone(b, m)
+	return nil
+}
+
+// markDone clears the module — and its whole alternative group — from
+// the batch's ready set.
+func (e *Eddy) markDone(b *batch, m int) {
+	b.ready.Remove(m)
+	b.done.Add(m)
+	if alt, ok := e.modules[m].(Alternative); ok && alt.Group() != "" {
+		if g := e.groups[alt.Group()]; g != nil {
+			b.ready.Subtract(g)
+		}
+	}
+}
+
+// emit admits a derived tuple produced outside a batch context (idle
+// harvesting of async modules, flush). The done set inherited comes from
+// the tuple's own lineage, stamped when the producer consumed its input.
+func (e *Eddy) emit(t *tuple.Tuple) {
+	e.enqueueDerived(t, nil)
+}
+
+// idleModules gives asynchronous modules a chance to complete parked
+// work. Reports whether any module made progress.
+func (e *Eddy) idleModules() (bool, error) {
+	worked := false
+	for _, m := range e.modules {
+		if idler, ok := m.(operator.Idler); ok {
+			w, err := idler.Idle(e.emit)
+			if err != nil {
+				return worked, err
+			}
+			worked = worked || w
+		}
+	}
+	return worked, nil
+}
+
+// RunUntilIdle steps until no queued work remains and no module reports
+// idle progress. maxSteps bounds runaway loops (0 = 1<<30).
+func (e *Eddy) RunUntilIdle(maxSteps int) error {
+	if maxSteps <= 0 {
+		maxSteps = 1 << 30
+	}
+	for i := 0; i < maxSteps; i++ {
+		worked, err := e.Step()
+		if err != nil {
+			return err
+		}
+		if !worked {
+			return nil
+		}
+	}
+	return fmt.Errorf("eddy: exceeded %d steps", maxSteps)
+}
+
+// Flush ends the input streams: pending admission batches are routed,
+// async modules drained, and window state flushed (the Eddy "shuts down
+// its connected modules when the end of all of its input streams has
+// been reached").
+func (e *Eddy) Flush() error {
+	if err := e.RunUntilIdle(0); err != nil {
+		return err
+	}
+	// Drain async modules that may still hold in-flight work.
+	for _, m := range e.modules {
+		if ai, ok := m.(*operator.AsyncIndex); ok {
+			if err := ai.Drain(e.emit, 5*time.Second); err != nil {
+				return err
+			}
+		}
+	}
+	if err := e.RunUntilIdle(0); err != nil {
+		return err
+	}
+	for _, m := range e.modules {
+		if fl, ok := m.(operator.Flusher); ok {
+			if err := fl.Flush(e.emit); err != nil {
+				return err
+			}
+		}
+	}
+	return e.RunUntilIdle(0)
+}

@@ -1,0 +1,247 @@
+package eddy
+
+import (
+	"math/rand"
+	"testing"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/stem"
+	"telegraphcq/internal/tuple"
+)
+
+// Multiway join correctness is the sharpest test of the eddy's routing
+// bookkeeping: build-at-admission + arrival-ordered probing + inherited
+// done sets must produce each k-way combination exactly once, for every
+// policy and interleaving.
+
+func buildThreeWayEddy(policy Policy, out *[]*tuple.Tuple) (*Eddy, []*operator.StemModule) {
+	// Join graph S—T—R: S.k = T.k, T.j = R.j.
+	jfST := expr.JoinFactor{Op: expr.OpEq, Left: expr.Col("S", "k"), Right: expr.Col("T", "k")}
+	jfTR := expr.JoinFactor{Op: expr.OpEq, Left: expr.Col("T", "j"), Right: expr.Col("R", "j")}
+
+	sS := operator.NewStemModule("S", stem.New("S", expr.Col("S", "k")),
+		[]expr.JoinFactor{jfST}, expr.Col("S", "k"))
+	sT := operator.NewStemModule("T", stem.New("T", expr.Col("T", "k")),
+		[]expr.JoinFactor{jfST, jfTR}, expr.Col("T", "k"))
+	sR := operator.NewStemModule("R", stem.New("R", expr.Col("R", "j")),
+		[]expr.JoinFactor{jfTR}, expr.Col("R", "j"))
+	e := New([]operator.Module{sS, sT, sR}, policy, func(x *tuple.Tuple) {
+		if x.Schema.HasSource("S") && x.Schema.HasSource("T") && x.Schema.HasSource("R") {
+			*out = append(*out, x)
+		}
+	})
+	return e, []*operator.StemModule{sS, sT, sR}
+}
+
+func sTuple(seq, k int64) *tuple.Tuple {
+	sc := tuple.NewSchema(
+		tuple.Column{Source: "S", Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Source: "S", Name: "sid", Kind: tuple.KindInt},
+	)
+	t := tuple.New(sc, tuple.Int(k), tuple.Int(seq))
+	t.TS = tuple.Timestamp{Seq: seq}
+	return t
+}
+
+func tTuple(seq, k, j int64) *tuple.Tuple {
+	sc := tuple.NewSchema(
+		tuple.Column{Source: "T", Name: "k", Kind: tuple.KindInt},
+		tuple.Column{Source: "T", Name: "j", Kind: tuple.KindInt},
+		tuple.Column{Source: "T", Name: "tid", Kind: tuple.KindInt},
+	)
+	t := tuple.New(sc, tuple.Int(k), tuple.Int(j), tuple.Int(seq))
+	t.TS = tuple.Timestamp{Seq: seq}
+	return t
+}
+
+func rTuple(seq, j int64) *tuple.Tuple {
+	sc := tuple.NewSchema(
+		tuple.Column{Source: "R", Name: "j", Kind: tuple.KindInt},
+		tuple.Column{Source: "R", Name: "rid", Kind: tuple.KindInt},
+	)
+	t := tuple.New(sc, tuple.Int(j), tuple.Int(seq))
+	t.TS = tuple.Timestamp{Seq: seq}
+	return t
+}
+
+func TestThreeWayJoinExactlyOnce(t *testing.T) {
+	for name, mk := range map[string]func() Policy{
+		"fixed":   func() Policy { return NewFixed([]int{0, 1, 2}) },
+		"reverse": func() Policy { return NewFixed([]int{2, 1, 0}) },
+		"random":  func() Policy { return NewRandom(3) },
+		"lottery": func() Policy { return NewLottery(3) },
+	} {
+		var out []*tuple.Tuple
+		e, _ := buildThreeWayEddy(mk(), &out)
+		// 2 S rows (k=1), 2 T rows (k=1, j∈{1,2}), 2 R rows (j=1, j=2):
+		// every (s, t, r with r.j == t.j) combines: 2 × 2 × 1 each = 4.
+		_ = e.Admit(sTuple(1, 1))
+		_ = e.Admit(tTuple(1, 1, 1))
+		_ = e.Admit(rTuple(1, 1))
+		_ = e.Admit(sTuple(2, 1))
+		_ = e.Admit(rTuple(2, 2))
+		_ = e.Admit(tTuple(2, 1, 2))
+		if err := e.RunUntilIdle(0); err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 4 {
+			t.Fatalf("%s: triples = %d, want 4", name, len(out))
+		}
+		seen := map[string]bool{}
+		for _, x := range out {
+			key := x.String()
+			if seen[key] {
+				t.Fatalf("%s: duplicate triple %s", name, key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+// Property: random 3-way workloads with interleaved processing match the
+// nested-loop ground truth under every policy.
+func TestThreeWayJoinAgainstNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		type trow struct{ k, j int64 }
+		var ss []int64
+		var ts []trow
+		var rs []int64
+		policies := []Policy{NewFixed([]int{0, 1, 2}), NewRandom(int64(trial)), NewLottery(int64(trial))}
+		pol := policies[trial%len(policies)]
+		var out []*tuple.Tuple
+		e, _ := buildThreeWayEddy(pol, &out)
+		seq := int64(0)
+		for op := 0; op < 25; op++ {
+			seq++
+			switch rng.Intn(3) {
+			case 0:
+				k := int64(rng.Intn(3))
+				ss = append(ss, k)
+				_ = e.Admit(sTuple(seq, k))
+			case 1:
+				k, j := int64(rng.Intn(3)), int64(rng.Intn(3))
+				ts = append(ts, trow{k, j})
+				_ = e.Admit(tTuple(seq, k, j))
+			case 2:
+				j := int64(rng.Intn(3))
+				rs = append(rs, j)
+				_ = e.Admit(rTuple(seq, j))
+			}
+			// Interleave processing with arrivals.
+			if rng.Intn(2) == 0 {
+				if err := e.RunUntilIdle(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := e.RunUntilIdle(0); err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, sk := range ss {
+			for _, tr := range ts {
+				if tr.k != sk {
+					continue
+				}
+				for _, rj := range rs {
+					if rj == tr.j {
+						want++
+					}
+				}
+			}
+		}
+		if len(out) != want {
+			t.Fatalf("trial %d: triples = %d, want %d (S=%d T=%d R=%d)",
+				trial, len(out), want, len(ss), len(ts), len(rs))
+		}
+	}
+}
+
+// Self-join via aliases: the same physical stream admitted under two
+// names, band predicate.
+func TestSelfJoinBandPredicate(t *testing.T) {
+	jf := expr.JoinFactor{Op: expr.OpGt, Left: expr.Col("c2", "v"), Right: expr.Col("c1", "v")}
+	s1 := operator.NewStemModule("c1", stem.New("c1", nil), []expr.JoinFactor{jf}, nil)
+	s2 := operator.NewStemModule("c2", stem.New("c2", nil), []expr.JoinFactor{jf}, nil)
+	var out []*tuple.Tuple
+	e := New([]operator.Module{s1, s2}, NewFixed([]int{0, 1}), func(x *tuple.Tuple) {
+		if x.Schema.HasSource("c1") && x.Schema.HasSource("c2") {
+			out = append(out, x)
+		}
+	})
+	mk := func(src string, seq int64, v float64) *tuple.Tuple {
+		sc := tuple.NewSchema(tuple.Column{Source: src, Name: "v", Kind: tuple.KindFloat})
+		t := tuple.New(sc, tuple.Float(v))
+		t.TS = tuple.Timestamp{Seq: seq}
+		return t
+	}
+	vals := []float64{3, 1, 4, 1, 5}
+	for i, v := range vals {
+		_ = e.Admit(mk("c1", int64(i+1), v))
+		_ = e.Admit(mk("c2", int64(i+1), v))
+	}
+	if err := e.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, a := range vals {
+		for _, b := range vals {
+			if b > a {
+				want++
+			}
+		}
+	}
+	if len(out) != want {
+		t.Fatalf("band pairs = %d, want %d", len(out), want)
+	}
+}
+
+// A 4-way chain exercises deeper cascades of inherited done sets.
+func TestFourWayChainJoin(t *testing.T) {
+	mkJF := func(l, lc, r, rc string) expr.JoinFactor {
+		return expr.JoinFactor{Op: expr.OpEq, Left: expr.Col(l, lc), Right: expr.Col(r, rc)}
+	}
+	jAB := mkJF("A", "x", "B", "x")
+	jBC := mkJF("B", "y", "C", "y")
+	jCD := mkJF("C", "z", "D", "z")
+	mods := []operator.Module{
+		operator.NewStemModule("A", stem.New("A", expr.Col("A", "x")), []expr.JoinFactor{jAB}, expr.Col("A", "x")),
+		operator.NewStemModule("B", stem.New("B", expr.Col("B", "x")), []expr.JoinFactor{jAB, jBC}, expr.Col("B", "x")),
+		operator.NewStemModule("C", stem.New("C", expr.Col("C", "y")), []expr.JoinFactor{jBC, jCD}, expr.Col("C", "y")),
+		operator.NewStemModule("D", stem.New("D", expr.Col("D", "z")), []expr.JoinFactor{jCD}, expr.Col("D", "z")),
+	}
+	var out []*tuple.Tuple
+	e := New(mods, NewLottery(7), func(x *tuple.Tuple) {
+		if len(x.Schema.Sources) == 4 {
+			out = append(out, x)
+		}
+	})
+	row := func(src string, seq int64, cols map[string]int64) *tuple.Tuple {
+		var cs []tuple.Column
+		var vs []tuple.Value
+		for _, name := range []string{"x", "y", "z"} {
+			if v, ok := cols[name]; ok {
+				cs = append(cs, tuple.Column{Source: src, Name: name, Kind: tuple.KindInt})
+				vs = append(vs, tuple.Int(v))
+			}
+		}
+		t := tuple.New(tuple.NewSchema(cs...), vs...)
+		t.TS = tuple.Timestamp{Seq: seq}
+		return t
+	}
+	// 2 tuples per relation, all joining on value 1: 2^4 = 16 results.
+	for i := int64(1); i <= 2; i++ {
+		_ = e.Admit(row("A", i, map[string]int64{"x": 1}))
+		_ = e.Admit(row("B", i, map[string]int64{"x": 1, "y": 1}))
+		_ = e.Admit(row("C", i, map[string]int64{"y": 1, "z": 1}))
+		_ = e.Admit(row("D", i, map[string]int64{"z": 1}))
+	}
+	if err := e.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 16 {
+		t.Fatalf("4-way results = %d, want 16", len(out))
+	}
+}

@@ -1,0 +1,269 @@
+// Package eddy implements the Eddy adaptive tuple router (Avnur &
+// Hellerstein, SIGMOD 2000; §2.2 of the TelegraphCQ paper) together with
+// the routing policies and the "adapting adaptivity" knobs of §4.3
+// (tuple batching and operator fixing).
+//
+// An Eddy intercepts tuples flowing into and out of a set of partially
+// commutative modules and chooses, tuple by tuple, the order they take.
+// Modules earn routing preference through a ticket scheme: a module
+// receives a ticket for each tuple routed to it and loses one for each
+// tuple it returns, so selective, productive modules are favored — with
+// no cost model or statistics required in advance.
+package eddy
+
+import (
+	"math/rand"
+	"sort"
+
+	"telegraphcq/internal/bitset"
+	"telegraphcq/internal/operator"
+)
+
+// Policy decides routing order. Implementations are not goroutine-safe;
+// each Eddy owns one policy (an Eddy is single-threaded inside one
+// Execution Object).
+type Policy interface {
+	// Choose picks the next module from the ready set (never empty).
+	Choose(ready *bitset.Set) int
+	// Observe reports the outcome of routing one tuple (or one batch
+	// member) to module m. produced counts tuples returned to the Eddy:
+	// emissions plus the routed tuple itself if it passed through.
+	Observe(m int, outcome operator.Outcome, produced int, costNs int64)
+}
+
+// ---------------------------------------------------------------- fixed
+
+// Fixed routes every tuple in one predetermined order — the static-plan
+// baseline the adaptivity experiments compare against.
+type Fixed struct {
+	order []int
+	rank  map[int]int
+}
+
+// NewFixed builds a fixed policy routing in the given module order.
+func NewFixed(order []int) *Fixed {
+	r := make(map[int]int, len(order))
+	for i, m := range order {
+		r[m] = i
+	}
+	return &Fixed{order: order, rank: r}
+}
+
+// Choose implements Policy: the earliest ready module in the fixed order.
+func (f *Fixed) Choose(ready *bitset.Set) int {
+	best, bestRank := -1, int(^uint(0)>>1)
+	ready.ForEach(func(m int) bool {
+		r, ok := f.rank[m]
+		if !ok {
+			r = len(f.order) + m // unknown modules go last, stable
+		}
+		if r < bestRank {
+			best, bestRank = m, r
+		}
+		return true
+	})
+	return best
+}
+
+// Observe implements Policy (no adaptation).
+func (f *Fixed) Observe(int, operator.Outcome, int, int64) {}
+
+// --------------------------------------------------------------- random
+
+// Random routes uniformly among ready modules — the "no information"
+// baseline.
+type Random struct{ rng *rand.Rand }
+
+// NewRandom builds a random policy with a deterministic seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Choose implements Policy.
+func (r *Random) Choose(ready *bitset.Set) int {
+	n := ready.Count()
+	if n == 0 {
+		return -1
+	}
+	k := r.rng.Intn(n)
+	choice := -1
+	i := 0
+	ready.ForEach(func(m int) bool {
+		if i == k {
+			choice = m
+			return false
+		}
+		i++
+		return true
+	})
+	return choice
+}
+
+// Observe implements Policy (no adaptation).
+func (r *Random) Observe(int, operator.Outcome, int, int64) {}
+
+// -------------------------------------------------------------- lottery
+
+// Lottery is the ticket-based scheme of [AH00] with exponential decay so
+// the router keeps adapting as selectivities drift, plus optional cost
+// normalization so expensive modules (slow filters, remote indexes) are
+// deferred the way back-pressure defers them in the asynchronous setting.
+type Lottery struct {
+	rng     *rand.Rand
+	tickets map[int]float64
+	cost    map[int]float64 // EWMA of cost per routed tuple, ns
+	// Decay multiplies all tickets after each window of observations;
+	// lower values forget faster. Default 0.99 per observation.
+	Decay float64
+	// CostAware divides ticket weight by observed per-tuple cost.
+	CostAware bool
+	// Explore is the probability of routing uniformly at random, keeping
+	// fresh observations flowing for all modules. Default 0.05.
+	Explore float64
+	// CostAlpha is the EWMA weight for cost observations (default 0.05;
+	// raise it to track fast-drifting module costs).
+	CostAlpha float64
+	// Greedy picks the highest-weight module deterministically instead
+	// of sampling proportionally; Explore still injects random routes so
+	// observations keep flowing ("winner take all" routing).
+	Greedy bool
+}
+
+// NewLottery builds a lottery policy with a deterministic seed.
+func NewLottery(seed int64) *Lottery {
+	return &Lottery{
+		rng:       rand.New(rand.NewSource(seed)),
+		tickets:   map[int]float64{},
+		cost:      map[int]float64{},
+		Decay:     0.99,
+		Explore:   0.05,
+		CostAlpha: 0.05,
+	}
+}
+
+func (l *Lottery) weight(m int) float64 {
+	w := l.tickets[m] + 1 // +1 keeps every ready module in the lottery
+	if l.CostAware {
+		if c := l.cost[m]; c > 0 {
+			w /= 1 + c/1000 // cost in microseconds softens the division
+		}
+	}
+	return w
+}
+
+// Choose implements Policy: lottery sampling by ticket weight.
+func (l *Lottery) Choose(ready *bitset.Set) int {
+	if l.rng.Float64() < l.Explore {
+		n := ready.Count()
+		if n == 0 {
+			return -1
+		}
+		k := l.rng.Intn(n)
+		choice := -1
+		i := 0
+		ready.ForEach(func(m int) bool {
+			if i == k {
+				choice = m
+				return false
+			}
+			i++
+			return true
+		})
+		return choice
+	}
+	if l.Greedy {
+		best, bestW := -1, -1.0
+		ready.ForEach(func(m int) bool {
+			if w := l.weight(m); w > bestW {
+				best, bestW = m, w
+			}
+			return true
+		})
+		return best
+	}
+	total := 0.0
+	ready.ForEach(func(m int) bool {
+		total += l.weight(m)
+		return true
+	})
+	if total <= 0 {
+		return ready.Next(0)
+	}
+	x := l.rng.Float64() * total
+	choice := -1
+	ready.ForEach(func(m int) bool {
+		choice = m
+		x -= l.weight(m)
+		return x >= 0
+	})
+	return choice
+}
+
+// Observe implements Policy: +1 ticket for consuming, -1 per produced
+// tuple, exponential decay, cost EWMA.
+func (l *Lottery) Observe(m int, outcome operator.Outcome, produced int, costNs int64) {
+	t := l.tickets[m]*l.Decay + 1 - float64(produced)
+	if t < 0 {
+		t = 0
+	}
+	l.tickets[m] = t
+	alpha := l.CostAlpha
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	l.cost[m] = l.cost[m]*(1-alpha) + float64(costNs)*alpha
+}
+
+// Tickets exposes the current ticket count (experiments plot it).
+func (l *Lottery) Tickets(m int) float64 { return l.tickets[m] }
+
+// --------------------------------------------------------------- ranker
+
+// Ranker is implemented by policies that can order the whole ready set
+// with one decision. Operator fixing (§4.3) uses it to route a batch
+// through several modules per decision.
+type Ranker interface {
+	// Rank appends the ready modules to out in routing-preference order.
+	Rank(ready *bitset.Set, out []int) []int
+}
+
+// Rank implements Ranker for Fixed: the fixed order, ready-filtered.
+// A module repeated in the configured order still ranks once.
+func (f *Fixed) Rank(ready *bitset.Set, out []int) []int {
+	emitted := map[int]bool{}
+	for _, m := range f.order {
+		if ready.Contains(m) && !emitted[m] {
+			out = append(out, m)
+			emitted[m] = true
+		}
+	}
+	ready.ForEach(func(m int) bool {
+		if _, known := f.rank[m]; !known {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// Rank implements Ranker for Random: a shuffle of the ready set.
+func (r *Random) Rank(ready *bitset.Set, out []int) []int {
+	start := len(out)
+	out = append(out, ready.Indices()...)
+	r.rng.Shuffle(len(out)-start, func(i, j int) {
+		out[start+i], out[start+j] = out[start+j], out[start+i]
+	})
+	return out
+}
+
+// Rank implements Ranker for Lottery: ready modules by descending weight
+// (one decision's worth of preference; ties broken by index).
+func (l *Lottery) Rank(ready *bitset.Set, out []int) []int {
+	start := len(out)
+	out = append(out, ready.Indices()...)
+	sub := out[start:]
+	sort.SliceStable(sub, func(i, j int) bool {
+		return l.weight(sub[i]) > l.weight(sub[j])
+	})
+	return out
+}

@@ -1,0 +1,107 @@
+package eddy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"telegraphcq/internal/bitset"
+	"telegraphcq/internal/operator"
+)
+
+// Property: every policy's Choose always returns a member of the ready
+// set, and Rank returns a permutation of it — for arbitrary ready sets
+// and observation histories.
+func TestQuickPolicyInvariants(t *testing.T) {
+	f := func(members []uint8, obsSeed int64) bool {
+		ready := bitset.New(0)
+		for _, m := range members {
+			ready.Add(int(m % 32))
+		}
+		if ready.Empty() {
+			ready.Add(0)
+		}
+		for _, p := range []Policy{
+			NewFixed([]int{3, 1, 4, 1, 5}),
+			NewRandom(obsSeed),
+			NewLottery(obsSeed),
+		} {
+			// Random observation history.
+			r := rand.New(rand.NewSource(obsSeed))
+			for i := 0; i < 50; i++ {
+				p.Observe(r.Intn(32), operator.Outcome(r.Intn(4)), r.Intn(3), int64(r.Intn(10000)))
+			}
+			for i := 0; i < 10; i++ {
+				if m := p.Choose(ready); !ready.Contains(m) {
+					return false
+				}
+			}
+			if rk, ok := p.(Ranker); ok {
+				order := rk.Rank(ready, nil)
+				if len(order) != ready.Count() {
+					return false
+				}
+				seen := map[int]bool{}
+				for _, m := range order {
+					if !ready.Contains(m) || seen[m] {
+						return false
+					}
+					seen[m] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLotteryGreedyPicksMaxWeight(t *testing.T) {
+	l := NewLottery(1)
+	l.Greedy = true
+	l.Explore = 0 // fully deterministic
+	// Module 2 accumulates tickets.
+	for i := 0; i < 50; i++ {
+		l.Observe(2, operator.Drop, 0, 10)
+		l.Observe(5, operator.Pass, 2, 10)
+	}
+	ready := bitset.FromIndices(2, 5)
+	for i := 0; i < 20; i++ {
+		if got := l.Choose(ready); got != 2 {
+			t.Fatalf("greedy chose %d", got)
+		}
+	}
+}
+
+func TestLotteryCostAwareDemotesExpensive(t *testing.T) {
+	l := NewLottery(1)
+	l.CostAware = true
+	l.Greedy = true
+	l.Explore = 0
+	l.CostAlpha = 1
+	// Same tickets, wildly different cost.
+	for i := 0; i < 20; i++ {
+		l.Observe(0, operator.Drop, 0, 10_000_000) // 10ms per tuple
+		l.Observe(1, operator.Drop, 0, 1_000)      // 1µs per tuple
+	}
+	if got := l.Choose(bitset.FromIndices(0, 1)); got != 1 {
+		t.Fatalf("cost-aware chose the expensive module %d", got)
+	}
+}
+
+func TestLotteryDecayForgets(t *testing.T) {
+	l := NewLottery(1)
+	l.Decay = 0.5
+	for i := 0; i < 100; i++ {
+		l.Observe(0, operator.Drop, 0, 10)
+	}
+	high := l.Tickets(0)
+	// Now the module keeps producing: tickets must fall quickly.
+	for i := 0; i < 20; i++ {
+		l.Observe(0, operator.Pass, 3, 10)
+	}
+	if l.Tickets(0) >= high/2 {
+		t.Fatalf("tickets did not decay: %v -> %v", high, l.Tickets(0))
+	}
+}

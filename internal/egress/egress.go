@@ -1,0 +1,177 @@
+// Package egress implements result delivery (§4.3 "Egress Modules"):
+// push-based subscriptions that stream rows to connected clients through
+// bounded Fjord queues (shedding when a client cannot keep up), and
+// pull-based spools that log results for clients that disconnect and
+// return intermittently (the PSoup modality).
+package egress
+
+import (
+	"sync"
+
+	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/tuple"
+)
+
+// Subscription is a push-based result channel for one query.
+type Subscription struct {
+	ID int
+	q  fjord.Queue[*tuple.Tuple]
+
+	mu      sync.Mutex
+	dropped int64
+}
+
+// Next blocks for the next row; ok is false when the subscription closed
+// and drained.
+func (s *Subscription) Next() (*tuple.Tuple, bool) {
+	t, err := s.q.Dequeue()
+	return t, err == nil
+}
+
+// TryNext returns a row without blocking.
+func (s *Subscription) TryNext() (*tuple.Tuple, bool) { return s.q.TryDequeue() }
+
+// Dropped counts rows shed because the client fell behind.
+func (s *Subscription) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Len returns queued rows.
+func (s *Subscription) Len() int { return s.q.Len() }
+
+// Hub demultiplexes engine deliveries to per-query consumers: push
+// subscriptions and/or pull spools.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[int]*Subscription
+	spools map[int]*Spool
+}
+
+// NewHub builds an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: map[int]*Subscription{}, spools: map[int]*Spool{}}
+}
+
+// Subscribe attaches a push subscription of the given capacity for a
+// query id. Rows arriving while the queue is full are shed (QoS: a slow
+// client must not stall the shared dataflow).
+func (h *Hub) Subscribe(id, capacity int) *Subscription {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	s := &Subscription{ID: id, q: fjord.NewPush[*tuple.Tuple](capacity)}
+	h.mu.Lock()
+	h.subs[id] = s
+	h.mu.Unlock()
+	return s
+}
+
+// SpoolFor attaches (or returns) a pull spool for a query id.
+func (h *Hub) SpoolFor(id int, capacity int) *Spool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if sp, ok := h.spools[id]; ok {
+		return sp
+	}
+	sp := NewSpool(capacity)
+	h.spools[id] = sp
+	return sp
+}
+
+// Deliver routes one result row to the query's consumers. It never
+// blocks.
+func (h *Hub) Deliver(id int, row *tuple.Tuple) {
+	h.mu.Lock()
+	sub := h.subs[id]
+	sp := h.spools[id]
+	h.mu.Unlock()
+	if sub != nil {
+		if !sub.q.TryEnqueue(row) {
+			sub.mu.Lock()
+			sub.dropped++
+			sub.mu.Unlock()
+		}
+	}
+	if sp != nil {
+		sp.Append(row)
+	}
+}
+
+// Close tears down a query's consumers (cursor closed / query removed).
+func (h *Hub) Close(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s, ok := h.subs[id]; ok {
+		s.q.Close()
+		delete(h.subs, id)
+	}
+	delete(h.spools, id)
+}
+
+// CloseAll tears down everything (server shutdown).
+func (h *Hub) CloseAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id, s := range h.subs {
+		s.q.Close()
+		delete(h.subs, id)
+	}
+	for id := range h.spools {
+		delete(h.spools, id)
+	}
+}
+
+// Spool is the pull-based egress operator: results are logged with
+// monotonically increasing offsets; an intermittent client fetches from
+// its last offset on reconnect. Capacity bounds retained rows (older
+// rows age out, and the base offset advances).
+type Spool struct {
+	mu   sync.Mutex
+	rows []*tuple.Tuple
+	base int64 // offset of rows[0]
+	cap  int
+}
+
+// NewSpool builds a spool retaining up to capacity rows (<=0 → 4096).
+func NewSpool(capacity int) *Spool {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Spool{cap: capacity}
+}
+
+// Append logs one row.
+func (s *Spool) Append(row *tuple.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = append(s.rows, row)
+	if over := len(s.rows) - s.cap; over > 0 {
+		s.rows = append(s.rows[:0], s.rows[over:]...)
+		s.base += int64(over)
+	}
+}
+
+// Fetch returns rows from offset `from` (inclusive) and the next offset
+// to resume from. Rows aged out below the retained range are skipped.
+func (s *Spool) Fetch(from int64) (rows []*tuple.Tuple, next int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < s.base {
+		from = s.base
+	}
+	i := from - s.base
+	if i >= int64(len(s.rows)) {
+		return nil, s.base + int64(len(s.rows))
+	}
+	out := append([]*tuple.Tuple(nil), s.rows[i:]...)
+	return out, s.base + int64(len(s.rows))
+}
+
+// End returns the offset one past the last logged row.
+func (s *Spool) End() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base + int64(len(s.rows))
+}

@@ -1,0 +1,108 @@
+package egress
+
+import (
+	"testing"
+
+	"telegraphcq/internal/tuple"
+)
+
+var schema = tuple.NewSchema(tuple.Column{Source: "s", Name: "v", Kind: tuple.KindInt})
+
+func row(v int64) *tuple.Tuple { return tuple.New(schema, tuple.Int(v)) }
+
+func TestHubDeliverToSubscription(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(1, 4)
+	h.Deliver(1, row(10))
+	h.Deliver(2, row(99)) // no consumer: dropped silently
+	got, ok := sub.TryNext()
+	if !ok || got.Values[0].I != 10 {
+		t.Fatalf("got %v %v", got, ok)
+	}
+	if _, ok := sub.TryNext(); ok {
+		t.Fatal("phantom row")
+	}
+}
+
+func TestSubscriptionSheds(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(1, 2)
+	for i := 0; i < 5; i++ {
+		h.Deliver(1, row(int64(i)))
+	}
+	if sub.Dropped() != 3 || sub.Len() != 2 {
+		t.Fatalf("dropped=%d len=%d", sub.Dropped(), sub.Len())
+	}
+}
+
+func TestHubCloseEndsSubscription(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(1, 4)
+	h.Deliver(1, row(1))
+	h.Close(1)
+	// Drain then closed.
+	if _, ok := sub.Next(); !ok {
+		t.Fatal("queued row lost at close")
+	}
+	if _, ok := sub.Next(); ok {
+		t.Fatal("read past close")
+	}
+	h.Deliver(1, row(2)) // no panic after close
+}
+
+func TestSpoolFetchOffsets(t *testing.T) {
+	sp := NewSpool(100)
+	for i := 0; i < 10; i++ {
+		sp.Append(row(int64(i)))
+	}
+	rows, next := sp.Fetch(0)
+	if len(rows) != 10 || next != 10 {
+		t.Fatalf("fetch all: %d next %d", len(rows), next)
+	}
+	rows, next = sp.Fetch(7)
+	if len(rows) != 3 || rows[0].Values[0].I != 7 || next != 10 {
+		t.Fatalf("fetch tail: %v next %d", rows, next)
+	}
+	rows, next = sp.Fetch(next)
+	if len(rows) != 0 || next != 10 {
+		t.Fatalf("fetch empty: %v next %d", rows, next)
+	}
+	if sp.End() != 10 {
+		t.Fatalf("End = %d", sp.End())
+	}
+}
+
+func TestSpoolAgesOut(t *testing.T) {
+	sp := NewSpool(5)
+	for i := 0; i < 12; i++ {
+		sp.Append(row(int64(i)))
+	}
+	// Only rows 7..11 retained; fetching from 0 skips forward.
+	rows, next := sp.Fetch(0)
+	if len(rows) != 5 || rows[0].Values[0].I != 7 || next != 12 {
+		t.Fatalf("aged fetch: %v next %d", rows, next)
+	}
+}
+
+func TestHubSpoolIntegration(t *testing.T) {
+	h := NewHub()
+	sp := h.SpoolFor(3, 10)
+	if h.SpoolFor(3, 10) != sp {
+		t.Fatal("SpoolFor not idempotent")
+	}
+	h.Deliver(3, row(42))
+	rows, _ := sp.Fetch(0)
+	if len(rows) != 1 || rows[0].Values[0].I != 42 {
+		t.Fatalf("spooled: %v", rows)
+	}
+}
+
+func TestCloseAll(t *testing.T) {
+	h := NewHub()
+	s1 := h.Subscribe(1, 2)
+	h.SpoolFor(2, 2)
+	h.CloseAll()
+	if _, ok := s1.Next(); ok {
+		t.Fatal("subscription alive after CloseAll")
+	}
+}

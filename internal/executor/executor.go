@@ -1,0 +1,643 @@
+// Package executor implements the TelegraphCQ Executor process
+// (§4.2.2): a small number of Execution Objects (EOs — system threads,
+// here goroutines), each hosting non-preemptive Dispatch Units scheduled
+// cooperatively. Queries are partitioned into classes by footprint (the
+// set of streams/tables they read); queries whose footprints overlap
+// share an EO — and therefore one CACQ engine, its grouped filters, and
+// its SteMs.
+package executor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"telegraphcq/internal/cacq"
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/egress"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/plan"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+)
+
+// ClassMode selects how queries map onto Execution Objects (the E10
+// experiment sweeps this).
+type ClassMode uint8
+
+const (
+	// ClassByFootprint groups queries whose footprints overlap (default).
+	ClassByFootprint ClassMode = iota
+	// ClassSingle runs every query in one EO (the CACQ/PSoup approach
+	// the paper moves away from).
+	ClassSingle
+	// ClassPerQuery gives each query its own EO (no sharing, maximal
+	// threads — the other extreme).
+	ClassPerQuery
+)
+
+func (m ClassMode) String() string {
+	switch m {
+	case ClassSingle:
+		return "single"
+	case ClassPerQuery:
+		return "per-query"
+	default:
+		return "footprint"
+	}
+}
+
+// Options configures an Executor.
+type Options struct {
+	Mode ClassMode
+	// Policy builds the routing policy for each EO's eddy (nil →
+	// lottery, seeded deterministically per EO).
+	Policy func(seed int64) eddy.Policy
+	// QueueCap bounds each EO's ingress queue.
+	QueueCap int
+	// SubscriptionCap bounds each query's result queue.
+	SubscriptionCap int
+	// Batch and FixedHops set the adapting-adaptivity knobs on every EO.
+	Batch     int
+	FixedHops int
+}
+
+// Executor owns the EOs and the query table.
+type Executor struct {
+	cat     *catalog.Catalog
+	planner *plan.Planner
+	hub     *egress.Hub
+	opts    Options
+
+	mu      sync.Mutex
+	eos     []*execObject
+	queries map[int]*runningQuery
+	nextID  int
+	fed     map[string]bool // "eoIdx/alias" table loads already done
+	closed  bool
+}
+
+type runningQuery struct {
+	id      int
+	eo      *execObject
+	planned *plan.Planned
+	sub     *egress.Subscription
+	post    *postProcessor
+}
+
+// New builds an executor over a catalog.
+func New(cat *catalog.Catalog, opts Options) *Executor {
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 4096
+	}
+	if opts.SubscriptionCap <= 0 {
+		opts.SubscriptionCap = 4096
+	}
+	if opts.Policy == nil {
+		opts.Policy = func(seed int64) eddy.Policy { return eddy.NewLottery(seed) }
+	}
+	return &Executor{
+		cat:     cat,
+		planner: plan.New(cat),
+		hub:     egress.NewHub(),
+		opts:    opts,
+		queries: map[int]*runningQuery{},
+		fed:     map[string]bool{},
+	}
+}
+
+// Hub exposes result routing (the server wires spools through it).
+func (x *Executor) Hub() *egress.Hub { return x.hub }
+
+// ----------------------------------------------------------------- EO
+
+type ctlKind uint8
+
+const (
+	ctlAddQuery ctlKind = iota
+	ctlRemoveQuery
+	ctlLoadTable
+	ctlBarrier
+)
+
+type envelope struct {
+	// data
+	t *tuple.Tuple
+	// control
+	ctl   ctlKind
+	isCtl bool
+	query *cacq.Query
+	qid   int
+	rows  []*tuple.Tuple // table load
+	ack   chan error
+}
+
+// execObject is one Execution Object: a goroutine scheduling its
+// dispatch units (control handling, ingress drain, engine work)
+// non-preemptively.
+type execObject struct {
+	idx     int
+	engine  *cacq.Engine
+	in      fjord.Queue[envelope]
+	feeds   map[string][]string // stream → aliases fed into this EO
+	sources map[string]bool     // footprint covered by this EO
+	done    chan struct{}
+	x       *Executor
+
+	shed atomic.Int64 // tuples dropped because the EO queue was full
+}
+
+func (x *Executor) newEO() *execObject {
+	eo := &execObject{
+		idx:     len(x.eos),
+		in:      fjord.NewPush[envelope](x.opts.QueueCap),
+		feeds:   map[string][]string{},
+		sources: map[string]bool{},
+		done:    make(chan struct{}),
+		x:       x,
+	}
+	eo.engine = cacq.NewEngine(x.opts.Policy(int64(eo.idx)+1), func(id int, row *tuple.Tuple) {
+		x.deliver(id, row)
+	})
+	if x.opts.Batch > 1 {
+		eo.engine.Eddy().BatchSize = x.opts.Batch
+	}
+	if x.opts.FixedHops > 1 {
+		eo.engine.Eddy().FixedHops = x.opts.FixedHops
+	}
+	x.eos = append(x.eos, eo)
+	go eo.run()
+	return eo
+}
+
+// run is the EO scheduler loop: drain control and data, give the engine
+// its quantum, idle briefly when nothing is queued.
+func (eo *execObject) run() {
+	defer close(eo.done)
+	idle := 0
+	for {
+		env, ok := eo.in.TryDequeue()
+		if !ok {
+			if eo.in.Closed() {
+				return
+			}
+			// Idle dispatch: async modules, pending admission batches.
+			_ = eo.engine.Run()
+			idle++
+			if idle > 8 {
+				time.Sleep(200 * time.Microsecond)
+			}
+			continue
+		}
+		idle = 0
+		if env.isCtl {
+			eo.control(env)
+			continue
+		}
+		eo.push(env.t)
+		// Batch up to 256 more data tuples before running the engine.
+		for i := 0; i < 256; i++ {
+			more, ok := eo.in.TryDequeue()
+			if !ok {
+				break
+			}
+			if more.isCtl {
+				eo.control(more)
+				continue
+			}
+			eo.push(more.t)
+		}
+		_ = eo.engine.Run()
+	}
+}
+
+func (eo *execObject) push(t *tuple.Tuple) {
+	src := t.Schema.Sources[0]
+	aliases := eo.feeds[src]
+	if len(aliases) == 0 {
+		return
+	}
+	for _, alias := range aliases {
+		tt := t
+		if alias != src {
+			tt = t.Clone()
+			tt.Schema = t.Schema.Rename(alias)
+		} else if len(aliases) > 1 {
+			tt = t.Clone()
+		}
+		_ = eo.engine.Push(tt)
+	}
+}
+
+func (eo *execObject) control(env envelope) {
+	var err error
+	switch env.ctl {
+	case ctlAddQuery:
+		err = eo.engine.AddQuery(env.query)
+	case ctlRemoveQuery:
+		eo.engine.RemoveQuery(env.qid)
+	case ctlLoadTable:
+		for _, r := range env.rows {
+			if e := eo.engine.Push(r); e != nil && err == nil {
+				err = e
+			}
+		}
+		if e := eo.engine.Run(); e != nil && err == nil {
+			err = e
+		}
+	case ctlBarrier:
+		err = eo.engine.Run()
+	}
+	if env.ack != nil {
+		env.ack <- err
+	}
+}
+
+// --------------------------------------------------------------- submit
+
+// Submit parses nothing: it takes a parsed SELECT, plans it, picks an
+// EO by footprint, registers the query, and returns its id and a result
+// subscription.
+func (x *Executor) Submit(sel *sql.Select) (int, *egress.Subscription, error) {
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return 0, nil, fmt.Errorf("executor: closed")
+	}
+	id := x.nextID
+	x.nextID++
+	x.mu.Unlock()
+
+	planned, err := x.planner.PlanSelect(sel, id)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	// Bind ST so ST-relative windows start "now": the current wall-clock
+	// millisecond for PHYSICAL windows, else the maximum current sequence
+	// across the query's streams.
+	var st int64
+	if planned.CQ.Window != nil && planned.CQ.Window.Domain == tuple.PhysicalTime {
+		st = time.Now().UnixMilli()
+	} else {
+		for _, f := range planned.Feeds {
+			src, err := x.cat.Lookup(f.Stream)
+			if err == nil && src.CurSeq() > st {
+				st = src.CurSeq()
+			}
+		}
+	}
+	planned.CQ.StartTime = st
+
+	x.mu.Lock()
+	eo := x.placeLocked(planned)
+	// Register feeds before the query so data admitted concurrently is
+	// seen; the engine ignores tuples with no interested query.
+	for _, f := range planned.Feeds {
+		if !contains(eo.feeds[f.Stream], f.As) {
+			eo.feeds[f.Stream] = append(eo.feeds[f.Stream], f.As)
+		}
+		eo.sources[f.As] = true
+		eo.sources[f.Stream] = true
+	}
+	for _, tl := range planned.Tables {
+		eo.sources[tl.As] = true
+		eo.sources[tl.Table] = true
+	}
+	x.mu.Unlock()
+
+	// Add the query synchronously.
+	ack := make(chan error, 1)
+	if err := eo.in.Enqueue(envelope{isCtl: true, ctl: ctlAddQuery, query: planned.CQ, ack: ack}); err != nil {
+		return 0, nil, err
+	}
+	if err := <-ack; err != nil {
+		return 0, nil, err
+	}
+
+	// Load static tables (once per EO/alias).
+	for _, tl := range planned.Tables {
+		key := fmt.Sprintf("%d/%s", eo.idx, tl.As)
+		x.mu.Lock()
+		loaded := x.fed[key]
+		x.fed[key] = true
+		x.mu.Unlock()
+		if loaded {
+			continue
+		}
+		src, err := x.cat.Lookup(tl.Table)
+		if err != nil {
+			return 0, nil, err
+		}
+		rows := src.Rows()
+		renamed := make([]*tuple.Tuple, len(rows))
+		for i, r := range rows {
+			rr := r.Clone()
+			if tl.As != tl.Table {
+				rr.Schema = r.Schema.Rename(tl.As)
+			}
+			renamed[i] = rr
+		}
+		ack := make(chan error, 1)
+		if err := eo.in.Enqueue(envelope{isCtl: true, ctl: ctlLoadTable, rows: renamed, ack: ack}); err != nil {
+			return 0, nil, err
+		}
+		if err := <-ack; err != nil {
+			return 0, nil, err
+		}
+	}
+
+	sub := x.hub.Subscribe(id, x.opts.SubscriptionCap)
+	rq := &runningQuery{id: id, eo: eo, planned: planned, sub: sub}
+	if planned.Distinct || len(planned.OrderBy) > 0 || planned.Limit > 0 {
+		rq.post = newPostProcessor(planned)
+	}
+	x.mu.Lock()
+	x.queries[id] = rq
+	x.mu.Unlock()
+	return id, sub, nil
+}
+
+// placeLocked picks (or creates) the EO for a planned query.
+func (x *Executor) placeLocked(p *plan.Planned) *execObject {
+	switch x.opts.Mode {
+	case ClassSingle:
+		if len(x.eos) == 0 {
+			return x.newEO()
+		}
+		return x.eos[0]
+	case ClassPerQuery:
+		return x.newEO()
+	default:
+		// Footprint overlap: first EO sharing any source.
+		fp := p.CQ.Footprint()
+		for _, eo := range x.eos {
+			for _, s := range fp {
+				if eo.sources[s] {
+					return eo
+				}
+			}
+		}
+		return x.newEO()
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Cancel removes a standing query and closes its subscription.
+func (x *Executor) Cancel(id int) error {
+	x.mu.Lock()
+	rq, ok := x.queries[id]
+	if ok {
+		delete(x.queries, id)
+	}
+	x.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("executor: unknown query %d", id)
+	}
+	ack := make(chan error, 1)
+	if err := rq.eo.in.Enqueue(envelope{isCtl: true, ctl: ctlRemoveQuery, qid: id, ack: ack}); err != nil {
+		return err
+	}
+	<-ack
+	if rq.post != nil {
+		for _, r := range rq.post.flush() {
+			x.hub.Deliver(id, r)
+		}
+	}
+	x.hub.Close(id)
+	return nil
+}
+
+// Queries returns the ids of standing queries, sorted.
+func (x *Executor) Queries() []int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]int, 0, len(x.queries))
+	for id := range x.queries {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Shed returns the total tuples dropped at EO ingress queues (QoS).
+func (x *Executor) Shed() int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var n int64
+	for _, eo := range x.eos {
+		n += eo.shed.Load()
+	}
+	return n
+}
+
+// EOCount returns the number of Execution Objects.
+func (x *Executor) EOCount() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.eos)
+}
+
+// ---------------------------------------------------------------- push
+
+// Push stamps one tuple of a stream with the next sequence number and
+// routes it to every EO reading the stream. Returns the assigned
+// sequence.
+func (x *Executor) Push(stream string, vals []tuple.Value) (int64, error) {
+	return x.push(stream, -1, vals)
+}
+
+// PushAt delivers a tuple carrying a source-assigned logical timestamp
+// (e.g. the trading day); timestamps may repeat but not regress.
+func (x *Executor) PushAt(stream string, seq int64, vals []tuple.Value) error {
+	_, err := x.push(stream, seq, vals)
+	return err
+}
+
+func (x *Executor) push(stream string, seq int64, vals []tuple.Value) (int64, error) {
+	src, err := x.cat.Lookup(stream)
+	if err != nil {
+		return 0, err
+	}
+	if src.Kind != catalog.KindStream {
+		return 0, fmt.Errorf("executor: %s is a table; use INSERT", stream)
+	}
+	if len(vals) != src.Schema.Arity() {
+		return 0, fmt.Errorf("executor: %s expects %d values, got %d", stream, src.Schema.Arity(), len(vals))
+	}
+	if seq < 0 {
+		seq = src.NextSeq()
+	} else if err := src.AdvanceTo(seq); err != nil {
+		return 0, err
+	}
+	t := tuple.New(src.Schema, vals...)
+	t.TS = tuple.Timestamp{Seq: seq, Wall: time.Now()}
+
+	x.mu.Lock()
+	eos := make([]*execObject, 0, len(x.eos))
+	for _, eo := range x.eos {
+		if len(eo.feeds[stream]) > 0 {
+			eos = append(eos, eo)
+		}
+	}
+	x.mu.Unlock()
+	for _, eo := range eos {
+		if !eo.in.TryEnqueue(envelope{t: t}) {
+			eo.shed.Add(1)
+		}
+	}
+	return seq, nil
+}
+
+// Barrier waits until every EO has drained its queue and run its engine
+// to quiescence (tests and benchmarks synchronize on it).
+func (x *Executor) Barrier() error {
+	x.mu.Lock()
+	eos := append([]*execObject(nil), x.eos...)
+	x.mu.Unlock()
+	for _, eo := range eos {
+		ack := make(chan error, 1)
+		if err := eo.in.Enqueue(envelope{isCtl: true, ctl: ctlBarrier, ack: ack}); err != nil {
+			return err
+		}
+		if err := <-ack; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliver applies per-query post-processing then hands rows to the hub.
+func (x *Executor) deliver(id int, row *tuple.Tuple) {
+	x.mu.Lock()
+	rq := x.queries[id]
+	x.mu.Unlock()
+	if rq == nil {
+		return
+	}
+	if rq.post != nil {
+		rows, done := rq.post.process(row)
+		for _, r := range rows {
+			x.hub.Deliver(id, r)
+		}
+		if done {
+			go func() { _ = x.Cancel(id) }()
+		}
+		return
+	}
+	x.hub.Deliver(id, row)
+}
+
+// Close shuts every EO down.
+func (x *Executor) Close() {
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return
+	}
+	x.closed = true
+	eos := append([]*execObject(nil), x.eos...)
+	x.mu.Unlock()
+	for _, eo := range eos {
+		eo.in.Close()
+		<-eo.done
+	}
+	x.hub.CloseAll()
+}
+
+// ------------------------------------------------------ post-processing
+
+// juggleWindow is the reorder buffer depth for ORDER BY delivery.
+const juggleWindow = 64
+
+// postProcessor applies DISTINCT / ORDER BY / LIMIT on the delivery
+// path. A full sort of an unbounded stream is impossible, so ORDER BY is
+// executed as the paper executes prioritized delivery: a Juggle buffer
+// (online reordering, [RRH99]) holds up to juggleWindow rows and always
+// releases the best-ranked one first. With LIMIT n, the query completes
+// after n rows have been released in that prioritized order.
+type postProcessor struct {
+	dup    *operator.DupElim
+	limit  int64
+	sent   int64
+	juggle *operator.Juggle
+}
+
+func newPostProcessor(p *plan.Planned) *postProcessor {
+	pp := &postProcessor{limit: p.Limit}
+	if p.Distinct {
+		pp.dup = operator.NewDupElim("distinct")
+	}
+	if len(p.OrderBy) > 0 {
+		// Priority: the first sort key; DESC means larger-first, which is
+		// the Juggle's native order, so ASC negates.
+		key := p.OrderBy[0]
+		pri := key.Expr
+		if !key.Desc {
+			pri = expr.Neg(pri)
+		}
+		pp.juggle = operator.NewJuggle("orderby", pri, juggleWindow)
+	}
+	return pp
+}
+
+// process returns rows to deliver now and whether the query is complete
+// (LIMIT reached).
+func (pp *postProcessor) process(row *tuple.Tuple) ([]*tuple.Tuple, bool) {
+	if pp.dup != nil {
+		out, err := pp.dup.Process(row, nil)
+		if err != nil || out == operator.Drop {
+			return nil, false
+		}
+	}
+	var ready []*tuple.Tuple
+	if pp.juggle != nil {
+		// Buffer; the Juggle releases the best row once it is full.
+		if _, err := pp.juggle.Process(row, func(t *tuple.Tuple) {
+			ready = append(ready, t)
+		}); err != nil {
+			ready = append(ready, row) // unorderable row: pass through
+		}
+	} else {
+		ready = []*tuple.Tuple{row}
+	}
+	return pp.takeLimited(ready)
+}
+
+func (pp *postProcessor) takeLimited(rows []*tuple.Tuple) ([]*tuple.Tuple, bool) {
+	if pp.limit <= 0 {
+		return rows, false
+	}
+	if pp.sent >= pp.limit {
+		return nil, true
+	}
+	if remaining := pp.limit - pp.sent; int64(len(rows)) > remaining {
+		rows = rows[:remaining]
+	}
+	pp.sent += int64(len(rows))
+	return rows, pp.sent >= pp.limit
+}
+
+// flush drains the reorder buffer (stream end or cancellation).
+func (pp *postProcessor) flush() []*tuple.Tuple {
+	if pp.juggle == nil {
+		return nil
+	}
+	var rows []*tuple.Tuple
+	_ = pp.juggle.Flush(func(t *tuple.Tuple) { rows = append(rows, t) })
+	out, _ := pp.takeLimited(rows)
+	return out
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/executor"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+)
+
+// E10Executor reproduces the §4.2.2 executor design point: mapping query
+// classes (disjoint footprints) onto Execution Objects. One EO for
+// everything cannot exploit SMP parallelism across unrelated streams;
+// one EO per query multiplies scheduling and loses sharing within a
+// class; footprint grouping gets both.
+func E10Executor(scale int) *Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Execution Objects: query-class placement",
+		Claim:   "footprint-grouped EOs exploit SMP across disjoint classes while sharing work within a class (§4.2.2)",
+		Columns: []string{"mode", "EOs", "time", "per-tuple"},
+	}
+	const (
+		streams       = 8
+		queriesPerStr = 8
+	)
+	n := 2000 * scale // tuples per stream
+
+	run := func(mode executor.ClassMode) (int, time.Duration) {
+		cat := catalog.New()
+		for s := 0; s < streams; s++ {
+			_, err := cat.CreateStream(fmt.Sprintf("s%d", s), []tuple.Column{
+				{Name: "v", Kind: tuple.KindFloat},
+			}, false)
+			if err != nil {
+				panic(err)
+			}
+		}
+		x := executor.New(cat, executor.Options{Mode: mode, QueueCap: 1 << 16})
+		defer x.Close()
+		for s := 0; s < streams; s++ {
+			for q := 0; q < queriesPerStr; q++ {
+				stmt, err := sql.Parse(fmt.Sprintf(
+					`SELECT v FROM s%d WHERE v > %d`, s, q*12))
+				if err != nil {
+					panic(err)
+				}
+				if _, _, err := x.Submit(stmt.(*sql.Select)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			for s := 0; s < streams; s++ {
+				if _, err := x.Push(fmt.Sprintf("s%d", s),
+					[]tuple.Value{tuple.Float(float64(i % 100))}); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if err := x.Barrier(); err != nil {
+			panic(err)
+		}
+		return x.EOCount(), time.Since(start)
+	}
+
+	for _, c := range []struct {
+		name string
+		mode executor.ClassMode
+	}{
+		{"single EO (CACQ-style)", executor.ClassSingle},
+		{"EO per footprint class", executor.ClassByFootprint},
+		{"EO per query", executor.ClassPerQuery},
+	} {
+		eos, el := run(c.mode)
+		t.Rows = append(t.Rows, []string{
+			c.name, fmt.Sprint(eos),
+			el.Round(time.Millisecond).String(),
+			ns(float64(el.Nanoseconds()) / float64(n*streams)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d streams × %d queries, %d tuples per stream; queries on one stream share grouped filters within an EO", streams, queriesPerStr, n))
+	return t
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"telegraphcq/internal/cacq"
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+// E1SharedVsUnshared reproduces CACQ's headline result (§3.1): one
+// shared Eddy executing Q similar continuous queries beats Q independent
+// per-query dataflows, and the advantage grows with Q.
+//
+// Workload: Q queries of the form
+//
+//	SELECT * FROM stocks WHERE stockSymbol = <sym_i> AND closingPrice > <p_i>
+//
+// over one stock stream. The shared engine folds all predicates into one
+// grouped filter per attribute; the unshared baseline (NiagaraCQ-style
+// static per-query plans) runs one engine per query and evaluates every
+// query's filters on every tuple.
+func E1SharedVsUnshared(scale int) *Table {
+	t := &Table{
+		ID:      "E1",
+		Title:   "Shared CACQ processing vs per-query plans",
+		Claim:   "shared grouped-filter execution scales sublinearly in the number of queries; per-query plans scale linearly (CACQ, SIGMOD 2002)",
+		Columns: []string{"queries", "shared", "unshared", "shared/tuple", "unshared/tuple", "speedup"},
+	}
+	nTuples := 2000 * scale
+	rows := workload.Stocks{Seed: 1}.Rows(nTuples)
+	syms := workload.DefaultSymbols
+
+	mkQuery := func(i int) *cacq.Query {
+		return &cacq.Query{
+			ID:      i,
+			Sources: []string{"ClosingStockPrices"},
+			Where: expr.Bin(expr.OpAnd,
+				expr.Bin(expr.OpEq, expr.Col("", "stockSymbol"), expr.Lit(tuple.String(syms[i%len(syms)]))),
+				expr.Bin(expr.OpGt, expr.Col("", "closingPrice"), expr.Lit(tuple.Float(float64(i%120))))),
+		}
+	}
+
+	for _, q := range []int{1, 10, 50, 100, 200} {
+		// Shared: one engine, q queries.
+		shared := cacq.NewEngine(eddy.NewLottery(1), func(int, *tuple.Tuple) {})
+		for i := 0; i < q; i++ {
+			if err := shared.AddQuery(mkQuery(i)); err != nil {
+				panic(err)
+			}
+		}
+		start := time.Now()
+		for _, r := range rows {
+			_ = shared.Push(r.Clone())
+		}
+		if err := shared.Run(); err != nil {
+			panic(err)
+		}
+		sharedNs := float64(time.Since(start).Nanoseconds())
+
+		// Unshared: q single-query engines, each sees every tuple.
+		engines := make([]*cacq.Engine, q)
+		for i := 0; i < q; i++ {
+			engines[i] = cacq.NewEngine(eddy.NewLottery(int64(i)+1), func(int, *tuple.Tuple) {})
+			if err := engines[i].AddQuery(mkQuery(i)); err != nil {
+				panic(err)
+			}
+		}
+		start = time.Now()
+		for _, r := range rows {
+			for _, e := range engines {
+				_ = e.Push(r.Clone())
+			}
+		}
+		for _, e := range engines {
+			if err := e.Run(); err != nil {
+				panic(err)
+			}
+		}
+		unsharedNs := float64(time.Since(start).Nanoseconds())
+
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(q),
+			ns(sharedNs), ns(unsharedNs),
+			ns(sharedNs / float64(nTuples)),
+			ns(unsharedNs / float64(nTuples)),
+			f2(unsharedNs / sharedNs),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d stock tuples per configuration; queries share one grouped filter per attribute in the shared engine", nTuples))
+	return t
+}

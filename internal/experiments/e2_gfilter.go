@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"telegraphcq/internal/bitset"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+// E2GroupedFilter reproduces the CACQ grouped-filter result: indexing
+// all P single-variable boolean factors over one attribute answers a
+// probe in O(log P) instead of O(P), so shared selections stay cheap as
+// predicates accumulate. The ablation row evaluates the same factor set
+// by linear scan.
+func E2GroupedFilter(scale int) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Grouped filter vs individual predicate evaluation",
+		Claim:   "probe cost grows ~logarithmically with the number of predicates for the grouped filter and linearly for individual evaluation (CACQ, SIGMOD 2002)",
+		Columns: []string{"predicates", "grouped/probe", "naive/probe", "speedup"},
+	}
+	probes := 5000 * scale
+	vals := workload.UniformInts(probes, 10000, 3)
+
+	for _, p := range []int{10, 100, 1000, 10000} {
+		g := operator.NewGroupedFilter(expr.Col("", "closingPrice"))
+		factors := make([]expr.RangeFactor, p)
+		universe := bitset.New(p)
+		for i := 0; i < p; i++ {
+			op := []expr.Op{expr.OpGt, expr.OpLt, expr.OpGe, expr.OpLe}[i%4]
+			factors[i] = expr.RangeFactor{
+				Col: expr.Col("", "closingPrice"),
+				Op:  op,
+				Val: tuple.Float(float64((i * 37) % 10000)),
+			}
+			if err := g.AddFactor(i, factors[i]); err != nil {
+				panic(err)
+			}
+			universe.Add(i)
+		}
+
+		start := time.Now()
+		var matched int64
+		for _, v := range vals {
+			m, err := g.MatchQueries(tuple.Float(float64(v)), universe)
+			if err != nil {
+				panic(err)
+			}
+			matched += int64(m.Count())
+		}
+		groupedNs := float64(time.Since(start).Nanoseconds()) / float64(probes)
+
+		start = time.Now()
+		var naiveMatched int64
+		for _, v := range vals {
+			val := tuple.Float(float64(v))
+			for i := range factors {
+				if factors[i].Matches(val) {
+					naiveMatched++
+				}
+			}
+		}
+		naiveNs := float64(time.Since(start).Nanoseconds()) / float64(probes)
+
+		if matched != naiveMatched {
+			panic(fmt.Sprintf("E2: grouped %d != naive %d", matched, naiveMatched))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p), ns(groupedNs), ns(naiveNs), f2(naiveNs / groupedNs),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d probes per configuration; match sets verified identical", probes))
+	return t
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+// E3EddyVsStatic reproduces the Eddies adaptivity result [AH00]: when
+// two commuting filters swap selectivities mid-stream, a static plan
+// ordered for the first phase wastes work in the second, while the
+// lottery keeps routing most tuples to whichever filter is currently
+// selective. The metric is total filter invocations (module work): the
+// optimal plan routes each tuple to the selective filter first, so fewer
+// tuples reach the second filter.
+func E3EddyVsStatic(scale int) *Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Eddy adapts to selectivity drift; static plans cannot",
+		Claim:   "per-tuple lottery routing tracks the selectivity swap and stays near the per-phase optimum; the phase-1-optimal static plan degrades in phase 2 (Eddies, SIGMOD 2000)",
+		Columns: []string{"policy", "invocations", "vs oracle", "outputs"},
+	}
+	n := 20000 * scale
+
+	// Two commuting filters on different attributes. In phase 0, A
+	// passes 10% and B passes ~100%; in phase 1 the data swaps so B is
+	// the selective one. The optimal order flips at the midpoint.
+	run := func(policy eddy.Policy) (int64, int64) {
+		fa := operator.NewFilter("A", expr.Bin(expr.OpLt, expr.Col("S", "a"), expr.Lit(tuple.Float(10))))
+		fb := operator.NewFilter("B", expr.Bin(expr.OpLt, expr.Col("S", "b"), expr.Lit(tuple.Float(10))))
+		var outputs int64
+		e := eddy.New([]operator.Module{fa, fb}, policy, func(*tuple.Tuple) { outputs++ })
+		schema := tuple.NewSchema(
+			tuple.Column{Source: "S", Name: "a", Kind: tuple.KindFloat},
+			tuple.Column{Source: "S", Name: "b", Kind: tuple.KindFloat},
+		)
+		av := workload.UniformInts(n, 100, 11)
+		bv := workload.UniformInts(n, 100, 12)
+		for i := 0; i < n; i++ {
+			a, b := float64(av[i]), float64(bv[i])
+			if workload.DriftSchedule(i, n) == 0 {
+				b = float64(bv[i] % 10) // phase 0: B passes ~100%, A 10%
+			} else {
+				a = float64(av[i] % 10) // phase 1: A passes ~100%, B 10%
+			}
+			tp := tuple.New(schema, tuple.Float(a), tuple.Float(b))
+			tp.TS = tuple.Timestamp{Seq: int64(i) + 1}
+			if err := e.Admit(tp); err != nil {
+				panic(err)
+			}
+			if err := e.RunUntilIdle(0); err != nil {
+				panic(err)
+			}
+		}
+		work := fa.ModuleStats().In + fb.ModuleStats().In
+		return work, outputs
+	}
+
+	// Oracle lower bound: every tuple visits the currently selective
+	// filter (pass rate 10%) first; the 10% survivors visit the other.
+	oracle := int64(float64(n) * 1.1)
+
+	type cfg struct {
+		name string
+		mk   func() eddy.Policy
+	}
+	for _, c := range []cfg{
+		{"static (phase-0 optimal)", func() eddy.Policy { return eddy.NewFixed([]int{0, 1}) }},
+		{"static (phase-1 optimal)", func() eddy.Policy { return eddy.NewFixed([]int{1, 0}) }},
+		{"random", func() eddy.Policy { return eddy.NewRandom(9) }},
+		{"eddy lottery", func() eddy.Policy {
+			p := eddy.NewLottery(9)
+			p.Explore = 0.02
+			return p
+		}},
+	} {
+		work, outputs := run(c.mk())
+		t.Rows = append(t.Rows, []string{
+			c.name, fmt.Sprint(work), f2(float64(work) / float64(oracle)), fmt.Sprint(outputs),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d tuples; filter selectivities swap (10%%↔100%%) at the midpoint; 'vs oracle' is invocations relative to the clairvoyant per-phase plan", n),
+		"all policies produce identical outputs (commutative filters)")
+	return t
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/psoup"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+	"telegraphcq/internal/workload"
+)
+
+// E5PSoup reproduces the PSoup materialization result (§3.2, [CF02]):
+// with results continuously materialized into the Results Structure, an
+// intermittent client's Invoke costs O(answer); the no-materialization
+// baseline rescans retained history on every invocation, so its cost
+// grows with history size while the materialized cost stays flat.
+func E5PSoup(scale int) *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "PSoup: materialized results vs recompute-on-invoke",
+		Claim:   "invocation latency is O(answer) with materialization and O(history) without (PSoup, VLDB 2002)",
+		Columns: []string{"history", "materialized", "recompute", "speedup", "rows"},
+	}
+	const nQueries = 50
+	p := psoup.New()
+	for i := 0; i < nQueries; i++ {
+		q := &psoup.Query{
+			ID:     i,
+			Stream: "ClosingStockPrices",
+			Where: expr.Bin(expr.OpGt, expr.Col("", "closingPrice"),
+				expr.Lit(tuple.Float(float64(40+i)))),
+			Window: window.Sliding("ClosingStockPrices", 500, 1, 0),
+		}
+		if err := p.AddQuery(q); err != nil {
+			panic(err)
+		}
+	}
+
+	histories := []int{1000, 5000, 20000, 50000}
+	rows := workload.Stocks{Seed: 2}.Rows(histories[len(histories)-1] * scale)
+	pushed := 0
+	for _, h := range histories {
+		h *= scale
+		for ; pushed < h; pushed++ {
+			if err := p.PushData(rows[pushed]); err != nil {
+				panic(err)
+			}
+		}
+		at := int64(h)
+		// Average over all queries, several repetitions.
+		const reps = 5
+		var matNs, recNs float64
+		var got int
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for i := 0; i < nQueries; i++ {
+				res, err := p.Invoke(i, at)
+				if err != nil {
+					panic(err)
+				}
+				got += len(res)
+			}
+		}
+		matNs = float64(time.Since(start).Nanoseconds()) / float64(reps*nQueries)
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			for i := 0; i < nQueries; i++ {
+				if _, err := p.InvokeRecompute(i, at); err != nil {
+					panic(err)
+				}
+			}
+		}
+		recNs = float64(time.Since(start).Nanoseconds()) / float64(reps*nQueries)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(h), ns(matNs), ns(recNs), f2(recNs / matNs),
+			fmt.Sprint(got / (reps * nQueries)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d standing queries, window = 500 most recent tuples at invocation; latencies averaged per query", nQueries))
+	return t
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"telegraphcq/internal/cacq"
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/workload"
+)
+
+// E9Batching reproduces the "adapting adaptivity" discussion (§4.3):
+// batching tuples amortizes per-tuple routing decisions — throughput
+// rises with batch size — but very large batches blunt adaptivity, so
+// under selectivity drift the module work (filter invocations) creeps
+// back up. The knobs trade flexibility for overhead exactly as the
+// paper describes.
+func E9Batching(scale int) *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Adapting adaptivity: the tuple-batching knob",
+		Claim:   "batching amortizes routing decisions: choose calls fall by the batch factor while module work and results stay identical (§4.3)",
+		Columns: []string{"batch", "per-tuple", "choose calls", "module work", "outputs"},
+	}
+	n := 20000 * scale
+
+	for _, batch := range []int{1, 8, 64, 512} {
+		eng := cacq.NewEngine(eddy.NewLottery(3), func(int, *tuple.Tuple) {})
+		eng.Eddy().BatchSize = batch
+		// Two queries over different attributes, selectivities swap.
+		for qi, col := range []string{"a", "b"} {
+			err := eng.AddQuery(&cacq.Query{
+				ID:      qi,
+				Sources: []string{"S"},
+				Where: expr.Bin(expr.OpAnd,
+					expr.Bin(expr.OpLt, expr.Col("", "a"), expr.Lit(tuple.Float(10))),
+					expr.Bin(expr.OpLt, expr.Col("", "b"), expr.Lit(tuple.Float(10)))),
+			})
+			if err != nil {
+				panic(err)
+			}
+			_ = col
+		}
+		schema := tuple.NewSchema(
+			tuple.Column{Source: "S", Name: "a", Kind: tuple.KindFloat},
+			tuple.Column{Source: "S", Name: "b", Kind: tuple.KindFloat},
+		)
+		av := workload.UniformInts(n, 100, 21)
+		bv := workload.UniformInts(n, 100, 22)
+		start := time.Now()
+		var outputs int64
+		_ = outputs
+		for i := 0; i < n; i++ {
+			a, b := float64(av[i]), float64(bv[i])
+			if workload.DriftSchedule(i, n) == 0 {
+				b = float64(bv[i] % 12) // phase 0: b mostly passes
+			} else {
+				a = float64(av[i] % 12) // phase 1: a mostly passes
+			}
+			tp := tuple.New(schema, tuple.Float(a), tuple.Float(b))
+			tp.TS = tuple.Timestamp{Seq: int64(i) + 1}
+			if err := eng.Push(tp); err != nil {
+				panic(err)
+			}
+			if i%batch == batch-1 {
+				if err := eng.Run(); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if err := eng.Run(); err != nil {
+			panic(err)
+		}
+		el := time.Since(start)
+		st := eng.Eddy().Stats()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(batch),
+			ns(float64(el.Nanoseconds()) / float64(n)),
+			fmt.Sprint(st.ChooseCalls),
+			fmt.Sprint(st.Routed),
+			fmt.Sprint(eng.Stats().Delivered),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d tuples, 2 grouped filters whose pass rates swap at the midpoint", n),
+		"'module work' = tuples routed into modules; batching must not change it (same routing, fewer decisions)",
+		"very large batches add latency (tuples wait to fill a batch) — the flexibility cost of the knob")
+	return t
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// Smoke: every experiment runs at scale 1 and produces a table with rows.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, tab := range All(1) {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", tab.ID)
+		}
+		if tab.Render() == "" {
+			t.Errorf("%s: empty render", tab.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("e2", 1) == nil {
+		t.Fatal("ByID e2 nil")
+	}
+	if ByID("nope", 1) != nil {
+		t.Fatal("ByID nope non-nil")
+	}
+}

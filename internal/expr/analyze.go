@@ -1,0 +1,168 @@
+package expr
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Conjuncts splits a WHERE clause into its top-level boolean factors
+// (CACQ §3.1 decomposes each query this way before insertion into
+// grouped filters and SteMs).
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.Left), Conjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// Conjoin rebuilds a single expression from boolean factors; nil if empty.
+func Conjoin(factors []Expr) Expr {
+	var out Expr
+	for _, f := range factors {
+		if out == nil {
+			out = f
+		} else {
+			out = Bin(OpAnd, out, f)
+		}
+	}
+	return out
+}
+
+// Columns appends every column reference in e to dst and returns it.
+func Columns(e Expr, dst []*ColumnRef) []*ColumnRef {
+	switch x := e.(type) {
+	case *ColumnRef:
+		return append(dst, x)
+	case *Binary:
+		return Columns(x.Right, Columns(x.Left, dst))
+	case *Unary:
+		return Columns(x.Child, dst)
+	default:
+		return dst
+	}
+}
+
+// Sources returns the distinct set of source names referenced by e, given
+// the schema-resolution context. Columns with explicit qualifiers report
+// their qualifier; unqualified columns are resolved via resolve, which
+// maps a bare column name to its source (the catalog provides this).
+func Sources(e Expr, resolve func(name string) (string, error)) (map[string]bool, error) {
+	out := map[string]bool{}
+	for _, c := range Columns(e, nil) {
+		src := c.Source
+		if src == "" {
+			var err error
+			src, err = resolve(c.Name)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out[src] = true
+	}
+	return out, nil
+}
+
+// RangeFactor is a single-variable boolean factor normalized to
+// "column OP constant" — the unit a grouped filter indexes (CACQ §3.1).
+type RangeFactor struct {
+	Col *ColumnRef
+	Op  Op // comparison with the constant on the right
+	Val tuple.Value
+}
+
+func (rf RangeFactor) String() string {
+	return fmt.Sprintf("%s %s %s", rf.Col.String(), rf.Op, Lit(rf.Val).String())
+}
+
+// Matches reports whether value v satisfies the factor.
+func (rf RangeFactor) Matches(v tuple.Value) bool {
+	if v.IsNull() || rf.Val.IsNull() {
+		return false
+	}
+	cmp, ok := tuple.Compare(v, rf.Val)
+	if !ok {
+		return false
+	}
+	switch rf.Op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// AsRangeFactor recognizes boolean factors of the shape
+// "column OP literal" or "literal OP column" (after normalization).
+// ok is false for anything else (ORs, multi-column factors, arithmetic).
+func AsRangeFactor(e Expr) (RangeFactor, bool) {
+	b, isBin := e.(*Binary)
+	if !isBin || !b.Op.IsComparison() {
+		return RangeFactor{}, false
+	}
+	if c, okc := b.Left.(*ColumnRef); okc {
+		if l, okl := literalOf(b.Right); okl {
+			return RangeFactor{Col: c, Op: b.Op, Val: l}, true
+		}
+	}
+	if c, okc := b.Right.(*ColumnRef); okc {
+		if l, okl := literalOf(b.Left); okl {
+			return RangeFactor{Col: c, Op: b.Op.Negate(), Val: l}, true
+		}
+	}
+	return RangeFactor{}, false
+}
+
+func literalOf(e Expr) (tuple.Value, bool) {
+	switch x := e.(type) {
+	case Literal:
+		return x.V, true
+	case *Unary:
+		if x.Neg {
+			if v, ok := literalOf(x.Child); ok && v.Numeric() {
+				if v.K == tuple.KindInt {
+					return tuple.Int(-v.I), true
+				}
+				return tuple.Float(-v.F), true
+			}
+		}
+	}
+	return tuple.Null(), false
+}
+
+// JoinFactor is a boolean factor of the shape "colA OP colB" where the
+// two columns come from different sources — the unit routed to SteMs.
+type JoinFactor struct {
+	Op          Op
+	Left, Right *ColumnRef
+}
+
+func (jf JoinFactor) String() string {
+	return fmt.Sprintf("%s %s %s", jf.Left.String(), jf.Op, jf.Right.String())
+}
+
+// AsJoinFactor recognizes "column OP column" boolean factors.
+func AsJoinFactor(e Expr) (JoinFactor, bool) {
+	b, isBin := e.(*Binary)
+	if !isBin || !b.Op.IsComparison() {
+		return JoinFactor{}, false
+	}
+	l, okl := b.Left.(*ColumnRef)
+	r, okr := b.Right.(*ColumnRef)
+	if !okl || !okr {
+		return JoinFactor{}, false
+	}
+	return JoinFactor{Op: b.Op, Left: l, Right: r}, true
+}

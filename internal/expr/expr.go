@@ -1,0 +1,316 @@
+// Package expr provides the typed expression trees used in predicates,
+// projections, and window bounds. Because an Eddy changes join order
+// continuously, intermediate tuples arrive in "a multitude of formats"
+// (§4.2.2): expressions therefore resolve column references against each
+// tuple's own schema at evaluation time, with a lock-free single-entry
+// cache keyed by schema identity so the hot path stays cheap.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Expr is a node in an expression tree.
+type Expr interface {
+	// Eval computes the expression over t. Type errors surface as Go
+	// errors; SQL three-valued logic maps NULL-involving comparisons to
+	// false (sufficient for the CQ dialect, which has no IS NULL).
+	Eval(t *tuple.Tuple) (tuple.Value, error)
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// ---------------------------------------------------------------- column
+
+// ColumnRef names a column, optionally qualified by stream/alias.
+type ColumnRef struct {
+	Source string
+	Name   string
+	cache  atomic.Pointer[colCache]
+}
+
+type colCache struct {
+	schema *tuple.Schema
+	idx    int
+}
+
+// Col returns a column reference expression.
+func Col(source, name string) *ColumnRef {
+	return &ColumnRef{Source: source, Name: name}
+}
+
+// Resolve returns the column index of the reference in s.
+func (c *ColumnRef) Resolve(s *tuple.Schema) (int, error) {
+	if cc := c.cache.Load(); cc != nil && cc.schema == s {
+		return cc.idx, nil
+	}
+	i, err := s.ColumnIndex(c.Source, c.Name)
+	if err != nil {
+		return -1, err
+	}
+	c.cache.Store(&colCache{schema: s, idx: i})
+	return i, nil
+}
+
+func (c *ColumnRef) Eval(t *tuple.Tuple) (tuple.Value, error) {
+	i, err := c.Resolve(t.Schema)
+	if err != nil {
+		return tuple.Null(), err
+	}
+	return t.Values[i], nil
+}
+
+func (c *ColumnRef) String() string {
+	if c.Source == "" {
+		return c.Name
+	}
+	return c.Source + "." + c.Name
+}
+
+// --------------------------------------------------------------- literal
+
+// Literal is a constant value.
+type Literal struct{ V tuple.Value }
+
+// Lit wraps a value as an expression.
+func Lit(v tuple.Value) Literal { return Literal{V: v} }
+
+func (l Literal) Eval(*tuple.Tuple) (tuple.Value, error) { return l.V, nil }
+
+func (l Literal) String() string {
+	if l.V.K == tuple.KindString {
+		return "'" + strings.ReplaceAll(l.V.S, "'", "''") + "'"
+	}
+	return l.V.String()
+}
+
+// ---------------------------------------------------------------- binary
+
+// Op enumerates binary operators.
+type Op uint8
+
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+var opNames = map[Op]string{
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// IsComparison reports whether o is a comparison operator.
+func (o Op) IsComparison() bool { return o <= OpGe }
+
+// Negate returns the complementary comparison (used when a grouped filter
+// normalizes "literal OP column" into "column OP' literal").
+func (o Op) Negate() Op {
+	switch o {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return o // =, != are symmetric
+	}
+}
+
+// Binary applies Op to two sub-expressions.
+type Binary struct {
+	Op          Op
+	Left, Right Expr
+}
+
+// Bin builds a binary expression.
+func Bin(op Op, l, r Expr) *Binary { return &Binary{Op: op, Left: l, Right: r} }
+
+func (b *Binary) Eval(t *tuple.Tuple) (tuple.Value, error) {
+	// Short-circuit boolean connectives.
+	if b.Op == OpAnd || b.Op == OpOr {
+		lv, err := b.Left.Eval(t)
+		if err != nil {
+			return tuple.Null(), err
+		}
+		lb := lv.K == tuple.KindBool && lv.B
+		if b.Op == OpAnd && !lb {
+			return tuple.Bool(false), nil
+		}
+		if b.Op == OpOr && lb {
+			return tuple.Bool(true), nil
+		}
+		rv, err := b.Right.Eval(t)
+		if err != nil {
+			return tuple.Null(), err
+		}
+		return tuple.Bool(rv.K == tuple.KindBool && rv.B), nil
+	}
+
+	lv, err := b.Left.Eval(t)
+	if err != nil {
+		return tuple.Null(), err
+	}
+	rv, err := b.Right.Eval(t)
+	if err != nil {
+		return tuple.Null(), err
+	}
+
+	if b.Op.IsComparison() {
+		if lv.IsNull() || rv.IsNull() {
+			return tuple.Bool(false), nil // SQL unknown → false
+		}
+		cmp, ok := tuple.Compare(lv, rv)
+		if !ok {
+			return tuple.Null(), fmt.Errorf("cannot compare %s with %s", lv.K, rv.K)
+		}
+		var res bool
+		switch b.Op {
+		case OpEq:
+			res = cmp == 0
+		case OpNe:
+			res = cmp != 0
+		case OpLt:
+			res = cmp < 0
+		case OpLe:
+			res = cmp <= 0
+		case OpGt:
+			res = cmp > 0
+		case OpGe:
+			res = cmp >= 0
+		}
+		return tuple.Bool(res), nil
+	}
+
+	return evalArith(b.Op, lv, rv)
+}
+
+func evalArith(op Op, lv, rv tuple.Value) (tuple.Value, error) {
+	if lv.IsNull() || rv.IsNull() {
+		return tuple.Null(), nil
+	}
+	if !lv.Numeric() || !rv.Numeric() {
+		return tuple.Null(), fmt.Errorf("arithmetic on %s and %s", lv.K, rv.K)
+	}
+	// Integer arithmetic when both sides are integral.
+	if lv.K != tuple.KindFloat && rv.K != tuple.KindFloat {
+		a, b := lv.AsInt(), rv.AsInt()
+		switch op {
+		case OpAdd:
+			return tuple.Int(a + b), nil
+		case OpSub:
+			return tuple.Int(a - b), nil
+		case OpMul:
+			return tuple.Int(a * b), nil
+		case OpDiv:
+			if b == 0 {
+				return tuple.Null(), fmt.Errorf("division by zero")
+			}
+			return tuple.Int(a / b), nil
+		case OpMod:
+			if b == 0 {
+				return tuple.Null(), fmt.Errorf("division by zero")
+			}
+			return tuple.Int(a % b), nil
+		}
+	}
+	a, b := lv.AsFloat(), rv.AsFloat()
+	switch op {
+	case OpAdd:
+		return tuple.Float(a + b), nil
+	case OpSub:
+		return tuple.Float(a - b), nil
+	case OpMul:
+		return tuple.Float(a * b), nil
+	case OpDiv:
+		if b == 0 {
+			return tuple.Null(), fmt.Errorf("division by zero")
+		}
+		return tuple.Float(a / b), nil
+	case OpMod:
+		return tuple.Float(math.Mod(a, b)), nil
+	}
+	return tuple.Null(), fmt.Errorf("unknown operator %v", op)
+}
+
+func (b *Binary) String() string {
+	return "(" + b.Left.String() + " " + b.Op.String() + " " + b.Right.String() + ")"
+}
+
+// ----------------------------------------------------------------- unary
+
+// Unary applies NOT or numeric negation.
+type Unary struct {
+	Neg   bool // true: arithmetic negation; false: logical NOT
+	Child Expr
+}
+
+// Not negates a boolean expression.
+func Not(e Expr) *Unary { return &Unary{Neg: false, Child: e} }
+
+// Neg negates a numeric expression.
+func Neg(e Expr) *Unary { return &Unary{Neg: true, Child: e} }
+
+func (u *Unary) Eval(t *tuple.Tuple) (tuple.Value, error) {
+	v, err := u.Child.Eval(t)
+	if err != nil {
+		return tuple.Null(), err
+	}
+	if u.Neg {
+		switch v.K {
+		case tuple.KindInt:
+			return tuple.Int(-v.I), nil
+		case tuple.KindFloat:
+			return tuple.Float(-v.F), nil
+		case tuple.KindNull:
+			return v, nil
+		default:
+			return tuple.Null(), fmt.Errorf("negation of %s", v.K)
+		}
+	}
+	if v.K != tuple.KindBool {
+		if v.IsNull() {
+			return tuple.Bool(false), nil
+		}
+		return tuple.Null(), fmt.Errorf("NOT of %s", v.K)
+	}
+	return tuple.Bool(!v.B), nil
+}
+
+func (u *Unary) String() string {
+	if u.Neg {
+		return "-" + u.Child.String()
+	}
+	return "NOT " + u.Child.String()
+}
+
+// ------------------------------------------------------------- predicate
+
+// Truthy evaluates e as a predicate: true iff it yields boolean true.
+func Truthy(e Expr, t *tuple.Tuple) (bool, error) {
+	v, err := e.Eval(t)
+	if err != nil {
+		return false, err
+	}
+	return v.K == tuple.KindBool && v.B, nil
+}

@@ -1,0 +1,316 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"telegraphcq/internal/tuple"
+)
+
+var stockSchema = tuple.NewSchema(
+	tuple.Column{Source: "s", Name: "timestamp", Kind: tuple.KindInt},
+	tuple.Column{Source: "s", Name: "sym", Kind: tuple.KindString},
+	tuple.Column{Source: "s", Name: "price", Kind: tuple.KindFloat},
+)
+
+func row(ts int64, sym string, price float64) *tuple.Tuple {
+	return tuple.New(stockSchema, tuple.Int(ts), tuple.String(sym), tuple.Float(price))
+}
+
+func mustEval(t *testing.T, e Expr, tp *tuple.Tuple) tuple.Value {
+	t.Helper()
+	v, err := e.Eval(tp)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestColumnRefResolution(t *testing.T) {
+	tp := row(1, "MSFT", 50)
+	if v := mustEval(t, Col("", "price"), tp); v.F != 50 {
+		t.Fatalf("price = %v", v)
+	}
+	if v := mustEval(t, Col("s", "sym"), tp); v.S != "MSFT" {
+		t.Fatalf("sym = %v", v)
+	}
+	if _, err := Col("", "nope").Eval(tp); err == nil {
+		t.Fatal("unknown column evaluated")
+	}
+}
+
+func TestColumnRefCacheAcrossSchemas(t *testing.T) {
+	// The same expression object must evaluate correctly against tuples
+	// of different schemas (eddy intermediate formats).
+	c := Col("", "x")
+	s1 := tuple.NewSchema(
+		tuple.Column{Source: "a", Name: "x", Kind: tuple.KindInt},
+	)
+	s2 := tuple.NewSchema(
+		tuple.Column{Source: "a", Name: "pad", Kind: tuple.KindInt},
+		tuple.Column{Source: "a", Name: "x", Kind: tuple.KindInt},
+	)
+	t1 := tuple.New(s1, tuple.Int(11))
+	t2 := tuple.New(s2, tuple.Int(0), tuple.Int(22))
+	for i := 0; i < 3; i++ {
+		if v := mustEval(t, c, t1); v.I != 11 {
+			t.Fatalf("s1: %v", v)
+		}
+		if v := mustEval(t, c, t2); v.I != 22 {
+			t.Fatalf("s2: %v", v)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	tp := row(5, "MSFT", 50)
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Bin(OpGt, Col("", "price"), Lit(tuple.Float(49))), true},
+		{Bin(OpGt, Col("", "price"), Lit(tuple.Float(50))), false},
+		{Bin(OpGe, Col("", "price"), Lit(tuple.Float(50))), true},
+		{Bin(OpEq, Col("", "sym"), Lit(tuple.String("MSFT"))), true},
+		{Bin(OpNe, Col("", "sym"), Lit(tuple.String("IBM"))), true},
+		{Bin(OpLt, Col("", "timestamp"), Lit(tuple.Int(6))), true},
+		{Bin(OpLe, Col("", "timestamp"), Lit(tuple.Int(4))), false},
+		// int/float cross-kind comparison
+		{Bin(OpEq, Col("", "timestamp"), Lit(tuple.Float(5.0))), true},
+	}
+	for _, c := range cases {
+		ok, err := Truthy(c.e, tp)
+		if err != nil || ok != c.want {
+			t.Errorf("%s = %v, %v; want %v", c.e, ok, err, c.want)
+		}
+	}
+}
+
+func TestNullComparisonIsFalse(t *testing.T) {
+	s := tuple.NewSchema(tuple.Column{Name: "x", Kind: tuple.KindInt})
+	tp := tuple.New(s, tuple.Null())
+	for _, op := range []Op{OpEq, OpNe, OpLt, OpGt} {
+		ok, err := Truthy(Bin(op, Col("", "x"), Lit(tuple.Int(1))), tp)
+		if err != nil || ok {
+			t.Errorf("NULL %s 1 = %v, %v; want false", op, ok, err)
+		}
+	}
+}
+
+func TestIncomparableKindsError(t *testing.T) {
+	tp := row(1, "MSFT", 50)
+	if _, err := Truthy(Bin(OpLt, Col("", "sym"), Lit(tuple.Int(1))), tp); err == nil {
+		t.Fatal("string < int evaluated")
+	}
+}
+
+func TestBooleanConnectives(t *testing.T) {
+	tp := row(5, "MSFT", 50)
+	tr := Bin(OpEq, Lit(tuple.Int(1)), Lit(tuple.Int(1)))
+	fa := Bin(OpEq, Lit(tuple.Int(1)), Lit(tuple.Int(2)))
+	if ok, _ := Truthy(Bin(OpAnd, tr, fa), tp); ok {
+		t.Error("true AND false")
+	}
+	if ok, _ := Truthy(Bin(OpOr, fa, tr), tp); !ok {
+		t.Error("false OR true")
+	}
+	if ok, _ := Truthy(Not(fa), tp); !ok {
+		t.Error("NOT false")
+	}
+	// Short circuit: the erroring right side must not be evaluated.
+	erring := Bin(OpLt, Col("", "sym"), Lit(tuple.Int(1)))
+	if ok, err := Truthy(Bin(OpAnd, fa, erring), tp); err != nil || ok {
+		t.Errorf("short-circuit AND: %v, %v", ok, err)
+	}
+	if ok, err := Truthy(Bin(OpOr, tr, erring), tp); err != nil || !ok {
+		t.Errorf("short-circuit OR: %v, %v", ok, err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	tp := row(10, "X", 2.5)
+	cases := []struct {
+		e    Expr
+		want tuple.Value
+	}{
+		{Bin(OpAdd, Col("", "timestamp"), Lit(tuple.Int(5))), tuple.Int(15)},
+		{Bin(OpSub, Col("", "timestamp"), Lit(tuple.Int(3))), tuple.Int(7)},
+		{Bin(OpMul, Col("", "price"), Lit(tuple.Int(2))), tuple.Float(5)},
+		{Bin(OpDiv, Col("", "timestamp"), Lit(tuple.Int(4))), tuple.Int(2)},
+		{Bin(OpDiv, Col("", "price"), Lit(tuple.Float(0.5))), tuple.Float(5)},
+		{Bin(OpMod, Col("", "timestamp"), Lit(tuple.Int(3))), tuple.Int(1)},
+		{Neg(Col("", "timestamp")), tuple.Int(-10)},
+		{Neg(Col("", "price")), tuple.Float(-2.5)},
+	}
+	for _, c := range cases {
+		v := mustEval(t, c.e, tp)
+		if !tuple.Equal(v, c.want) {
+			t.Errorf("%s = %v, want %v", c.e, v, c.want)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	tp := row(1, "X", 1)
+	if _, err := Bin(OpDiv, Lit(tuple.Int(1)), Lit(tuple.Int(0))).Eval(tp); err == nil {
+		t.Error("int div by zero")
+	}
+	if _, err := Bin(OpDiv, Lit(tuple.Float(1)), Lit(tuple.Float(0))).Eval(tp); err == nil {
+		t.Error("float div by zero")
+	}
+	if _, err := Bin(OpMod, Lit(tuple.Int(1)), Lit(tuple.Int(0))).Eval(tp); err == nil {
+		t.Error("int mod by zero")
+	}
+}
+
+func TestArithmeticWithNullPropagates(t *testing.T) {
+	s := tuple.NewSchema(tuple.Column{Name: "x", Kind: tuple.KindInt})
+	tp := tuple.New(s, tuple.Null())
+	v, err := Bin(OpAdd, Col("", "x"), Lit(tuple.Int(1))).Eval(tp)
+	if err != nil || !v.IsNull() {
+		t.Fatalf("NULL + 1 = %v, %v", v, err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Bin(OpAnd,
+		Bin(OpEq, Col("s", "sym"), Lit(tuple.String("o'neil"))),
+		Bin(OpGt, Col("", "price"), Lit(tuple.Float(50))))
+	got := e.String()
+	if !strings.Contains(got, "s.sym = 'o''neil'") || !strings.Contains(got, "price > 50") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	a := Bin(OpGt, Col("", "price"), Lit(tuple.Float(1)))
+	b := Bin(OpEq, Col("", "sym"), Lit(tuple.String("A")))
+	c := Bin(OpLt, Col("", "timestamp"), Lit(tuple.Int(9)))
+	e := Bin(OpAnd, Bin(OpAnd, a, b), c)
+	fs := Conjuncts(e)
+	if len(fs) != 3 {
+		t.Fatalf("Conjuncts = %d factors", len(fs))
+	}
+	// An OR is one opaque factor.
+	if got := Conjuncts(Bin(OpOr, a, b)); len(got) != 1 {
+		t.Fatalf("OR split into %d", len(got))
+	}
+	if Conjuncts(nil) != nil {
+		t.Fatal("Conjuncts(nil)")
+	}
+	// Round trip.
+	re := Conjoin(fs)
+	tp := row(5, "A", 2)
+	want, _ := Truthy(e, tp)
+	got, _ := Truthy(re, tp)
+	if want != got {
+		t.Fatal("Conjoin changed semantics")
+	}
+	if Conjoin(nil) != nil {
+		t.Fatal("Conjoin(nil)")
+	}
+}
+
+func TestColumnsCollection(t *testing.T) {
+	e := Bin(OpAnd,
+		Bin(OpGt, Col("a", "x"), Lit(tuple.Int(1))),
+		Not(Bin(OpEq, Col("b", "y"), Col("a", "z"))))
+	cols := Columns(e, nil)
+	if len(cols) != 3 {
+		t.Fatalf("Columns = %d", len(cols))
+	}
+}
+
+func TestSources(t *testing.T) {
+	e := Bin(OpEq, Col("a", "x"), Col("", "y"))
+	resolve := func(name string) (string, error) { return "b", nil }
+	srcs, err := Sources(e, resolve)
+	if err != nil || len(srcs) != 2 || !srcs["a"] || !srcs["b"] {
+		t.Fatalf("Sources = %v, %v", srcs, err)
+	}
+}
+
+func TestAsRangeFactor(t *testing.T) {
+	// column OP literal
+	rf, ok := AsRangeFactor(Bin(OpGt, Col("", "price"), Lit(tuple.Float(50))))
+	if !ok || rf.Op != OpGt || rf.Val.F != 50 {
+		t.Fatalf("rf = %+v, %v", rf, ok)
+	}
+	// literal OP column normalizes: 50 < price  ==>  price > 50
+	rf, ok = AsRangeFactor(Bin(OpLt, Lit(tuple.Float(50)), Col("", "price")))
+	if !ok || rf.Op != OpGt || rf.Val.F != 50 {
+		t.Fatalf("normalized rf = %+v, %v", rf, ok)
+	}
+	// negative literal via unary
+	rf, ok = AsRangeFactor(Bin(OpGe, Col("", "x"), Neg(Lit(tuple.Int(3)))))
+	if !ok || rf.Val.I != -3 {
+		t.Fatalf("neg literal rf = %+v, %v", rf, ok)
+	}
+	// non-factors
+	if _, ok := AsRangeFactor(Bin(OpEq, Col("", "a"), Col("", "b"))); ok {
+		t.Fatal("col=col recognized as range factor")
+	}
+	if _, ok := AsRangeFactor(Bin(OpOr, Lit(tuple.Bool(true)), Lit(tuple.Bool(true)))); ok {
+		t.Fatal("OR recognized as range factor")
+	}
+	if _, ok := AsRangeFactor(Bin(OpAdd, Col("", "a"), Lit(tuple.Int(1)))); ok {
+		t.Fatal("arithmetic recognized as range factor")
+	}
+}
+
+func TestRangeFactorMatches(t *testing.T) {
+	rf := RangeFactor{Col: Col("", "p"), Op: OpGe, Val: tuple.Float(10)}
+	if !rf.Matches(tuple.Float(10)) || !rf.Matches(tuple.Int(11)) || rf.Matches(tuple.Float(9.9)) {
+		t.Fatal("Matches wrong")
+	}
+	if rf.Matches(tuple.Null()) || rf.Matches(tuple.String("x")) {
+		t.Fatal("Matches on null/incomparable")
+	}
+}
+
+func TestAsJoinFactor(t *testing.T) {
+	jf, ok := AsJoinFactor(Bin(OpEq, Col("a", "x"), Col("b", "y")))
+	if !ok || jf.Left.Source != "a" || jf.Right.Source != "b" || jf.Op != OpEq {
+		t.Fatalf("jf = %+v, %v", jf, ok)
+	}
+	if _, ok := AsJoinFactor(Bin(OpEq, Col("a", "x"), Lit(tuple.Int(1)))); ok {
+		t.Fatal("col=lit recognized as join factor")
+	}
+}
+
+// Property: RangeFactor.Matches agrees with full expression evaluation.
+func TestQuickRangeFactorAgreesWithEval(t *testing.T) {
+	s := tuple.NewSchema(tuple.Column{Name: "v", Kind: tuple.KindInt})
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	f := func(val, bound int64, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		e := Bin(op, Col("", "v"), Lit(tuple.Int(bound)))
+		rf, ok := AsRangeFactor(e)
+		if !ok {
+			return false
+		}
+		tp := tuple.New(s, tuple.Int(val))
+		want, err := Truthy(e, tp)
+		if err != nil {
+			return false
+		}
+		return rf.Matches(tuple.Int(val)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPredicateEval(b *testing.B) {
+	tp := row(5, "MSFT", 50)
+	e := Bin(OpAnd,
+		Bin(OpEq, Col("", "sym"), Lit(tuple.String("MSFT"))),
+		Bin(OpGt, Col("", "price"), Lit(tuple.Float(49))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, err := Truthy(e, tp); err != nil || !ok {
+			b.Fatal("eval failed")
+		}
+	}
+}

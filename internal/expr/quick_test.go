@@ -1,0 +1,128 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"telegraphcq/internal/tuple"
+)
+
+// randExpr builds a random boolean expression over two float columns.
+func randExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		col := Col("", []string{"a", "b"}[r.Intn(2)])
+		op := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}[r.Intn(6)]
+		return Bin(op, col, Lit(tuple.Float(float64(r.Intn(10)))))
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Bin(OpAnd, randExpr(r, depth-1), randExpr(r, depth-1))
+	case 1:
+		return Bin(OpOr, randExpr(r, depth-1), randExpr(r, depth-1))
+	default:
+		return Not(randExpr(r, depth-1))
+	}
+}
+
+// Property: Conjoin(Conjuncts(e)) is semantically identical to e on
+// random inputs, for random boolean trees.
+func TestQuickConjunctsRoundTrip(t *testing.T) {
+	schema := tuple.NewSchema(
+		tuple.Column{Name: "a", Kind: tuple.KindFloat},
+		tuple.Column{Name: "b", Kind: tuple.KindFloat},
+	)
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		e := randExpr(r, 4)
+		re := Conjoin(Conjuncts(e))
+		for probe := 0; probe < 20; probe++ {
+			tp := tuple.New(schema,
+				tuple.Float(float64(r.Intn(10))),
+				tuple.Float(float64(r.Intn(10))))
+			want, err1 := Truthy(e, tp)
+			got, err2 := Truthy(re, tp)
+			if (err1 == nil) != (err2 == nil) || want != got {
+				t.Fatalf("trial %d: %s vs rebuilt %s: %v/%v (%v %v)",
+					trial, e, re, want, got, err1, err2)
+			}
+		}
+	}
+}
+
+// Property: the number of conjuncts of (a AND b) is the sum of the
+// conjunct counts of a and b; OR/NOT are opaque single factors.
+func TestQuickConjunctsStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randExpr(r, 3), randExpr(r, 3)
+		na, nb := len(Conjuncts(a)), len(Conjuncts(b))
+		if got := len(Conjuncts(Bin(OpAnd, a, b))); got != na+nb {
+			t.Fatalf("AND conjuncts = %d, want %d+%d", got, na, nb)
+		}
+		if got := len(Conjuncts(Bin(OpOr, a, b))); got != 1 {
+			t.Fatalf("OR conjuncts = %d, want 1", got)
+		}
+		if got := len(Conjuncts(Not(a))); got != 1 {
+			t.Fatalf("NOT conjuncts = %d, want 1", got)
+		}
+	}
+}
+
+// Property: De Morgan — NOT(a AND b) ≡ NOT a OR NOT b under evaluation.
+func TestQuickDeMorgan(t *testing.T) {
+	schema := tuple.NewSchema(
+		tuple.Column{Name: "a", Kind: tuple.KindFloat},
+		tuple.Column{Name: "b", Kind: tuple.KindFloat},
+	)
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		x, y := randExpr(r, 3), randExpr(r, 3)
+		lhs := Not(Bin(OpAnd, x, y))
+		rhs := Bin(OpOr, Not(x), Not(y))
+		tp := tuple.New(schema,
+			tuple.Float(float64(r.Intn(10))),
+			tuple.Float(float64(r.Intn(10))))
+		a, err1 := Truthy(lhs, tp)
+		b, err2 := Truthy(rhs, tp)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval errors: %v %v", err1, err2)
+		}
+		if a != b {
+			t.Fatalf("De Morgan violated on %s", lhs)
+		}
+	}
+}
+
+// Property: a range factor recognized by AsRangeFactor evaluates
+// identically to the original comparison for any value, including across
+// int/float kind boundaries.
+func TestQuickRangeFactorCrossKind(t *testing.T) {
+	schema := tuple.NewSchema(tuple.Column{Name: "v", Kind: tuple.KindFloat})
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	r := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 500; trial++ {
+		op := ops[r.Intn(len(ops))]
+		var bound tuple.Value
+		if r.Intn(2) == 0 {
+			bound = tuple.Int(int64(r.Intn(20) - 10))
+		} else {
+			bound = tuple.Float(float64(r.Intn(40))/2 - 10)
+		}
+		e := Bin(op, Col("", "v"), Lit(bound))
+		rf, ok := AsRangeFactor(e)
+		if !ok {
+			t.Fatalf("not recognized: %s", e)
+		}
+		for probe := 0; probe < 10; probe++ {
+			v := tuple.Float(float64(r.Intn(40))/2 - 10)
+			tp := tuple.New(schema, v)
+			want, err := Truthy(e, tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rf.Matches(v) != want {
+				t.Fatalf("factor %s disagrees at %v", rf, v)
+			}
+		}
+	}
+}

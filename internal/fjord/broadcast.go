@@ -1,0 +1,93 @@
+package fjord
+
+import "sync"
+
+// Broadcast fans one produced stream out to many subscriber queues. The
+// Wrapper process uses it to feed a stream to every Execution Object
+// whose query class reads that stream (§4.2.2–4.2.3). Subscribers receive
+// the same T; tuple consumers must treat broadcast tuples as read-only
+// and Clone before mutating lineage.
+type Broadcast[T any] struct {
+	mu      sync.Mutex
+	subs    []Queue[T]
+	dropped []int64 // per-subscriber count of shed elements (full queue)
+	closed  bool
+}
+
+// NewBroadcast returns an empty broadcast hub.
+func NewBroadcast[T any]() *Broadcast[T] { return &Broadcast[T]{} }
+
+// Subscribe attaches a new push-queue of the given capacity and returns
+// it. Subscribing after Close returns a closed queue.
+func (b *Broadcast[T]) Subscribe(capacity int) Queue[T] {
+	q := NewPush[T](capacity)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		q.Close()
+		return q
+	}
+	b.subs = append(b.subs, q)
+	b.dropped = append(b.dropped, 0)
+	return q
+}
+
+// Publish offers v to every subscriber without blocking; subscribers with
+// full queues miss this element (counted in Dropped). This is the
+// load-shedding behaviour the paper requires of non-blocking dataflow:
+// a slow consumer must not stall the stream for everyone else.
+func (b *Broadcast[T]) Publish(v T) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, q := range b.subs {
+		if !q.TryEnqueue(v) {
+			b.dropped[i]++
+		}
+	}
+}
+
+// PublishBlocking delivers v to every subscriber, waiting for space. Used
+// where losslessness matters more than liveness (e.g. result delivery to
+// the client proxy). Returns the first error encountered.
+func (b *Broadcast[T]) PublishBlocking(v T) error {
+	b.mu.Lock()
+	subs := make([]Queue[T], len(b.subs))
+	copy(subs, b.subs)
+	b.mu.Unlock()
+	var first error
+	for _, q := range subs {
+		if err := q.Enqueue(v); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Dropped returns a copy of the per-subscriber shed counts.
+func (b *Broadcast[T]) Dropped() []int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]int64, len(b.dropped))
+	copy(out, b.dropped)
+	return out
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Broadcast[T]) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Close closes every subscriber queue and rejects new subscriptions.
+func (b *Broadcast[T]) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, q := range b.subs {
+		q.Close()
+	}
+}

@@ -1,0 +1,192 @@
+// Package fjord implements the Fjords inter-module communication API
+// (§2.3 of the TelegraphCQ paper; Madden & Franklin, ICDE 2002).
+//
+// Fjords connect pairs of dataflow modules with queues whose enqueue and
+// dequeue ends can independently be blocking or non-blocking, so the same
+// module code runs over any combination of streaming (push) and static
+// (pull) inputs:
+//
+//   - pull-queue:     blocking dequeue,     blocking enqueue (iterator-like)
+//   - push-queue:     non-blocking dequeue, non-blocking enqueue — control
+//     returns to the consumer when the queue is empty, so it can pursue
+//     other work instead of stalling on a slow source
+//   - Exchange:       blocking dequeue, non-blocking enqueue (Graefe's
+//     Exchange semantics [Graf93], provided for the baseline comparison)
+//
+// The package is generic so the engine can move tuples, query plans, and
+// control messages through the same machinery.
+package fjord
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by blocking operations on a closed queue.
+var ErrClosed = errors.New("fjord: queue closed")
+
+// Queue is the Fjord endpoint pair. TryEnqueue/TryDequeue are the
+// non-blocking ends; Enqueue/Dequeue the blocking ends. Concrete queues
+// implement all four so a plan can mix modalities per connection, but a
+// queue's *type* documents the intended discipline.
+type Queue[T any] interface {
+	// TryEnqueue adds v without blocking. It reports false when the
+	// queue is full or closed (the producer may bounce the tuple back
+	// to its Eddy or shed it, per QoS policy).
+	TryEnqueue(v T) bool
+	// Enqueue blocks until space is available; returns ErrClosed if the
+	// queue is closed.
+	Enqueue(v T) error
+	// TryDequeue removes the oldest element without blocking; ok is
+	// false when the queue is empty (closed or not).
+	TryDequeue() (v T, ok bool)
+	// Dequeue blocks until an element is available; returns ErrClosed
+	// when the queue is closed and drained.
+	Dequeue() (v T, err error)
+	// Close marks the queue closed. Enqueues fail afterwards; dequeues
+	// drain remaining elements.
+	Close()
+	// Len returns the number of queued elements (used by back-pressure
+	// routing policies).
+	Len() int
+	// Cap returns the queue capacity.
+	Cap() int
+	// Closed reports whether Close has been called.
+	Closed() bool
+}
+
+// ring is the shared bounded FIFO under every queue type.
+type ring[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []T
+	head     int // index of oldest element
+	n        int // number of elements
+	closed   bool
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	r := &ring[T]{buf: make([]T, capacity)}
+	r.notFull = sync.NewCond(&r.mu)
+	r.notEmpty = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *ring[T]) tryEnqueue(v T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.n == len(r.buf) {
+		return false
+	}
+	r.put(v)
+	return true
+}
+
+func (r *ring[T]) enqueue(v T) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.n == len(r.buf) && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		return ErrClosed
+	}
+	r.put(v)
+	return nil
+}
+
+// put requires r.mu held and space available.
+func (r *ring[T]) put(v T) {
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+	r.notEmpty.Signal()
+}
+
+func (r *ring[T]) tryDequeue() (T, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	return r.take(), true
+}
+
+func (r *ring[T]) dequeue() (T, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var zero T
+	for r.n == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	if r.n == 0 {
+		return zero, ErrClosed
+	}
+	return r.take(), nil
+}
+
+// take requires r.mu held and an element present.
+func (r *ring[T]) take() T {
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero // release reference for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	r.notFull.Signal()
+	return v
+}
+
+func (r *ring[T]) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.notFull.Broadcast()
+	r.notEmpty.Broadcast()
+}
+
+func (r *ring[T]) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+func (r *ring[T]) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// queue adapts ring to the Queue interface; the named constructors below
+// differ only in which ends their users are expected to call, mirroring
+// the paper's queue taxonomy.
+type queue[T any] struct{ r *ring[T] }
+
+func (q queue[T]) TryEnqueue(v T) bool     { return q.r.tryEnqueue(v) }
+func (q queue[T]) Enqueue(v T) error       { return q.r.enqueue(v) }
+func (q queue[T]) TryDequeue() (T, bool)   { return q.r.tryDequeue() }
+func (q queue[T]) Dequeue() (v T, e error) { return q.r.dequeue() }
+func (q queue[T]) Close()                  { q.r.close() }
+func (q queue[T]) Len() int                { return q.r.len() }
+func (q queue[T]) Cap() int                { return len(q.r.buf) }
+func (q queue[T]) Closed() bool            { return q.r.isClosed() }
+
+// NewPull returns a pull-queue: both ends blocking (iterator model over a
+// bounded buffer).
+func NewPull[T any](capacity int) Queue[T] { return queue[T]{newRing[T](capacity)} }
+
+// NewPush returns a push-queue: both ends non-blocking. Producers that
+// find it full get false and may shed or bounce; consumers that find it
+// empty regain control immediately (the essential Fjords property).
+func NewPush[T any](capacity int) Queue[T] { return queue[T]{newRing[T](capacity)} }
+
+// NewExchange returns a queue with Exchange semantics: producers use the
+// non-blocking end, consumers the blocking end. Kept distinct so the
+// Fjords-vs-Exchange experiment (E8) reads like the paper.
+func NewExchange[T any](capacity int) Queue[T] { return queue[T]{newRing[T](capacity)} }

@@ -1,0 +1,570 @@
+// Package flux implements Flux — the Fault-tolerant, Load-balancing
+// eXchange (Shah et al., ICDE 2003; §2.4 of the TelegraphCQ paper). A
+// Flux module is interposed between a producer and a partitioned
+// consumer operator running across a shared-nothing cluster. Beyond the
+// partitioning and routing of Graefe's Exchange, Flux provides:
+//
+//   - Load balancing: the input stream is split into many buckets mapped
+//     onto machines; a controller observes per-machine load and moves
+//     buckets — with their operator state — from overloaded to
+//     underloaded machines while the dataflow keeps executing.
+//   - Fault tolerance: with replication on, every bucket has a primary
+//     and a secondary machine (a loosely coupled process pair). Inputs
+//     are delivered to both; on failure the secondary is promoted and
+//     processing continues without losing accumulated state.
+//
+// The "cluster" is simulated: each machine is a goroutine whose per-tuple
+// service time is scaled by a speed factor. Service is modeled with
+// sleeps, not CPU spins, so the simulated machines genuinely overlap on
+// any host (including single-core CI machines); the model captures
+// queueing, skew, and faults — not host CPU contention.
+package flux
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/tuple"
+)
+
+// GroupState is the per-group accumulator of the partitioned consumer
+// operator (a windowed grouped aggregate: count and sum).
+type GroupState struct {
+	Key   string
+	Count int64
+	Sum   float64
+}
+
+// bucketState is the movable unit of operator state.
+type bucketState map[string]*GroupState
+
+func (b bucketState) clone() bucketState {
+	c := make(bucketState, len(b))
+	for k, g := range b {
+		cp := *g
+		c[k] = &cp
+	}
+	return c
+}
+
+// Config sizes the simulated cluster.
+type Config struct {
+	Machines int
+	// Buckets is the partitioning granularity; must be >= Machines.
+	// More buckets make rebalancing finer-grained.
+	Buckets int
+	// QueueCap bounds each machine's input queue.
+	QueueCap int
+	// Replication enables process-pair fault tolerance.
+	Replication bool
+	// Speeds scales each machine's processing rate (1.0 = nominal).
+	// Length must equal Machines; nil = all 1.0.
+	Speeds []float64
+	// PerTupleCostNs is the nominal CPU cost of processing one tuple.
+	PerTupleCostNs int64
+}
+
+type msgKind uint8
+
+const (
+	msgData msgKind = iota
+	msgFetch
+	msgInstall
+	msgDrop
+	msgBarrier
+)
+
+type message struct {
+	kind   msgKind
+	bucket int
+	t      *tuple.Tuple
+	state  bucketState
+	reply  chan bucketState
+	ack    chan struct{}
+}
+
+type machine struct {
+	id        int
+	speed     float64
+	costNs    int64
+	in        fjord.Queue[message]
+	buckets   map[int]bucketState
+	processed atomic.Int64
+	// stalls counts producer blocks on this machine's full queue — the
+	// load signal the rebalancer acts on (queue *length* is useless
+	// under a blocking producer: every queue drains while it waits).
+	stalls atomic.Int64
+	alive  atomic.Bool
+	done   chan struct{}
+	// owedNs accumulates service time and is paid in ≥1ms sleeps, so
+	// the model stays accurate under coarse OS timer resolution.
+	owedNs int64
+}
+
+// Flux is the router/controller pair. Route is called by a single
+// producer; control methods (Rebalance, Kill, Drain) may be called from
+// the same goroutine between Route calls.
+type Flux struct {
+	cfg      Config
+	keyExpr  expr.Expr
+	valExpr  expr.Expr
+	machines []*machine
+	// primary and secondary map bucket → machine id (-1 = none).
+	primary   []int
+	secondary []int
+
+	mu         sync.Mutex
+	routed     int64
+	lost       int64
+	moves      int64
+	killed     map[int]bool
+	pending    map[int][]*tuple.Tuple // bucket → buffered tuples mid-move
+	lastStalls []int64                // stall counts at the previous Rebalance
+}
+
+// New starts the simulated cluster. keyExpr partitions and groups
+// tuples; valExpr is summed per group.
+func New(cfg Config, keyExpr, valExpr expr.Expr) (*Flux, error) {
+	if cfg.Machines <= 0 {
+		return nil, fmt.Errorf("flux: need at least one machine")
+	}
+	if cfg.Buckets < cfg.Machines {
+		cfg.Buckets = cfg.Machines * 8
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.Speeds == nil {
+		cfg.Speeds = make([]float64, cfg.Machines)
+		for i := range cfg.Speeds {
+			cfg.Speeds[i] = 1
+		}
+	}
+	if len(cfg.Speeds) != cfg.Machines {
+		return nil, fmt.Errorf("flux: %d speeds for %d machines", len(cfg.Speeds), cfg.Machines)
+	}
+	f := &Flux{
+		cfg:       cfg,
+		keyExpr:   keyExpr,
+		valExpr:   valExpr,
+		primary:   make([]int, cfg.Buckets),
+		secondary: make([]int, cfg.Buckets),
+		killed:    map[int]bool{},
+		pending:   map[int][]*tuple.Tuple{},
+	}
+	for i := 0; i < cfg.Machines; i++ {
+		m := &machine{
+			id:      i,
+			speed:   cfg.Speeds[i],
+			costNs:  cfg.PerTupleCostNs,
+			in:      fjord.NewPull[message](cfg.QueueCap),
+			buckets: map[int]bucketState{},
+			done:    make(chan struct{}),
+		}
+		m.alive.Store(true)
+		f.machines = append(f.machines, m)
+		go m.run()
+	}
+	for b := 0; b < cfg.Buckets; b++ {
+		f.primary[b] = b % cfg.Machines
+		if cfg.Replication && cfg.Machines > 1 {
+			f.secondary[b] = (b + 1) % cfg.Machines
+		} else {
+			f.secondary[b] = -1
+		}
+	}
+	return f, nil
+}
+
+func (m *machine) run() {
+	defer close(m.done)
+	for {
+		msg, err := m.in.Dequeue()
+		if err != nil {
+			return
+		}
+		switch msg.kind {
+		case msgData:
+			m.process(msg)
+		case msgFetch:
+			st := m.buckets[msg.bucket]
+			delete(m.buckets, msg.bucket)
+			if st == nil {
+				st = bucketState{}
+			}
+			msg.reply <- st
+		case msgInstall:
+			// Merge: with replication the target may already hold a
+			// replica of the bucket; the moved state supersedes it.
+			m.buckets[msg.bucket] = msg.state
+			if msg.ack != nil {
+				msg.ack <- struct{}{}
+			}
+		case msgDrop:
+			delete(m.buckets, msg.bucket)
+			if msg.ack != nil {
+				msg.ack <- struct{}{}
+			}
+		case msgBarrier:
+			msg.ack <- struct{}{}
+		}
+	}
+}
+
+func (m *machine) process(msg message) {
+	st := m.buckets[msg.bucket]
+	if st == nil {
+		st = bucketState{}
+		m.buckets[msg.bucket] = st
+	}
+	key := msg.t.Values[0].String() // key materialized by router
+	g := st[key]
+	if g == nil {
+		g = &GroupState{Key: key}
+		st[key] = g
+	}
+	g.Count++
+	g.Sum += msg.t.Values[1].AsFloat()
+	if m.costNs > 0 {
+		m.owedNs += int64(float64(m.costNs) / m.speed)
+		if m.owedNs >= int64(time.Millisecond) {
+			time.Sleep(time.Duration(m.owedNs))
+			m.owedNs = 0
+		}
+	}
+	m.processed.Add(1)
+}
+
+// Route partitions one tuple to its bucket's machine(s). Returns the
+// bucket id.
+func (f *Flux) Route(t *tuple.Tuple) (int, error) {
+	kv, err := f.keyExpr.Eval(t)
+	if err != nil {
+		return -1, err
+	}
+	vv, err := f.valExpr.Eval(t)
+	if err != nil {
+		return -1, err
+	}
+	bucket := int(kv.Hash() % uint64(f.cfg.Buckets))
+	// Flatten to a (key, value) pair so machines don't re-evaluate.
+	flat := tuple.New(flatSchema, tuple.String(kv.String()), vv)
+
+	f.mu.Lock()
+	if buf, moving := f.pending[bucket]; moving {
+		f.pending[bucket] = append(buf, flat)
+		f.routed++
+		f.mu.Unlock()
+		return bucket, nil
+	}
+	prim, sec := f.primary[bucket], f.secondary[bucket]
+	f.routed++
+	f.mu.Unlock()
+
+	delivered := f.send(prim, bucket, flat)
+	if sec >= 0 {
+		if f.send(sec, bucket, flat) {
+			delivered = true
+		}
+	}
+	if !delivered {
+		f.mu.Lock()
+		f.lost++
+		f.mu.Unlock()
+	}
+	return bucket, nil
+}
+
+var flatSchema = tuple.NewSchema(
+	tuple.Column{Source: "flux", Name: "key", Kind: tuple.KindString},
+	tuple.Column{Source: "flux", Name: "val", Kind: tuple.KindFloat},
+)
+
+func (f *Flux) send(machineID, bucket int, t *tuple.Tuple) bool {
+	if machineID < 0 {
+		return false
+	}
+	m := f.machines[machineID]
+	if !m.alive.Load() {
+		return false
+	}
+	msg := message{kind: msgData, bucket: bucket, t: t}
+	if m.in.TryEnqueue(msg) {
+		return true
+	}
+	m.stalls.Add(1)
+	return m.in.Enqueue(msg) == nil
+}
+
+// LoadStats returns per-machine (queueLen, processed) observations.
+func (f *Flux) LoadStats() (queue []int, processed []int64) {
+	for _, m := range f.machines {
+		queue = append(queue, m.in.Len())
+		processed = append(processed, m.processed.Load())
+	}
+	return
+}
+
+// Stalls returns per-machine producer-stall counts.
+func (f *Flux) Stalls() []int64 {
+	out := make([]int64, len(f.machines))
+	for i, m := range f.machines {
+		out[i] = m.stalls.Load()
+	}
+	return out
+}
+
+// MoveBucket migrates one bucket's state from its current primary to
+// machine dst, using the paper's pause/buffer → move → resume protocol.
+func (f *Flux) MoveBucket(bucket, dst int) error {
+	if dst < 0 || dst >= len(f.machines) || !f.machines[dst].alive.Load() {
+		return fmt.Errorf("flux: bad destination %d", dst)
+	}
+	f.mu.Lock()
+	src := f.primary[bucket]
+	if src == dst {
+		f.mu.Unlock()
+		return nil
+	}
+	if _, already := f.pending[bucket]; already {
+		f.mu.Unlock()
+		return fmt.Errorf("flux: bucket %d already moving", bucket)
+	}
+	f.pending[bucket] = []*tuple.Tuple{} // pause: buffer new arrivals
+	f.mu.Unlock()
+
+	// Fetch state from the source (processed in queue order, so all
+	// previously routed data is folded in first).
+	var st bucketState
+	if f.machines[src].alive.Load() {
+		reply := make(chan bucketState, 1)
+		if err := f.machines[src].in.Enqueue(message{kind: msgFetch, bucket: bucket, reply: reply}); err == nil {
+			st = <-reply
+		}
+	}
+	if st == nil {
+		st = bucketState{}
+	}
+	// Install at destination.
+	ack := make(chan struct{}, 1)
+	if err := f.machines[dst].in.Enqueue(message{kind: msgInstall, bucket: bucket, state: st, ack: ack}); err != nil {
+		return fmt.Errorf("flux: install on %d: %w", dst, err)
+	}
+	<-ack
+
+	// Re-replicate: the new secondary gets a deep copy so a later
+	// failover loses nothing (the paper's state-movement mechanisms are
+	// reused for replica maintenance).
+	newSec := -1
+	if f.cfg.Replication {
+		f.mu.Lock()
+		newSec = f.secondary[bucket]
+		if newSec == dst {
+			newSec = src // keep primary and secondary distinct
+		}
+		f.mu.Unlock()
+		if newSec >= 0 && f.machines[newSec].alive.Load() {
+			ack2 := make(chan struct{}, 1)
+			if err := f.machines[newSec].in.Enqueue(message{
+				kind: msgInstall, bucket: bucket, state: st.clone(), ack: ack2,
+			}); err == nil {
+				<-ack2
+			} else {
+				newSec = -1
+			}
+		}
+	}
+
+	// Resume: update routing, drain the pause buffer to the new primary.
+	f.mu.Lock()
+	f.primary[bucket] = dst
+	f.secondary[bucket] = newSec
+	buf := f.pending[bucket]
+	delete(f.pending, bucket)
+	sec := f.secondary[bucket]
+	f.moves++
+	f.mu.Unlock()
+
+	for _, t := range buf {
+		if !f.send(dst, bucket, t) {
+			f.mu.Lock()
+			f.lost++
+			f.mu.Unlock()
+		}
+		if sec >= 0 {
+			f.send(sec, bucket, t)
+		}
+	}
+	return nil
+}
+
+// Rebalance inspects load and moves one bucket from the most loaded to
+// the least loaded machine. Returns whether a move happened. Load is
+// measured as producer stalls accumulated since the previous Rebalance
+// call: a machine the producer keeps blocking on is oversubscribed.
+func (f *Flux) Rebalance() (bool, error) {
+	f.mu.Lock()
+	if f.lastStalls == nil {
+		f.lastStalls = make([]int64, len(f.machines))
+	}
+	f.mu.Unlock()
+	stalls := f.Stalls()
+	maxM, minM := -1, -1
+	var maxD, minD int64
+	for i, m := range f.machines {
+		if !m.alive.Load() {
+			continue
+		}
+		d := stalls[i] - f.lastStalls[i]
+		if maxM < 0 || d > maxD {
+			maxM, maxD = i, d
+		}
+		if minM < 0 || d < minD {
+			minM, minD = i, d
+		}
+	}
+	for i := range f.lastStalls {
+		f.lastStalls[i] = stalls[i]
+	}
+	// Move only under clear, persistent imbalance: each move pauses a
+	// bucket and pays a state fetch behind the victim's backlog.
+	if maxM < 0 || minM < 0 || maxM == minM || maxD < 2*minD+4 {
+		return false, nil
+	}
+	// Move one of the loaded machine's buckets.
+	f.mu.Lock()
+	bucket := -1
+	for b, p := range f.primary {
+		if p == maxM {
+			if _, moving := f.pending[b]; !moving {
+				bucket = b
+				break
+			}
+		}
+	}
+	f.mu.Unlock()
+	if bucket < 0 {
+		return false, nil
+	}
+	return true, f.MoveBucket(bucket, minM)
+}
+
+// Kill simulates a machine fault: its queue closes and in-flight data is
+// lost. With replication, every bucket whose primary died is failed over
+// to its secondary; without, the bucket restarts empty on a survivor.
+func (f *Flux) Kill(machineID int) error {
+	if machineID < 0 || machineID >= len(f.machines) {
+		return fmt.Errorf("flux: no machine %d", machineID)
+	}
+	m := f.machines[machineID]
+	if !m.alive.CompareAndSwap(true, false) {
+		return nil
+	}
+	m.in.Close()
+	<-m.done
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.killed[machineID] = true
+	survivor := -1
+	for i, sm := range f.machines {
+		if sm.alive.Load() {
+			survivor = i
+			break
+		}
+	}
+	if survivor < 0 {
+		return fmt.Errorf("flux: no surviving machines")
+	}
+	for b := range f.primary {
+		if f.primary[b] == machineID {
+			if sec := f.secondary[b]; sec >= 0 && f.machines[sec].alive.Load() {
+				f.primary[b] = sec // failover to the process pair
+				f.secondary[b] = -1
+			} else {
+				f.primary[b] = survivor // restart empty: state lost
+			}
+		}
+		if f.secondary[b] == machineID {
+			f.secondary[b] = -1
+		}
+	}
+	return nil
+}
+
+// Barrier waits until every alive machine has drained its queue.
+func (f *Flux) Barrier() {
+	for _, m := range f.machines {
+		if !m.alive.Load() {
+			continue
+		}
+		ack := make(chan struct{}, 1)
+		if err := m.in.Enqueue(message{kind: msgBarrier, ack: ack}); err == nil {
+			<-ack
+		}
+	}
+}
+
+// Collect drains all machines and merges the primary replica of every
+// bucket into the final grouped result.
+func (f *Flux) Collect() map[string]*GroupState {
+	f.Barrier()
+	out := map[string]*GroupState{}
+	f.mu.Lock()
+	primary := append([]int(nil), f.primary...)
+	f.mu.Unlock()
+	// Fetch each bucket from its primary.
+	states := make([]bucketState, f.cfg.Buckets)
+	for b := 0; b < f.cfg.Buckets; b++ {
+		m := f.machines[primary[b]]
+		if !m.alive.Load() {
+			continue
+		}
+		reply := make(chan bucketState, 1)
+		if err := m.in.Enqueue(message{kind: msgFetch, bucket: b, reply: reply}); err != nil {
+			continue
+		}
+		states[b] = <-reply
+	}
+	for b, st := range states {
+		if st == nil {
+			continue
+		}
+		for k, g := range st {
+			o := out[k]
+			if o == nil {
+				out[k] = &GroupState{Key: k, Count: g.Count, Sum: g.Sum}
+			} else {
+				o.Count += g.Count
+				o.Sum += g.Sum
+			}
+		}
+		// Re-install so Collect is not destructive.
+		m := f.machines[primary[b]]
+		ack := make(chan struct{}, 1)
+		if err := m.in.Enqueue(message{kind: msgInstall, bucket: b, state: st, ack: ack}); err == nil {
+			<-ack
+		}
+	}
+	return out
+}
+
+// Stats returns router counters.
+func (f *Flux) Stats() (routed, lost, moves int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.routed, f.lost, f.moves
+}
+
+// Close shuts the cluster down.
+func (f *Flux) Close() {
+	for _, m := range f.machines {
+		if m.alive.CompareAndSwap(true, false) {
+			m.in.Close()
+			<-m.done
+		}
+	}
+}

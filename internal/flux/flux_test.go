@@ -1,0 +1,296 @@
+package flux
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+var schema = tuple.NewSchema(
+	tuple.Column{Source: "flows", Name: "host", Kind: tuple.KindString},
+	tuple.Column{Source: "flows", Name: "bytes", Kind: tuple.KindFloat},
+)
+
+func flow(host string, bytes float64) *tuple.Tuple {
+	return tuple.New(schema, tuple.String(host), tuple.Float(bytes))
+}
+
+func keyCol() expr.Expr { return expr.Col("", "host") }
+func valCol() expr.Expr { return expr.Col("", "bytes") }
+
+func mustNew(t *testing.T, cfg Config) *Flux {
+	t.Helper()
+	f, err := New(cfg, keyCol(), valCol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func pump(t *testing.T, f *Flux, n int, hosts int, r *rand.Rand) map[string]int64 {
+	t.Helper()
+	want := map[string]int64{}
+	for i := 0; i < n; i++ {
+		h := fmt.Sprintf("h%d", r.Intn(hosts))
+		if _, err := f.Route(flow(h, 1)); err != nil {
+			t.Fatal(err)
+		}
+		want[h]++
+	}
+	return want
+}
+
+func checkCounts(t *testing.T, got map[string]*GroupState, want map[string]int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("groups: got %d, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok || g.Count != w {
+			t.Fatalf("group %s: got %+v, want count %d", k, g, w)
+		}
+		if g.Sum != float64(w) {
+			t.Fatalf("group %s: sum %v", k, g.Sum)
+		}
+	}
+}
+
+func TestPartitionedAggregateCorrect(t *testing.T) {
+	f := mustNew(t, Config{Machines: 4, Buckets: 64})
+	defer f.Close()
+	want := pump(t, f, 5000, 50, rand.New(rand.NewSource(1)))
+	checkCounts(t, f.Collect(), want)
+	routed, lost, _ := f.Stats()
+	if routed != 5000 || lost != 0 {
+		t.Fatalf("routed=%d lost=%d", routed, lost)
+	}
+}
+
+func TestCollectIsNotDestructive(t *testing.T) {
+	f := mustNew(t, Config{Machines: 2, Buckets: 8})
+	defer f.Close()
+	want := pump(t, f, 500, 10, rand.New(rand.NewSource(2)))
+	checkCounts(t, f.Collect(), want)
+	checkCounts(t, f.Collect(), want) // second collect sees same state
+}
+
+func TestMoveBucketPreservesState(t *testing.T) {
+	f := mustNew(t, Config{Machines: 4, Buckets: 16})
+	defer f.Close()
+	r := rand.New(rand.NewSource(3))
+	want := pump(t, f, 2000, 20, r)
+	f.Barrier()
+	// Move every bucket somewhere else.
+	for b := 0; b < 16; b++ {
+		if err := f.MoveBucket(b, (b+2)%4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep streaming after the moves.
+	for k, v := range pump(t, f, 2000, 20, r) {
+		want[k] += v
+	}
+	checkCounts(t, f.Collect(), want)
+	_, lost, moves := f.Stats()
+	if lost != 0 {
+		t.Fatalf("lost = %d", lost)
+	}
+	if moves == 0 {
+		t.Fatal("no moves recorded")
+	}
+}
+
+func TestMoveBucketToSelfNoop(t *testing.T) {
+	f := mustNew(t, Config{Machines: 2, Buckets: 4})
+	defer f.Close()
+	if err := f.MoveBucket(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, moves := f.Stats()
+	if moves != 0 {
+		t.Fatal("self-move counted")
+	}
+}
+
+func TestRebalanceMovesLoadOffSlowMachine(t *testing.T) {
+	// Machine 0 is 50× slower; with small queues it backs up.
+	f := mustNew(t, Config{
+		Machines: 2, Buckets: 16, QueueCap: 64,
+		Speeds: []float64{0.02, 1}, PerTupleCostNs: 20000,
+	})
+	defer f.Close()
+	r := rand.New(rand.NewSource(4))
+	want := map[string]int64{}
+	rebalanced := false
+	for i := 0; i < 3000; i++ {
+		h := fmt.Sprintf("h%d", r.Intn(32))
+		if _, err := f.Route(flow(h, 1)); err != nil {
+			t.Fatal(err)
+		}
+		want[h]++
+		if i%100 == 99 {
+			moved, err := f.Rebalance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebalanced = rebalanced || moved
+		}
+	}
+	if !rebalanced {
+		t.Fatal("rebalancer never triggered under 50× skew")
+	}
+	checkCounts(t, f.Collect(), want)
+	// Most buckets should have migrated off the slow machine.
+	slow := 0
+	for _, p := range f.primary {
+		if p == 0 {
+			slow++
+		}
+	}
+	if slow > 8 {
+		t.Fatalf("slow machine still owns %d/16 buckets", slow)
+	}
+}
+
+func TestKillWithoutReplicationLosesState(t *testing.T) {
+	f := mustNew(t, Config{Machines: 4, Buckets: 16})
+	defer f.Close()
+	want := pump(t, f, 4000, 40, rand.New(rand.NewSource(5)))
+	f.Barrier()
+	if err := f.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	got := f.Collect()
+	var gotTotal, wantTotal int64
+	for _, g := range got {
+		gotTotal += g.Count
+	}
+	for _, w := range want {
+		wantTotal += w
+	}
+	if gotTotal >= wantTotal {
+		t.Fatalf("no loss after unreplicated failure: got %d, fed %d", gotTotal, wantTotal)
+	}
+}
+
+func TestKillWithReplicationFailsOverLossless(t *testing.T) {
+	f := mustNew(t, Config{Machines: 4, Buckets: 16, Replication: true})
+	defer f.Close()
+	r := rand.New(rand.NewSource(6))
+	want := pump(t, f, 4000, 40, r)
+	f.Barrier()
+	if err := f.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	// Processing continues after failover.
+	for k, v := range pump(t, f, 2000, 40, r) {
+		want[k] += v
+	}
+	checkCounts(t, f.Collect(), want)
+}
+
+func TestReplicationSurvivesMoveThenKill(t *testing.T) {
+	f := mustNew(t, Config{Machines: 3, Buckets: 9, Replication: true})
+	defer f.Close()
+	r := rand.New(rand.NewSource(7))
+	want := pump(t, f, 3000, 30, r)
+	f.Barrier()
+	for b := 0; b < 9; b++ {
+		if err := f.MoveBucket(b, (b+1)%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Barrier()
+	// Kill each bucket's new primary's machine 0; replicas must cover.
+	if err := f.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range pump(t, f, 1000, 30, r) {
+		want[k] += v
+	}
+	checkCounts(t, f.Collect(), want)
+}
+
+func TestKillTwice(t *testing.T) {
+	f := mustNew(t, Config{Machines: 2, Buckets: 4, Replication: true})
+	defer f.Close()
+	_ = pump(t, f, 100, 5, rand.New(rand.NewSource(8)))
+	if err := f.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Kill(0); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := f.Kill(1); err == nil {
+		t.Fatal("killing the last machine should error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Machines: 0}, keyCol(), valCol()); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+	if _, err := New(Config{Machines: 2, Speeds: []float64{1}}, keyCol(), valCol()); err == nil {
+		t.Fatal("wrong speeds length accepted")
+	}
+	// Buckets < machines auto-corrects.
+	f, err := New(Config{Machines: 4, Buckets: 2}, keyCol(), valCol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.cfg.Buckets < 4 {
+		t.Fatalf("buckets = %d", f.cfg.Buckets)
+	}
+}
+
+func TestLoadStats(t *testing.T) {
+	f := mustNew(t, Config{Machines: 3, Buckets: 9})
+	defer f.Close()
+	_ = pump(t, f, 300, 10, rand.New(rand.NewSource(9)))
+	f.Barrier()
+	q, p := f.LoadStats()
+	if len(q) != 3 || len(p) != 3 {
+		t.Fatalf("stats lengths: %d %d", len(q), len(p))
+	}
+	var total int64
+	for _, x := range p {
+		total += x
+	}
+	if total != 300 {
+		t.Fatalf("processed total = %d", total)
+	}
+}
+
+func TestThroughputSkewImprovesWithRebalance(t *testing.T) {
+	// Wall-clock shape check for E6: with a 10× slow machine, enabling
+	// rebalancing must not be slower than leaving the skew in place.
+	run := func(rebalance bool) time.Duration {
+		f := mustNew(t, Config{
+			Machines: 4, Buckets: 32, QueueCap: 32,
+			Speeds: []float64{0.1, 1, 1, 1}, PerTupleCostNs: 5000,
+		})
+		defer f.Close()
+		r := rand.New(rand.NewSource(10))
+		start := time.Now()
+		for i := 0; i < 4000; i++ {
+			_, _ = f.Route(flow(fmt.Sprintf("h%d", r.Intn(64)), 1))
+			if rebalance && i%200 == 199 {
+				_, _ = f.Rebalance()
+			}
+		}
+		f.Barrier()
+		return time.Since(start)
+	}
+	slow := run(false)
+	fast := run(true)
+	t.Logf("skewed: %v, rebalanced: %v", slow, fast)
+	if fast > slow*3/2 {
+		t.Fatalf("rebalancing made things much worse: %v vs %v", fast, slow)
+	}
+}

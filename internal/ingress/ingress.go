@@ -1,0 +1,397 @@
+// Package ingress implements the Wrapper process's data-ingress
+// operators (§2.1, §4.2.3): pull sources polled by the wrapper,
+// push-client sources the wrapper connects out to, a push-server port
+// remote sources connect into, a CSV file reader, a controllable
+// synthetic generator (rate, burstiness, loss — the paper's volatile
+// network conditions), and a sensor proxy whose sample rate can be
+// adjusted from the query side (the feedback loop of [MF02]).
+package ingress
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"telegraphcq/internal/tuple"
+)
+
+// Sink receives parsed rows for a stream; the executor's Push is one.
+type Sink func(stream string, vals []tuple.Value) error
+
+// ParseRow converts CSV fields to values following a schema.
+func ParseRow(schema *tuple.Schema, fields []string) ([]tuple.Value, error) {
+	if len(fields) != schema.Arity() {
+		return nil, fmt.Errorf("ingress: %d fields for %d columns", len(fields), schema.Arity())
+	}
+	vals := make([]tuple.Value, len(fields))
+	for i, f := range fields {
+		f = strings.TrimSpace(f)
+		switch schema.Cols[i].Kind {
+		case tuple.KindInt:
+			n, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ingress: column %s: %w", schema.Cols[i].Name, err)
+			}
+			vals[i] = tuple.Int(n)
+		case tuple.KindFloat:
+			x, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ingress: column %s: %w", schema.Cols[i].Name, err)
+			}
+			vals[i] = tuple.Float(x)
+		case tuple.KindBool:
+			b, err := strconv.ParseBool(f)
+			if err != nil {
+				return nil, fmt.Errorf("ingress: column %s: %w", schema.Cols[i].Name, err)
+			}
+			vals[i] = tuple.Bool(b)
+		case tuple.KindTime:
+			ns, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ingress: column %s: %w", schema.Cols[i].Name, err)
+			}
+			vals[i] = tuple.Value{K: tuple.KindTime, I: ns}
+		default:
+			if f == "NULL" {
+				vals[i] = tuple.Null()
+			} else {
+				vals[i] = tuple.String(f)
+			}
+		}
+	}
+	return vals, nil
+}
+
+// ------------------------------------------------------------ CSVReader
+
+// CSVReader streams rows from an io.Reader ("local file reader" wrapper).
+type CSVReader struct {
+	Stream string
+	Schema *tuple.Schema
+	Comma  string // default ","
+}
+
+// Run parses r to exhaustion, delivering every row to sink.
+func (c *CSVReader) Run(r io.Reader, sink Sink) (int64, error) {
+	sep := c.Comma
+	if sep == "" {
+		sep = ","
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var n int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		vals, err := ParseRow(c.Schema, strings.Split(line, sep))
+		if err != nil {
+			return n, err
+		}
+		if err := sink(c.Stream, vals); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+// ------------------------------------------------------------ PullSource
+
+// PullSource adapts a traditional pull iterator (a federated wrapper
+// like TeSS): the wrapper polls Next at the configured interval, which
+// may block on the remote — exactly the blocking the Fjords design keeps
+// out of the executor by hosting it here, in the Wrapper process.
+type PullSource struct {
+	Stream   string
+	Next     func() ([]tuple.Value, error) // io.EOF ends the source
+	Interval time.Duration
+
+	stopped atomic.Bool
+}
+
+// Run polls until EOF or Stop. Returns rows delivered.
+func (p *PullSource) Run(sink Sink) (int64, error) {
+	var n int64
+	for !p.stopped.Load() {
+		vals, err := p.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if vals != nil {
+			if err := sink(p.Stream, vals); err != nil {
+				return n, err
+			}
+			n++
+		}
+		if p.Interval > 0 {
+			time.Sleep(p.Interval)
+		}
+	}
+	return n, nil
+}
+
+// Stop ends the polling loop.
+func (p *PullSource) Stop() { p.stopped.Store(true) }
+
+// ------------------------------------------------------------ Generator
+
+// Generator produces synthetic rows with controllable rate, burstiness,
+// and loss — the "extremely high or bursty" arrival of §1.1. Make
+// returns the i-th row.
+type Generator struct {
+	Stream string
+	Make   func(i int64) []tuple.Value
+	Count  int64 // rows to produce (0 = until Stop)
+	// Rate is rows/second (0 = as fast as possible).
+	Rate float64
+	// Burst delivers rows in bursts of this size with pauses between
+	// (1 = smooth).
+	Burst int
+	// DropProb drops a row with this probability (sensor loss).
+	DropProb float64
+	// Seed makes loss deterministic.
+	Seed int64
+
+	stopped atomic.Bool
+}
+
+// Run produces rows into sink; returns delivered (post-loss) count.
+func (g *Generator) Run(sink Sink) (int64, error) {
+	rng := rand.New(rand.NewSource(g.Seed + 1))
+	burst := g.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	var interval time.Duration
+	if g.Rate > 0 {
+		interval = time.Duration(float64(time.Second) * float64(burst) / g.Rate)
+	}
+	var delivered int64
+	for i := int64(0); (g.Count == 0 || i < g.Count) && !g.stopped.Load(); i++ {
+		if g.DropProb > 0 && rng.Float64() < g.DropProb {
+			continue
+		}
+		if err := sink(g.Stream, g.Make(i)); err != nil {
+			return delivered, err
+		}
+		delivered++
+		if interval > 0 && delivered%int64(burst) == 0 {
+			time.Sleep(interval)
+		}
+	}
+	return delivered, nil
+}
+
+// Stop ends generation.
+func (g *Generator) Stop() { g.stopped.Store(true) }
+
+// ----------------------------------------------------------- SensorProxy
+
+// SensorProxy simulates a sensor-network ingress that accepts control
+// messages back from the query processor: SetSampleRate adjusts how
+// often the (simulated) sensors report, the feedback loop of [MF02]
+// ("a sensor proxy may send control messages to adjust the sample rate
+// of a sensor network based on the queries that are currently being
+// processed").
+type SensorProxy struct {
+	Stream  string
+	Sensors int
+	// Read returns sensor s's current value at reading i.
+	Read func(sensor int, i int64) []tuple.Value
+
+	rate    atomic.Int64 // samples/sec across the network
+	stopped atomic.Bool
+	samples atomic.Int64
+}
+
+// NewSensorProxy builds a proxy at the given initial sample rate.
+func NewSensorProxy(stream string, sensors int, ratePerSec int64, read func(int, int64) []tuple.Value) *SensorProxy {
+	p := &SensorProxy{Stream: stream, Sensors: sensors, Read: read}
+	p.rate.Store(ratePerSec)
+	return p
+}
+
+// SetSampleRate is the control path: queries adjust acquisition.
+func (p *SensorProxy) SetSampleRate(perSec int64) { p.rate.Store(perSec) }
+
+// SampleRate returns the current rate.
+func (p *SensorProxy) SampleRate() int64 { return p.rate.Load() }
+
+// Samples returns total delivered samples.
+func (p *SensorProxy) Samples() int64 { return p.samples.Load() }
+
+// Run samples round-robin across sensors until Stop.
+func (p *SensorProxy) Run(sink Sink) error {
+	var i int64
+	for !p.stopped.Load() {
+		rate := p.rate.Load()
+		if rate <= 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		sensor := int(i) % p.Sensors
+		if err := sink(p.Stream, p.Read(sensor, i)); err != nil {
+			return err
+		}
+		p.samples.Add(1)
+		i++
+		time.Sleep(time.Duration(int64(time.Second) / rate))
+	}
+	return nil
+}
+
+// Stop ends sampling.
+func (p *SensorProxy) Stop() { p.stopped.Store(true) }
+
+// ----------------------------------------------------------- PushServer
+
+// PushServer is the Wrapper's well-known port: remote push sources
+// connect and send "stream,field,field,..." lines (push-server sources,
+// §4.2.3). Streams must be registered before data arrives.
+type PushServer struct {
+	mu      sync.Mutex
+	schemas map[string]*tuple.Schema
+	ln      net.Listener
+	sink    Sink
+	wg      sync.WaitGroup
+	rows    atomic.Int64
+	errs    atomic.Int64
+}
+
+// NewPushServer builds a push-server delivering into sink.
+func NewPushServer(sink Sink) *PushServer {
+	return &PushServer{schemas: map[string]*tuple.Schema{}, sink: sink}
+}
+
+// Register makes a stream's schema known to the wrapper.
+func (s *PushServer) Register(stream string, schema *tuple.Schema) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.schemas[stream] = schema
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" for tests);
+// returns the bound address.
+func (s *PushServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *PushServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *PushServer) serve(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		idx := strings.IndexByte(line, ',')
+		if idx < 0 {
+			s.errs.Add(1)
+			continue
+		}
+		stream := line[:idx]
+		s.mu.Lock()
+		schema := s.schemas[stream]
+		s.mu.Unlock()
+		if schema == nil {
+			s.errs.Add(1)
+			continue
+		}
+		vals, err := ParseRow(schema, strings.Split(line[idx+1:], ","))
+		if err != nil {
+			s.errs.Add(1)
+			continue
+		}
+		if err := s.sink(stream, vals); err != nil {
+			s.errs.Add(1)
+			continue
+		}
+		s.rows.Add(1)
+	}
+}
+
+// Rows returns total delivered rows; Errs returns rejected lines.
+func (s *PushServer) Rows() int64 { return s.rows.Load() }
+
+// Errs returns the count of rejected input lines.
+func (s *PushServer) Errs() int64 { return s.errs.Load() }
+
+// Close stops the listener and waits for connections to finish.
+func (s *PushServer) Close() {
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// ----------------------------------------------------------- PushClient
+
+// PushClient connects out to a data source that speaks the same line
+// protocol (push-client sources: "connections can be initiated ... by
+// the Wrapper").
+type PushClient struct {
+	Stream string
+	Schema *tuple.Schema
+}
+
+// Run connects to addr and forwards lines until the source closes.
+func (c *PushClient) Run(addr string, sink Sink) (int64, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var n int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		vals, err := ParseRow(c.Schema, strings.Split(line, ","))
+		if err != nil {
+			return n, err
+		}
+		if err := sink(c.Stream, vals); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, sc.Err()
+}

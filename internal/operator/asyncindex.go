@@ -1,0 +1,229 @@
+package operator
+
+import (
+	"sync/atomic"
+	"time"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/stem"
+	"telegraphcq/internal/tuple"
+)
+
+// Lookup resolves a key against a remote index (a wrapped web form, a
+// sensor lookup, a federated table) and returns the matching base tuples.
+type Lookup func(key tuple.Value) ([]*tuple.Tuple, error)
+
+// AsyncIndex is the asynchronous index access method of §2.2: joining a
+// stream S with a remote index on T "in an asynchronous fashion as
+// described in [GW00], requiring a SteM on S (a rendezvous buffer) to
+// hold S tuples pending matches ... a SteM on T should also be built, as
+// a cache of previous expensive T lookups, as in [HN96]".
+//
+// Process parks the probe tuple in the rendezvous buffer and issues the
+// lookup on a worker goroutine; Idle harvests completed lookups, caches
+// the fetched T tuples, and emits concatenations. Cache hits bypass the
+// network entirely.
+type AsyncIndex struct {
+	name    string
+	source  string // the remote relation (T)
+	keyCol  *expr.ColumnRef
+	lookup  Lookup
+	latency atomic.Int64 // simulated round trip, nanoseconds
+	group   string
+
+	cacheKeys  map[uint64][]tuple.Value // keys already fetched (verified)
+	cache      *stem.SteM               // fetched T tuples [HN96]
+	cacheKeyEx expr.Expr                // index on T's key column
+
+	pending     map[int64]*tuple.Tuple // rendezvous buffer [GW00]
+	nextReq     int64
+	completions chan completion
+	// waiters coalesces concurrent probes for a key already being
+	// fetched: one remote lookup serves them all.
+	waiters  map[string][]*tuple.Tuple
+	stats    Stats
+	inFlight atomic.Int64
+}
+
+type completion struct {
+	req     int64
+	key     tuple.Value
+	results []*tuple.Tuple
+	err     error
+}
+
+// NewAsyncIndex builds the access method. keyCol is the probe-side
+// column matched against the remote index on source; remoteKey is the
+// key column name within fetched tuples.
+func NewAsyncIndex(name, source string, keyCol *expr.ColumnRef, remoteKey string, lookup Lookup, latency time.Duration) *AsyncIndex {
+	keyEx := expr.Col(source, remoteKey)
+	a := &AsyncIndex{
+		name:        name,
+		source:      source,
+		keyCol:      keyCol,
+		lookup:      lookup,
+		cacheKeys:   map[uint64][]tuple.Value{},
+		cache:       stem.New(source+".cache", keyEx),
+		cacheKeyEx:  keyEx,
+		pending:     map[int64]*tuple.Tuple{},
+		completions: make(chan completion, 1024),
+		waiters:     map[string][]*tuple.Tuple{},
+	}
+	a.latency.Store(int64(latency))
+	return a
+}
+
+// Name implements Module.
+func (a *AsyncIndex) Name() string { return a.name }
+
+// SetGroup marks this module as an alternative access path.
+func (a *AsyncIndex) SetGroup(g string) { a.group = g }
+
+// Group implements the router's Alternative interface.
+func (a *AsyncIndex) Group() string { return a.group }
+
+// SetLatency adjusts the simulated round-trip time (drift experiments).
+func (a *AsyncIndex) SetLatency(d time.Duration) { a.latency.Store(int64(d)) }
+
+// Pending returns the rendezvous-buffer occupancy.
+func (a *AsyncIndex) Pending() int { return len(a.pending) }
+
+// CacheSize returns the number of cached remote tuples.
+func (a *AsyncIndex) CacheSize() int { return a.cache.Size() }
+
+// Interested implements Module: probes are tuples carrying the key
+// column and not already spanning the remote source.
+func (a *AsyncIndex) Interested(t *tuple.Tuple) bool {
+	if t.Schema.HasSource(a.source) {
+		return false
+	}
+	_, err := a.keyCol.Resolve(t.Schema)
+	return err == nil
+}
+
+// Process implements Module.
+func (a *AsyncIndex) Process(t *tuple.Tuple, emit Emit) (Outcome, error) {
+	a.stats.In++
+	kv, err := a.keyCol.Eval(t)
+	if err != nil {
+		return Drop, err
+	}
+	if a.keySeen(kv) {
+		// Cache hit: answer locally.
+		matches, err := a.cache.Probe(t, stem.ProbeSpec{KeyExpr: a.keyCol})
+		if err != nil {
+			return Drop, err
+		}
+		for _, j := range matches {
+			if t.Lin != nil {
+				l := j.Lineage()
+				l.Queries.CopyFrom(&t.Lin.Queries)
+				l.Done.CopyFrom(&t.Lin.Done)
+			}
+			a.stats.Out++
+			emit(j)
+		}
+		return Pass, nil
+	}
+	// Miss: park in the rendezvous buffer. If this key is already being
+	// fetched, wait on that request instead of issuing another.
+	wkey := keyRepr(kv)
+	if _, fetching := a.waiters[wkey]; fetching {
+		a.waiters[wkey] = append(a.waiters[wkey], t)
+		return Consumed, nil
+	}
+	a.waiters[wkey] = nil // mark in flight
+	req := a.nextReq
+	a.nextReq++
+	a.pending[req] = t
+	a.inFlight.Add(1)
+	lat := time.Duration(a.latency.Load())
+	go func() {
+		if lat > 0 {
+			time.Sleep(lat)
+		}
+		res, err := a.lookup(kv)
+		a.completions <- completion{req: req, key: kv, results: res, err: err}
+	}()
+	return Consumed, nil
+}
+
+// keyRepr is a map key for coalescing (kind-tagged string form).
+func keyRepr(v tuple.Value) string { return string(rune(v.K)) + v.String() }
+
+func (a *AsyncIndex) keySeen(v tuple.Value) bool {
+	for _, k := range a.cacheKeys[v.Hash()] {
+		if tuple.Equal(k, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Idle implements Idler: harvest completed lookups without blocking.
+func (a *AsyncIndex) Idle(emit Emit) (bool, error) {
+	worked := false
+	for {
+		select {
+		case c := <-a.completions:
+			worked = true
+			a.inFlight.Add(-1)
+			probe, ok := a.pending[c.req]
+			if !ok {
+				continue
+			}
+			delete(a.pending, c.req)
+			if c.err != nil {
+				return worked, c.err
+			}
+			if !a.keySeen(c.key) {
+				h := c.key.Hash()
+				a.cacheKeys[h] = append(a.cacheKeys[h], c.key)
+				for _, rt := range c.results {
+					if err := a.cache.Build(rt); err != nil {
+						return worked, err
+					}
+				}
+			}
+			// Serve the original probe plus every coalesced waiter.
+			recipients := append([]*tuple.Tuple{probe}, a.waiters[keyRepr(c.key)]...)
+			delete(a.waiters, keyRepr(c.key))
+			for _, pr := range recipients {
+				for _, rt := range c.results {
+					j := tuple.Concat(pr, rt)
+					if pr.Lin != nil {
+						l := j.Lineage()
+						l.Queries.CopyFrom(&pr.Lin.Queries)
+						l.Done.CopyFrom(&pr.Lin.Done)
+					}
+					a.stats.Out++
+					emit(j)
+				}
+			}
+		default:
+			return worked, nil
+		}
+	}
+}
+
+// Drain blocks until every in-flight lookup has completed and been
+// emitted (end-of-stream flush for experiments).
+func (a *AsyncIndex) Drain(emit Emit, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for a.inFlight.Load() > 0 || len(a.pending) > 0 {
+		worked, err := a.Idle(emit)
+		if err != nil {
+			return err
+		}
+		if !worked {
+			if time.Now().After(deadline) {
+				return nil
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+// ModuleStats implements StatsProvider.
+func (a *AsyncIndex) ModuleStats() Stats { return a.stats }

@@ -1,0 +1,64 @@
+package operator
+
+import (
+	"telegraphcq/internal/tuple"
+)
+
+// DupElim drops tuples whose full value vector has been seen before
+// (SELECT DISTINCT). Over infinite streams its state grows without
+// bound, so a window-style eviction hook is provided: EvictBefore drops
+// remembered keys older than a sequence horizon.
+type DupElim struct {
+	name  string
+	seen  map[string]int64 // key → last seen sequence
+	stats Stats
+}
+
+// NewDupElim builds a duplicate-elimination module.
+func NewDupElim(name string) *DupElim {
+	return &DupElim{name: name, seen: map[string]int64{}}
+}
+
+// Name implements Module.
+func (d *DupElim) Name() string { return d.name }
+
+// Interested implements Module.
+func (d *DupElim) Interested(*tuple.Tuple) bool { return true }
+
+// Process implements Module.
+func (d *DupElim) Process(t *tuple.Tuple, _ Emit) (Outcome, error) {
+	d.stats.In++
+	idx := make([]int, len(t.Values))
+	for i := range idx {
+		idx[i] = i
+	}
+	key := t.Key(idx)
+	if _, dup := d.seen[key]; dup {
+		d.seen[key] = t.TS.Seq
+		d.stats.Dropped++
+		return Drop, nil
+	}
+	d.seen[key] = t.TS.Seq
+	d.stats.Out++
+	return Pass, nil
+}
+
+// EvictBefore forgets keys last seen before seq; duplicates separated by
+// more than the eviction horizon are re-emitted, which is the standard
+// windowed-DISTINCT semantics over unbounded streams.
+func (d *DupElim) EvictBefore(seq int64) int {
+	n := 0
+	for k, last := range d.seen {
+		if last < seq {
+			delete(d.seen, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of remembered keys.
+func (d *DupElim) Size() int { return len(d.seen) }
+
+// ModuleStats implements StatsProvider.
+func (d *DupElim) ModuleStats() Stats { return d.stats }

@@ -1,0 +1,92 @@
+package operator
+
+import (
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// Filter applies one boolean predicate and drops tuples that fail it —
+// the "Select" module of Figure 1. A SimCost duration can be configured
+// to model expensive predicates (remote lookups, user-defined functions)
+// in experiments; the cost is burned as spin work so routing policies
+// observe it.
+type Filter struct {
+	name  string
+	pred  expr.Expr
+	stats Stats
+
+	// SimCostNs adds this many nanoseconds of synthetic work per tuple.
+	SimCostNs int64
+}
+
+// NewFilter builds a filter module.
+func NewFilter(name string, pred expr.Expr) *Filter {
+	return &Filter{name: name, pred: pred}
+}
+
+// Name implements Module.
+func (f *Filter) Name() string { return f.name }
+
+// Predicate returns the filter's predicate expression.
+func (f *Filter) Predicate() expr.Expr { return f.pred }
+
+// SetPredicate swaps the predicate at runtime (selectivity-drift
+// experiments change predicates mid-stream).
+func (f *Filter) SetPredicate(p expr.Expr) { f.pred = p }
+
+// Interested implements Module: a filter applies to any tuple carrying
+// the columns it references; evaluation errors on unrelated tuples are
+// prevented by the planner, which scopes filters to their stream.
+func (f *Filter) Interested(t *tuple.Tuple) bool {
+	for _, c := range expr.Columns(f.pred, nil) {
+		if _, err := c.Resolve(t.Schema); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Process implements Module.
+func (f *Filter) Process(t *tuple.Tuple, _ Emit) (Outcome, error) {
+	f.stats.In++
+	if f.SimCostNs > 0 {
+		spin(f.SimCostNs)
+		f.stats.WorkNsec += f.SimCostNs
+	}
+	ok, err := expr.Truthy(f.pred, t)
+	if err != nil {
+		return Drop, err
+	}
+	if !ok {
+		f.stats.Dropped++
+		return Drop, nil
+	}
+	f.stats.Out++
+	return Pass, nil
+}
+
+// ModuleStats implements StatsProvider.
+func (f *Filter) ModuleStats() Stats { return f.stats }
+
+// spin burns approximately ns nanoseconds of CPU. Synthetic operator
+// cost must be CPU work (not sleep) so that single-threaded Execution
+// Objects observe it the way the paper's cost model does.
+func spin(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	// Calibrated loop: a simple multiply-add chain. The constant is
+	// conservative; experiments compare relative costs, not absolutes.
+	n := ns * spinIterPerNs
+	acc := uint64(1)
+	for i := int64(0); i < n; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	spinSink = acc
+}
+
+// spinIterPerNs approximates iterations per nanosecond; 1 keeps the
+// synthetic cost within the right order of magnitude on modern CPUs.
+const spinIterPerNs = 1
+
+var spinSink uint64

@@ -1,0 +1,363 @@
+package operator
+
+import (
+	"fmt"
+	"sort"
+
+	"telegraphcq/internal/bitset"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// GroupedFilter is the CACQ shared-selection index (§3.1): all
+// single-variable boolean factors over one attribute, across every
+// registered continuous query, indexed together. Routing one tuple
+// through the grouped filter evaluates every query's predicate on that
+// attribute at once: the filter computes the set of queries whose factor
+// *fails* and clears their bits from the tuple's lineage.
+//
+// Factors are organized by comparison class. Range classes keep bounds
+// sorted with precomputed prefix/suffix failure bitsets, so a probe is a
+// binary search plus one bitset union — O(log P + |queries|/64) — instead
+// of evaluating P predicates individually (the E2 experiment).
+type GroupedFilter struct {
+	name string
+	col  *expr.ColumnRef
+
+	gt, ge, lt, le *rangeClass
+	eq             map[uint64][]eqEntry
+	allEq          *bitset.Set // queries with any = factor on this attribute
+	eqConjuncts    map[int]int // queryID → number of = factors it registered
+	ne             map[uint64][]eqEntry
+
+	queries map[int][]expr.RangeFactor // per-query factors (for removal)
+	stats   Stats
+}
+
+type eqEntry struct {
+	val   tuple.Value
+	query int
+}
+
+// rangeClass holds one comparison class's bounds sorted ascending, with
+// failure bitsets. For suffix-failing classes (>, >=) failFrom[i] is the
+// union of query bits of entries[i:]; for prefix-failing classes (<, <=)
+// failTo[i] is the union of entries[:i].
+type rangeClass struct {
+	op      expr.Op
+	entries []eqEntry // sorted by val
+	fail    []*bitset.Set
+	dirty   bool
+}
+
+// NewGroupedFilter creates a grouped filter over one attribute.
+func NewGroupedFilter(col *expr.ColumnRef) *GroupedFilter {
+	return &GroupedFilter{
+		name:        "gfilter(" + col.String() + ")",
+		col:         col,
+		gt:          &rangeClass{op: expr.OpGt},
+		ge:          &rangeClass{op: expr.OpGe},
+		lt:          &rangeClass{op: expr.OpLt},
+		le:          &rangeClass{op: expr.OpLe},
+		eq:          map[uint64][]eqEntry{},
+		allEq:       bitset.New(0),
+		eqConjuncts: map[int]int{},
+		ne:          map[uint64][]eqEntry{},
+		queries:     map[int][]expr.RangeFactor{},
+	}
+}
+
+// Name implements Module.
+func (g *GroupedFilter) Name() string { return g.name }
+
+// Column returns the attribute this filter indexes.
+func (g *GroupedFilter) Column() *expr.ColumnRef { return g.col }
+
+// QueryCount returns the number of queries with factors registered.
+func (g *GroupedFilter) QueryCount() int { return len(g.queries) }
+
+// AddFactor registers one boolean factor of query q. The factor's column
+// must match the filter's attribute.
+func (g *GroupedFilter) AddFactor(q int, f expr.RangeFactor) error {
+	if f.Col.Name != g.col.Name || (f.Col.Source != "" && g.col.Source != "" && f.Col.Source != g.col.Source) {
+		return fmt.Errorf("factor %s does not belong to %s", f, g.name)
+	}
+	g.queries[q] = append(g.queries[q], f)
+	e := eqEntry{val: f.Val, query: q}
+	switch f.Op {
+	case expr.OpGt:
+		g.gt.insert(e)
+	case expr.OpGe:
+		g.ge.insert(e)
+	case expr.OpLt:
+		g.lt.insert(e)
+	case expr.OpLe:
+		g.le.insert(e)
+	case expr.OpEq:
+		h := f.Val.Hash()
+		g.eq[h] = append(g.eq[h], e)
+		g.allEq.Add(q)
+		g.eqConjuncts[q]++
+	case expr.OpNe:
+		h := f.Val.Hash()
+		g.ne[h] = append(g.ne[h], e)
+	default:
+		return fmt.Errorf("unsupported factor op %v", f.Op)
+	}
+	return nil
+}
+
+// RemoveQuery deletes every factor of query q (queries leave the system
+// over time; §1.1 "shared processing must be made robust to ... the
+// removal of old ones").
+func (g *GroupedFilter) RemoveQuery(q int) {
+	if _, ok := g.queries[q]; !ok {
+		return
+	}
+	delete(g.queries, q)
+	drop := func(m map[uint64][]eqEntry) {
+		for h, es := range m {
+			kept := es[:0]
+			for _, e := range es {
+				if e.query != q {
+					kept = append(kept, e)
+				}
+			}
+			if len(kept) == 0 {
+				delete(m, h)
+			} else {
+				m[h] = kept
+			}
+		}
+	}
+	drop(g.eq)
+	drop(g.ne)
+	g.allEq.Remove(q)
+	delete(g.eqConjuncts, q)
+	for _, rc := range []*rangeClass{g.gt, g.ge, g.lt, g.le} {
+		kept := rc.entries[:0]
+		for _, e := range rc.entries {
+			if e.query != q {
+				kept = append(kept, e)
+			}
+		}
+		rc.entries = kept
+		rc.dirty = true
+	}
+}
+
+// Interested implements Module: the filter applies to tuples carrying its
+// attribute.
+func (g *GroupedFilter) Interested(t *tuple.Tuple) bool {
+	_, err := g.col.Resolve(t.Schema)
+	return err == nil
+}
+
+// Process implements Module: it clears the lineage bits of every query
+// whose factors fail on this tuple's attribute value and drops the tuple
+// when no interested queries remain.
+func (g *GroupedFilter) Process(t *tuple.Tuple, _ Emit) (Outcome, error) {
+	g.stats.In++
+	i, err := g.col.Resolve(t.Schema)
+	if err != nil {
+		return Drop, err
+	}
+	v := t.Values[i]
+	lin := t.Lineage()
+
+	failed := bitset.New(0)
+	if err := g.collectFailures(v, failed); err != nil {
+		return Drop, err
+	}
+	lin.Queries.Subtract(failed)
+	if lin.Queries.Empty() {
+		g.stats.Dropped++
+		return Drop, nil
+	}
+	g.stats.Out++
+	return Pass, nil
+}
+
+// collectFailures unions into failed the queries whose factors reject v.
+func (g *GroupedFilter) collectFailures(v tuple.Value, failed *bitset.Set) error {
+	// Range classes.
+	for _, rc := range []*rangeClass{g.gt, g.ge, g.lt, g.le} {
+		if len(rc.entries) == 0 {
+			continue
+		}
+		fs, err := rc.failures(v)
+		if err != nil {
+			return err
+		}
+		if fs != nil {
+			failed.Union(fs)
+		}
+	}
+	// Equality: every query with an = factor fails unless one of its
+	// factors matches v exactly. (A query with two different = factors on
+	// the same attribute can never pass; that is the correct semantics of
+	// the conjunction.)
+	if !g.allEq.Empty() {
+		matched := bitset.New(0)
+		for _, e := range g.eq[v.Hash()] {
+			if tuple.Equal(e.val, v) {
+				matched.Add(e.query)
+			}
+		}
+		// Queries with >1 distinct = conjunct cannot all match one value;
+		// conservatively require at least one match (exact conjunction
+		// semantics are preserved because a query with contradictory =
+		// factors registers both, and both must match the same v — they
+		// cannot, so at most one matches and the other fails it below.)
+		fails := g.allEq.Clone()
+		fails.Subtract(matched)
+		failed.Union(fails)
+		// Contradictory conjunctions: if query q has k>=2 equality
+		// factors, v can match at most one unless values are equal.
+		for q, k := range g.eqConjuncts {
+			if k > 1 {
+				n := 0
+				for _, e := range g.eq[v.Hash()] {
+					if e.query == q && tuple.Equal(e.val, v) {
+						n++
+					}
+				}
+				if n < k {
+					failed.Add(q)
+				}
+			}
+		}
+	}
+	// Inequality: only queries holding a != factor equal to v fail.
+	for _, e := range g.ne[v.Hash()] {
+		if tuple.Equal(e.val, v) {
+			failed.Add(e.query)
+		}
+	}
+	return nil
+}
+
+// MatchQueries is the PSoup-facing probe: it returns the set of queries
+// whose factors on this attribute all pass for value v, given the
+// universe of registered queries.
+func (g *GroupedFilter) MatchQueries(v tuple.Value, universe *bitset.Set) (*bitset.Set, error) {
+	out := universe.Clone()
+	failed := bitset.New(0)
+	if err := g.collectFailures(v, failed); err != nil {
+		return nil, err
+	}
+	out.Subtract(failed)
+	return out, nil
+}
+
+// ModuleStats implements StatsProvider.
+func (g *GroupedFilter) ModuleStats() Stats { return g.stats }
+
+// ---------------------------------------------------------- range class
+
+func (rc *rangeClass) insert(e eqEntry) {
+	rc.entries = append(rc.entries, e)
+	rc.dirty = true
+}
+
+func (rc *rangeClass) rebuild() error {
+	var sortErr error
+	sort.Slice(rc.entries, func(i, j int) bool {
+		c, ok := tuple.Compare(rc.entries[i].val, rc.entries[j].val)
+		if !ok && sortErr == nil {
+			sortErr = fmt.Errorf("incomparable bounds %v and %v on one attribute",
+				rc.entries[i].val, rc.entries[j].val)
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	n := len(rc.entries)
+	rc.fail = make([]*bitset.Set, n+1)
+	switch rc.op {
+	case expr.OpGt, expr.OpGe:
+		// failures are suffixes: fail[i] = bits of entries[i:].
+		rc.fail[n] = bitset.New(0)
+		for i := n - 1; i >= 0; i-- {
+			s := rc.fail[i+1].Clone()
+			s.Add(rc.entries[i].query)
+			rc.fail[i] = s
+		}
+	case expr.OpLt, expr.OpLe:
+		// failures are prefixes: fail[i] = bits of entries[:i].
+		rc.fail[0] = bitset.New(0)
+		for i := 0; i < n; i++ {
+			s := rc.fail[i].Clone()
+			s.Add(rc.entries[i].query)
+			rc.fail[i+1] = s
+		}
+	}
+	rc.dirty = false
+	return nil
+}
+
+// failures returns the bitset of queries in this class whose factor
+// rejects value v (nil means none).
+func (rc *rangeClass) failures(v tuple.Value) (*bitset.Set, error) {
+	if rc.dirty {
+		if err := rc.rebuild(); err != nil {
+			return nil, err
+		}
+	}
+	n := len(rc.entries)
+	if n == 0 {
+		return nil, nil
+	}
+	cmpAt := func(i int) (int, error) {
+		c, ok := tuple.Compare(rc.entries[i].val, v)
+		if !ok {
+			return 0, fmt.Errorf("incomparable value %v for bound %v", v, rc.entries[i].val)
+		}
+		return c, nil
+	}
+	var idx int
+	var searchErr error
+	switch rc.op {
+	case expr.OpGt:
+		// col > bound fails iff v <= bound ⇒ first index with bound >= v.
+		idx = sort.Search(n, func(i int) bool {
+			c, err := cmpAt(i)
+			if err != nil && searchErr == nil {
+				searchErr = err
+			}
+			return c >= 0
+		})
+	case expr.OpGe:
+		// col >= bound fails iff v < bound ⇒ first index with bound > v.
+		idx = sort.Search(n, func(i int) bool {
+			c, err := cmpAt(i)
+			if err != nil && searchErr == nil {
+				searchErr = err
+			}
+			return c > 0
+		})
+	case expr.OpLt:
+		// col < bound fails iff v >= bound ⇒ prefix of bounds <= v.
+		idx = sort.Search(n, func(i int) bool {
+			c, err := cmpAt(i)
+			if err != nil && searchErr == nil {
+				searchErr = err
+			}
+			return c > 0
+		})
+	case expr.OpLe:
+		// col <= bound fails iff v > bound ⇒ prefix of bounds < v.
+		idx = sort.Search(n, func(i int) bool {
+			c, err := cmpAt(i)
+			if err != nil && searchErr == nil {
+				searchErr = err
+			}
+			return c >= 0
+		})
+	}
+	if searchErr != nil {
+		return nil, searchErr
+	}
+	return rc.fail[idx], nil
+}

@@ -1,0 +1,106 @@
+// Package operator implements the pipelined, non-blocking dataflow
+// modules of Figure 1 in the paper: selections (Filter), CACQ grouped
+// filters, projections, windowed grouping/aggregation, duplicate
+// elimination, sorting, transitive closure, the Juggle online reorderer,
+// and an asynchronous index access method. Modules consume and produce
+// tuples through a uniform interface so an Eddy can route among them
+// without knowing what they do (§2.1: "architecturally, these modules
+// are indistinguishable").
+package operator
+
+import "telegraphcq/internal/tuple"
+
+// Outcome tells the router what became of the tuple a module processed.
+type Outcome uint8
+
+const (
+	// Pass: the module handled the tuple successfully; routing continues.
+	Pass Outcome = iota
+	// Drop: the tuple failed a predicate (or no query remains interested);
+	// the router discards it.
+	Drop
+	// Consumed: the module retained the tuple (e.g. an aggregate absorbed
+	// it, an async join parked it in a rendezvous buffer); routing of this
+	// tuple ends but derived tuples may be emitted now or later.
+	Consumed
+	// Bounce: the module cannot process the tuple right now; the router
+	// should retry later (§2.2: a module "can also optionally return
+	// (or bounce back) t to the Eddy").
+	Bounce
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	case Consumed:
+		return "consumed"
+	case Bounce:
+		return "bounce"
+	default:
+		return "?"
+	}
+}
+
+// Emit delivers a tuple produced by a module back to the router (join
+// matches, window results).
+type Emit func(*tuple.Tuple)
+
+// Module is the unit of dataflow composition.
+type Module interface {
+	// Name identifies the module in plans, stats, and experiments.
+	Name() string
+	// Interested reports whether the router should route t through this
+	// module. The Eddy uses it to initialize each tuple's ready bitmap.
+	Interested(t *tuple.Tuple) bool
+	// Process handles one tuple, possibly emitting derived tuples.
+	Process(t *tuple.Tuple, emit Emit) (Outcome, error)
+}
+
+// Idler is implemented by modules with internal asynchrony (e.g. an
+// asynchronous index join waiting on remote lookups). The scheduler calls
+// Idle when it has spare cycles — the Fjords discipline of using
+// non-blocking dequeues to "pursue other computation". It returns true if
+// the module did work.
+type Idler interface {
+	Idle(emit Emit) (bool, error)
+}
+
+// Flusher is implemented by modules holding window state that must be
+// flushed when their input ends (end of stream = infinite punctuation).
+type Flusher interface {
+	Flush(emit Emit) error
+}
+
+// Stats are the per-module observations adaptive routing policies feed on.
+type Stats struct {
+	In       int64 // tuples routed in
+	Out      int64 // tuples emitted
+	Dropped  int64 // tuples dropped
+	Bounced  int64 // tuples bounced
+	WorkNsec int64 // cumulative processing time, nanoseconds
+}
+
+// Selectivity estimates the fraction of input that survives; 1.0 until
+// observations exist.
+func (s Stats) Selectivity() float64 {
+	if s.In == 0 {
+		return 1
+	}
+	return 1 - float64(s.Dropped)/float64(s.In)
+}
+
+// CostPerTuple estimates nanoseconds of work per input tuple.
+func (s Stats) CostPerTuple() float64 {
+	if s.In == 0 {
+		return 0
+	}
+	return float64(s.WorkNsec) / float64(s.In)
+}
+
+// StatsProvider is implemented by modules that expose observations.
+type StatsProvider interface {
+	ModuleStats() Stats
+}

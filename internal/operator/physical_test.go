@@ -1,0 +1,87 @@
+package operator
+
+import (
+	"testing"
+	"time"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// Physical-time windows quantify over wall-clock milliseconds. §4.1.2:
+// with physical timestamps "memory requirements will depend on
+// fluctuations in the data arrival rate" — a burst puts many tuples in
+// one window.
+func TestPhysicalTimeWindows(t *testing.T) {
+	spec := &window.Spec{
+		Domain: tuple.PhysicalTime,
+		Init:   window.STExpr(100), // first window ends 100ms after ST
+		Cond:   window.Cond{Op: window.CondTrue},
+		Step:   100,
+		Defs: []window.Def{{
+			Stream: "stocks",
+			Left:   window.TExpr(-99),
+			Right:  window.TExpr(0),
+		}},
+	}
+	base := time.UnixMilli(1_000_000)
+	agg, err := NewWindowAgg("agg", "stocks", spec, base.UnixMilli(),
+		nil, []AggSpec{{Kind: AggCount}}, StrategyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*tuple.Tuple
+	push := func(offsetMs int64) {
+		tp := stock(1, "A", 1)
+		tp.TS = tuple.Timestamp{Seq: 1, Wall: base.Add(time.Duration(offsetMs) * time.Millisecond)}
+		if _, err := agg.Process(tp, collect(&out)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Burst: 5 tuples in the first 100ms window, 1 in the second, then a
+	// tuple in the fourth window closes the gap.
+	for _, ms := range []int64{1, 10, 20, 30, 99} {
+		push(ms)
+	}
+	push(150)
+	push(350)
+	if len(out) != 3 {
+		t.Fatalf("windows closed = %d: %v", len(out), out)
+	}
+	if out[0].Values[1].I != 5 || out[1].Values[1].I != 1 || out[2].Values[1].I != 0 {
+		t.Fatalf("counts: %v %v %v", out[0], out[1], out[2])
+	}
+}
+
+// Physical sliding windows evict by wall time, not arrival count: slow
+// and fast arrival phases retain different state sizes (§4.1.2).
+func TestPhysicalWindowStateTracksArrivalRate(t *testing.T) {
+	spec := window.Sliding("stocks", 1000, 100, 0) // 1s window hops 100ms
+	spec.Domain = tuple.PhysicalTime
+	base := time.UnixMilli(2_000_000)
+	agg, err := NewWindowAgg("agg", "stocks", spec, base.UnixMilli(),
+		nil, []AggSpec{{Kind: AggMax, Arg: expr.Col("", "price")}}, StrategyRecompute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink []*tuple.Tuple
+	push := func(ms int64) {
+		tp := stock(1, "A", 1)
+		tp.TS = tuple.Timestamp{Seq: 1, Wall: base.Add(time.Duration(ms) * time.Millisecond)}
+		_, _ = agg.Process(tp, collect(&sink))
+	}
+	// Slow phase: one tuple per 100ms over 2s → ~10 in any 1s window.
+	for ms := int64(0); ms < 2000; ms += 100 {
+		push(ms)
+	}
+	slowState := agg.StateSize()
+	// Fast phase: one tuple per 10ms over the next 2s → ~100 per window.
+	for ms := int64(2000); ms < 4000; ms += 10 {
+		push(ms)
+	}
+	fastState := agg.StateSize()
+	if fastState < slowState*5 {
+		t.Fatalf("state did not track arrival rate: slow=%d fast=%d", slowState, fastState)
+	}
+}

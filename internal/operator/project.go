@@ -1,0 +1,88 @@
+package operator
+
+import (
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// Project evaluates a list of output expressions, producing result tuples
+// with a fixed schema. It replaces the routed tuple in place of emitting:
+// the projected tuple continues through the dataflow.
+type Project struct {
+	name  string
+	exprs []expr.Expr
+	out   *tuple.Schema
+	stats Stats
+}
+
+// NewProject builds a projection. Column names come from names (same
+// length as exprs); empty entries derive a name from the expression.
+func NewProject(name string, exprs []expr.Expr, names []string) *Project {
+	cols := make([]tuple.Column, len(exprs))
+	for i, e := range exprs {
+		n := ""
+		if i < len(names) {
+			n = names[i]
+		}
+		if n == "" {
+			if c, ok := e.(*expr.ColumnRef); ok {
+				n = c.Name
+			} else {
+				n = e.String()
+			}
+		}
+		cols[i] = tuple.Column{Source: name, Name: n, Kind: tuple.KindNull}
+	}
+	return &Project{name: name, exprs: exprs, out: tuple.NewSchema(cols...)}
+}
+
+// Name implements Module.
+func (p *Project) Name() string { return p.name }
+
+// OutputSchema returns the schema of projected tuples.
+func (p *Project) OutputSchema() *tuple.Schema { return p.out }
+
+// Interested implements Module.
+func (p *Project) Interested(t *tuple.Tuple) bool {
+	for _, e := range p.exprs {
+		for _, c := range expr.Columns(e, nil) {
+			if _, err := c.Resolve(t.Schema); err != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Process implements Module: emits the projected tuple and consumes the
+// input.
+func (p *Project) Process(t *tuple.Tuple, emit Emit) (Outcome, error) {
+	p.stats.In++
+	vals := make([]tuple.Value, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := e.Eval(t)
+		if err != nil {
+			return Drop, err
+		}
+		vals[i] = v
+	}
+	out := tuple.New(p.out, vals...)
+	out.TS = t.TS
+	if t.Lin != nil {
+		// Projection preserves query interest (CACQ output path).
+		out.Lineage().Queries.CopyFrom(&t.Lin.Queries)
+	}
+	p.stats.Out++
+	emit(out)
+	return Consumed, nil
+}
+
+// ModuleStats implements StatsProvider.
+func (p *Project) ModuleStats() Stats { return p.stats }
+
+// Apply projects a single tuple directly (per-query output pipelines).
+func (p *Project) Apply(t *tuple.Tuple) (*tuple.Tuple, error) {
+	var out *tuple.Tuple
+	_, err := p.Process(t, func(x *tuple.Tuple) { out = x })
+	return out, err
+}

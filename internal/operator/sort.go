@@ -1,0 +1,101 @@
+package operator
+
+import (
+	"sort"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// SortKey is one ORDER BY term.
+type SortKey struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// WindowSort buffers tuples and emits them sorted when the buffer reaches
+// its bound or Flush is called. Over unbounded streams a full sort is
+// impossible (the operator would block forever), so WindowSort sorts
+// within bounded batches — the non-blocking "Sort" of Figure 1. For
+// content-prioritized reordering of an in-flight stream, see Juggle.
+type WindowSort struct {
+	name  string
+	keys  []SortKey
+	bound int
+	buf   []*tuple.Tuple
+	stats Stats
+}
+
+// NewWindowSort builds a sort with the given batch bound (<=0 means 1024).
+func NewWindowSort(name string, keys []SortKey, bound int) *WindowSort {
+	if bound <= 0 {
+		bound = 1024
+	}
+	return &WindowSort{name: name, keys: keys, bound: bound}
+}
+
+// Name implements Module.
+func (s *WindowSort) Name() string { return s.name }
+
+// Interested implements Module.
+func (s *WindowSort) Interested(*tuple.Tuple) bool { return true }
+
+// Process implements Module.
+func (s *WindowSort) Process(t *tuple.Tuple, emit Emit) (Outcome, error) {
+	s.stats.In++
+	s.buf = append(s.buf, t)
+	if len(s.buf) >= s.bound {
+		if err := s.Flush(emit); err != nil {
+			return Consumed, err
+		}
+	}
+	return Consumed, nil
+}
+
+// Flush implements Flusher: sorts and emits the current batch.
+func (s *WindowSort) Flush(emit Emit) error {
+	var evalErr error
+	sort.SliceStable(s.buf, func(i, j int) bool {
+		for _, k := range s.keys {
+			vi, err := k.Expr.Eval(s.buf[i])
+			if err != nil {
+				if evalErr == nil {
+					evalErr = err
+				}
+				return false
+			}
+			vj, err := k.Expr.Eval(s.buf[j])
+			if err != nil {
+				if evalErr == nil {
+					evalErr = err
+				}
+				return false
+			}
+			c, ok := tuple.Compare(vi, vj)
+			if !ok {
+				continue
+			}
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if evalErr != nil {
+		s.buf = nil
+		return evalErr
+	}
+	for _, t := range s.buf {
+		s.stats.Out++
+		emit(t)
+	}
+	s.buf = nil
+	return nil
+}
+
+// ModuleStats implements StatsProvider.
+func (s *WindowSort) ModuleStats() Stats { return s.stats }

@@ -1,0 +1,169 @@
+package operator
+
+import (
+	"telegraphcq/internal/bitset"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/stem"
+	"telegraphcq/internal/tuple"
+)
+
+// StemModule wraps a SteM as an Eddy-routable module (Figure 2). Base
+// tuples of the SteM's source are built in by the Eddy at admission
+// (build-before-probe keeps the symmetric join exactly-once); tuples not
+// spanning the source probe it and the concatenated matches are emitted
+// back to the router.
+//
+// The module carries the join factors that link its source to the rest
+// of the query; a probe is answered with the index when an equality
+// factor matches the SteM's key, with the remaining evaluable factors
+// applied as a residual.
+type StemModule struct {
+	source  string
+	st      *stem.SteM
+	factors []expr.JoinFactor
+	// indexCol is the stored-side column the SteM's hash index is built
+	// on; only equality factors over it can use the index.
+	indexCol *expr.ColumnRef
+	// group marks alternative access paths: modules sharing a group are
+	// interchangeable for routing purposes (hybrid joins, §2.2).
+	group string
+	stats Stats
+	// SimCostNs models an expensive probe (synthetic work per probe).
+	SimCostNs int64
+}
+
+// NewStemModule wraps st, which stores tuples of source. factors are all
+// join factors referencing the source. indexCol, when non-nil, names the
+// stored-side column st's hash index is built on.
+func NewStemModule(source string, st *stem.SteM, factors []expr.JoinFactor, indexCol *expr.ColumnRef) *StemModule {
+	return &StemModule{source: source, st: st, factors: factors, indexCol: indexCol}
+}
+
+// Name implements Module.
+func (m *StemModule) Name() string { return "stem(" + m.source + ")" }
+
+// Source returns the relation the SteM stores.
+func (m *StemModule) Source() string { return m.source }
+
+// SteM exposes the underlying state module (eviction, stats).
+func (m *StemModule) SteM() *stem.SteM { return m.st }
+
+// SetGroup marks this module as one of a set of alternative access paths.
+func (m *StemModule) SetGroup(g string) { m.group = g }
+
+// AddFactor registers a join factor referencing this SteM's source.
+// Duplicate factors (the same predicate from several queries) are folded
+// into one — the sharing that makes CACQ joins cheap.
+func (m *StemModule) AddFactor(f expr.JoinFactor) {
+	for _, old := range m.factors {
+		if old.Op == f.Op &&
+			old.Left.Source == f.Left.Source && old.Left.Name == f.Left.Name &&
+			old.Right.Source == f.Right.Source && old.Right.Name == f.Right.Name {
+			return
+		}
+	}
+	m.factors = append(m.factors, f)
+}
+
+// Group implements the router's Alternative interface.
+func (m *StemModule) Group() string { return m.group }
+
+// Build inserts a base tuple (called by the Eddy at admission).
+func (m *StemModule) Build(t *tuple.Tuple) error {
+	return m.st.Build(t)
+}
+
+// IsBase reports whether t is a base tuple of this SteM's source.
+func (m *StemModule) IsBase(t *tuple.Tuple) bool {
+	return len(t.Schema.Sources) == 1 && t.Schema.Sources[0] == m.source
+}
+
+// Interested implements Module: probe tuples are those that do not span
+// the source but can evaluate at least one join factor against it.
+func (m *StemModule) Interested(t *tuple.Tuple) bool {
+	if t.Schema.HasSource(m.source) {
+		return false
+	}
+	_, _, n := m.probePlan(t)
+	return n > 0
+}
+
+// probePlan splits the factors into an index key (when the SteM's index
+// matches an equality factor whose other side resolves on t) and a
+// residual conjunction. n counts evaluable factors.
+func (m *StemModule) probePlan(t *tuple.Tuple) (key expr.Expr, residual expr.Expr, n int) {
+	var residuals []expr.Expr
+	for _, f := range m.factors {
+		// Identify which side belongs to this source and which probes.
+		var mine, other *expr.ColumnRef
+		op := f.Op
+		switch {
+		case f.Left.Source == m.source:
+			mine, other = f.Left, f.Right
+		case f.Right.Source == m.source:
+			mine, other = f.Right, f.Left
+			op = op.Negate()
+		default:
+			continue
+		}
+		if _, err := other.Resolve(t.Schema); err != nil {
+			continue // other side not present on the probe tuple
+		}
+		n++
+		if key == nil && op == expr.OpEq && m.st.Indexed() &&
+			m.indexCol != nil && mine.Name == m.indexCol.Name {
+			key = other
+			continue
+		}
+		// Residual evaluated on concat(probe, stored): both sides resolve.
+		residuals = append(residuals, expr.Bin(f.Op, f.Left, f.Right))
+	}
+	return key, expr.Conjoin(residuals), n
+}
+
+// Process implements Module: probes the SteM and emits concatenations.
+// The probe tuple itself passes (its lineage marks this join handled);
+// emitted matches re-enter routing with fresh lineage derived by the
+// router.
+func (m *StemModule) Process(t *tuple.Tuple, emit Emit) (Outcome, error) {
+	m.stats.In++
+	if m.SimCostNs > 0 {
+		spin(m.SimCostNs)
+		m.stats.WorkNsec += m.SimCostNs
+	}
+	key, residual, n := m.probePlan(t)
+	if n == 0 {
+		return Pass, nil // nothing to evaluate: vacuous visit
+	}
+	matches, err := m.st.Probe(t, stem.ProbeSpec{KeyExpr: key, Residual: residual, MaxArrival: t.Arrival})
+	if err != nil {
+		return Drop, err
+	}
+	for _, j := range matches {
+		// Join lineage: the result inherits the probe's query interest
+		// and its done set (CACQ completion-bit inheritance keeps the
+		// multiway cascade exactly-once).
+		if t.Lin != nil {
+			l := j.Lineage()
+			l.Queries.CopyFrom(&t.Lin.Queries)
+			l.Done.CopyFrom(&t.Lin.Done)
+		}
+		m.stats.Out++
+		emit(j)
+	}
+	return Pass, nil
+}
+
+// EvictBefore removes stored tuples older than seq (window eviction).
+func (m *StemModule) EvictBefore(seq int64) int { return m.st.EvictBefore(seq) }
+
+// ModuleStats implements StatsProvider.
+func (m *StemModule) ModuleStats() Stats { return m.stats }
+
+// IntersectQueries narrows the emitted tuple's query set to queries both
+// parents serve. Exposed for routers that track per-stored-tuple lineage.
+func IntersectQueries(dst *tuple.Tuple, a, b *bitset.Set) {
+	l := dst.Lineage()
+	l.Queries.CopyFrom(a)
+	l.Queries.Intersect(b)
+}

@@ -1,0 +1,121 @@
+package operator
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// TransitiveClosure (Figure 1) incrementally computes reachability over a
+// stream of edge tuples: for every arriving edge (a, b) it emits each
+// *newly derived* pair (x, y) such that y became reachable from x. State
+// grows with the node count; EvictAll resets it at window boundaries.
+type TransitiveClosure struct {
+	name     string
+	fromCol  *expr.ColumnRef
+	toCol    *expr.ColumnRef
+	out      *tuple.Schema
+	reach    map[tuple.Value]map[tuple.Value]bool // x → set of y reachable
+	backward map[tuple.Value]map[tuple.Value]bool // y → set of x reaching y
+	stats    Stats
+}
+
+// NewTransitiveClosure builds the module over edge columns from → to.
+func NewTransitiveClosure(name string, from, to *expr.ColumnRef) *TransitiveClosure {
+	return &TransitiveClosure{
+		name:    name,
+		fromCol: from,
+		toCol:   to,
+		out: tuple.NewSchema(
+			tuple.Column{Source: name, Name: "src", Kind: tuple.KindNull},
+			tuple.Column{Source: name, Name: "dst", Kind: tuple.KindNull},
+		),
+		reach:    map[tuple.Value]map[tuple.Value]bool{},
+		backward: map[tuple.Value]map[tuple.Value]bool{},
+	}
+}
+
+// Name implements Module.
+func (tc *TransitiveClosure) Name() string { return tc.name }
+
+// OutputSchema returns the (src, dst) pair schema.
+func (tc *TransitiveClosure) OutputSchema() *tuple.Schema { return tc.out }
+
+// Interested implements Module.
+func (tc *TransitiveClosure) Interested(t *tuple.Tuple) bool {
+	_, err1 := tc.fromCol.Resolve(t.Schema)
+	_, err2 := tc.toCol.Resolve(t.Schema)
+	return err1 == nil && err2 == nil
+}
+
+// Size returns the number of known reachability pairs.
+func (tc *TransitiveClosure) Size() int {
+	n := 0
+	for _, s := range tc.reach {
+		n += len(s)
+	}
+	return n
+}
+
+// EvictAll clears reachability state (window boundary).
+func (tc *TransitiveClosure) EvictAll() {
+	tc.reach = map[tuple.Value]map[tuple.Value]bool{}
+	tc.backward = map[tuple.Value]map[tuple.Value]bool{}
+}
+
+// Process implements Module: semi-naive incremental closure. New pairs =
+// {(x, b') : x reaches a or x == a, b' == b or b reaches b'} minus known.
+func (tc *TransitiveClosure) Process(t *tuple.Tuple, emit Emit) (Outcome, error) {
+	tc.stats.In++
+	av, err := tc.fromCol.Eval(t)
+	if err != nil {
+		return Drop, err
+	}
+	bv, err := tc.toCol.Eval(t)
+	if err != nil {
+		return Drop, err
+	}
+	if av.K == tuple.KindFloat || bv.K == tuple.KindFloat {
+		// Map keys require exact equality semantics; normalize floats
+		// holding integral values to ints, reject NaN-prone keys.
+		return Drop, fmt.Errorf("%s: float node ids are not supported", tc.name)
+	}
+
+	// Sources: everything reaching a, plus a itself.
+	srcs := []tuple.Value{av}
+	for x := range tc.backward[av] {
+		srcs = append(srcs, x)
+	}
+	// Destinations: everything reachable from b, plus b itself.
+	dsts := []tuple.Value{bv}
+	for y := range tc.reach[bv] {
+		dsts = append(dsts, y)
+	}
+	for _, x := range srcs {
+		for _, y := range dsts {
+			if tuple.Equal(x, y) {
+				continue // no self-loops in the closure
+			}
+			if tc.reach[x][y] {
+				continue
+			}
+			if tc.reach[x] == nil {
+				tc.reach[x] = map[tuple.Value]bool{}
+			}
+			tc.reach[x][y] = true
+			if tc.backward[y] == nil {
+				tc.backward[y] = map[tuple.Value]bool{}
+			}
+			tc.backward[y][x] = true
+			pair := tuple.New(tc.out, x, y)
+			pair.TS = t.TS
+			tc.stats.Out++
+			emit(pair)
+		}
+	}
+	return Consumed, nil
+}
+
+// ModuleStats implements StatsProvider.
+func (tc *TransitiveClosure) ModuleStats() Stats { return tc.stats }

@@ -1,0 +1,161 @@
+package plan
+
+import (
+	"testing"
+
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+)
+
+func newCat(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	_, err := cat.CreateStream("stocks", []tuple.Column{
+		{Name: "sym", Kind: tuple.KindString},
+		{Name: "price", Kind: tuple.KindFloat},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cat.CreateStream("news", []tuple.Column{
+		{Name: "headline", Kind: tuple.KindString},
+		{Name: "score", Kind: tuple.KindFloat},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cat.CreateTable("companies", []tuple.Column{
+		{Name: "sym", Kind: tuple.KindString},
+		{Name: "hq", Kind: tuple.KindString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func planQ(t *testing.T, q string) (*Planned, error) {
+	t.Helper()
+	st, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(newCat(t)).PlanSelect(st.(*sql.Select), 1)
+}
+
+func mustPlan(t *testing.T, q string) *Planned {
+	t.Helper()
+	p, err := planQ(t, q)
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	return p
+}
+
+func TestQualifiesUnqualifiedColumns(t *testing.T) {
+	p := mustPlan(t, `SELECT price FROM stocks WHERE sym = 'A'`)
+	if p.CQ.Select[0].String() != "stocks.price" {
+		t.Fatalf("select: %s", p.CQ.Select[0])
+	}
+	if got := p.CQ.Where.String(); got != "(stocks.sym = 'A')" {
+		t.Fatalf("where: %s", got)
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	if _, err := planQ(t, `SELECT sym FROM stocks, companies`); err == nil {
+		t.Fatal("ambiguous column accepted")
+	}
+	// Qualified reference resolves.
+	mustPlan(t, `SELECT stocks.sym FROM stocks, companies`)
+}
+
+func TestStarExpansion(t *testing.T) {
+	p := mustPlan(t, `SELECT * FROM stocks`)
+	if len(p.CQ.Select) != 2 || p.CQ.SelectNames[0] != "sym" || p.CQ.SelectNames[1] != "price" {
+		t.Fatalf("star: %v names %v", p.CQ.Select, p.CQ.SelectNames)
+	}
+	p = mustPlan(t, `SELECT c.* FROM stocks, companies AS c WHERE stocks.sym = c.sym`)
+	if len(p.CQ.Select) != 2 || p.CQ.Select[0].String() != "c.sym" {
+		t.Fatalf("alias star: %v", p.CQ.Select)
+	}
+}
+
+func TestFeedsAndTableLoads(t *testing.T) {
+	p := mustPlan(t, `SELECT stocks.sym FROM stocks, companies WHERE stocks.sym = companies.sym`)
+	if len(p.Feeds) != 1 || p.Feeds[0] != (Feed{Stream: "stocks", As: "stocks"}) {
+		t.Fatalf("feeds: %+v", p.Feeds)
+	}
+	if len(p.Tables) != 1 || p.Tables[0] != (TableLoad{Table: "companies", As: "companies"}) {
+		t.Fatalf("tables: %+v", p.Tables)
+	}
+}
+
+func TestSelfJoinAliasesProduceTwoFeeds(t *testing.T) {
+	p := mustPlan(t, `
+		SELECT c1.sym FROM stocks AS c1, stocks AS c2
+		WHERE c1.price > c2.price`)
+	if len(p.Feeds) != 2 {
+		t.Fatalf("feeds: %+v", p.Feeds)
+	}
+	if p.Feeds[0].Stream != "stocks" || p.Feeds[0].As != "c1" ||
+		p.Feeds[1].Stream != "stocks" || p.Feeds[1].As != "c2" {
+		t.Fatalf("feeds: %+v", p.Feeds)
+	}
+	if got := p.CQ.Footprint(); len(got) != 2 || got[0] != "c1" || got[1] != "c2" {
+		t.Fatalf("footprint: %v", got)
+	}
+}
+
+func TestAggregatePlanning(t *testing.T) {
+	p := mustPlan(t, `
+		SELECT sym, avg(price) FROM stocks GROUP BY sym
+		for (t = ST; ; t += 5) { WindowIs(stocks, t - 4, t); }`)
+	if len(p.CQ.Aggs) != 1 || len(p.CQ.GroupBy) != 1 {
+		t.Fatalf("aggs: %+v groupby: %+v", p.CQ.Aggs, p.CQ.GroupBy)
+	}
+	if p.CQ.Window == nil {
+		t.Fatal("window lost")
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	cases := []string{
+		`SELECT avg(price) FROM stocks`, // no window
+		`SELECT sym, avg(price) FROM stocks for (t=ST;;t++) { WindowIs(stocks, t, t) }`, // sym not grouped
+		`SELECT sym FROM stocks GROUP BY sym`,                                           // group without agg
+		`SELECT avg(price) FROM stocks for (t=ST;;t++) { WindowIs(nostream, t, t) }`,    // bad WindowIs
+		`SELECT avg(price) FROM stocks for (t=ST; t<t; t++) { WindowIs(stocks, t, t) }`, // invalid loop (parser)
+	}
+	for _, q := range cases {
+		st, err := sql.Parse(q)
+		if err != nil {
+			continue // parser-level rejection also fine
+		}
+		if _, err := New(newCat(t)).PlanSelect(st.(*sql.Select), 1); err == nil {
+			t.Errorf("plan %q succeeded", q)
+		}
+	}
+}
+
+func TestUnknownSourcesAndColumns(t *testing.T) {
+	for _, q := range []string{
+		`SELECT x FROM nostream`,
+		`SELECT nocol FROM stocks`,
+		`SELECT bad.sym FROM stocks`,
+		`SELECT sym FROM stocks, stocks`,
+		`SELECT nope.* FROM stocks`,
+	} {
+		if _, err := planQ(t, q); err == nil {
+			t.Errorf("plan %q succeeded", q)
+		}
+	}
+}
+
+func TestPostProcessingFlags(t *testing.T) {
+	p := mustPlan(t, `SELECT DISTINCT sym FROM stocks ORDER BY sym DESC LIMIT 5`)
+	if !p.Distinct || p.Limit != 5 || len(p.OrderBy) != 1 || !p.OrderBy[0].Desc {
+		t.Fatalf("post: %+v", p)
+	}
+}

@@ -1,0 +1,113 @@
+package psoup
+
+import (
+	"testing"
+
+	"telegraphcq/internal/storage"
+	"telegraphcq/internal/tuple"
+)
+
+func attachArchive(t *testing.T, p *PSoup) *storage.Archive {
+	t.Helper()
+	pool := storage.NewPool(16, storage.Clock)
+	a, err := storage.NewArchive("stocks", schema, pool, storage.ArchiveConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	p.AttachArchive("stocks", a)
+	return a
+}
+
+// §4.3: with history flushed to disk, a late query reaches past the
+// in-memory retention bound.
+func TestLateQueryReadsDiskHistory(t *testing.T) {
+	p := New()
+	p.DataRetention = 100 // memory keeps only the last 100
+	a := attachArchive(t, p)
+	for seq := int64(1); seq <= 5000; seq++ {
+		price := float64(seq % 1000)
+		if err := p.PushData(row(seq, "A", price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.HistorySize("stocks") > 100 {
+		t.Fatalf("memory history = %d", p.HistorySize("stocks"))
+	}
+	if a.Count() != 5000 {
+		t.Fatalf("archive = %d", a.Count())
+	}
+	// A late query over a rare predicate: matches exist only in the
+	// evicted portion of the stream.
+	if err := p.AddQuery(&Query{ID: 0, Stream: "stocks", Where: gtPrice(997)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Invoke(0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// prices 998, 999 occur for seq%1000 in {998,999}: 5 full cycles × 2.
+	if len(got) != 10 {
+		t.Fatalf("late query rows = %d, want 10", len(got))
+	}
+	// Rows must include evicted (old) sequence numbers.
+	if got[0].TS.Seq != 998 {
+		t.Fatalf("first match seq = %d, want 998 (from disk)", got[0].TS.Seq)
+	}
+}
+
+// Without an archive the same late query sees only memory — the contrast
+// that motivates flushing state to disk.
+func TestLateQueryWithoutArchiveSeesOnlyMemory(t *testing.T) {
+	p := New()
+	p.DataRetention = 100
+	for seq := int64(1); seq <= 5000; seq++ {
+		_ = p.PushData(row(seq, "A", float64(seq%1000)))
+	}
+	_ = p.AddQuery(&Query{ID: 0, Stream: "stocks", Where: gtPrice(997)})
+	got, _ := p.Invoke(0, 5000)
+	if len(got) != 2 { // only seqs 4998, 4999 are retained
+		t.Fatalf("memory-only rows = %d, want 2", len(got))
+	}
+}
+
+// Archived history does not duplicate the in-memory portion during the
+// new-query-over-old-data scan.
+func TestNoDoubleCountingAcrossMemoryAndDisk(t *testing.T) {
+	p := New()
+	p.DataRetention = 50
+	attachArchive(t, p)
+	for seq := int64(1); seq <= 200; seq++ {
+		_ = p.PushData(row(seq, "A", 1))
+	}
+	_ = p.AddQuery(&Query{ID: 0, Stream: "stocks", Where: gtPrice(0)})
+	got, _ := p.Invoke(0, 200)
+	if len(got) != 200 {
+		t.Fatalf("rows = %d, want exactly 200 (no duplicates, no gaps)", len(got))
+	}
+	seen := map[int64]bool{}
+	for _, r := range got {
+		if seen[r.TS.Seq] {
+			t.Fatalf("duplicate seq %d", r.TS.Seq)
+		}
+		seen[r.TS.Seq] = true
+	}
+}
+
+// The archive also serves ongoing (already-registered) queries whose
+// results were materialized before eviction — materialization is
+// unaffected by the memory bound.
+func TestMaterializedResultsSurviveDataEviction(t *testing.T) {
+	p := New()
+	p.DataRetention = 10
+	attachArchive(t, p)
+	_ = p.AddQuery(&Query{ID: 0, Stream: "stocks", Where: gtPrice(0)})
+	for seq := int64(1); seq <= 1000; seq++ {
+		_ = p.PushData(row(seq, "A", 1))
+	}
+	got, _ := p.Invoke(0, 1000)
+	if len(got) != 1000 {
+		t.Fatalf("materialized rows = %d, want 1000", len(got))
+	}
+	_ = tuple.Null()
+}

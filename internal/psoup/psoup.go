@@ -1,0 +1,391 @@
+// Package psoup implements PSoup (Chandrasekaran & Franklin, VLDB 2002;
+// §3.2 of the TelegraphCQ paper): query processing as a symmetric join
+// between data and queries.
+//
+//   - New data is built into a Data SteM and probed against the Query
+//     SteM (old queries), materializing matches into the Results
+//     Structure.
+//   - New queries are built into the Query SteM and probed against the
+//     Data SteM (old data), so queries see history from before their
+//     registration.
+//
+// Computation of results is separated from delivery: clients register a
+// query, disconnect, and later Invoke it; the window is imposed on the
+// materialized Results Structure at invocation time, making retrieval
+// O(answer) instead of O(history).
+package psoup
+
+import (
+	"fmt"
+	"sort"
+
+	"telegraphcq/internal/bitset"
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/storage"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// Query is a standing PSoup query over one stream.
+type Query struct {
+	ID     int
+	Stream string
+	Where  expr.Expr
+	// Window is imposed at invocation time: ST binds to the invocation
+	// instant, and the first window instance [left, right] selects the
+	// returned results. Nil means "everything retained".
+	Window *window.Spec
+}
+
+// Stats counts PSoup activity.
+type Stats struct {
+	DataArrived   int64
+	QueriesAdded  int64
+	Matches       int64 // rows materialized into the Results Structure
+	Invocations   int64
+	RowsRetrieved int64
+	Evicted       int64
+}
+
+type registered struct {
+	q        *Query
+	residual expr.Expr
+	results  []*tuple.Tuple // materialized matches, ascending seq
+	// retention is how far back (in sequence numbers) any invocation
+	// window can reach; results older than maxSeq-retention+1 are evicted.
+	retention int64
+}
+
+// PSoup is the engine. It is single-owner (one Execution Object).
+type PSoup struct {
+	// Data SteM: retained stream history per stream.
+	data map[string][]*tuple.Tuple
+	// Query SteM: grouped filters per qualified attribute plus the
+	// registered query table.
+	gfilters map[string]*operator.GroupedFilter
+	queries  map[int]*registered
+	universe map[string]*bitset.Set // per stream: registered query bits
+	maxSeq   map[string]int64
+	// DataRetention bounds retained in-memory history per stream
+	// (0 = unlimited).
+	DataRetention int64
+	// archives spool evicted history to disk (§4.3: SteMs "may need to
+	// be flushed to disk"); late queries reach past memory through them.
+	archives map[string]*storage.Archive
+	stats    Stats
+}
+
+// New builds an empty PSoup engine.
+func New() *PSoup {
+	return &PSoup{
+		data:     map[string][]*tuple.Tuple{},
+		gfilters: map[string]*operator.GroupedFilter{},
+		queries:  map[int]*registered{},
+		universe: map[string]*bitset.Set{},
+		maxSeq:   map[string]int64{},
+		archives: map[string]*storage.Archive{},
+	}
+}
+
+// Stats returns a copy of the counters.
+func (p *PSoup) Stats() Stats { return p.stats }
+
+// AttachArchive spools a stream's history to disk: arriving tuples are
+// appended to the archive, and queries registered after memory eviction
+// still see the full history (new query ⋈ old data reaches the disk).
+func (p *PSoup) AttachArchive(stream string, a *storage.Archive) {
+	p.archives[stream] = a
+}
+
+// AddQuery registers a query: it enters the Query SteM and is
+// immediately probed against previously arrived data (new query ⋈ old
+// data).
+func (p *PSoup) AddQuery(q *Query) error {
+	if _, dup := p.queries[q.ID]; dup {
+		return fmt.Errorf("psoup: duplicate query id %d", q.ID)
+	}
+	if q.Stream == "" {
+		return fmt.Errorf("psoup: query %d has no stream", q.ID)
+	}
+	r := &registered{q: q, retention: int64(1) << 62}
+	if q.Window != nil {
+		if err := q.Window.Validate(); err != nil {
+			return fmt.Errorf("psoup: query %d window: %w", q.ID, err)
+		}
+		kind, width, _ := q.Window.Classify()
+		// A window anchored at the invocation instant reaches back
+		// `width`; landmark/backward windows reach arbitrary history.
+		if kind == window.KindSliding && width > 0 {
+			r.retention = width
+		}
+	}
+
+	// Insert boolean factors into the Query SteM's grouped filters.
+	var residuals []expr.Expr
+	for _, factor := range expr.Conjuncts(q.Where) {
+		if rf, ok := expr.AsRangeFactor(factor); ok {
+			col := rf.Col
+			if col.Source == "" {
+				col = expr.Col(q.Stream, col.Name)
+				rf.Col = col
+			}
+			g := p.gfilters[col.String()]
+			if g == nil {
+				g = operator.NewGroupedFilter(col)
+				p.gfilters[col.String()] = g
+			}
+			if err := g.AddFactor(q.ID, rf); err != nil {
+				return err
+			}
+			continue
+		}
+		residuals = append(residuals, factor)
+	}
+	r.residual = expr.Conjoin(residuals)
+
+	u := p.universe[q.Stream]
+	if u == nil {
+		u = bitset.New(q.ID + 1)
+		p.universe[q.Stream] = u
+	}
+	u.Add(q.ID)
+	p.queries[q.ID] = r
+	p.stats.QueriesAdded++
+
+	// New query ⋈ old data: evaluate against retained history. With an
+	// archive attached, history evicted from memory is read back from
+	// disk first so the late query sees everything.
+	mem := p.data[q.Stream]
+	if a := p.archives[q.Stream]; a != nil {
+		memStart := int64(1) << 62
+		if len(mem) > 0 {
+			memStart = mem[0].TS.Seq
+		}
+		err := a.ScanRange(0, memStart-1, func(t *tuple.Tuple) bool {
+			ok, e := p.matchOne(r, t)
+			if e != nil {
+				return false
+			}
+			if ok {
+				r.results = append(r.results, t)
+				p.stats.Matches++
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, t := range mem {
+		ok, err := p.matchOne(r, t)
+		if err != nil {
+			return err
+		}
+		if ok {
+			r.results = append(r.results, t)
+			p.stats.Matches++
+		}
+	}
+	return nil
+}
+
+// matchOne evaluates one query's full predicate on one tuple (used only
+// for the new-query-over-old-data scan; arriving data uses the shared
+// grouped-filter probe).
+func (p *PSoup) matchOne(r *registered, t *tuple.Tuple) (bool, error) {
+	if r.q.Where == nil {
+		return true, nil
+	}
+	return expr.Truthy(r.q.Where, t)
+}
+
+// RemoveQuery drops a standing query and its materialized results.
+func (p *PSoup) RemoveQuery(id int) {
+	r, ok := p.queries[id]
+	if !ok {
+		return
+	}
+	delete(p.queries, id)
+	for _, g := range p.gfilters {
+		g.RemoveQuery(id)
+	}
+	if u := p.universe[r.q.Stream]; u != nil {
+		u.Remove(id)
+	}
+}
+
+// PushData admits one stream tuple: new data ⋈ old queries. The tuple
+// is retained in the Data SteM and its matches are materialized.
+func (p *PSoup) PushData(t *tuple.Tuple) error {
+	if len(t.Schema.Sources) != 1 {
+		return fmt.Errorf("psoup: tuple must have exactly one source")
+	}
+	src := t.Schema.Sources[0]
+	p.stats.DataArrived++
+	p.data[src] = append(p.data[src], t)
+	if t.TS.Seq > p.maxSeq[src] {
+		p.maxSeq[src] = t.TS.Seq
+	}
+	if a := p.archives[src]; a != nil {
+		if err := a.Append(t); err != nil {
+			return err
+		}
+	}
+
+	u := p.universe[src]
+	if u != nil && !u.Empty() {
+		matched := u.Clone()
+		for _, g := range p.gfilters {
+			col := g.Column()
+			if col.Source != src {
+				continue
+			}
+			i, err := col.Resolve(t.Schema)
+			if err != nil {
+				return err
+			}
+			m, err := g.MatchQueries(t.Values[i], u)
+			if err != nil {
+				return err
+			}
+			matched.Intersect(m)
+		}
+		var merr error
+		matched.ForEach(func(id int) bool {
+			r := p.queries[id]
+			if r == nil {
+				return true
+			}
+			if r.residual != nil {
+				ok, err := expr.Truthy(r.residual, t)
+				if err != nil {
+					merr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+			}
+			r.results = append(r.results, t)
+			p.stats.Matches++
+			return true
+		})
+		if merr != nil {
+			return merr
+		}
+	}
+	p.evict(src)
+	return nil
+}
+
+// evict trims the Data SteM and Results Structures past every window's
+// reach.
+func (p *PSoup) evict(src string) {
+	maxSeq := p.maxSeq[src]
+	// Results: per query retention.
+	for _, r := range p.queries {
+		if r.q.Stream != src || r.retention >= int64(1)<<62 {
+			continue
+		}
+		horizon := maxSeq - r.retention + 1
+		cut := sort.Search(len(r.results), func(i int) bool {
+			return r.results[i].TS.Seq >= horizon
+		})
+		if cut > 0 {
+			p.stats.Evicted += int64(cut)
+			r.results = append(r.results[:0], r.results[cut:]...)
+		}
+	}
+	// Data SteM: global bound (new queries can reach back this far).
+	if p.DataRetention > 0 {
+		horizon := maxSeq - p.DataRetention + 1
+		d := p.data[src]
+		cut := sort.Search(len(d), func(i int) bool { return d[i].TS.Seq >= horizon })
+		if cut > 0 {
+			p.data[src] = append(d[:0], d[cut:]...)
+		}
+	}
+}
+
+// Invoke retrieves the current materialized answer of a standing query.
+// at is the invocation instant (e.g. the stream's current max sequence
+// number); the query's window binds ST to it and its first instance
+// selects the rows. A nil window returns every retained result.
+func (p *PSoup) Invoke(id int, at int64) ([]*tuple.Tuple, error) {
+	r, ok := p.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("psoup: unknown query %d", id)
+	}
+	p.stats.Invocations++
+	if r.q.Window == nil {
+		out := append([]*tuple.Tuple(nil), r.results...)
+		p.stats.RowsRetrieved += int64(len(out))
+		return out, nil
+	}
+	seq := window.NewSequence(r.q.Window, at)
+	inst, ok2 := seq.Next()
+	if !ok2 {
+		return nil, nil
+	}
+	rng, ok3 := inst.Ranges[r.q.Stream]
+	if !ok3 {
+		return nil, fmt.Errorf("psoup: window has no WindowIs for %s", r.q.Stream)
+	}
+	// Results are sorted by seq: binary search the window bounds.
+	lo := sort.Search(len(r.results), func(i int) bool { return r.results[i].TS.Seq >= rng.Left })
+	hi := sort.Search(len(r.results), func(i int) bool { return r.results[i].TS.Seq > rng.Right })
+	out := append([]*tuple.Tuple(nil), r.results[lo:hi]...)
+	p.stats.RowsRetrieved += int64(len(out))
+	return out, nil
+}
+
+// ResultSize returns the number of materialized rows for a query.
+func (p *PSoup) ResultSize(id int) int {
+	if r, ok := p.queries[id]; ok {
+		return len(r.results)
+	}
+	return 0
+}
+
+// HistorySize returns retained Data SteM tuples for a stream.
+func (p *PSoup) HistorySize(stream string) int { return len(p.data[stream]) }
+
+// InvokeRecompute answers a query by rescanning the Data SteM instead of
+// the Results Structure — the no-materialization baseline the PSoup
+// paper compares against (E5).
+func (p *PSoup) InvokeRecompute(id int, at int64) ([]*tuple.Tuple, error) {
+	r, ok := p.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("psoup: unknown query %d", id)
+	}
+	p.stats.Invocations++
+	var rng *window.Range
+	if r.q.Window != nil {
+		seq := window.NewSequence(r.q.Window, at)
+		inst, ok2 := seq.Next()
+		if !ok2 {
+			return nil, nil
+		}
+		w, ok3 := inst.Ranges[r.q.Stream]
+		if !ok3 {
+			return nil, fmt.Errorf("psoup: window has no WindowIs for %s", r.q.Stream)
+		}
+		rng = &w
+	}
+	var out []*tuple.Tuple
+	for _, t := range p.data[r.q.Stream] {
+		if rng != nil && !rng.Contains(t.TS.Seq) {
+			continue
+		}
+		ok, err := p.matchOne(r, t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	p.stats.RowsRetrieved += int64(len(out))
+	return out, nil
+}

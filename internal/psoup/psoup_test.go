@@ -1,0 +1,238 @@
+package psoup
+
+import (
+	"math/rand"
+	"testing"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+var schema = tuple.NewSchema(
+	tuple.Column{Source: "stocks", Name: "sym", Kind: tuple.KindString},
+	tuple.Column{Source: "stocks", Name: "price", Kind: tuple.KindFloat},
+)
+
+func row(seq int64, sym string, price float64) *tuple.Tuple {
+	t := tuple.New(schema, tuple.String(sym), tuple.Float(price))
+	t.TS = tuple.Timestamp{Seq: seq}
+	return t
+}
+
+func gtPrice(v float64) expr.Expr {
+	return expr.Bin(expr.OpGt, expr.Col("", "price"), expr.Lit(tuple.Float(v)))
+}
+
+func TestNewDataOldQuery(t *testing.T) {
+	p := New()
+	if err := p.AddQuery(&Query{ID: 0, Stream: "stocks", Where: gtPrice(50)}); err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(1); seq <= 10; seq++ {
+		if err := p.PushData(row(seq, "A", float64(seq*10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := p.Invoke(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 { // 60..100
+		t.Fatalf("results = %d", len(got))
+	}
+}
+
+func TestNewQueryOldData(t *testing.T) {
+	p := New()
+	for seq := int64(1); seq <= 10; seq++ {
+		_ = p.PushData(row(seq, "A", float64(seq*10)))
+	}
+	// Query arrives after the data: must still see history.
+	if err := p.AddQuery(&Query{ID: 7, Stream: "stocks", Where: gtPrice(80)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Invoke(7, 10)
+	if err != nil || len(got) != 2 { // 90, 100
+		t.Fatalf("results = %d, %v", len(got), err)
+	}
+}
+
+func TestWindowImposedAtInvocation(t *testing.T) {
+	p := New()
+	// Window: the 5 most recent tuples at invocation time.
+	q := &Query{ID: 0, Stream: "stocks", Where: gtPrice(0),
+		Window: window.Sliding("stocks", 5, 1, 0)}
+	if err := p.AddQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(1); seq <= 20; seq++ {
+		_ = p.PushData(row(seq, "A", 1))
+	}
+	got, _ := p.Invoke(0, 20)
+	if len(got) != 5 {
+		t.Fatalf("at=20: %d rows", len(got))
+	}
+	for _, r := range got {
+		if r.TS.Seq < 16 || r.TS.Seq > 20 {
+			t.Fatalf("row outside window: %d", r.TS.Seq)
+		}
+	}
+	// Invoking at an earlier instant sees the earlier window (if results
+	// are still retained).
+	got, _ = p.Invoke(0, 18)
+	for _, r := range got {
+		if r.TS.Seq < 14 || r.TS.Seq > 18 {
+			t.Fatalf("row outside window(18): %d", r.TS.Seq)
+		}
+	}
+}
+
+func TestDisconnectedOperation(t *testing.T) {
+	// Register, push data while "disconnected", reconnect and invoke
+	// repeatedly: results evolve without recomputation.
+	p := New()
+	_ = p.AddQuery(&Query{ID: 0, Stream: "stocks", Where: gtPrice(5)})
+	for seq := int64(1); seq <= 3; seq++ {
+		_ = p.PushData(row(seq, "A", 10))
+	}
+	got1, _ := p.Invoke(0, 3)
+	for seq := int64(4); seq <= 6; seq++ {
+		_ = p.PushData(row(seq, "A", 10))
+	}
+	got2, _ := p.Invoke(0, 6)
+	if len(got1) != 3 || len(got2) != 6 {
+		t.Fatalf("invocations: %d then %d", len(got1), len(got2))
+	}
+}
+
+func TestMaterializedMatchesRecompute(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	p := New()
+	for i := 0; i < 20; i++ {
+		_ = p.AddQuery(&Query{
+			ID: i, Stream: "stocks",
+			Where:  gtPrice(float64(r.Intn(100))),
+			Window: window.Sliding("stocks", int64(10+r.Intn(50)), 1, 0),
+		})
+	}
+	for seq := int64(1); seq <= 300; seq++ {
+		_ = p.PushData(row(seq, "A", float64(r.Intn(100))))
+	}
+	for i := 0; i < 20; i++ {
+		mat, err := p.Invoke(i, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := p.InvokeRecompute(i, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mat) != len(rec) {
+			t.Fatalf("query %d: materialized=%d recomputed=%d", i, len(mat), len(rec))
+		}
+		for j := range mat {
+			if mat[j].TS.Seq != rec[j].TS.Seq {
+				t.Fatalf("query %d row %d: seq %d vs %d", i, j, mat[j].TS.Seq, rec[j].TS.Seq)
+			}
+		}
+	}
+}
+
+func TestResultsEviction(t *testing.T) {
+	p := New()
+	_ = p.AddQuery(&Query{ID: 0, Stream: "stocks", Where: gtPrice(0),
+		Window: window.Sliding("stocks", 10, 1, 0)})
+	for seq := int64(1); seq <= 1000; seq++ {
+		_ = p.PushData(row(seq, "A", 1))
+	}
+	if n := p.ResultSize(0); n > 10 {
+		t.Fatalf("results retained = %d, want <= 10", n)
+	}
+	if p.Stats().Evicted == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+func TestDataRetentionBound(t *testing.T) {
+	p := New()
+	p.DataRetention = 50
+	for seq := int64(1); seq <= 500; seq++ {
+		_ = p.PushData(row(seq, "A", 1))
+	}
+	if n := p.HistorySize("stocks"); n > 50 {
+		t.Fatalf("history = %d, want <= 50", n)
+	}
+	// A late query sees only retained history.
+	_ = p.AddQuery(&Query{ID: 0, Stream: "stocks", Where: gtPrice(0)})
+	got, _ := p.Invoke(0, 500)
+	if len(got) > 50 {
+		t.Fatalf("late query saw %d rows", len(got))
+	}
+}
+
+func TestRemoveQuery(t *testing.T) {
+	p := New()
+	_ = p.AddQuery(&Query{ID: 0, Stream: "stocks", Where: gtPrice(0)})
+	_ = p.PushData(row(1, "A", 1))
+	p.RemoveQuery(0)
+	if _, err := p.Invoke(0, 1); err == nil {
+		t.Fatal("invoke after removal succeeded")
+	}
+	// Data continues to flow without error.
+	if err := p.PushData(row(2, "A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	p.RemoveQuery(99) // no-op
+}
+
+func TestResidualOrPredicate(t *testing.T) {
+	p := New()
+	where := expr.Bin(expr.OpOr,
+		expr.Bin(expr.OpEq, expr.Col("", "sym"), expr.Lit(tuple.String("A"))),
+		expr.Bin(expr.OpEq, expr.Col("", "sym"), expr.Lit(tuple.String("B"))))
+	_ = p.AddQuery(&Query{ID: 0, Stream: "stocks", Where: where})
+	for i, sym := range []string{"A", "B", "C"} {
+		_ = p.PushData(row(int64(i+1), sym, 1))
+	}
+	got, _ := p.Invoke(0, 3)
+	if len(got) != 2 {
+		t.Fatalf("rows = %d", len(got))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p := New()
+	if err := p.AddQuery(&Query{ID: 0}); err == nil {
+		t.Fatal("query without stream accepted")
+	}
+	_ = p.AddQuery(&Query{ID: 1, Stream: "s"})
+	if err := p.AddQuery(&Query{ID: 1, Stream: "s"}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	other := tuple.New(tuple.NewSchema(
+		tuple.Column{Source: "news", Name: "sym", Kind: tuple.KindString}),
+		tuple.String("A"))
+	j := tuple.Concat(row(1, "A", 1), other)
+	if err := p.PushData(j); err == nil {
+		t.Fatal("multi-source tuple accepted")
+	}
+	if _, err := p.Invoke(99, 0); err == nil {
+		t.Fatal("unknown query invoked")
+	}
+	if _, err := p.InvokeRecompute(99, 0); err == nil {
+		t.Fatal("unknown query recomputed")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	p := New()
+	_ = p.AddQuery(&Query{ID: 0, Stream: "stocks", Where: gtPrice(0)})
+	_ = p.PushData(row(1, "A", 1))
+	_, _ = p.Invoke(0, 1)
+	s := p.Stats()
+	if s.DataArrived != 1 || s.QueriesAdded != 1 || s.Matches != 1 ||
+		s.Invocations != 1 || s.RowsRetrieved != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

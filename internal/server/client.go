@@ -1,0 +1,237 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client speaks the FrontEnd protocol: one connection, many cursors
+// (the proxy of Figure 5 collapses into the client here).
+type Client struct {
+	conn net.Conn
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	acks    chan string // ok / error / cursor / rows responses, in order
+	rows    map[int]chan string
+	pending []string // rows announced by "rows" awaiting consumption
+	done    chan struct{}
+}
+
+// Dial connects to a TelegraphCQ FrontEnd.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn: conn,
+		acks: make(chan string, 64),
+		rows: map[int]chan string{},
+		done: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "row "):
+			rest := line[4:]
+			idx := strings.IndexByte(rest, ' ')
+			if idx < 0 {
+				continue
+			}
+			id, err := strconv.Atoi(rest[:idx])
+			if err != nil {
+				continue
+			}
+			c.mu.Lock()
+			ch := c.rows[id]
+			c.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- rest[idx+1:]:
+				default: // client stalled: shed
+				}
+			}
+		case strings.HasPrefix(line, "done "):
+			id, err := strconv.Atoi(strings.TrimSpace(line[5:]))
+			if err == nil {
+				c.mu.Lock()
+				if ch := c.rows[id]; ch != nil {
+					close(ch)
+					delete(c.rows, id)
+				}
+				c.mu.Unlock()
+			}
+		default:
+			select {
+			case c.acks <- line:
+			default:
+			}
+		}
+	}
+}
+
+func (c *Client) sendLine(s string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := fmt.Fprintln(c.conn, s)
+	return err
+}
+
+func (c *Client) ack(timeout time.Duration) (string, error) {
+	select {
+	case line := <-c.acks:
+		if strings.HasPrefix(line, "error ") {
+			return "", fmt.Errorf("%s", line[6:])
+		}
+		return line, nil
+	case <-c.done:
+		return "", fmt.Errorf("connection closed")
+	case <-time.After(timeout):
+		return "", fmt.Errorf("timeout waiting for server")
+	}
+}
+
+// Exec runs a DDL/INSERT statement and waits for its ack.
+func (c *Client) Exec(stmt string) error {
+	if err := c.sendLine(terminate(stmt)); err != nil {
+		return err
+	}
+	_, err := c.ack(5 * time.Second)
+	return err
+}
+
+// Query submits a continuous query; rows stream into the returned
+// channel as CSV strings until the cursor is closed.
+func (c *Client) Query(stmt string) (int, <-chan string, error) {
+	ch := make(chan string, 4096)
+	if err := c.sendLine(terminate(stmt)); err != nil {
+		return 0, nil, err
+	}
+	line, err := c.ack(5 * time.Second)
+	if err != nil {
+		return 0, nil, err
+	}
+	var id int
+	var mode string
+	if _, err := fmt.Sscanf(line, "cursor %d %s", &id, &mode); err != nil {
+		return 0, nil, fmt.Errorf("unexpected response %q", line)
+	}
+	c.mu.Lock()
+	c.rows[id] = ch
+	c.mu.Unlock()
+	return id, ch, nil
+}
+
+// Fetch retrieves spooled rows of a cursor from an offset (pull mode,
+// for intermittent clients). It returns the rows and the next offset.
+func (c *Client) Fetch(id int, offset int64) ([]string, int64, error) {
+	// Route this cursor's rows into a private channel for the duration.
+	ch := make(chan string, 65536)
+	c.mu.Lock()
+	prev := c.rows[id]
+	c.rows[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		if prev != nil {
+			c.rows[id] = prev
+		} else {
+			delete(c.rows, id)
+		}
+		c.mu.Unlock()
+	}()
+
+	if err := c.sendLine(fmt.Sprintf("FETCH %d %d;", id, offset)); err != nil {
+		return nil, 0, err
+	}
+	line, err := c.ack(5 * time.Second)
+	if err != nil {
+		return nil, 0, err
+	}
+	var rid, count int
+	var next int64
+	if _, err := fmt.Sscanf(line, "rows %d %d %d", &rid, &count, &next); err != nil {
+		return nil, 0, fmt.Errorf("unexpected response %q", line)
+	}
+	out := make([]string, 0, count)
+	deadline := time.After(5 * time.Second)
+	for len(out) < count {
+		select {
+		case r := <-ch:
+			out = append(out, r)
+		case <-deadline:
+			return out, next, fmt.Errorf("timeout fetching rows")
+		}
+	}
+	return out, next, nil
+}
+
+// CloseCursor cancels a standing query.
+func (c *Client) CloseCursor(id int) error {
+	c.mu.Lock()
+	if ch := c.rows[id]; ch != nil {
+		delete(c.rows, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+	if err := c.sendLine(fmt.Sprintf("CLOSE %d;", id)); err != nil {
+		return err
+	}
+	_, err := c.ack(5 * time.Second)
+	return err
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func terminate(s string) string {
+	t := strings.TrimSpace(s)
+	if !strings.HasSuffix(t, ";") {
+		t += ";"
+	}
+	return t
+}
+
+// PushConn is a minimal writer for the Wrapper ingress port.
+type PushConn struct {
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+// DialPush connects to the Wrapper port.
+func DialPush(addr string) (*PushConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &PushConn{conn: conn, w: bufio.NewWriter(conn)}, nil
+}
+
+// Push sends one tuple as "stream,field,...".
+func (p *PushConn) Push(stream string, fields ...string) error {
+	_, err := p.w.WriteString(stream + "," + strings.Join(fields, ",") + "\n")
+	return err
+}
+
+// Flush forces buffered rows out.
+func (p *PushConn) Flush() error { return p.w.Flush() }
+
+// Close flushes and closes.
+func (p *PushConn) Close() error {
+	_ = p.w.Flush()
+	return p.conn.Close()
+}

@@ -1,0 +1,339 @@
+// Package server wires the TelegraphCQ process structure of Figure 5: a
+// Postmaster accepting client connections, FrontEnd sessions that parse
+// and plan statements and stream results back over multiplexed cursors
+// (the proxy lets one connection hold many cursors), the shared Executor,
+// and a Wrapper ingress port where push sources deliver data.
+//
+// Wire protocol (text lines over TCP):
+//
+//	client → server:  <SQL statement> ;           (may span lines)
+//	                  CLOSE <cursor> ;
+//	                  FETCH <cursor> <offset> ;   (pull/spool cursors)
+//	server → client:  ok <text>
+//	                  cursor <id> push|spool
+//	                  row <id> <comma-separated values>
+//	                  rows <id> <count> <nextOffset>
+//	                  done <id>
+//	                  error <message>
+//
+// Wrapper port: one CSV line per tuple, "stream,field,field,...".
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/executor"
+	"telegraphcq/internal/ingress"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+)
+
+// Server is the TelegraphCQ daemon.
+type Server struct {
+	Cat  *catalog.Catalog
+	Exec *executor.Executor
+
+	wrapper *ingress.PushServer
+	lnFront net.Listener
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// New builds a server around a catalog and executor options.
+func New(opts executor.Options) *Server {
+	cat := catalog.New()
+	s := &Server{Cat: cat, Exec: executor.New(cat, opts)}
+	s.wrapper = ingress.NewPushServer(func(stream string, vals []tuple.Value) error {
+		_, err := s.Exec.Push(stream, vals)
+		return err
+	})
+	return s
+}
+
+// Start listens on the FrontEnd and Wrapper addresses (use port :0 to
+// pick free ports) and returns the bound addresses.
+func (s *Server) Start(frontAddr, wrapperAddr string) (front, wrapper string, err error) {
+	ln, err := net.Listen("tcp", frontAddr)
+	if err != nil {
+		return "", "", err
+	}
+	s.lnFront = ln
+	wrapper, err = s.wrapper.Listen(wrapperAddr)
+	if err != nil {
+		ln.Close()
+		return "", "", err
+	}
+	s.wg.Add(1)
+	go s.postmaster()
+	return ln.Addr().String(), wrapper, nil
+}
+
+// postmaster accepts connections and forks a FrontEnd session for each
+// (the fork-per-connection model of Figure 4, with goroutines for
+// processes).
+func (s *Server) postmaster() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lnFront.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sess := &session{srv: s, conn: conn}
+			sess.run()
+		}()
+	}
+}
+
+// Close shuts down listeners, sessions, and the executor.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.lnFront != nil {
+		s.lnFront.Close()
+	}
+	s.wrapper.Close()
+	s.Exec.Close()
+	s.wg.Wait()
+}
+
+// --------------------------------------------------------------- session
+
+type session struct {
+	srv  *Server
+	conn net.Conn
+	wmu  sync.Mutex // serializes writes from pump goroutines
+	pubs sync.WaitGroup
+	subs map[int]func() // cursor id → stop pump
+}
+
+func (c *session) run() {
+	defer c.conn.Close()
+	c.subs = map[int]func(){}
+	defer func() {
+		for _, stop := range c.subs {
+			stop()
+		}
+		c.pubs.Wait()
+	}()
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var stmt strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		// Accumulate until an unquoted ';'.
+		stmt.WriteString(line)
+		stmt.WriteByte('\n')
+		if !endsStatement(stmt.String()) {
+			continue
+		}
+		text := strings.TrimSpace(stmt.String())
+		stmt.Reset()
+		text = strings.TrimSuffix(text, ";")
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		c.dispatch(text)
+	}
+}
+
+// endsStatement reports whether the buffered text ends with a ';'
+// outside string literals.
+func endsStatement(s string) bool {
+	inStr := false
+	last := byte(0)
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if ch == '\'' {
+			inStr = !inStr
+		}
+		if !inStr && ch == ';' {
+			last = ';'
+		} else if !isSpace(ch) {
+			last = ch
+		}
+	}
+	return last == ';' && !inStr
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+func (c *session) send(format string, args ...any) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	fmt.Fprintf(c.conn, format+"\n", args...)
+}
+
+func (c *session) sendErr(err error) {
+	c.send("error %s", strings.ReplaceAll(err.Error(), "\n", " "))
+}
+
+func (c *session) dispatch(text string) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "CLOSE":
+		c.closeCursor(fields)
+		return
+	case "FETCH":
+		c.fetch(fields)
+		return
+	}
+	st, err := sql.Parse(text)
+	if err != nil {
+		c.sendErr(err)
+		return
+	}
+	switch stmt := st.(type) {
+	case *sql.CreateStream:
+		src, err := c.srv.Cat.CreateStream(stmt.Name, stmt.Cols, stmt.Archived)
+		if err != nil {
+			c.sendErr(err)
+			return
+		}
+		c.srv.wrapper.Register(stmt.Name, src.Schema)
+		c.send("ok created stream %s", stmt.Name)
+	case *sql.CreateTable:
+		if _, err := c.srv.Cat.CreateTable(stmt.Name, stmt.Cols); err != nil {
+			c.sendErr(err)
+			return
+		}
+		c.send("ok created table %s", stmt.Name)
+	case *sql.Insert:
+		src, err := c.srv.Cat.Lookup(stmt.Table)
+		if err != nil {
+			c.sendErr(err)
+			return
+		}
+		for _, row := range stmt.Rows {
+			if err := src.Insert(tuple.New(src.Schema, row...)); err != nil {
+				c.sendErr(err)
+				return
+			}
+		}
+		c.send("ok inserted %d", len(stmt.Rows))
+	case *sql.DropSource:
+		if err := c.srv.Cat.Drop(stmt.Name); err != nil {
+			c.sendErr(err)
+			return
+		}
+		c.send("ok dropped %s", stmt.Name)
+	case *sql.Select:
+		c.openCursor(stmt)
+	default:
+		c.sendErr(fmt.Errorf("server: unsupported statement"))
+	}
+}
+
+// openCursor submits a continuous query and pumps its results to the
+// client as "row <id> ..." lines until closed.
+func (c *session) openCursor(stmt *sql.Select) {
+	id, sub, err := c.srv.Exec.Submit(stmt)
+	if err != nil {
+		c.sendErr(err)
+		return
+	}
+	// Also spool so FETCH works for disconnected retrieval.
+	c.srv.Exec.Hub().SpoolFor(id, 0)
+	c.send("cursor %d push", id)
+	stopped := make(chan struct{})
+	c.subs[id] = func() { close(stopped) }
+	c.pubs.Add(1)
+	go func() {
+		defer c.pubs.Done()
+		for {
+			select {
+			case <-stopped:
+				return
+			default:
+			}
+			row, ok := sub.TryNext()
+			if !ok {
+				row2, ok2 := waitNext(sub, stopped)
+				if !ok2 {
+					c.send("done %d", id)
+					return
+				}
+				row = row2
+			}
+			c.send("row %d %s", id, row.String())
+		}
+	}()
+}
+
+// waitNext blocks for the next row or stop.
+func waitNext(sub interface {
+	Next() (*tuple.Tuple, bool)
+}, stopped chan struct{}) (*tuple.Tuple, bool) {
+	type res struct {
+		t  *tuple.Tuple
+		ok bool
+	}
+	ch := make(chan res, 1)
+	go func() {
+		t, ok := sub.Next()
+		ch <- res{t, ok}
+	}()
+	select {
+	case r := <-ch:
+		return r.t, r.ok
+	case <-stopped:
+		return nil, false
+	}
+}
+
+func (c *session) closeCursor(fields []string) {
+	if len(fields) != 2 {
+		c.sendErr(fmt.Errorf("usage: CLOSE <cursor>"))
+		return
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		c.sendErr(err)
+		return
+	}
+	if stop, ok := c.subs[id]; ok {
+		stop()
+		delete(c.subs, id)
+	}
+	if err := c.srv.Exec.Cancel(id); err != nil {
+		c.sendErr(err)
+		return
+	}
+	c.send("ok closed %d", id)
+}
+
+func (c *session) fetch(fields []string) {
+	if len(fields) != 3 {
+		c.sendErr(fmt.Errorf("usage: FETCH <cursor> <offset>"))
+		return
+	}
+	id, err1 := strconv.Atoi(fields[1])
+	off, err2 := strconv.ParseInt(fields[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		c.sendErr(fmt.Errorf("bad FETCH arguments"))
+		return
+	}
+	sp := c.srv.Exec.Hub().SpoolFor(id, 0)
+	rows, next := sp.Fetch(off)
+	c.send("rows %d %d %d", id, len(rows), next)
+	for _, r := range rows {
+		c.send("row %d %s", id, r.String())
+	}
+}

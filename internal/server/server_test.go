@@ -1,0 +1,270 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/executor"
+)
+
+func startServer(t *testing.T) (*Server, string, string) {
+	t.Helper()
+	s := New(executor.Options{})
+	front, wrapper, err := s.Start("127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, front, wrapper
+}
+
+func recvRows(t *testing.T, ch <-chan string, n int) []string {
+	t.Helper()
+	var out []string
+	deadline := time.After(5 * time.Second)
+	for len(out) < n {
+		select {
+		case r, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, r)
+		case <-deadline:
+			t.Fatalf("timeout: got %d of %d rows (%v)", len(out), n, out)
+		}
+	}
+	return out
+}
+
+func TestEndToEndFilterQuery(t *testing.T) {
+	_, front, wrapper := startServer(t)
+	cli, err := Dial(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if err := cli.Exec(`CREATE STREAM stocks (sym string, price float)`); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := cli.Query(`SELECT sym, price FROM stocks WHERE price > 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	push, err := DialPush(wrapper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer push.Close()
+	_ = push.Push("stocks", "MSFT", "60")
+	_ = push.Push("stocks", "IBM", "40")
+	_ = push.Push("stocks", "MSFT", "70")
+	_ = push.Flush()
+
+	got := recvRows(t, rows, 2)
+	if got[0] != "MSFT,60" || got[1] != "MSFT,70" {
+		t.Fatalf("rows: %v", got)
+	}
+}
+
+func TestDDLErrorsReported(t *testing.T) {
+	_, front, _ := startServer(t)
+	cli, _ := Dial(front)
+	defer cli.Close()
+	if err := cli.Exec(`CREATE STREAM s (a int)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Exec(`CREATE STREAM s (a int)`); err == nil {
+		t.Fatal("duplicate stream accepted")
+	}
+	if err := cli.Exec(`SELECT FROM`); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+	if err := cli.Exec(`DROP STREAM nope`); err == nil {
+		t.Fatal("drop unknown accepted")
+	}
+}
+
+func TestInsertAndStreamTableJoin(t *testing.T) {
+	_, front, wrapper := startServer(t)
+	cli, _ := Dial(front)
+	defer cli.Close()
+	for _, stmt := range []string{
+		`CREATE STREAM trades (sym string, qty int)`,
+		`CREATE TABLE companies (sym string, hq string)`,
+		`INSERT INTO companies VALUES ('MSFT', 'Redmond'), ('IBM', 'Armonk')`,
+	} {
+		if err := cli.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	_, rows, err := cli.Query(`
+		SELECT trades.sym, companies.hq, qty FROM trades, companies
+		WHERE trades.sym = companies.sym`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, _ := DialPush(wrapper)
+	defer push.Close()
+	_ = push.Push("trades", "IBM", "100")
+	_ = push.Push("trades", "ORCL", "5")
+	_ = push.Flush()
+	got := recvRows(t, rows, 1)
+	if got[0] != "IBM,Armonk,100" {
+		t.Fatalf("rows: %v", got)
+	}
+}
+
+func TestMultipleCursorsOneConnection(t *testing.T) {
+	_, front, wrapper := startServer(t)
+	cli, _ := Dial(front)
+	defer cli.Close()
+	_ = cli.Exec(`CREATE STREAM s (v float)`)
+	id1, rows1, err := cli.Query(`SELECT v FROM s WHERE v > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, rows2, err := cli.Query(`SELECT v FROM s WHERE v > 20`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("cursor ids collide")
+	}
+	push, _ := DialPush(wrapper)
+	defer push.Close()
+	for _, v := range []string{"5", "15", "25"} {
+		_ = push.Push("s", v)
+	}
+	_ = push.Flush()
+	r1 := recvRows(t, rows1, 2)
+	r2 := recvRows(t, rows2, 1)
+	if r1[0] != "15" || r1[1] != "25" || r2[0] != "25" {
+		t.Fatalf("rows: %v / %v", r1, r2)
+	}
+}
+
+func TestCloseCursorStopsRows(t *testing.T) {
+	_, front, wrapper := startServer(t)
+	cli, _ := Dial(front)
+	defer cli.Close()
+	_ = cli.Exec(`CREATE STREAM s (v float)`)
+	id, rows, _ := cli.Query(`SELECT v FROM s`)
+	push, _ := DialPush(wrapper)
+	defer push.Close()
+	_ = push.Push("s", "1")
+	_ = push.Flush()
+	recvRows(t, rows, 1)
+	if err := cli.CloseCursor(id); err != nil {
+		t.Fatal(err)
+	}
+	_ = push.Push("s", "2")
+	_ = push.Flush()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case r, ok := <-rows:
+		if ok {
+			t.Fatalf("row after close: %q", r)
+		}
+	default:
+	}
+}
+
+func TestFetchSpooledResults(t *testing.T) {
+	// Disconnected operation: rows accumulate in the spool; the client
+	// fetches on reconnect.
+	_, front, wrapper := startServer(t)
+	cli, _ := Dial(front)
+	defer cli.Close()
+	_ = cli.Exec(`CREATE STREAM s (v float)`)
+	id, _, err := cli.Query(`SELECT v FROM s WHERE v >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, _ := DialPush(wrapper)
+	defer push.Close()
+	for i := 0; i < 10; i++ {
+		_ = push.Push("s", fmt.Sprintf("%d", i))
+	}
+	_ = push.Flush()
+	// Poll the spool until all 10 rows landed.
+	var rows []string
+	var next int64
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rows) < 10 && time.Now().Before(deadline) {
+		got, n, err := cli.Fetch(id, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, got...)
+		next = n
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(rows) != 10 || rows[0] != "0" || rows[9] != "9" {
+		t.Fatalf("fetched: %v", rows)
+	}
+	// Fetching from the end returns nothing new.
+	got, _, err := cli.Fetch(id, next)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("tail fetch: %v %v", got, err)
+	}
+}
+
+func TestAggregateOverWire(t *testing.T) {
+	_, front, wrapper := startServer(t)
+	cli, _ := Dial(front)
+	defer cli.Close()
+	_ = cli.Exec(`CREATE STREAM s (sym string, price float)`)
+	_, rows, err := cli.Query(`
+		SELECT avg(price) FROM s WHERE sym = 'MSFT'
+		for (t = ST; ; t += 3) { WindowIs(s, t + 1, t + 3); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, _ := DialPush(wrapper)
+	defer push.Close()
+	for i := 1; i <= 7; i++ {
+		_ = push.Push("s", "MSFT", fmt.Sprintf("%d", i))
+	}
+	_ = push.Flush()
+	got := recvRows(t, rows, 2)
+	// Windows [1,3] avg 2 and [4,6] avg 5.
+	if !strings.HasSuffix(got[0], ",2") || !strings.HasSuffix(got[1], ",5") {
+		t.Fatalf("agg rows: %v", got)
+	}
+}
+
+func TestWrapperRejectsMalformedLines(t *testing.T) {
+	s, front, wrapper := startServer(t)
+	cli, _ := Dial(front)
+	defer cli.Close()
+	_ = cli.Exec(`CREATE STREAM s (v int)`)
+	push, _ := DialPush(wrapper)
+	defer push.Close()
+	_ = push.Push("nostream", "1") // unknown stream
+	_ = push.Push("s", "notanint") // parse error
+	_ = push.Push("s", "42")       // fine
+	_ = push.Flush()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.wrapperErrs() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.wrapperErrs() != 2 {
+		t.Fatalf("wrapper errors = %d", s.wrapperErrs())
+	}
+}
+
+func (s *Server) wrapperErrs() int64 { return s.wrapper.Errs() }
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s := New(executor.Options{})
+	_, _, err := s.Start("127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+}

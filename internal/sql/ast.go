@@ -1,0 +1,81 @@
+package sql
+
+import (
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateStream is "CREATE STREAM name (col type, ...) [ARCHIVED]".
+type CreateStream struct {
+	Name     string
+	Cols     []tuple.Column
+	Archived bool
+}
+
+// CreateTable is "CREATE TABLE name (col type, ...)".
+type CreateTable struct {
+	Name string
+	Cols []tuple.Column
+}
+
+// Insert is "INSERT INTO table VALUES (v, ...), (v, ...)".
+type Insert struct {
+	Table string
+	Rows  [][]tuple.Value
+}
+
+// DropSource is "DROP STREAM name" / "DROP TABLE name".
+type DropSource struct{ Name string }
+
+// SelectItem is one entry of the SELECT list.
+type SelectItem struct {
+	Star bool
+	// Agg is set for aggregate items (AVG(price)); Expr for scalars.
+	Agg  *operator.AggSpec
+	Expr expr.Expr
+	As   string
+}
+
+// FromItem names one input with an optional alias.
+type FromItem struct {
+	Source string
+	Alias  string
+}
+
+// Name returns the alias if present, else the source name.
+func (f FromItem) Name() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Source
+}
+
+// OrderKey is one ORDER BY term.
+type OrderKey struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// Select is a (continuous) query.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    expr.Expr
+	GroupBy  []*expr.ColumnRef
+	OrderBy  []OrderKey
+	Limit    int64 // 0 = unlimited
+	// Window is the parsed for-loop construct; nil for unwindowed CQs.
+	Window *window.Spec
+}
+
+func (*CreateStream) stmt() {}
+func (*CreateTable) stmt()  {}
+func (*Insert) stmt()       {}
+func (*DropSource) stmt()   {}
+func (*Select) stmt()       {}

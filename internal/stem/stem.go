@@ -1,0 +1,247 @@
+// Package stem implements State Modules (SteMs, §2.2; Raman et al. ICDE
+// 2003): temporary repositories of homogeneous tuples, each "half of a
+// traditional join operator". A SteM supports insert (build), search
+// (probe), and eviction, optionally accelerated by a hash index on a key
+// expression. Eddies route build and probe tuples through SteMs to
+// compose symmetric hash joins, asynchronous index joins, and hybrids of
+// the two at runtime.
+//
+// A SteM is owned by a single Execution Object and is not synchronized;
+// Flux partitions each own a private SteM.
+package stem
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// Stats counts SteM activity for routing policies and experiments.
+type Stats struct {
+	Builds      int64
+	Probes      int64
+	Matches     int64
+	Evicted     int64
+	IndexProbes int64
+	ScanProbes  int64
+}
+
+// SteM stores tuples spanning one set of sources (homogeneous). With a
+// key expression it maintains a hash index; probes whose ProbeSpec carries
+// a matching key expression use it, others fall back to scanning.
+type SteM struct {
+	name    string
+	keyExpr expr.Expr // expression over *stored* tuples; nil = no index
+
+	entries []*entry
+	index   map[uint64][]*entry
+	live    int
+	stats   Stats
+}
+
+type entry struct {
+	t       *tuple.Tuple
+	key     uint64
+	arrival int64
+	dead    bool
+}
+
+// New creates a SteM named after the source(s) it stores. keyExpr, when
+// non-nil, is evaluated over stored tuples to maintain the hash index
+// (e.g. the join column for an equi-join).
+func New(name string, keyExpr expr.Expr) *SteM {
+	s := &SteM{name: name, keyExpr: keyExpr}
+	if keyExpr != nil {
+		s.index = make(map[uint64][]*entry)
+	}
+	return s
+}
+
+// Name returns the SteM's name ("SteM(S)" style naming is the caller's).
+func (s *SteM) Name() string { return s.name }
+
+// Indexed reports whether the SteM maintains a hash index.
+func (s *SteM) Indexed() bool { return s.keyExpr != nil }
+
+// Size returns the number of live stored tuples.
+func (s *SteM) Size() int { return s.live }
+
+// Stats returns a copy of the activity counters.
+func (s *SteM) Stats() Stats { return s.stats }
+
+// Build inserts t into the SteM.
+func (s *SteM) Build(t *tuple.Tuple) error {
+	e := &entry{t: t, arrival: t.Arrival}
+	if s.keyExpr != nil {
+		v, err := s.keyExpr.Eval(t)
+		if err != nil {
+			return fmt.Errorf("stem %s: build key: %w", s.name, err)
+		}
+		e.key = v.Hash()
+		s.index[e.key] = append(s.index[e.key], e)
+	}
+	s.entries = append(s.entries, e)
+	s.live++
+	s.stats.Builds++
+	return nil
+}
+
+// ProbeSpec describes how a probe tuple matches stored tuples.
+type ProbeSpec struct {
+	// KeyExpr, evaluated over the probe tuple, selects an index bucket.
+	// It must correspond to the SteM's key expression (equality
+	// predicate between the two). Nil forces a scan probe.
+	KeyExpr expr.Expr
+	// Residual is evaluated over the concatenated (probe ++ stored)
+	// tuple; nil means no residual predicate. For scan probes this is
+	// the entire join predicate.
+	Residual expr.Expr
+	// MaxArrival, when positive, restricts matches to stored tuples
+	// that arrived strictly earlier. Symmetric joins use it so every
+	// match is produced exactly once — by the later-arriving side.
+	MaxArrival int64
+}
+
+// Probe searches for stored tuples matching p and returns the
+// concatenations probe++stored. Matches satisfy the bucket equality (if
+// indexed) and the residual predicate.
+func (s *SteM) Probe(p *tuple.Tuple, spec ProbeSpec) ([]*tuple.Tuple, error) {
+	s.stats.Probes++
+	var candidates []*entry
+	if spec.KeyExpr != nil && s.index != nil {
+		v, err := spec.KeyExpr.Eval(p)
+		if err != nil {
+			return nil, fmt.Errorf("stem %s: probe key: %w", s.name, err)
+		}
+		candidates = s.index[v.Hash()]
+		s.stats.IndexProbes++
+	} else {
+		candidates = s.entries
+		s.stats.ScanProbes++
+	}
+	var out []*tuple.Tuple
+	for _, e := range candidates {
+		if e.dead {
+			continue
+		}
+		if spec.MaxArrival > 0 && e.arrival >= spec.MaxArrival {
+			continue
+		}
+		// Hash buckets can collide; verify key equality for indexed probes.
+		if spec.KeyExpr != nil && s.index != nil {
+			pv, err := spec.KeyExpr.Eval(p)
+			if err != nil {
+				return nil, err
+			}
+			sv, err := s.keyExpr.Eval(e.t)
+			if err != nil {
+				return nil, err
+			}
+			if !tuple.Equal(pv, sv) {
+				continue
+			}
+		}
+		j := tuple.Concat(p, e.t)
+		if spec.Residual != nil {
+			ok, err := expr.Truthy(spec.Residual, j)
+			if err != nil {
+				return nil, fmt.Errorf("stem %s: residual: %w", s.name, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, j)
+	}
+	s.stats.Matches += int64(len(out))
+	return out, nil
+}
+
+// EvictBefore removes stored tuples whose logical sequence number is
+// below seq (window eviction for sliding windows). Returns the count
+// evicted.
+func (s *SteM) EvictBefore(seq int64) int {
+	return s.evict(func(t *tuple.Tuple) bool { return t.TS.Seq < seq })
+}
+
+// EvictOutside removes stored tuples whose instant in the given domain
+// falls outside [left, right].
+func (s *SteM) EvictOutside(d tuple.Domain, left, right int64) int {
+	return s.evict(func(t *tuple.Tuple) bool {
+		x := t.TS.Instant(d)
+		return x < left || x > right
+	})
+}
+
+// EvictWhere removes stored tuples for which pred returns true.
+func (s *SteM) EvictWhere(pred func(*tuple.Tuple) bool) int { return s.evict(pred) }
+
+func (s *SteM) evict(pred func(*tuple.Tuple) bool) int {
+	n := 0
+	for _, e := range s.entries {
+		if !e.dead && pred(e.t) {
+			e.dead = true
+			s.live--
+			n++
+		}
+	}
+	s.stats.Evicted += int64(n)
+	// Compact when at least half the entries are dead, amortizing O(1).
+	if s.live*2 < len(s.entries) {
+		s.compact()
+	}
+	return n
+}
+
+func (s *SteM) compact() {
+	kept := s.entries[:0]
+	for _, e := range s.entries {
+		if !e.dead {
+			kept = append(kept, e)
+		}
+	}
+	// Zero the tail so evicted tuples become collectable.
+	for i := len(kept); i < len(s.entries); i++ {
+		s.entries[i] = nil
+	}
+	s.entries = kept
+	if s.index != nil {
+		for k := range s.index {
+			delete(s.index, k)
+		}
+		for _, e := range s.entries {
+			s.index[e.key] = append(s.index[e.key], e)
+		}
+	}
+}
+
+// ForEach visits every live stored tuple (snapshot scans for PSoup's
+// new-query-over-old-data path).
+func (s *SteM) ForEach(fn func(*tuple.Tuple) bool) {
+	for _, e := range s.entries {
+		if e.dead {
+			continue
+		}
+		if !fn(e.t) {
+			return
+		}
+	}
+}
+
+// All returns the live stored tuples in insertion order.
+func (s *SteM) All() []*tuple.Tuple {
+	out := make([]*tuple.Tuple, 0, s.live)
+	s.ForEach(func(t *tuple.Tuple) bool { out = append(out, t); return true })
+	return out
+}
+
+// Clear drops all stored tuples (used when a Flux partition's state is
+// moved to another machine).
+func (s *SteM) Clear() {
+	s.entries = nil
+	s.live = 0
+	if s.index != nil {
+		s.index = make(map[uint64][]*entry)
+	}
+}

@@ -1,0 +1,452 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+func timeFromNano(ns int64) (t time.Time) { return time.Unix(0, ns) }
+
+// pageMeta is the in-memory directory entry for one on-disk page.
+type pageMeta struct {
+	id     PageID
+	count  int
+	minSeq int64
+	maxSeq int64
+	length int // bytes used in the page
+}
+
+// pageHeaderSize prefixes each on-disk page: record count (uint16) and
+// used bytes (uint16). The header makes the page directory recoverable
+// from the segment files alone, so an archive survives restarts.
+const pageHeaderSize = 4
+
+// Archive is the log-structured, append-only store for one stream:
+// tuples are encoded into pages, pages appended sequentially to segment
+// files, and an in-memory page directory (min/max sequence per page)
+// lets window scans touch only relevant pages. Opening an archive over
+// an existing directory recovers the directory by scanning the segments.
+var nextArchiveID atomic.Int32
+
+type Archive struct {
+	mu       sync.Mutex
+	aid      int32
+	name     string
+	dir      string
+	schema   *tuple.Schema
+	pool     *Pool
+	fileID   int32
+	nextPage int32 // next page index within the current segment file
+	segSize  int32 // pages per segment file
+
+	cur      []byte // open page being filled
+	curMeta  pageMeta
+	pages    []pageMeta
+	files    map[int32]*os.File
+	appended int64
+}
+
+// ArchiveConfig sizes an archive.
+type ArchiveConfig struct {
+	// Dir is the directory for segment files (required).
+	Dir string
+	// PagesPerSegment bounds segment file size (default 128 → 1 MiB).
+	PagesPerSegment int
+}
+
+// NewArchive opens an empty archive for a stream. The pool may be shared
+// by several archives.
+func NewArchive(name string, schema *tuple.Schema, pool *Pool, cfg ArchiveConfig) (*Archive, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("storage: archive %s: no directory", name)
+	}
+	if cfg.PagesPerSegment <= 0 {
+		cfg.PagesPerSegment = 128
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	a := &Archive{
+		aid:     nextArchiveID.Add(1),
+		name:    name,
+		dir:     cfg.Dir,
+		schema:  schema,
+		pool:    pool,
+		segSize: int32(cfg.PagesPerSegment),
+		files:   map[int32]*os.File{},
+	}
+	if err := a.recover(); err != nil {
+		return nil, err
+	}
+	a.resetPage()
+	return a, nil
+}
+
+// recover rebuilds the page directory from existing segment files (a
+// restart, or attaching to an archive another process wrote). Pages are
+// self-describing via their headers; tuple records are decoded once to
+// re-derive the min/max sequence bounds.
+func (a *Archive) recover() error {
+	// Segment files may start past 0: TruncateBefore reclaims old
+	// segments, so recovery lists the directory instead of probing
+	// sequential ids.
+	matches, err := filepath.Glob(filepath.Join(a.dir, a.name+".*.seg"))
+	if err != nil || len(matches) == 0 {
+		return nil // fresh archive
+	}
+	var fileIDs []int32
+	for _, m := range matches {
+		var id int32
+		if _, err := fmt.Sscanf(filepath.Base(m), a.name+".%06d.seg", &id); err == nil {
+			fileIDs = append(fileIDs, id)
+		}
+	}
+	sort.Slice(fileIDs, func(i, j int) bool { return fileIDs[i] < fileIDs[j] })
+
+	lastFile, lastPage := int32(0), int32(-1)
+	buf := make([]byte, PageSize)
+	for _, fileID := range fileIDs {
+		path := filepath.Join(a.dir, fmt.Sprintf("%s.%06d.seg", a.name, fileID))
+		info, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		a.files[fileID] = f
+		pages := int32(info.Size() / PageSize)
+		for pg := int32(0); pg < pages && pg < a.segSize; pg++ {
+			if _, err := f.ReadAt(buf, int64(pg)*PageSize); err != nil {
+				return err
+			}
+			count := int(uint16(buf[0]) | uint16(buf[1])<<8)
+			length := int(uint16(buf[2]) | uint16(buf[3])<<8)
+			if count == 0 || pageHeaderSize+length > PageSize {
+				break // torn or empty tail page: recovery stops here
+			}
+			m := pageMeta{
+				id:     PageID{Archive: a.aid, File: fileID, Page: pg},
+				count:  count,
+				length: length,
+				minSeq: int64(1) << 62,
+				maxSeq: -1 << 62,
+			}
+			rest := buf[pageHeaderSize : pageHeaderSize+length]
+			ok := true
+			for i := 0; i < count; i++ {
+				t, r, err := decodeTuple(rest, a.schema)
+				if err != nil {
+					ok = false // torn page: drop it, stop recovery
+					break
+				}
+				rest = r
+				if t.TS.Seq < m.minSeq {
+					m.minSeq = t.TS.Seq
+				}
+				if t.TS.Seq > m.maxSeq {
+					m.maxSeq = t.TS.Seq
+				}
+			}
+			if !ok {
+				break
+			}
+			a.pages = append(a.pages, m)
+			a.appended += int64(count)
+			lastFile, lastPage = fileID, pg
+		}
+	}
+	// Resume appending after the last recovered page.
+	if lastPage >= 0 {
+		if lastPage+1 >= a.segSize {
+			a.fileID = lastFile + 1
+			a.nextPage = 0
+		} else {
+			a.fileID = lastFile
+			a.nextPage = lastPage + 1
+		}
+	}
+	return nil
+}
+
+func (a *Archive) resetPage() {
+	a.cur = a.cur[:0]
+	a.curMeta = pageMeta{
+		id:     PageID{Archive: a.aid, File: a.fileID, Page: a.nextPage},
+		minSeq: int64(1) << 62,
+		maxSeq: -1 << 62,
+	}
+}
+
+// Append spools one tuple. Tuples must arrive in nondecreasing sequence
+// order (streamers assign sequence numbers at ingress).
+func (a *Archive) Append(t *tuple.Tuple) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec := encodeTuple(nil, t)
+	if len(rec) > PageSize-pageHeaderSize {
+		return fmt.Errorf("storage: tuple of %d bytes exceeds page size", len(rec))
+	}
+	if pageHeaderSize+len(a.cur)+len(rec) > PageSize {
+		if err := a.flushPageLocked(); err != nil {
+			return err
+		}
+	}
+	a.cur = append(a.cur, rec...)
+	a.curMeta.count++
+	a.curMeta.length = len(a.cur)
+	if t.TS.Seq < a.curMeta.minSeq {
+		a.curMeta.minSeq = t.TS.Seq
+	}
+	if t.TS.Seq > a.curMeta.maxSeq {
+		a.curMeta.maxSeq = t.TS.Seq
+	}
+	a.appended++
+	return nil
+}
+
+// flushPageLocked writes the open page to the current segment file.
+func (a *Archive) flushPageLocked() error {
+	if a.curMeta.count == 0 {
+		return nil
+	}
+	f, err := a.segmentFile(a.fileID)
+	if err != nil {
+		return err
+	}
+	pageInFile := a.curMeta.id.Page
+	buf := make([]byte, PageSize)
+	buf[0] = byte(a.curMeta.count)
+	buf[1] = byte(a.curMeta.count >> 8)
+	buf[2] = byte(a.curMeta.length)
+	buf[3] = byte(a.curMeta.length >> 8)
+	copy(buf[pageHeaderSize:], a.cur)
+	if _, err := f.WriteAt(buf, int64(pageInFile)*PageSize); err != nil {
+		return err
+	}
+	a.pages = append(a.pages, a.curMeta)
+	// Advance the write cursor, rolling to a new segment when full.
+	a.nextPage++
+	if a.nextPage >= a.segSize {
+		a.fileID++
+		a.nextPage = 0
+	}
+	a.resetPage()
+	return nil
+}
+
+// Flush forces the open page to disk (end of burst / shutdown).
+func (a *Archive) Flush() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.flushPageLocked()
+}
+
+func (a *Archive) segmentFile(id int32) (*os.File, error) {
+	if f, ok := a.files[id]; ok {
+		return f, nil
+	}
+	path := filepath.Join(a.dir, fmt.Sprintf("%s.%06d.seg", a.name, id))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	a.files[id] = f
+	return f, nil
+}
+
+// Count returns the number of appended tuples (including the open page).
+func (a *Archive) Count() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.appended
+}
+
+// Pages returns the number of flushed pages.
+func (a *Archive) Pages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pages)
+}
+
+// ScanRange calls fn for every stored tuple with sequence in [lo, hi],
+// in order, including the open page. Only pages overlapping the range
+// are fetched (window-descriptor-driven scanning, §4.2.3). fn returning
+// false stops the scan.
+func (a *Archive) ScanRange(lo, hi int64, fn func(*tuple.Tuple) bool) error {
+	a.mu.Lock()
+	metas := make([]pageMeta, len(a.pages))
+	copy(metas, a.pages)
+	open := append([]byte(nil), a.cur...)
+	openMeta := a.curMeta
+	a.mu.Unlock()
+
+	for _, m := range metas {
+		if m.maxSeq < lo || m.minSeq > hi {
+			continue
+		}
+		stop, err := a.scanPage(m, lo, hi, fn)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	if openMeta.count > 0 && openMeta.maxSeq >= lo && openMeta.minSeq <= hi {
+		if _, err := scanBuf(open, openMeta.count, a.schema, lo, hi, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Archive) scanPage(m pageMeta, lo, hi int64, fn func(*tuple.Tuple) bool) (bool, error) {
+	data, err := a.pool.Get(m.id, func(dst []byte) error {
+		a.mu.Lock()
+		f, err := a.segmentFile(m.id.File)
+		a.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		_, err = f.ReadAt(dst, int64(m.id.Page)*PageSize)
+		return err
+	})
+	if err != nil {
+		return false, err
+	}
+	defer a.pool.Unpin(m.id)
+	return scanBuf(data[pageHeaderSize:pageHeaderSize+m.length], m.count, a.schema, lo, hi, fn)
+}
+
+// scanBuf decodes count tuples from buf, filtering to [lo, hi]. Returns
+// stop=true when fn halted the scan.
+func scanBuf(buf []byte, count int, schema *tuple.Schema, lo, hi int64, fn func(*tuple.Tuple) bool) (bool, error) {
+	for i := 0; i < count; i++ {
+		t, rest, err := decodeTuple(buf, schema)
+		if err != nil {
+			return false, err
+		}
+		buf = rest
+		if t.TS.Seq < lo || t.TS.Seq > hi {
+			continue
+		}
+		if !fn(t) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ScanWindow runs fn over each window instance of spec (bound to st) in
+// sequence, fetching each instance's tuples from the archive. This is
+// the "scanner operator ... driven by window descriptors" and serves
+// backward-moving windows that WindowAgg cannot (historical browsing,
+// §4.1.1).
+func (a *Archive) ScanWindow(spec *window.Spec, stream string, st int64,
+	fn func(inst window.Instance, tuples []*tuple.Tuple) bool) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	seq := window.NewSequence(spec, st)
+	for {
+		inst, ok := seq.Next()
+		if !ok {
+			return nil
+		}
+		rng, ok := inst.Ranges[stream]
+		if !ok {
+			return fmt.Errorf("storage: window has no WindowIs for %s", stream)
+		}
+		var rows []*tuple.Tuple
+		if err := a.ScanRange(rng.Left, rng.Right, func(t *tuple.Tuple) bool {
+			rows = append(rows, t)
+			return true
+		}); err != nil {
+			return err
+		}
+		if !fn(inst, rows) {
+			return nil
+		}
+	}
+}
+
+// TruncateBefore drops whole segment files every page of which is older
+// than seq — the log-structured reclaim path. Pages inside partially old
+// segments are kept (reclaim is per-file, as in log-structured stores).
+func (a *Archive) TruncateBefore(seq int64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	byFile := map[int32][]pageMeta{}
+	for _, m := range a.pages {
+		byFile[m.id.File] = append(byFile[m.id.File], m)
+	}
+	kept := a.pages[:0]
+	for _, m := range a.pages {
+		pages := byFile[m.id.File]
+		allOld := true
+		for _, pm := range pages {
+			if pm.maxSeq >= seq {
+				allOld = false
+				break
+			}
+		}
+		if allOld && m.id.File != a.fileID {
+			continue // drop this page's directory entry
+		}
+		kept = append(kept, m)
+	}
+	dropped := len(a.pages) - len(kept)
+	a.pages = kept
+	if dropped > 0 {
+		for id, pages := range byFile {
+			if id == a.fileID {
+				continue
+			}
+			allOld := true
+			for _, pm := range pages {
+				if pm.maxSeq >= seq {
+					allOld = false
+					break
+				}
+			}
+			if allOld {
+				for _, pm := range pages {
+					a.pool.Invalidate(pm.id)
+				}
+				if f, ok := a.files[id]; ok {
+					name := f.Name()
+					f.Close()
+					os.Remove(name)
+					delete(a.files, id)
+				} else {
+					os.Remove(filepath.Join(a.dir, fmt.Sprintf("%s.%06d.seg", a.name, id)))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes segment files.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.flushPageLocked(); err != nil {
+		return err
+	}
+	for _, f := range a.files {
+		f.Close()
+	}
+	a.files = map[int32]*os.File{}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Package storage provides the out-of-core substrate of TelegraphCQ
+// (§4.2.3, §4.3): streamed data is spooled to disk in an append-only,
+// log-structured archive (exploiting the sequential write workload),
+// and read back through a buffer pool by a scanner driven by window
+// descriptors — the broadcast-disk-style read path the paper calls for.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"telegraphcq/internal/tuple"
+)
+
+// encodeTuple appends the wire form of t (for the given schema) to dst.
+// Layout: seq (varint), wall (varint ns, 0 = none), then one value per
+// column: kind byte + payload.
+func encodeTuple(dst []byte, t *tuple.Tuple) []byte {
+	dst = binary.AppendVarint(dst, t.TS.Seq)
+	var wall int64
+	if !t.TS.Wall.IsZero() {
+		wall = t.TS.Wall.UnixNano()
+	}
+	dst = binary.AppendVarint(dst, wall)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Values)))
+	for _, v := range t.Values {
+		dst = append(dst, byte(v.K))
+		switch v.K {
+		case tuple.KindNull:
+		case tuple.KindInt, tuple.KindTime:
+			dst = binary.AppendVarint(dst, v.I)
+		case tuple.KindFloat:
+			dst = binary.AppendUvarint(dst, math.Float64bits(v.F))
+		case tuple.KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		case tuple.KindBool:
+			if v.B {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	}
+	return dst
+}
+
+// decodeTuple reads one tuple from buf, returning it and the remaining
+// bytes.
+func decodeTuple(buf []byte, schema *tuple.Schema) (*tuple.Tuple, []byte, error) {
+	seq, n := binary.Varint(buf)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("storage: truncated seq")
+	}
+	buf = buf[n:]
+	wall, n := binary.Varint(buf)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("storage: truncated wall")
+	}
+	buf = buf[n:]
+	arity, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("storage: truncated arity")
+	}
+	buf = buf[n:]
+	vals := make([]tuple.Value, arity)
+	for i := range vals {
+		if len(buf) == 0 {
+			return nil, nil, fmt.Errorf("storage: truncated value %d", i)
+		}
+		k := tuple.Kind(buf[0])
+		buf = buf[1:]
+		switch k {
+		case tuple.KindNull:
+			vals[i] = tuple.Null()
+		case tuple.KindInt, tuple.KindTime:
+			x, n := binary.Varint(buf)
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("storage: truncated int")
+			}
+			buf = buf[n:]
+			vals[i] = tuple.Value{K: k, I: x}
+		case tuple.KindFloat:
+			u, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("storage: truncated float")
+			}
+			buf = buf[n:]
+			vals[i] = tuple.Float(math.Float64frombits(u))
+		case tuple.KindString:
+			l, n := binary.Uvarint(buf)
+			if n <= 0 || uint64(len(buf)-n) < l {
+				return nil, nil, fmt.Errorf("storage: truncated string")
+			}
+			buf = buf[n:]
+			vals[i] = tuple.String(string(buf[:l]))
+			buf = buf[l:]
+		case tuple.KindBool:
+			if len(buf) == 0 {
+				return nil, nil, fmt.Errorf("storage: truncated bool")
+			}
+			vals[i] = tuple.Bool(buf[0] == 1)
+			buf = buf[1:]
+		default:
+			return nil, nil, fmt.Errorf("storage: bad kind %d", k)
+		}
+	}
+	t := tuple.New(schema, vals...)
+	t.TS.Seq = seq
+	if wall != 0 {
+		t.TS.Wall = timeFromNano(wall)
+	}
+	return t, buf, nil
+}

@@ -1,0 +1,419 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+var schema = tuple.NewSchema(
+	tuple.Column{Source: "stocks", Name: "sym", Kind: tuple.KindString},
+	tuple.Column{Source: "stocks", Name: "price", Kind: tuple.KindFloat},
+	tuple.Column{Source: "stocks", Name: "flag", Kind: tuple.KindBool},
+)
+
+func row(seq int64, sym string, price float64) *tuple.Tuple {
+	t := tuple.New(schema, tuple.String(sym), tuple.Float(price), tuple.Bool(seq%2 == 0))
+	t.TS = tuple.Timestamp{Seq: seq}
+	return t
+}
+
+func newArchive(t *testing.T, poolFrames int, policy Replacement) *Archive {
+	t.Helper()
+	pool := NewPool(poolFrames, policy)
+	a, err := NewArchive("stocks", schema, pool, ArchiveConfig{Dir: t.TempDir(), PagesPerSegment: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vals := []tuple.Value{
+		tuple.Null(), tuple.Int(-42), tuple.Float(3.25),
+		tuple.String("héllo\x00world"), tuple.Bool(true),
+		tuple.Time(time.Unix(5, 7)),
+	}
+	s := tuple.NewSchema(make([]tuple.Column, len(vals))...)
+	in := tuple.New(s, vals...)
+	in.TS = tuple.Timestamp{Seq: 99, Wall: time.Unix(123, 456)}
+	buf := encodeTuple(nil, in)
+	out, rest, err := decodeTuple(buf, s)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v, %d left", err, len(rest))
+	}
+	if out.TS.Seq != 99 || !out.TS.Wall.Equal(in.TS.Wall) {
+		t.Fatalf("timestamps: %+v", out.TS)
+	}
+	for i := range vals {
+		if !tuple.Equal(out.Values[i], vals[i]) {
+			t.Fatalf("value %d: %v != %v", i, out.Values[i], vals[i])
+		}
+		if out.Values[i].K != vals[i].K {
+			t.Fatalf("kind %d: %v != %v", i, out.Values[i].K, vals[i].K)
+		}
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	s := tuple.NewSchema(
+		tuple.Column{Name: "a", Kind: tuple.KindInt},
+		tuple.Column{Name: "b", Kind: tuple.KindString},
+		tuple.Column{Name: "c", Kind: tuple.KindFloat},
+	)
+	f := func(seq int64, a int64, b string, c float64) bool {
+		if math.IsNaN(c) {
+			c = 0
+		}
+		in := tuple.New(s, tuple.Int(a), tuple.String(b), tuple.Float(c))
+		in.TS = tuple.Timestamp{Seq: seq}
+		out, rest, err := decodeTuple(encodeTuple(nil, in), s)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return out.TS.Seq == seq && out.Values[0].I == a &&
+			out.Values[1].S == b && out.Values[2].F == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendScanAll(t *testing.T) {
+	a := newArchive(t, 16, LRU)
+	const n = 5000
+	for seq := int64(1); seq <= n; seq++ {
+		if err := a.Append(row(seq, fmt.Sprintf("s%d", seq%7), float64(seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Count() != n {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	var got []int64
+	if err := a.ScanRange(1, n, func(tp *tuple.Tuple) bool {
+		got = append(got, tp.TS.Seq)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scanned %d", len(got))
+	}
+	for i, seq := range got {
+		if seq != int64(i+1) {
+			t.Fatalf("order broken at %d: %d", i, seq)
+		}
+	}
+}
+
+func TestScanRangeSelective(t *testing.T) {
+	a := newArchive(t, 16, LRU)
+	for seq := int64(1); seq <= 10000; seq++ {
+		_ = a.Append(row(seq, "A", float64(seq)))
+	}
+	pool := a.pool
+	before := pool.Stats()
+	var got []int64
+	if err := a.ScanRange(5000, 5004, func(tp *tuple.Tuple) bool {
+		got = append(got, tp.TS.Seq)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0] != 5000 || got[4] != 5004 {
+		t.Fatalf("range scan: %v", got)
+	}
+	after := pool.Stats()
+	touched := (after.Hits + after.Misses) - (before.Hits + before.Misses)
+	if touched > 3 {
+		t.Fatalf("narrow scan touched %d pages", touched)
+	}
+}
+
+func TestScanIncludesOpenPage(t *testing.T) {
+	a := newArchive(t, 4, LRU)
+	_ = a.Append(row(1, "A", 1)) // stays in the open page
+	n := 0
+	_ = a.ScanRange(1, 1, func(*tuple.Tuple) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("open page rows = %d", n)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	a := newArchive(t, 4, LRU)
+	for seq := int64(1); seq <= 1000; seq++ {
+		_ = a.Append(row(seq, "A", 1))
+	}
+	n := 0
+	_ = a.ScanRange(1, 1000, func(*tuple.Tuple) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop scanned %d", n)
+	}
+}
+
+func TestFlushPersistsOpenPage(t *testing.T) {
+	a := newArchive(t, 4, LRU)
+	_ = a.Append(row(1, "A", 1))
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Pages() != 1 {
+		t.Fatalf("pages = %d", a.Pages())
+	}
+	n := 0
+	_ = a.ScanRange(1, 1, func(*tuple.Tuple) bool { n++; return true })
+	if n != 1 {
+		t.Fatal("flushed row unreadable")
+	}
+}
+
+func TestScanWindowBackward(t *testing.T) {
+	a := newArchive(t, 16, LRU)
+	for seq := int64(1); seq <= 100; seq++ {
+		_ = a.Append(row(seq, "A", float64(seq)))
+	}
+	// Browse history backwards from seq 100: windows [91,100], [81,90], ...
+	spec := window.Backward("stocks", 10, 10, 3)
+	var rights []int64
+	var counts []int
+	err := a.ScanWindow(spec, "stocks", 100, func(inst window.Instance, rows []*tuple.Tuple) bool {
+		rights = append(rights, inst.Ranges["stocks"].Right)
+		counts = append(counts, len(rows))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rights) != 3 || rights[0] != 100 || rights[1] != 90 || rights[2] != 80 {
+		t.Fatalf("backward rights: %v", rights)
+	}
+	for _, c := range counts {
+		if c != 10 {
+			t.Fatalf("window sizes: %v", counts)
+		}
+	}
+}
+
+func TestScanWindowEarlyStop(t *testing.T) {
+	a := newArchive(t, 16, LRU)
+	for seq := int64(1); seq <= 50; seq++ {
+		_ = a.Append(row(seq, "A", 1))
+	}
+	n := 0
+	err := a.ScanWindow(window.Sliding("stocks", 5, 5, 0), "stocks", 5,
+		func(window.Instance, []*tuple.Tuple) bool {
+			n++
+			return n < 4
+		})
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestTruncateBefore(t *testing.T) {
+	a := newArchive(t, 16, LRU)
+	for seq := int64(1); seq <= 20000; seq++ {
+		_ = a.Append(row(seq, "A", 1))
+	}
+	_ = a.Flush()
+	pagesBefore := a.Pages()
+	if err := a.TruncateBefore(15000); err != nil {
+		t.Fatal(err)
+	}
+	if a.Pages() >= pagesBefore {
+		t.Fatalf("no pages reclaimed: %d -> %d", pagesBefore, a.Pages())
+	}
+	// Recent data still readable.
+	n := 0
+	_ = a.ScanRange(15000, 20000, func(*tuple.Tuple) bool { n++; return true })
+	if n != 5001 {
+		t.Fatalf("recent rows = %d", n)
+	}
+}
+
+func TestPoolHitMissEviction(t *testing.T) {
+	pool := NewPool(2, LRU)
+	loads := 0
+	load := func(dst []byte) error { loads++; return nil }
+	get := func(f, p int32) {
+		t.Helper()
+		id := PageID{File: f, Page: p}
+		if _, err := pool.Get(id, load); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(id)
+	}
+	get(0, 0)
+	get(0, 0) // hit
+	get(0, 1)
+	get(0, 2) // evicts page 0 (LRU)
+	get(0, 0) // miss again
+	s := pool.Stats()
+	if s.Hits != 1 || s.Misses != 4 || s.Evictions < 1 {
+		t.Fatalf("stats = %+v (loads %d)", s, loads)
+	}
+}
+
+func TestPoolPinnedPagesNotEvicted(t *testing.T) {
+	pool := NewPool(2, LRU)
+	load := func(dst []byte) error { return nil }
+	idA := PageID{File: 0, Page: 0}
+	idB := PageID{File: 0, Page: 1}
+	_, _ = pool.Get(idA, load) // pinned
+	_, _ = pool.Get(idB, load) // pinned
+	if _, err := pool.Get(PageID{File: 0, Page: 2}, load); err == nil {
+		t.Fatal("eviction of pinned frame")
+	}
+	pool.Unpin(idA)
+	if _, err := pool.Get(PageID{File: 0, Page: 2}, load); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolClockPolicy(t *testing.T) {
+	pool := NewPool(3, Clock)
+	load := func(dst []byte) error { return nil }
+	for i := int32(0); i < 10; i++ {
+		id := PageID{File: 0, Page: i % 5}
+		if _, err := pool.Get(id, load); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(id)
+	}
+	s := pool.Stats()
+	if s.Misses == 0 || s.Hits+s.Misses != 10 {
+		t.Fatalf("clock stats = %+v", s)
+	}
+}
+
+func TestPoolLoadErrorNotCached(t *testing.T) {
+	pool := NewPool(2, LRU)
+	id := PageID{File: 0, Page: 0}
+	fail := fmt.Errorf("disk error")
+	if _, err := pool.Get(id, func([]byte) error { return fail }); err == nil {
+		t.Fatal("load error swallowed")
+	}
+	ok := false
+	if _, err := pool.Get(id, func([]byte) error { ok = true; return nil }); err != nil || !ok {
+		t.Fatal("failed page cached")
+	}
+	pool.Unpin(id)
+}
+
+func TestArchiveRequiresDir(t *testing.T) {
+	if _, err := NewArchive("x", schema, NewPool(2, LRU), ArchiveConfig{}); err == nil {
+		t.Fatal("no-dir archive accepted")
+	}
+}
+
+func TestSharedPoolAcrossArchives(t *testing.T) {
+	pool := NewPool(8, LRU)
+	dir := t.TempDir()
+	a1, err := NewArchive("s1", schema, pool, ArchiveConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewArchive("s2", schema, pool, ArchiveConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	defer a2.Close()
+	for seq := int64(1); seq <= 2000; seq++ {
+		_ = a1.Append(row(seq, "A", 1))
+		_ = a2.Append(row(seq, "B", 2))
+	}
+	n1, n2 := 0, 0
+	_ = a1.ScanRange(1, 2000, func(tp *tuple.Tuple) bool {
+		if tp.Values[0].S != "A" {
+			t.Fatal("cross-archive contamination")
+		}
+		n1++
+		return true
+	})
+	_ = a2.ScanRange(1, 2000, func(tp *tuple.Tuple) bool {
+		if tp.Values[0].S != "B" {
+			t.Fatal("cross-archive contamination")
+		}
+		n2++
+		return true
+	})
+	if n1 != 2000 || n2 != 2000 {
+		t.Fatalf("rows: %d, %d", n1, n2)
+	}
+}
+
+func TestPoolPoliciesUnderSequentialScan(t *testing.T) {
+	// With a pool smaller than the scanned range, repeated sequential
+	// scans defeat LRU (every access is a miss); the test pins the shape
+	// rather than exact numbers.
+	run := func(policy Replacement) PoolStats {
+		pool := NewPool(8, policy)
+		a, err := NewArchive("s", schema, pool, ArchiveConfig{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		for seq := int64(1); seq <= 20000; seq++ {
+			_ = a.Append(row(seq, "A", 1))
+		}
+		_ = a.Flush()
+		for rep := 0; rep < 3; rep++ {
+			_ = a.ScanRange(1, 20000, func(*tuple.Tuple) bool { return true })
+		}
+		return pool.Stats()
+	}
+	lru := run(LRU)
+	clock := run(Clock)
+	if lru.Misses == 0 || clock.Misses == 0 {
+		t.Fatalf("no misses? lru=%+v clock=%+v", lru, clock)
+	}
+	t.Logf("lru=%+v clock=%+v", lru, clock)
+}
+
+func BenchmarkAppend(b *testing.B) {
+	pool := NewPool(64, Clock)
+	a, err := NewArchive("bench", schema, pool, ArchiveConfig{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Append(row(int64(i+1), "MSFT", 50)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowScan(b *testing.B) {
+	pool := NewPool(64, Clock)
+	a, err := NewArchive("bench", schema, pool, ArchiveConfig{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	r := rand.New(rand.NewSource(1))
+	for seq := int64(1); seq <= 100000; seq++ {
+		_ = a.Append(row(seq, "MSFT", r.Float64()))
+	}
+	_ = a.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i%90000 + 1)
+		n := 0
+		_ = a.ScanRange(lo, lo+999, func(*tuple.Tuple) bool { n++; return true })
+		if n != 1000 {
+			b.Fatalf("scan = %d", n)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a stream or table. Source is the
+// stream/table (or alias) the column belongs to; intermediate tuples
+// produced by joins carry columns from several sources.
+type Column struct {
+	Source string
+	Name   string
+	Kind   Kind
+}
+
+// QualifiedName renders "source.name", or just the name when unqualified.
+func (c Column) QualifiedName() string {
+	if c.Source == "" {
+		return c.Name
+	}
+	return c.Source + "." + c.Name
+}
+
+// Schema is an ordered list of columns. Schemas are immutable once built
+// and shared by every tuple of the same shape.
+type Schema struct {
+	Cols []Column
+	// Sources lists the distinct base streams/tables this schema spans,
+	// in first-appearance order. A single-source schema has one entry.
+	Sources []string
+}
+
+// NewSchema builds a schema from columns, deriving the source list.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Cols: cols}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if c.Source != "" && !seen[c.Source] {
+			seen[c.Source] = true
+			s.Sources = append(s.Sources, c.Source)
+		}
+	}
+	return s
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Cols) }
+
+// ColumnIndex resolves a (possibly qualified) column reference to its
+// position. An unqualified name must be unambiguous across sources.
+func (s *Schema) ColumnIndex(source, name string) (int, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if c.Name != name {
+			continue
+		}
+		if source != "" && c.Source != source {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("ambiguous column %q (in %s and %s)",
+				name, s.Cols[found].QualifiedName(), c.QualifiedName())
+		}
+		found = i
+	}
+	if found < 0 {
+		ref := name
+		if source != "" {
+			ref = source + "." + name
+		}
+		return -1, fmt.Errorf("unknown column %q", ref)
+	}
+	return found, nil
+}
+
+// HasSource reports whether the schema spans the given source.
+func (s *Schema) HasSource(src string) bool {
+	for _, x := range s.Sources {
+		if x == src {
+			return true
+		}
+	}
+	return false
+}
+
+// Concat returns the schema of tuples produced by joining s with o
+// (column lists appended).
+func (s *Schema) Concat(o *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Cols)+len(o.Cols))
+	cols = append(cols, s.Cols...)
+	cols = append(cols, o.Cols...)
+	return NewSchema(cols...)
+}
+
+// Project returns the schema restricted to the given column positions.
+func (s *Schema) Project(idx []int) *Schema {
+	cols := make([]Column, len(idx))
+	for i, j := range idx {
+		cols[i] = s.Cols[j]
+	}
+	return NewSchema(cols...)
+}
+
+// Rename returns a copy of the schema with every column's source replaced,
+// used when a stream is aliased in FROM ("ClosingStockPrices AS c1").
+func (s *Schema) Rename(source string) *Schema {
+	cols := make([]Column, len(s.Cols))
+	for i, c := range s.Cols {
+		c.Source = source
+		cols[i] = c
+	}
+	return NewSchema(cols...)
+}
+
+// String renders "(src.a int, src.b float)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QualifiedName())
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

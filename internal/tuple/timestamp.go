@@ -1,0 +1,102 @@
+package tuple
+
+import "time"
+
+// Timestamp carries the two simultaneous notions of time the paper's
+// windowing algebra supports (§4.1): a logical sequence number assigned
+// per stream, and a physical wall-clock instant. Because loosely
+// synchronized distributed sources cannot be totally ordered, time is
+// treated as a *partial* order: two timestamps are ordered only when both
+// components agree (or a component is absent on both sides).
+type Timestamp struct {
+	// Seq is the 1-based logical sequence number within the tuple's
+	// stream; 0 means "no logical time" (e.g. tuples from static tables).
+	Seq int64
+	// Wall is the physical arrival or source time; the zero time means
+	// "no physical time".
+	Wall time.Time
+}
+
+// Ordering is the result of comparing two partially ordered timestamps.
+type Ordering int8
+
+const (
+	Before       Ordering = -1
+	Simultaneous Ordering = 0
+	After        Ordering = 1
+	// Incomparable is returned when the logical and physical components
+	// disagree, or when neither side carries a usable component.
+	Incomparable Ordering = 2
+)
+
+// ComparePartial compares two timestamps under the partial order.
+func ComparePartial(a, b Timestamp) Ordering {
+	logical := Incomparable
+	if a.Seq != 0 && b.Seq != 0 {
+		switch {
+		case a.Seq < b.Seq:
+			logical = Before
+		case a.Seq > b.Seq:
+			logical = After
+		default:
+			logical = Simultaneous
+		}
+	}
+	physical := Incomparable
+	if !a.Wall.IsZero() && !b.Wall.IsZero() {
+		switch {
+		case a.Wall.Before(b.Wall):
+			physical = Before
+		case a.Wall.After(b.Wall):
+			physical = After
+		default:
+			physical = Simultaneous
+		}
+	}
+	switch {
+	case logical == Incomparable:
+		return physical
+	case physical == Incomparable:
+		return logical
+	case logical == physical:
+		return logical
+	case logical == Simultaneous:
+		return physical
+	case physical == Simultaneous:
+		return logical
+	default:
+		return Incomparable
+	}
+}
+
+// Domain selects which notion of time a window is defined over.
+type Domain uint8
+
+const (
+	// LogicalTime windows are defined over per-stream sequence numbers;
+	// their memory requirements are known a priori (§4.1.2).
+	LogicalTime Domain = iota
+	// PhysicalTime windows are defined over wall-clock instants; memory
+	// use depends on the arrival rate.
+	PhysicalTime
+)
+
+func (d Domain) String() string {
+	if d == LogicalTime {
+		return "logical"
+	}
+	return "physical"
+}
+
+// Instant extracts the coordinate of ts in the given domain. Physical
+// instants are expressed in milliseconds since the Unix epoch — the
+// granularity the SQL dialect's PHYSICAL windows quantify over.
+func (ts Timestamp) Instant(d Domain) int64 {
+	if d == LogicalTime {
+		return ts.Seq
+	}
+	if ts.Wall.IsZero() {
+		return 0
+	}
+	return ts.Wall.UnixMilli()
+}

@@ -1,0 +1,133 @@
+package tuple
+
+import (
+	"strings"
+
+	"telegraphcq/internal/bitset"
+)
+
+// Lineage is the per-tuple routing state an Eddy needs (§2.2) extended
+// with the CACQ bitmaps for shared multi-query processing (§3.1).
+//
+//   - Ready: modules the tuple may be routed to next.
+//   - Done:  modules that have successfully handled the tuple.
+//   - Queries: the set of query IDs still interested in the tuple
+//     ("completion" lineage). A grouped filter or per-query predicate
+//     clears bits; when the tuple reaches the output, the surviving
+//     bits name the clients that receive it.
+type Lineage struct {
+	Ready   bitset.Set
+	Done    bitset.Set
+	Queries bitset.Set
+}
+
+// Tuple is the unit of dataflow. A tuple is owned by exactly one module
+// (or one queue slot) at a time; modules that need to retain a tuple
+// beyond a call must Clone it.
+type Tuple struct {
+	Schema *Schema
+	Values []Value
+	TS     Timestamp
+	// Arrival is the engine-wide admission serial (1-based) stamped by
+	// the router. Joins use it to produce each match exactly once: a
+	// probe matches only stored tuples that arrived strictly earlier.
+	// Zero means "before everything" (static tables, direct API use).
+	Arrival int64
+	// Lin is lazily allocated; tuples outside an Eddy don't pay for it.
+	Lin *Lineage
+}
+
+// New allocates a tuple over the given schema.
+func New(s *Schema, vals ...Value) *Tuple {
+	return &Tuple{Schema: s, Values: vals}
+}
+
+// Get returns the value at column i.
+func (t *Tuple) Get(i int) Value { return t.Values[i] }
+
+// Lineage returns the tuple's lineage, allocating it on first use.
+func (t *Tuple) Lineage() *Lineage {
+	if t.Lin == nil {
+		t.Lin = &Lineage{}
+	}
+	return t.Lin
+}
+
+// Clone returns a deep copy (values are immutable and shared; lineage and
+// the value slice are copied).
+func (t *Tuple) Clone() *Tuple {
+	c := &Tuple{Schema: t.Schema, TS: t.TS, Arrival: t.Arrival}
+	c.Values = make([]Value, len(t.Values))
+	copy(c.Values, t.Values)
+	if t.Lin != nil {
+		c.Lin = &Lineage{}
+		c.Lin.Ready.CopyFrom(&t.Lin.Ready)
+		c.Lin.Done.CopyFrom(&t.Lin.Done)
+		c.Lin.Queries.CopyFrom(&t.Lin.Queries)
+	}
+	return c
+}
+
+// Concat builds the join result of t and o: schemas and values appended.
+// The result's timestamp takes the *later* logical coordinate so windowed
+// operators downstream see the freshest component (standard stream-join
+// timestamping); lineage is not propagated — the Eddy re-derives it.
+func Concat(t, o *Tuple) *Tuple {
+	vals := make([]Value, 0, len(t.Values)+len(o.Values))
+	vals = append(vals, t.Values...)
+	vals = append(vals, o.Values...)
+	ts := t.TS
+	if o.TS.Seq > ts.Seq {
+		ts.Seq = o.TS.Seq
+	}
+	if o.TS.Wall.After(ts.Wall) {
+		ts.Wall = o.TS.Wall
+	}
+	arr := t.Arrival
+	if o.Arrival > arr {
+		arr = o.Arrival
+	}
+	return &Tuple{Schema: t.Schema.Concat(o.Schema), Values: vals, TS: ts, Arrival: arr}
+}
+
+// Project returns a new tuple restricted to the given column positions.
+func (t *Tuple) Project(s *Schema, idx []int) *Tuple {
+	vals := make([]Value, len(idx))
+	for i, j := range idx {
+		vals[i] = t.Values[j]
+	}
+	return &Tuple{Schema: s, Values: vals, TS: t.TS}
+}
+
+// Key computes a grouping/duplicate key over the given columns, suitable
+// for map keys. Distinct values produce distinct keys except for
+// adversarial strings containing the separator; group-by columns in the
+// engine are typed, so we escape the separator in string values.
+func (t *Tuple) Key(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		v := t.Values[c]
+		b.WriteByte(byte(v.K))
+		s := v.String()
+		if v.K == KindString && strings.IndexByte(s, 0) >= 0 {
+			s = strings.ReplaceAll(s, "\x00", "\x00\x00")
+		}
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// String renders the tuple's values comma-separated (result rows).
+func (t *Tuple) String() string {
+	var b strings.Builder
+	for i, v := range t.Values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}

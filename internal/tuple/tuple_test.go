@@ -1,0 +1,303 @@
+package tuple
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func stockSchema() *Schema {
+	return NewSchema(
+		Column{Source: "ClosingStockPrices", Name: "timestamp", Kind: KindInt},
+		Column{Source: "ClosingStockPrices", Name: "stockSymbol", Kind: KindString},
+		Column{Source: "ClosingStockPrices", Name: "closingPrice", Kind: KindFloat},
+	)
+}
+
+func TestParseKind(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"int": KindInt, "integer": KindInt, "long": KindInt, "bigint": KindInt,
+		"float": KindFloat, "double": KindFloat, "real": KindFloat,
+		"string": KindString, "text": KindString, "varchar": KindString, "char": KindString,
+		"bool": KindBool, "boolean": KindBool,
+		"time": KindTime, "timestamp": KindTime,
+	} {
+		got, err := ParseKind(name)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind(blob) succeeded")
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if Bool(true).Numeric() {
+		t.Error("Bool should not be Numeric")
+	}
+	if Int(7).AsFloat() != 7 {
+		t.Error("Int.AsFloat")
+	}
+	if Float(2.5).AsInt() != 2 {
+		t.Error("Float.AsInt truncation")
+	}
+	if Bool(true).AsInt() != 1 || Bool(false).AsFloat() != 0 {
+		t.Error("Bool coercion")
+	}
+	if !math.IsNaN(String("x").AsFloat()) {
+		t.Error("String.AsFloat should be NaN")
+	}
+	now := time.Unix(100, 5)
+	if !Time(now).AsTime().Equal(now) {
+		t.Error("Time round trip")
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL": Null(), "42": Int(42), "2.5": Float(2.5),
+		"hi": String("hi"), "true": Bool(true), "false": Bool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	type tc struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}
+	cases := []tc{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Int(2), Float(2.0), 0, true},
+		{Float(1.5), Int(2), -1, true},
+		{String("a"), String("b"), -1, true},
+		{String("b"), String("b"), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Null(), Int(5), -1, true},
+		{Int(5), Null(), 1, true},
+		{Null(), Null(), 0, true},
+		{String("a"), Int(1), 0, false},
+		{Int(math.MaxInt64), Int(math.MaxInt64 - 1), 1, true}, // precision beyond float53
+	}
+	for _, c := range cases {
+		cmp, ok := Compare(c.a, c.b)
+		if cmp != c.cmp || ok != c.ok {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d,%v", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestHashEqualConsistency(t *testing.T) {
+	// Values that are Equal must hash alike.
+	pairs := [][2]Value{
+		{Int(5), Float(5)},
+		{Float(0), Float(math.Copysign(0, -1))},
+		{String("abc"), String("abc")},
+		{Bool(true), Bool(true)},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Fatalf("expected %v == %v", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("Hash(%v) != Hash(%v)", p[0], p[1])
+		}
+	}
+	if Int(1).Hash() == Int(2).Hash() {
+		t.Error("suspicious collision 1 vs 2")
+	}
+	if String("a").Hash() == String("b").Hash() {
+		t.Error("suspicious collision a vs b")
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, ok1 := Compare(Int(a), Int(b))
+		c2, ok2 := Compare(Int(b), Int(a))
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaColumnIndex(t *testing.T) {
+	s := stockSchema()
+	if i, err := s.ColumnIndex("", "closingPrice"); err != nil || i != 2 {
+		t.Fatalf("unqualified lookup: %d, %v", i, err)
+	}
+	if i, err := s.ColumnIndex("ClosingStockPrices", "timestamp"); err != nil || i != 0 {
+		t.Fatalf("qualified lookup: %d, %v", i, err)
+	}
+	if _, err := s.ColumnIndex("", "nope"); err == nil {
+		t.Fatal("unknown column did not error")
+	}
+	if _, err := s.ColumnIndex("wrong", "timestamp"); err == nil {
+		t.Fatal("wrong source did not error")
+	}
+	// Ambiguity after a self-join style concat.
+	j := s.Rename("c1").Concat(s.Rename("c2"))
+	if _, err := j.ColumnIndex("", "closingPrice"); err == nil {
+		t.Fatal("ambiguous column did not error")
+	}
+	if i, err := j.ColumnIndex("c2", "closingPrice"); err != nil || i != 5 {
+		t.Fatalf("qualified in join: %d, %v", i, err)
+	}
+}
+
+func TestSchemaSourcesAndConcat(t *testing.T) {
+	s := stockSchema()
+	if len(s.Sources) != 1 || s.Sources[0] != "ClosingStockPrices" {
+		t.Fatalf("Sources = %v", s.Sources)
+	}
+	j := s.Rename("a").Concat(s.Rename("b"))
+	if len(j.Sources) != 2 || !j.HasSource("a") || !j.HasSource("b") || j.HasSource("c") {
+		t.Fatalf("join sources: %v", j.Sources)
+	}
+	if j.Arity() != 6 {
+		t.Fatalf("Arity = %d", j.Arity())
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := stockSchema()
+	p := s.Project([]int{2, 0})
+	if p.Arity() != 2 || p.Cols[0].Name != "closingPrice" || p.Cols[1].Name != "timestamp" {
+		t.Fatalf("Project = %v", p)
+	}
+}
+
+func TestTupleCloneIndependence(t *testing.T) {
+	s := stockSchema()
+	tp := New(s, Int(1), String("MSFT"), Float(50))
+	tp.TS = Timestamp{Seq: 1}
+	tp.Lineage().Ready.Add(3)
+	tp.Lineage().Queries.Add(7)
+	c := tp.Clone()
+	c.Values[2] = Float(99)
+	c.Lin.Ready.Add(4)
+	c.Lin.Queries.Remove(7)
+	if tp.Values[2].F != 50 || tp.Lin.Ready.Contains(4) || !tp.Lin.Queries.Contains(7) {
+		t.Fatal("Clone shares state with original")
+	}
+	if !c.Lin.Ready.Contains(3) {
+		t.Fatal("Clone lost lineage")
+	}
+}
+
+func TestTupleCloneWithoutLineage(t *testing.T) {
+	tp := New(stockSchema(), Int(1), String("A"), Float(2))
+	c := tp.Clone()
+	if c.Lin != nil {
+		t.Fatal("Clone invented lineage")
+	}
+}
+
+func TestConcatTimestamps(t *testing.T) {
+	s := stockSchema()
+	a := New(s.Rename("a"), Int(1), String("A"), Float(1))
+	a.TS = Timestamp{Seq: 5, Wall: time.Unix(10, 0)}
+	b := New(s.Rename("b"), Int(2), String("B"), Float(2))
+	b.TS = Timestamp{Seq: 9, Wall: time.Unix(3, 0)}
+	j := Concat(a, b)
+	if j.TS.Seq != 9 {
+		t.Errorf("Concat Seq = %d, want 9", j.TS.Seq)
+	}
+	if !j.TS.Wall.Equal(time.Unix(10, 0)) {
+		t.Errorf("Concat Wall = %v", j.TS.Wall)
+	}
+	if len(j.Values) != 6 || j.Values[3].I != 2 {
+		t.Errorf("Concat values: %v", j)
+	}
+}
+
+func TestTupleKeyDistinctness(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "a", Kind: KindString},
+		Column{Name: "b", Kind: KindString},
+	)
+	t1 := New(s, String("x"), String("y"))
+	t2 := New(s, String("xy"), String(""))
+	if t1.Key([]int{0, 1}) == t2.Key([]int{0, 1}) {
+		t.Fatal("key collision across column boundaries")
+	}
+	t3 := New(s, String("x\x00"), String("y"))
+	if t1.Key([]int{0, 1}) == t3.Key([]int{0, 1}) {
+		t.Fatal("key collision with embedded NUL")
+	}
+	if t1.Key([]int{0}) != New(s, String("x"), String("zzz")).Key([]int{0}) {
+		t.Fatal("same group key should match")
+	}
+}
+
+func TestComparePartial(t *testing.T) {
+	w := func(sec int64) time.Time { return time.Unix(sec, 0) }
+	cases := []struct {
+		a, b Timestamp
+		want Ordering
+	}{
+		{Timestamp{Seq: 1}, Timestamp{Seq: 2}, Before},
+		{Timestamp{Seq: 3}, Timestamp{Seq: 2}, After},
+		{Timestamp{Seq: 2}, Timestamp{Seq: 2}, Simultaneous},
+		{Timestamp{Wall: w(1)}, Timestamp{Wall: w(2)}, Before},
+		{Timestamp{Seq: 1, Wall: w(5)}, Timestamp{Seq: 2, Wall: w(6)}, Before},
+		// Logical and physical disagree: incomparable.
+		{Timestamp{Seq: 1, Wall: w(9)}, Timestamp{Seq: 2, Wall: w(6)}, Incomparable},
+		// One component simultaneous: the other decides.
+		{Timestamp{Seq: 2, Wall: w(1)}, Timestamp{Seq: 2, Wall: w(6)}, Before},
+		// Missing components on either side.
+		{Timestamp{Seq: 1}, Timestamp{Wall: w(2)}, Incomparable},
+		{Timestamp{}, Timestamp{}, Incomparable},
+		// Seq present on one side only: physical decides.
+		{Timestamp{Seq: 4, Wall: w(1)}, Timestamp{Wall: w(2)}, Before},
+	}
+	for i, c := range cases {
+		if got := ComparePartial(c.a, c.b); got != c.want {
+			t.Errorf("case %d: ComparePartial = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestInstant(t *testing.T) {
+	ts := Timestamp{Seq: 42, Wall: time.Unix(5, 0)}
+	if ts.Instant(LogicalTime) != 42 {
+		t.Error("logical instant")
+	}
+	if ts.Instant(PhysicalTime) != 5000 { // milliseconds
+		t.Errorf("physical instant = %d", ts.Instant(PhysicalTime))
+	}
+	if (Timestamp{}).Instant(PhysicalTime) != 0 {
+		t.Error("zero wall should map to 0")
+	}
+}
+
+func TestProjectTuple(t *testing.T) {
+	s := stockSchema()
+	tp := New(s, Int(1), String("MSFT"), Float(50))
+	ps := s.Project([]int{1})
+	p := tp.Project(ps, []int{1})
+	if p.Values[0].S != "MSFT" || p.Schema.Arity() != 1 {
+		t.Fatalf("Project = %v", p)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tp := New(stockSchema(), Int(1), String("MSFT"), Float(50.5))
+	if got := tp.String(); got != "1,MSFT,50.5" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,270 @@
+// Package tuple defines the record model that flows through every
+// TelegraphCQ module: typed values, schemas, timestamps (logical and
+// physical, treated as a partial order per §4.1 of the paper), and the
+// per-tuple lineage state that CACQ-style shared processing requires
+// (§3.1). Tuples here play the role of the paper's "enhanced surrogate
+// objects" (§4.2.2): intermediate tuples may span several base streams
+// and carry routing bitmaps.
+package tuple
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindTime
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindTime:
+		return "time"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind maps a SQL type name to a Kind.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "int", "integer", "long", "bigint":
+		return KindInt, nil
+	case "float", "double", "real":
+		return KindFloat, nil
+	case "string", "text", "varchar", "char":
+		return KindString, nil
+	case "bool", "boolean":
+		return KindBool, nil
+	case "time", "timestamp":
+		return KindTime, nil
+	default:
+		return KindNull, fmt.Errorf("unknown type %q", name)
+	}
+}
+
+// Value is a compact tagged union. Only the field matching Kind is
+// meaningful; KindTime reuses I as nanoseconds since the Unix epoch.
+// Values are immutable by convention.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+	B bool
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{K: KindNull} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// String returns a string value.
+func String(s string) Value { return Value{K: KindString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{K: KindBool, B: b} }
+
+// Time returns a timestamp value.
+func Time(t time.Time) Value { return Value{K: KindTime, I: t.UnixNano()} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// AsTime interprets the value as a time.Time (valid only for KindTime).
+func (v Value) AsTime() time.Time { return time.Unix(0, v.I) }
+
+// AsFloat coerces numeric values to float64. Non-numeric values yield NaN.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt, KindTime:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	case KindBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	default:
+		return math.NaN()
+	}
+}
+
+// AsInt coerces numeric values to int64 (floats truncate).
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindInt, KindTime:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	case KindBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Numeric reports whether the value participates in arithmetic.
+func (v Value) Numeric() bool {
+	return v.K == KindInt || v.K == KindFloat || v.K == KindTime
+}
+
+// String renders the value for result delivery (CSV cells, logs).
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	case KindTime:
+		return v.AsTime().UTC().Format(time.RFC3339Nano)
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; numeric kinds
+// compare by magnitude across int/float/time; otherwise values must share
+// a kind. The boolean ok is false for incomparable kinds (e.g. string vs
+// int), which callers treat as "predicate is false" per SQL's unknown.
+func Compare(a, b Value) (cmp int, ok bool) {
+	if a.K == KindNull || b.K == KindNull {
+		if a.K == b.K {
+			return 0, true
+		}
+		if a.K == KindNull {
+			return -1, true
+		}
+		return 1, true
+	}
+	if a.Numeric() && b.Numeric() {
+		af, bf := a.AsFloat(), b.AsFloat()
+		// Preserve full int64 precision when both sides are integral.
+		if a.K != KindFloat && b.K != KindFloat {
+			ai, bi := a.I, b.I
+			switch {
+			case ai < bi:
+				return -1, true
+			case ai > bi:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if a.K != b.K {
+		return 0, false
+	}
+	switch a.K {
+	case KindString:
+		switch {
+		case a.S < b.S:
+			return -1, true
+		case a.S > b.S:
+			return 1, true
+		default:
+			return 0, true
+		}
+	case KindBool:
+		switch {
+		case !a.B && b.B:
+			return -1, true
+		case a.B && !b.B:
+			return 1, true
+		default:
+			return 0, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+func Equal(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Hash returns a 64-bit hash of the value, consistent with Equal for the
+// numeric kinds (an int and a float holding the same magnitude hash alike).
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	switch v.K {
+	case KindNull:
+		mix(0)
+	case KindInt, KindFloat, KindTime:
+		f := v.AsFloat()
+		if f == 0 {
+			f = 0 // normalize -0 so it hashes like +0
+		}
+		u := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case KindString:
+		mix(2)
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	case KindBool:
+		if v.B {
+			mix(3)
+		} else {
+			mix(4)
+		}
+	}
+	return h
+}

@@ -1,0 +1,81 @@
+package window
+
+import "telegraphcq/internal/tuple"
+
+// The constructors below build the paper's §4.1 example shapes directly.
+
+// Snapshot returns a spec that evaluates exactly once over [left, right]
+// (paper example 1: "for (; t==0; t = -1) { WindowIs(S, 1, 5) }").
+func Snapshot(stream string, left, right int64) *Spec {
+	return &Spec{
+		Domain: tuple.LogicalTime,
+		Init:   ConstExpr(0),
+		Cond:   Cond{Op: CondEq, RHS: ConstExpr(0)},
+		Step:   -1,
+		Defs:   []Def{{Stream: stream, Left: ConstExpr(left), Right: ConstExpr(right)}},
+	}
+}
+
+// Landmark returns a spec with a fixed left end and a right end that
+// advances with t from first to last inclusive (paper example 2:
+// "for (t = 101; t <= 1000; t++) { WindowIs(S, 101, t) }").
+func Landmark(stream string, left, first, last int64) *Spec {
+	return &Spec{
+		Domain: tuple.LogicalTime,
+		Init:   ConstExpr(first),
+		Cond:   Cond{Op: CondLe, RHS: ConstExpr(last)},
+		Step:   1,
+		Defs:   []Def{{Stream: stream, Left: ConstExpr(left), Right: TExpr(0)}},
+	}
+}
+
+// Sliding returns a spec whose window [t-width+1, t] hops forward by hop
+// starting at the query start time and standing for `iterations` hops
+// (paper example 3 has width 5, hop 5, 50 days). iterations <= 0 keeps
+// the query standing forever (continuous).
+func Sliding(stream string, width, hop, iterations int64) *Spec {
+	cond := Cond{Op: CondTrue}
+	if iterations > 0 {
+		cond = Cond{Op: CondLt, RHS: STExpr(iterations)}
+	}
+	return &Spec{
+		Domain: tuple.LogicalTime,
+		Init:   STExpr(0),
+		Cond:   cond,
+		Step:   hop,
+		Defs:   []Def{{Stream: stream, Left: TExpr(-(width - 1)), Right: TExpr(0)}},
+	}
+}
+
+// BandJoin returns the paper's example 4: both streams share the sliding
+// window [t-width+1, t] for `iterations` steps of 1.
+func BandJoin(streamA, streamB string, width, iterations int64) *Spec {
+	defs := []Def{
+		{Stream: streamA, Left: TExpr(-(width - 1)), Right: TExpr(0)},
+		{Stream: streamB, Left: TExpr(-(width - 1)), Right: TExpr(0)},
+	}
+	return &Spec{
+		Domain: tuple.LogicalTime,
+		Init:   STExpr(0),
+		Cond:   Cond{Op: CondLt, RHS: STExpr(iterations)},
+		Step:   1,
+		Defs:   defs,
+	}
+}
+
+// Backward returns a browsing-style spec whose windows move toward the
+// past starting from the present (§4.1.1's "windows that move backwards
+// starting from the present time").
+func Backward(stream string, width, hop, iterations int64) *Spec {
+	cond := Cond{Op: CondTrue}
+	if iterations > 0 {
+		cond = Cond{Op: CondGt, RHS: STExpr(-hop * iterations)}
+	}
+	return &Spec{
+		Domain: tuple.LogicalTime,
+		Init:   STExpr(0),
+		Cond:   cond,
+		Step:   -hop,
+		Defs:   []Def{{Stream: stream, Left: TExpr(-(width - 1)), Right: TExpr(0)}},
+	}
+}

@@ -1,0 +1,340 @@
+// Package window implements the TelegraphCQ windowing construct (§4.1):
+// a for-loop over a time variable t that declares, per input stream, the
+// sequence of [left, right] windows the query is evaluated over.
+//
+//	for (t = init; cond(t); t += step) {
+//	    WindowIs(Stream, left(t), right(t));
+//	    ...
+//	}
+//
+// Bounds are linear expressions a*t + b*ST + c where ST is the query's
+// start time, covering all four of the paper's examples: snapshot,
+// landmark, sliding/hopping, and temporal band-join windows, plus
+// backward-moving windows (negative step).
+package window
+
+import (
+	"fmt"
+	"math"
+
+	"telegraphcq/internal/tuple"
+)
+
+// LinExpr is a*t + b*ST + c over the loop variable and the query start
+// time. All window arithmetic is integral: logical time counts sequence
+// numbers, physical time counts nanoseconds.
+type LinExpr struct {
+	TCoef  int64
+	STCoef int64
+	Const  int64
+}
+
+// ConstExpr returns the constant expression c.
+func ConstExpr(c int64) LinExpr { return LinExpr{Const: c} }
+
+// TExpr returns the expression t + c.
+func TExpr(c int64) LinExpr { return LinExpr{TCoef: 1, Const: c} }
+
+// STExpr returns the expression ST + c.
+func STExpr(c int64) LinExpr { return LinExpr{STCoef: 1, Const: c} }
+
+// Eval computes the expression at loop value t and start time st.
+func (e LinExpr) Eval(t, st int64) int64 {
+	return e.TCoef*t + e.STCoef*st + e.Const
+}
+
+// DependsOnT reports whether the bound moves as the loop iterates.
+func (e LinExpr) DependsOnT() bool { return e.TCoef != 0 }
+
+func (e LinExpr) String() string {
+	s := ""
+	emit := func(coef int64, name string) {
+		if coef == 0 {
+			return
+		}
+		switch {
+		case s == "" && coef == 1:
+			s = name
+		case s == "" && coef == -1:
+			s = "-" + name
+		case s == "":
+			s = fmt.Sprintf("%d*%s", coef, name)
+		case coef == 1:
+			s += "+" + name
+		case coef == -1:
+			s += "-" + name
+		case coef > 0:
+			s += fmt.Sprintf("+%d*%s", coef, name)
+		default:
+			s += fmt.Sprintf("-%d*%s", -coef, name)
+		}
+	}
+	emit(e.TCoef, "t")
+	emit(e.STCoef, "ST")
+	if e.Const != 0 || s == "" {
+		if s == "" {
+			s = fmt.Sprintf("%d", e.Const)
+		} else if e.Const > 0 {
+			s += fmt.Sprintf("+%d", e.Const)
+		} else {
+			s += fmt.Sprintf("%d", e.Const)
+		}
+	}
+	return s
+}
+
+// CondOp is the comparison in the loop's continuation condition.
+type CondOp uint8
+
+const (
+	CondTrue CondOp = iota // no condition: runs forever (continuous)
+	CondEq
+	CondLt
+	CondLe
+	CondGt
+	CondGe
+)
+
+func (c CondOp) String() string {
+	switch c {
+	case CondTrue:
+		return "true"
+	case CondEq:
+		return "=="
+	case CondLt:
+		return "<"
+	case CondLe:
+		return "<="
+	case CondGt:
+		return ">"
+	case CondGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Cond is the continuation condition "t OP rhs".
+type Cond struct {
+	Op  CondOp
+	RHS LinExpr // must not depend on t
+}
+
+// Holds evaluates the condition at loop value t and start time st.
+func (c Cond) Holds(t, st int64) bool {
+	if c.Op == CondTrue {
+		return true
+	}
+	r := c.RHS.Eval(0, st)
+	switch c.Op {
+	case CondEq:
+		return t == r
+	case CondLt:
+		return t < r
+	case CondLe:
+		return t <= r
+	case CondGt:
+		return t > r
+	case CondGe:
+		return t >= r
+	}
+	return false
+}
+
+// Def is one WindowIs statement: the window on a named stream.
+type Def struct {
+	Stream string
+	Left   LinExpr
+	Right  LinExpr // inclusive
+}
+
+func (d Def) String() string {
+	return fmt.Sprintf("WindowIs(%s, %s, %s)", d.Stream, d.Left, d.Right)
+}
+
+// Spec is the whole for-loop construct for one group of streams sharing
+// transition behaviour (the paper allows one for-loop per such group).
+type Spec struct {
+	Domain tuple.Domain
+	Init   LinExpr // must not depend on t
+	Cond   Cond
+	Step   int64 // t += Step each iteration; may be negative (backward)
+	Defs   []Def
+}
+
+// Validate rejects specs that cannot make progress or whose bounds are
+// malformed.
+func (s *Spec) Validate() error {
+	if s.Init.DependsOnT() {
+		return fmt.Errorf("window init depends on t")
+	}
+	if s.Cond.RHS.DependsOnT() {
+		return fmt.Errorf("window condition depends on t")
+	}
+	if len(s.Defs) == 0 {
+		return fmt.Errorf("window spec has no WindowIs statements")
+	}
+	seen := map[string]bool{}
+	for _, d := range s.Defs {
+		if d.Stream == "" {
+			return fmt.Errorf("WindowIs with empty stream name")
+		}
+		if seen[d.Stream] {
+			return fmt.Errorf("duplicate WindowIs for stream %s", d.Stream)
+		}
+		seen[d.Stream] = true
+	}
+	if s.Step == 0 {
+		// A zero step only terminates via an equality condition that the
+		// second iteration fails, or never; require one-shot shape.
+		if s.Cond.Op != CondEq {
+			return fmt.Errorf("zero step requires a one-shot (==) condition")
+		}
+	}
+	// Non-terminating snapshot idiom like "t==0; t=-1" is fine: step -1
+	// breaks equality. Detect steps that move away from a bounded cond
+	// yet can never falsify it.
+	if s.Step > 0 && (s.Cond.Op == CondGt || s.Cond.Op == CondGe) {
+		// t grows and condition is t > X: never terminates, which is a
+		// continuous query; allowed.
+		return nil
+	}
+	return nil
+}
+
+// Kind classifies the window sequence; the executor and the aggregate
+// operator pick algorithms by it (§4.1.2: landmark MAX is O(1) state,
+// sliding MAX must retain the window).
+type Kind uint8
+
+const (
+	KindSnapshot Kind = iota // executes exactly once
+	KindLandmark             // fixed left, moving right
+	KindSliding              // both ends move forward
+	KindBackward             // windows move toward the past
+	KindMixed                // defs differ in behaviour
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSnapshot:
+		return "snapshot"
+	case KindLandmark:
+		return "landmark"
+	case KindSliding:
+		return "sliding"
+	case KindBackward:
+		return "backward"
+	default:
+		return "mixed"
+	}
+}
+
+// Classify reports the spec's window kind and, for sliding windows, the
+// width and hop. A hop larger than the width means portions of the
+// stream are never examined (§4.1.2); callers can warn on it.
+func (s *Spec) Classify() (kind Kind, width, hop int64) {
+	oneShot := s.Cond.Op == CondEq
+	if oneShot {
+		return KindSnapshot, 0, 0
+	}
+	if s.Step < 0 {
+		return KindBackward, 0, -s.Step
+	}
+	var k Kind
+	set := false
+	for _, d := range s.Defs {
+		var dk Kind
+		switch {
+		case !d.Left.DependsOnT() && d.Right.DependsOnT():
+			dk = KindLandmark
+		case d.Left.DependsOnT() && d.Right.DependsOnT():
+			dk = KindSliding
+		default:
+			dk = KindSnapshot // static window repeated
+		}
+		if !set {
+			k, set = dk, true
+		} else if dk != k {
+			return KindMixed, 0, 0
+		}
+	}
+	if k == KindSliding {
+		// width from any def (they share transition behaviour).
+		d := s.Defs[0]
+		width = d.Right.Eval(0, 0) - d.Left.Eval(0, 0) + 1
+		hop = s.Step * d.Right.TCoef
+	}
+	return k, width, hop
+}
+
+// Instance is one iteration of the loop: a concrete window per stream.
+type Instance struct {
+	T      int64
+	Ranges map[string]Range
+}
+
+// Range is a closed interval of instants in the spec's time domain.
+type Range struct{ Left, Right int64 }
+
+// Contains reports whether instant x falls in the range.
+func (r Range) Contains(x int64) bool { return x >= r.Left && x <= r.Right }
+
+// Empty reports whether the range contains no instants.
+func (r Range) Empty() bool { return r.Left > r.Right }
+
+// Sequence iterates the window instances of a spec, bound to a start
+// time. It is a pure state machine: arrival-driven execution lives in the
+// operator package.
+type Sequence struct {
+	spec *Spec
+	st   int64
+	t    int64
+	done bool
+}
+
+// NewSequence binds a spec to a start time ST.
+func NewSequence(spec *Spec, st int64) *Sequence {
+	return &Sequence{spec: spec, st: st, t: spec.Init.Eval(0, st)}
+}
+
+// Next yields the next window instance, or ok=false when the loop
+// condition fails. A CondTrue spec never returns false.
+func (s *Sequence) Next() (Instance, bool) {
+	if s.done || !s.spec.Cond.Holds(s.t, s.st) {
+		s.done = true
+		return Instance{}, false
+	}
+	inst := Instance{T: s.t, Ranges: make(map[string]Range, len(s.spec.Defs))}
+	for _, d := range s.spec.Defs {
+		inst.Ranges[d.Stream] = Range{
+			Left:  d.Left.Eval(s.t, s.st),
+			Right: d.Right.Eval(s.t, s.st),
+		}
+	}
+	if s.spec.Step == 0 {
+		s.done = true // one-shot
+	} else {
+		s.t += s.spec.Step
+	}
+	return inst, true
+}
+
+// Peek returns the current loop value without advancing.
+func (s *Sequence) Peek() int64 { return s.t }
+
+// MaxRight returns the largest right bound across streams for the
+// *current* instance, or math.MinInt64 when the loop has ended. The
+// executor uses it to decide when enough data has arrived to close the
+// window.
+func (s *Sequence) MaxRight() int64 {
+	if s.done || !s.spec.Cond.Holds(s.t, s.st) {
+		return math.MinInt64
+	}
+	max := int64(math.MinInt64)
+	for _, d := range s.spec.Defs {
+		if r := d.Right.Eval(s.t, s.st); r > max {
+			max = r
+		}
+	}
+	return max
+}

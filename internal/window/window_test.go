@@ -1,0 +1,314 @@
+package window
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"telegraphcq/internal/tuple"
+)
+
+func TestLinExprEval(t *testing.T) {
+	e := LinExpr{TCoef: 2, STCoef: 1, Const: -3}
+	if got := e.Eval(10, 100); got != 2*10+100-3 {
+		t.Fatalf("Eval = %d", got)
+	}
+	if !e.DependsOnT() || ConstExpr(5).DependsOnT() {
+		t.Fatal("DependsOnT")
+	}
+}
+
+func TestLinExprString(t *testing.T) {
+	cases := map[string]LinExpr{
+		"t":        TExpr(0),
+		"t+5":      TExpr(5),
+		"t-4":      TExpr(-4),
+		"ST":       STExpr(0),
+		"ST+50":    STExpr(50),
+		"0":        ConstExpr(0),
+		"101":      ConstExpr(101),
+		"-t":       {TCoef: -1},
+		"2*t+ST-1": {TCoef: 2, STCoef: 1, Const: -1},
+	}
+	for want, e := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", e, got, want)
+		}
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	cases := []struct {
+		c     Cond
+		t, st int64
+		want  bool
+	}{
+		{Cond{Op: CondTrue}, 999, 0, true},
+		{Cond{Op: CondEq, RHS: ConstExpr(0)}, 0, 0, true},
+		{Cond{Op: CondEq, RHS: ConstExpr(0)}, -1, 0, false},
+		{Cond{Op: CondLe, RHS: ConstExpr(1000)}, 1000, 0, true},
+		{Cond{Op: CondLt, RHS: STExpr(50)}, 149, 100, true},
+		{Cond{Op: CondLt, RHS: STExpr(50)}, 150, 100, false},
+		{Cond{Op: CondGt, RHS: ConstExpr(5)}, 6, 0, true},
+		{Cond{Op: CondGe, RHS: ConstExpr(5)}, 5, 0, true},
+	}
+	for i, c := range cases {
+		if got := c.c.Holds(c.t, c.st); got != c.want {
+			t.Errorf("case %d: Holds = %v", i, got)
+		}
+	}
+}
+
+// Paper example 1: snapshot over days 1..5.
+func TestSnapshotSequence(t *testing.T) {
+	spec := Snapshot("ClosingStockPrices", 1, 5)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	k, _, _ := spec.Classify()
+	if k != KindSnapshot {
+		t.Fatalf("Classify = %v", k)
+	}
+	seq := NewSequence(spec, 77) // ST irrelevant
+	inst, ok := seq.Next()
+	if !ok {
+		t.Fatal("no first instance")
+	}
+	r := inst.Ranges["ClosingStockPrices"]
+	if r.Left != 1 || r.Right != 5 {
+		t.Fatalf("range = %+v", r)
+	}
+	if _, ok := seq.Next(); ok {
+		t.Fatal("snapshot yielded twice")
+	}
+}
+
+// Paper example 2: landmark from day 101, standing until t=1000.
+func TestLandmarkSequence(t *testing.T) {
+	spec := Landmark("S", 101, 101, 1000)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if k, _, _ := spec.Classify(); k != KindLandmark {
+		t.Fatalf("Classify = %v", k)
+	}
+	seq := NewSequence(spec, 0)
+	n := 0
+	var last Instance
+	for {
+		inst, ok := seq.Next()
+		if !ok {
+			break
+		}
+		n++
+		last = inst
+		r := inst.Ranges["S"]
+		if r.Left != 101 || r.Right != inst.T {
+			t.Fatalf("landmark range %+v at t=%d", r, inst.T)
+		}
+	}
+	if n != 900 || last.T != 1000 {
+		t.Fatalf("iterations = %d, last t = %d", n, last.T)
+	}
+}
+
+// Paper example 3: 5-wide window hopping by 5, 10 windows over 50 days.
+func TestSlidingHopSequence(t *testing.T) {
+	spec := Sliding("S", 5, 5, 50)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	k, width, hop := spec.Classify()
+	if k != KindSliding || width != 5 || hop != 5 {
+		t.Fatalf("Classify = %v width=%d hop=%d", k, width, hop)
+	}
+	const st = 200
+	seq := NewSequence(spec, st)
+	var got []Range
+	for {
+		inst, ok := seq.Next()
+		if !ok {
+			break
+		}
+		got = append(got, inst.Ranges["S"])
+	}
+	if len(got) != 10 {
+		t.Fatalf("window count = %d, want 10", len(got))
+	}
+	if got[0] != (Range{st - 4, st}) {
+		t.Fatalf("first window = %+v", got[0])
+	}
+	if got[9] != (Range{st + 41, st + 45}) {
+		t.Fatalf("last window = %+v", got[9])
+	}
+}
+
+// Paper example 4: band join over both streams, width 5, 20 steps.
+func TestBandJoinSequence(t *testing.T) {
+	spec := BandJoin("c1", "c2", 5, 20)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seq := NewSequence(spec, 100)
+	inst, ok := seq.Next()
+	if !ok {
+		t.Fatal("no instance")
+	}
+	if inst.Ranges["c1"] != inst.Ranges["c2"] {
+		t.Fatal("band join windows differ across streams")
+	}
+	if inst.Ranges["c1"] != (Range{96, 100}) {
+		t.Fatalf("window = %+v", inst.Ranges["c1"])
+	}
+	n := 1
+	for {
+		if _, ok := seq.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 20 {
+		t.Fatalf("iterations = %d", n)
+	}
+}
+
+func TestBackwardSequence(t *testing.T) {
+	spec := Backward("S", 10, 10, 3)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if k, _, _ := spec.Classify(); k != KindBackward {
+		t.Fatalf("Classify = %v", k)
+	}
+	seq := NewSequence(spec, 100)
+	var rights []int64
+	for {
+		inst, ok := seq.Next()
+		if !ok {
+			break
+		}
+		rights = append(rights, inst.Ranges["S"].Right)
+	}
+	if len(rights) != 3 || rights[0] != 100 || rights[1] != 90 || rights[2] != 80 {
+		t.Fatalf("backward rights = %v", rights)
+	}
+}
+
+func TestContinuousSequenceNeverEnds(t *testing.T) {
+	spec := Sliding("S", 5, 1, 0) // standing forever
+	if spec.Cond.Op != CondTrue {
+		t.Fatal("unbounded sliding should have CondTrue")
+	}
+	seq := NewSequence(spec, 1)
+	for i := 0; i < 10000; i++ {
+		if _, ok := seq.Next(); !ok {
+			t.Fatal("continuous sequence ended")
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Spec{
+		{Init: TExpr(1), Cond: Cond{Op: CondTrue}, Step: 1,
+			Defs: []Def{{Stream: "S", Left: TExpr(0), Right: TExpr(0)}}},
+		{Init: ConstExpr(0), Cond: Cond{Op: CondLt, RHS: TExpr(1)}, Step: 1,
+			Defs: []Def{{Stream: "S", Left: TExpr(0), Right: TExpr(0)}}},
+		{Init: ConstExpr(0), Cond: Cond{Op: CondTrue}, Step: 1, Defs: nil},
+		{Init: ConstExpr(0), Cond: Cond{Op: CondTrue}, Step: 1,
+			Defs: []Def{{Stream: "", Left: TExpr(0), Right: TExpr(0)}}},
+		{Init: ConstExpr(0), Cond: Cond{Op: CondTrue}, Step: 1,
+			Defs: []Def{
+				{Stream: "S", Left: TExpr(0), Right: TExpr(0)},
+				{Stream: "S", Left: TExpr(0), Right: TExpr(0)},
+			}},
+		{Init: ConstExpr(0), Cond: Cond{Op: CondTrue}, Step: 0,
+			Defs: []Def{{Stream: "S", Left: TExpr(0), Right: TExpr(0)}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+	// Zero step with one-shot condition is fine.
+	ok := &Spec{Init: ConstExpr(0), Cond: Cond{Op: CondEq, RHS: ConstExpr(0)}, Step: 0,
+		Defs: []Def{{Stream: "S", Left: ConstExpr(1), Right: ConstExpr(5)}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("one-shot zero-step rejected: %v", err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := Range{3, 7}
+	if !r.Contains(3) || !r.Contains(7) || r.Contains(2) || r.Contains(8) {
+		t.Fatal("Contains")
+	}
+	if r.Empty() || !(Range{5, 4}).Empty() {
+		t.Fatal("Empty")
+	}
+}
+
+func TestMaxRight(t *testing.T) {
+	spec := BandJoin("a", "b", 5, 20)
+	spec.Defs[1].Right = TExpr(3) // skew one stream's right bound
+	seq := NewSequence(spec, 100)
+	if got := seq.MaxRight(); got != 103 {
+		t.Fatalf("MaxRight = %d", got)
+	}
+	seq.Next()
+	if got := seq.MaxRight(); got != 104 {
+		t.Fatalf("MaxRight after advance = %d", got)
+	}
+	done := NewSequence(Snapshot("S", 1, 5), 0)
+	done.Next()
+	done.Next()
+	if got := done.MaxRight(); got != math.MinInt64 {
+		t.Fatalf("MaxRight on finished sequence = %d", got)
+	}
+}
+
+func TestClassifyMixed(t *testing.T) {
+	spec := &Spec{
+		Domain: tuple.LogicalTime,
+		Init:   ConstExpr(1),
+		Cond:   Cond{Op: CondTrue},
+		Step:   1,
+		Defs: []Def{
+			{Stream: "a", Left: ConstExpr(1), Right: TExpr(0)}, // landmark
+			{Stream: "b", Left: TExpr(-4), Right: TExpr(0)},    // sliding
+		},
+	}
+	if k, _, _ := spec.Classify(); k != KindMixed {
+		t.Fatalf("Classify = %v", k)
+	}
+}
+
+// Property: consecutive sliding windows are spaced exactly by hop and
+// keep constant width.
+func TestQuickSlidingInvariants(t *testing.T) {
+	f := func(w8, h8 uint8) bool {
+		width := int64(w8%50) + 1
+		hop := int64(h8%20) + 1
+		spec := Sliding("S", width, hop, 100)
+		seq := NewSequence(spec, 1000)
+		prev := Range{}
+		first := true
+		for {
+			inst, ok := seq.Next()
+			if !ok {
+				break
+			}
+			r := inst.Ranges["S"]
+			if r.Right-r.Left+1 != width {
+				return false
+			}
+			if !first && r.Left-prev.Left != hop {
+				return false
+			}
+			prev, first = r, false
+		}
+		return !first
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

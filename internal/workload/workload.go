@@ -1,0 +1,184 @@
+// Package workload generates the deterministic synthetic streams the
+// experiments run on: the paper's ClosingStockPrices schema, a
+// network-monitor flow stream (the intro's motivating application), and
+// sensor readings with loss and burstiness. Selectivity-drift schedules
+// reproduce the changing conditions the adaptive experiments need.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"telegraphcq/internal/tuple"
+)
+
+// StockSchema is the paper's running example.
+var StockSchema = tuple.NewSchema(
+	tuple.Column{Source: "ClosingStockPrices", Name: "timestamp", Kind: tuple.KindInt},
+	tuple.Column{Source: "ClosingStockPrices", Name: "stockSymbol", Kind: tuple.KindString},
+	tuple.Column{Source: "ClosingStockPrices", Name: "closingPrice", Kind: tuple.KindFloat},
+)
+
+// Stocks produces n trading-day rows across the given symbols, prices
+// following per-symbol random walks. Deterministic in seed.
+type Stocks struct {
+	Symbols []string
+	Seed    int64
+}
+
+// DefaultSymbols are used when Symbols is empty.
+var DefaultSymbols = []string{"MSFT", "IBM", "ORCL", "SUNW", "HWP", "INTC", "CSCO", "DELL"}
+
+// Rows returns n rows. Row i has timestamp i/len(symbols)+1 (one row per
+// symbol per day).
+func (s Stocks) Rows(n int) []*tuple.Tuple {
+	syms := s.Symbols
+	if len(syms) == 0 {
+		syms = DefaultSymbols
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 7))
+	price := make([]float64, len(syms))
+	for i := range price {
+		price[i] = 20 + rng.Float64()*80
+	}
+	out := make([]*tuple.Tuple, n)
+	for i := 0; i < n; i++ {
+		si := i % len(syms)
+		day := int64(i/len(syms)) + 1
+		price[si] *= 1 + (rng.Float64()-0.5)*0.04
+		if price[si] < 1 {
+			price[si] = 1
+		}
+		t := tuple.New(StockSchema,
+			tuple.Int(day), tuple.String(syms[si]), tuple.Float(price[si]))
+		t.TS = tuple.Timestamp{Seq: int64(i) + 1}
+		out[i] = t
+	}
+	return out
+}
+
+// Values returns row i as a value slice (for System.Push).
+func (s Stocks) Values(rows []*tuple.Tuple, i int) []tuple.Value { return rows[i].Values }
+
+// FlowSchema models a network monitor's flow records.
+var FlowSchema = tuple.NewSchema(
+	tuple.Column{Source: "flows", Name: "src", Kind: tuple.KindString},
+	tuple.Column{Source: "flows", Name: "dst", Kind: tuple.KindString},
+	tuple.Column{Source: "flows", Name: "port", Kind: tuple.KindInt},
+	tuple.Column{Source: "flows", Name: "bytes", Kind: tuple.KindFloat},
+)
+
+// Flows produces flow records with Zipf-ish skew across Hosts hosts:
+// host h is drawn with probability ∝ 1/(h+1).
+type Flows struct {
+	Hosts int
+	Ports []int64
+	Seed  int64
+}
+
+// Rows returns n flow rows.
+func (f Flows) Rows(n int) []*tuple.Tuple {
+	hosts := f.Hosts
+	if hosts <= 0 {
+		hosts = 64
+	}
+	ports := f.Ports
+	if len(ports) == 0 {
+		ports = []int64{22, 53, 80, 443, 8080}
+	}
+	rng := rand.New(rand.NewSource(f.Seed + 13))
+	// Precompute the skewed CDF.
+	cdf := make([]float64, hosts)
+	sum := 0.0
+	for h := 0; h < hosts; h++ {
+		sum += 1 / float64(h+1)
+		cdf[h] = sum
+	}
+	pick := func() int {
+		x := rng.Float64() * sum
+		for h, c := range cdf {
+			if x <= c {
+				return h
+			}
+		}
+		return hosts - 1
+	}
+	out := make([]*tuple.Tuple, n)
+	for i := 0; i < n; i++ {
+		t := tuple.New(FlowSchema,
+			tuple.String(fmt.Sprintf("h%03d", pick())),
+			tuple.String(fmt.Sprintf("h%03d", rng.Intn(hosts))),
+			tuple.Int(ports[rng.Intn(len(ports))]),
+			tuple.Float(float64(rng.Intn(150000))),
+		)
+		t.TS = tuple.Timestamp{Seq: int64(i) + 1}
+		out[i] = t
+	}
+	return out
+}
+
+// SensorSchema models sensor readings.
+var SensorSchema = tuple.NewSchema(
+	tuple.Column{Source: "sensors", Name: "node", Kind: tuple.KindInt},
+	tuple.Column{Source: "sensors", Name: "temp", Kind: tuple.KindFloat},
+	tuple.Column{Source: "sensors", Name: "light", Kind: tuple.KindFloat},
+)
+
+// Sensors produces per-node readings with smooth drift plus occasional
+// spikes (anomalies queries look for).
+type Sensors struct {
+	Nodes     int
+	SpikeProb float64
+	Seed      int64
+}
+
+// Reading returns the values for reading i (round-robin over nodes) —
+// shaped for ingress.SensorProxy.Read.
+func (s Sensors) Reading(node int, i int64) []tuple.Value {
+	rng := rand.New(rand.NewSource(s.Seed + int64(node)*1009 + i))
+	temp := 20 + 5*float64(node%7) + rng.Float64()
+	if s.SpikeProb > 0 && rng.Float64() < s.SpikeProb {
+		temp += 50 // anomaly
+	}
+	return []tuple.Value{
+		tuple.Int(int64(node)),
+		tuple.Float(temp),
+		tuple.Float(rng.Float64() * 1000),
+	}
+}
+
+// Rows returns n sensor rows round-robin across nodes.
+func (s Sensors) Rows(n int) []*tuple.Tuple {
+	nodes := s.Nodes
+	if nodes <= 0 {
+		nodes = 16
+	}
+	out := make([]*tuple.Tuple, n)
+	for i := 0; i < n; i++ {
+		vals := s.Reading(i%nodes, int64(i))
+		t := tuple.New(SensorSchema, vals...)
+		t.TS = tuple.Timestamp{Seq: int64(i) + 1}
+		out[i] = t
+	}
+	return out
+}
+
+// DriftSchedule flips a stream property at a point: Phase(i, n) returns
+// 0 for the first half of the run and 1 for the second — experiments use
+// it to swap selectivities or costs mid-stream (E3/E9).
+func DriftSchedule(i, n int) int {
+	if i*2 < n {
+		return 0
+	}
+	return 1
+}
+
+// UniformInts returns n deterministic ints in [0, k).
+func UniformInts(n, k int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(k)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"telegraphcq/internal/tuple"
+)
+
+func TestStocksDeterministicAndShaped(t *testing.T) {
+	a := Stocks{Seed: 3}.Rows(1000)
+	b := Stocks{Seed: 3}.Rows(1000)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("row %d differs across runs", i)
+		}
+	}
+	// One row per symbol per day, positive prices, seq assigned.
+	for i, r := range a {
+		if r.TS.Seq != int64(i)+1 {
+			t.Fatalf("seq at %d: %d", i, r.TS.Seq)
+		}
+		if r.Values[2].F <= 0 {
+			t.Fatalf("price %v", r.Values[2])
+		}
+	}
+	if a[0].Values[0].I != 1 || a[len(DefaultSymbols)].Values[0].I != 2 {
+		t.Fatal("day numbering wrong")
+	}
+	c := Stocks{Seed: 4}.Rows(100)
+	same := true
+	for i := range c {
+		if c[i].String() != a[i].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestFlowsSkewed(t *testing.T) {
+	rows := Flows{Hosts: 32, Seed: 1}.Rows(20000)
+	counts := map[string]int{}
+	for _, r := range rows {
+		counts[r.Values[0].S]++
+	}
+	// Zipf-ish: the hottest host should dominate the coldest by a lot.
+	if counts["h000"] < 5*counts["h031"] {
+		t.Fatalf("skew too weak: h000=%d h031=%d", counts["h000"], counts["h031"])
+	}
+	if len(counts) < 16 {
+		t.Fatalf("host diversity: %d", len(counts))
+	}
+}
+
+func TestSensorsSpikes(t *testing.T) {
+	s := Sensors{Nodes: 8, SpikeProb: 0.1, Seed: 2}
+	rows := s.Rows(2000)
+	spikes := 0
+	for _, r := range rows {
+		if r.Values[1].F > 60 {
+			spikes++
+		}
+	}
+	if spikes == 0 {
+		t.Fatal("no spikes at p=0.1")
+	}
+	if spikes > 600 {
+		t.Fatalf("too many spikes: %d", spikes)
+	}
+	// Reading() shaping matches Rows().
+	vals := s.Reading(3, 11)
+	if len(vals) != 3 || vals[0].K != tuple.KindInt {
+		t.Fatalf("reading: %v", vals)
+	}
+}
+
+func TestDriftSchedule(t *testing.T) {
+	if DriftSchedule(0, 100) != 0 || DriftSchedule(49, 100) != 0 ||
+		DriftSchedule(50, 100) != 1 || DriftSchedule(99, 100) != 1 {
+		t.Fatal("drift phases wrong")
+	}
+}
+
+func TestUniformInts(t *testing.T) {
+	a := UniformInts(100, 10, 5)
+	b := UniformInts(100, 10, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if a[i] < 0 || a[i] >= 10 {
+			t.Fatalf("out of range: %d", a[i])
+		}
+	}
+}
