@@ -24,6 +24,7 @@ import (
 func main() {
 	front := flag.String("front", "127.0.0.1:5432", "FrontEnd (query) listen address")
 	wrapper := flag.String("wrapper", "127.0.0.1:5433", "Wrapper (data ingress) listen address")
+	metricsAddr := flag.String("metrics-addr", "", "telemetry HTTP listen address (/metrics, /statz, /healthz); empty disables")
 	mode := flag.String("class-mode", "footprint", "query class placement: footprint|single|per-query")
 	batch := flag.Int("batch", 1, "eddy tuple-batching knob")
 	hops := flag.Int("fixed-hops", 1, "eddy operator-fixing knob")
@@ -49,6 +50,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("telegraphcq: frontend on %s, wrapper on %s\n", f, w)
+	if *metricsAddr != "" {
+		m, err := srv.StartMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			srv.Close()
+			os.Exit(1)
+		}
+		fmt.Printf("telegraphcq: metrics on http://%s/metrics\n", m)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

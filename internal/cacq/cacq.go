@@ -64,6 +64,7 @@ type registered struct {
 	// retention is the per-source tuple retention width implied by the
 	// query's window (math.MaxInt64 = keep forever).
 	retention map[string]int64
+	// delivered counts result rows; touched only by the owning EO.
 	delivered int64
 }
 
@@ -81,10 +82,27 @@ type Engine struct {
 	stats EngineStats
 }
 
-// EngineStats counts engine-level activity.
+// EngineStats is a snapshot of engine-level activity.
 type EngineStats struct {
 	Pushed    int64
 	Delivered int64
+}
+
+// QueryInfo is the introspectable state of one registered query.
+type QueryInfo struct {
+	ID        int
+	Sources   []string
+	Delivered int64
+}
+
+// Introspection is a snapshot of the engine's shared state: grouped
+// filters, SteM modules, and registered queries. Like every engine
+// accessor it must be taken on the owning Execution Object's thread;
+// telemetry reaches it through the EO's control channel.
+type Introspection struct {
+	Filters []*operator.GroupedFilter
+	Stems   []*operator.StemModule
+	Queries []QueryInfo
 }
 
 // NewEngine builds an empty shared engine. policy nil defaults to a
@@ -108,11 +126,32 @@ func NewEngine(policy eddy.Policy, deliver Deliver) *Engine {
 // Eddy exposes the underlying router (stats, knobs).
 func (e *Engine) Eddy() *eddy.Eddy { return e.ed }
 
-// Stats returns engine counters.
+// Stats returns a snapshot of engine counters. Must be called from the
+// owning Execution Object's thread.
 func (e *Engine) Stats() EngineStats { return e.stats }
 
 // QueryCount returns the number of registered queries.
 func (e *Engine) QueryCount() int { return len(e.queries) }
+
+// Introspect builds a fresh snapshot of shared modules and registered
+// queries. Must be called from the owning Execution Object's thread;
+// telemetry scrapers reach it through the EO's control channel.
+func (e *Engine) Introspect() *Introspection {
+	in := &Introspection{}
+	for _, g := range e.gfilters {
+		in.Filters = append(in.Filters, g)
+	}
+	sort.Slice(in.Filters, func(i, j int) bool { return in.Filters[i].Name() < in.Filters[j].Name() })
+	for _, sm := range e.stems {
+		in.Stems = append(in.Stems, sm)
+	}
+	sort.Slice(in.Stems, func(i, j int) bool { return in.Stems[i].Name() < in.Stems[j].Name() })
+	for id, r := range e.queries {
+		in.Queries = append(in.Queries, QueryInfo{ID: id, Sources: r.q.Footprint(), Delivered: r.delivered})
+	}
+	sort.Slice(in.Queries, func(i, j int) bool { return in.Queries[i].ID < in.Queries[j].ID })
+	return in
+}
 
 // AddQuery registers q: its boolean factors are folded into the shared
 // grouped filters and SteMs, and its bit joins the interest set of each

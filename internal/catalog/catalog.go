@@ -35,6 +35,10 @@ type Source struct {
 	Schema *tuple.Schema
 	// Archived streams are spooled to disk for historical queries.
 	Archived bool
+	// System marks engine-owned introspection streams (tcq_operators,
+	// tcq_queues, tcq_queries): queryable like any stream, fed by the
+	// telemetry sampler, and protected from DROP.
+	System bool
 
 	mu   sync.RWMutex
 	rows []*tuple.Tuple // table contents (streams keep none here)
@@ -113,6 +117,18 @@ func (c *Catalog) CreateTable(name string, cols []tuple.Column) (*Source, error)
 	return c.create(name, cols, KindTable, false)
 }
 
+// CreateSystemStream registers an engine-owned introspection stream —
+// the Telegraph style of exposing system state as ordinary queryable
+// streams. System streams cannot be dropped.
+func (c *Catalog) CreateSystemStream(name string, cols []tuple.Column) (*Source, error) {
+	s, err := c.create(name, cols, KindStream, false)
+	if err != nil {
+		return nil, err
+	}
+	s.System = true
+	return s, nil
+}
+
 func (c *Catalog) create(name string, cols []tuple.Column, kind SourceKind, archived bool) (*Source, error) {
 	if name == "" {
 		return nil, fmt.Errorf("catalog: empty source name")
@@ -154,12 +170,17 @@ func (c *Catalog) Lookup(name string) (*Source, error) {
 	return s, nil
 }
 
-// Drop removes a source definition.
+// Drop removes a source definition. System streams are engine-owned and
+// cannot be dropped.
 func (c *Catalog) Drop(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.sources[name]; !ok {
+	s, ok := c.sources[name]
+	if !ok {
 		return fmt.Errorf("catalog: unknown stream or table %q", name)
+	}
+	if s.System {
+		return fmt.Errorf("catalog: %s is a system stream and cannot be dropped", name)
 	}
 	delete(c.sources, name)
 	return nil

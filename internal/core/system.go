@@ -14,6 +14,7 @@ import (
 	"telegraphcq/internal/executor"
 	"telegraphcq/internal/sql"
 	"telegraphcq/internal/storage"
+	"telegraphcq/internal/telemetry"
 	"telegraphcq/internal/tuple"
 	"telegraphcq/internal/window"
 )
@@ -57,9 +58,22 @@ func NewSystem(opts Options) *System {
 			frames = 256
 		}
 		s.pool = storage.NewPool(frames, opts.Replacement)
+		pool := s.pool
+		s.exec.Metrics().Register(func(emit telemetry.Emit) {
+			ps := pool.Stats()
+			c := func(name, help string, v int64) {
+				emit(telemetry.Sample{Name: name, Help: help, Kind: telemetry.KindCounter, Value: float64(v)})
+			}
+			c("tcq_pool_hits_total", "buffer pool page hits", ps.Hits)
+			c("tcq_pool_misses_total", "buffer pool page misses", ps.Misses)
+			c("tcq_pool_evictions_total", "buffer pool page evictions", ps.Evictions)
+		})
 	}
 	return s
 }
+
+// Metrics exposes the system-wide telemetry registry.
+func (s *System) Metrics() *telemetry.Registry { return s.exec.Metrics() }
 
 // Catalog exposes metadata (schemas, sources).
 func (s *System) Catalog() *catalog.Catalog { return s.cat }

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/tuple"
+)
+
+// TestQueryOverSystemStream is the dogfooding acceptance test: a CQ
+// over tcq_operators observes live per-operator route counts while an
+// ordinary workload runs.
+func TestQueryOverSystemStream(t *testing.T) {
+	s := newSys(t, false)
+	s.MustExec(`CREATE STREAM s (v int)`)
+
+	// A workload query so the eddy has modules routing tuples.
+	wq, err := s.Submit(`SELECT v FROM s WHERE v > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wq.Cancel()
+	for i := 0; i < 100; i++ {
+		if err := s.Push("s", tuple.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The introspection CQ: ordinary SQL over engine state.
+	iq, err := s.Submit(`SELECT module, routed FROM tcq_operators WHERE routed > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iq.Cancel()
+	s.Executor().SampleSystemStreams()
+	if err := s.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	seen := map[string]int64{}
+	for time.Now().Before(deadline) && len(seen) == 0 {
+		for {
+			row, ok := iq.TryNext()
+			if !ok {
+				break
+			}
+			seen[row.Values[0].S] = row.Values[1].I
+		}
+		if len(seen) == 0 {
+			s.Executor().SampleSystemStreams()
+			_ = s.Barrier()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no tcq_operators rows with routed > 0")
+	}
+	// The workload's filter module must appear with a live route count.
+	found := false
+	for name, routed := range seen {
+		if strings.Contains(name, "gfilter") && routed > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("grouped filter not observed in %v", seen)
+	}
+}
+
+// TestSystemStreamsProtected: the introspection streams are registered
+// at startup and cannot be dropped.
+func TestSystemStreamsProtected(t *testing.T) {
+	s := newSys(t, false)
+	for _, name := range []string{"tcq_operators", "tcq_queues", "tcq_queries"} {
+		if _, err := s.Catalog().Lookup(name); err != nil {
+			t.Fatalf("system stream %s not registered: %v", name, err)
+		}
+	}
+	if err := s.Exec(`DROP STREAM tcq_operators`); err == nil {
+		t.Fatal("DROP of a system stream succeeded")
+	}
+}
+
+// TestTelemetryConcurrency hammers the engine from several pushers
+// while a scraper loops over /metrics and a CQ reads tcq_operators —
+// the full introspection surface under -race.
+func TestTelemetryConcurrency(t *testing.T) {
+	s := newSys(t, false)
+	s.MustExec(`CREATE STREAM s (v int)`)
+	wq, err := s.Submit(`SELECT v FROM s WHERE v > 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wq.Cancel()
+	iq, err := s.Submit(`SELECT module, routed FROM tcq_operators`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iq.Cancel()
+
+	srv := httptest.NewServer(s.Metrics().Handler())
+	defer srv.Close()
+
+	const pushers, perP = 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				_ = s.Push("s", tuple.Int(int64(p*perP+i)))
+			}
+		}(p)
+	}
+	// Scraper: HTTP /metrics in a loop.
+	var scrape sync.WaitGroup
+	scrape.Add(2)
+	go func() {
+		defer scrape.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := srv.Client().Get(srv.URL + "/metrics")
+			if err == nil {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := resp.Body.Read(buf); err != nil {
+						break
+					}
+				}
+				resp.Body.Close()
+			}
+		}
+	}()
+	// Introspection CQ consumer + sampler.
+	go func() {
+		defer scrape.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Executor().SampleSystemStreams()
+			for {
+				if _, ok := iq.TryNext(); !ok {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	if err := s.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	scrape.Wait()
+
+	// Sanity: the engine processed the workload and reported it.
+	var b strings.Builder
+	if err := s.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "tcq_engine_pushed_total") {
+		t.Fatalf("metrics missing tcq_engine_pushed_total:\n%s", b.String())
+	}
+}
+
+// TestPoolMetricsRegistered: an archived system exposes buffer pool
+// counters through the shared registry.
+func TestPoolMetricsRegistered(t *testing.T) {
+	s := newSys(t, true)
+	s.MustExec(`CREATE STREAM a (v int) ARCHIVED`)
+	for i := 0; i < 10; i++ {
+		if err := s.Push("a", tuple.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := s.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "tcq_pool_hits_total") {
+		t.Fatalf("metrics missing tcq_pool_hits_total:\n%s", b.String())
+	}
+}

@@ -1,6 +1,7 @@
 package eddy
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -22,10 +23,10 @@ func TestEddyWithAsyncIndex(t *testing.T) {
 		"MSFT": {tuple.New(tSchema, tuple.String("MSFT"), tuple.Int(5))},
 		"IBM":  {tuple.New(tSchema, tuple.String("IBM"), tuple.Int(3))},
 	}
-	lookups := 0
+	var lookups atomic.Int64 // probes run on the index's goroutines
 	ai := operator.NewAsyncIndex("idx", "T", expr.Col("S", "sym"), "sym",
 		func(k tuple.Value) ([]*tuple.Tuple, error) {
-			lookups++
+			lookups.Add(1)
 			return table[k.S], nil
 		}, 2*time.Millisecond)
 	// A filter on the joined result keeps routing non-trivial.
@@ -53,8 +54,8 @@ func TestEddyWithAsyncIndex(t *testing.T) {
 		t.Fatalf("outputs = %d, want 2", len(out))
 	}
 	// The cache bounds remote lookups to distinct keys.
-	if lookups != 3 {
-		t.Fatalf("remote lookups = %d, want 3 (MSFT, IBM, NONE)", lookups)
+	if n := lookups.Load(); n != 3 {
+		t.Fatalf("remote lookups = %d, want 3 (MSFT, IBM, NONE)", n)
 	}
 	if ai.Pending() != 0 {
 		t.Fatalf("pending after flush = %d", ai.Pending())

@@ -18,7 +18,7 @@ type Alternative interface {
 	Group() string
 }
 
-// Stats counts Eddy activity.
+// Stats is a snapshot of the Eddy's activity counters.
 type Stats struct {
 	Admitted    int64 // source + derived tuples entering routing
 	Routed      int64 // tuple→module routing decisions executed
@@ -26,6 +26,36 @@ type Stats struct {
 	Outputs     int64 // tuples that completed all modules
 	Dropped     int64
 	Bounced     int64
+}
+
+// ModuleStats is a snapshot of one module's routing observations: how
+// many tuples the Eddy sent it, what became of them, and the cumulative
+// processing time — the raw material for selectivity and cost-per-tuple
+// estimates (the same observations the routing policy feeds on, §2.2).
+type ModuleStats struct {
+	Name     string
+	Routed   int64
+	Passed   int64
+	Dropped  int64
+	Consumed int64
+	Bounced  int64
+	WorkNs   int64 // cumulative Process time, nanoseconds
+}
+
+// Selectivity estimates the fraction of routed tuples that survived.
+func (m ModuleStats) Selectivity() float64 {
+	if m.Routed == 0 {
+		return 1
+	}
+	return 1 - float64(m.Dropped)/float64(m.Routed)
+}
+
+// CostNs estimates nanoseconds of work per routed tuple.
+func (m ModuleStats) CostNs() float64 {
+	if m.Routed == 0 {
+		return 0
+	}
+	return float64(m.WorkNs) / float64(m.Routed)
 }
 
 // Eddy routes tuples among a set of modules according to a Policy.
@@ -42,6 +72,12 @@ type Eddy struct {
 	work   []*batch // FIFO of batches awaiting routing
 	stats  Stats
 	serial int64 // admission serial: stamps Tuple.Arrival
+
+	// mstats holds one plain counter block per module (index-aligned
+	// with modules). Like everything else in the Eddy it is owned by the
+	// single driving Execution Object; telemetry snapshots it through
+	// the EO's control channel, keeping the hot path free of atomics.
+	mstats []ModuleStats
 
 	// BatchSize groups same-schema source tuples so one routing decision
 	// covers many tuples (§4.3 "batching tuples ... reduce per-tuple
@@ -79,6 +115,7 @@ func New(modules []operator.Module, policy Policy, output func(*tuple.Tuple)) *E
 		pendingBatch: map[string]*batch{},
 	}
 	for i, m := range modules {
+		e.mstats = append(e.mstats, ModuleStats{Name: m.Name()})
 		if sm, ok := m.(*operator.StemModule); ok {
 			e.stems = append(e.stems, sm)
 		}
@@ -106,6 +143,7 @@ func (e *Eddy) Modules() []operator.Module { return e.modules }
 func (e *Eddy) AddModule(m operator.Module) int {
 	idx := len(e.modules)
 	e.modules = append(e.modules, m)
+	e.mstats = append(e.mstats, ModuleStats{Name: m.Name()})
 	if sm, ok := m.(*operator.StemModule); ok {
 		e.stems = append(e.stems, sm)
 	}
@@ -120,8 +158,19 @@ func (e *Eddy) AddModule(m operator.Module) int {
 	return idx
 }
 
-// Stats returns a copy of the counters.
-func (e *Eddy) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the counters. Must be called from the
+// driving Execution Object; telemetry reaches it through the EO's
+// control channel.
+func (e *Eddy) Stats() Stats {
+	return e.stats
+}
+
+// ModuleStatsSnapshot returns a copy of the per-module routing
+// observations. Like Stats it must be called from the driving Execution
+// Object; telemetry reaches it through the EO's control channel.
+func (e *Eddy) ModuleStatsSnapshot() []ModuleStats {
+	return append([]ModuleStats(nil), e.mstats...)
+}
 
 // readyBits computes the fresh ready bitmap for a tuple entering routing.
 func (e *Eddy) readyBits(t *tuple.Tuple) *bitset.Set {
@@ -317,6 +366,7 @@ func (e *Eddy) routeBatch(b *batch, m int) error {
 	inherit := b.done.Clone()
 	inherit.Add(m)
 	emit := func(x *tuple.Tuple) { e.enqueueDerived(x, inherit) }
+	mc := &e.mstats[m]
 	for _, t := range b.tuples {
 		start := time.Now()
 		out, err := mod.Process(t, emit)
@@ -325,20 +375,26 @@ func (e *Eddy) routeBatch(b *batch, m int) error {
 			return fmt.Errorf("module %s: %w", mod.Name(), err)
 		}
 		e.stats.Routed++
+		mc.Routed++
+		mc.WorkNs += cost
 		produced := 0
 		switch out {
 		case operator.Pass:
 			survivors = append(survivors, t)
+			mc.Passed++
 			produced = 1
 		case operator.Drop:
 			e.stats.Dropped++
+			mc.Dropped++
 		case operator.Consumed:
 			// The module retained the tuple; derived tuples arrive via
 			// emit, possibly later (async). Stamp the done set on the
 			// tuple so deferred emissions inherit it.
 			t.Lineage().Done.CopyFrom(inherit)
+			mc.Consumed++
 		case operator.Bounce:
 			e.stats.Bounced++
+			mc.Bounced++
 			bounced = append(bounced, t)
 			// Back-pressure: a module that cannot absorb work returns
 			// the tuple, so it pays a ticket rather than earning one.

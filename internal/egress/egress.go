@@ -110,6 +110,18 @@ func (h *Hub) Close(id int) {
 	delete(h.spools, id)
 }
 
+// Subscriptions returns a snapshot of the attached push subscriptions
+// (telemetry reads queue depth and shed counts through it).
+func (h *Hub) Subscriptions() []*Subscription {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Subscription, 0, len(h.subs))
+	for _, s := range h.subs {
+		out = append(out, s)
+	}
+	return out
+}
+
 // CloseAll tears down everything (server shutdown).
 func (h *Hub) CloseAll() {
 	h.mu.Lock()

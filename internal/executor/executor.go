@@ -23,6 +23,7 @@ import (
 	"telegraphcq/internal/operator"
 	"telegraphcq/internal/plan"
 	"telegraphcq/internal/sql"
+	"telegraphcq/internal/telemetry"
 	"telegraphcq/internal/tuple"
 )
 
@@ -65,6 +66,12 @@ type Options struct {
 	// Batch and FixedHops set the adapting-adaptivity knobs on every EO.
 	Batch     int
 	FixedHops int
+	// Metrics receives the executor's telemetry (nil → a private
+	// registry; pass a shared one to aggregate with storage etc.).
+	Metrics *telemetry.Registry
+	// SampleInterval is the period of the system-stream sampler feeding
+	// tcq_operators/tcq_queues/tcq_queries (0 → 500ms; <0 disables).
+	SampleInterval time.Duration
 }
 
 // Executor owns the EOs and the query table.
@@ -73,6 +80,7 @@ type Executor struct {
 	planner *plan.Planner
 	hub     *egress.Hub
 	opts    Options
+	metrics *telemetry.Registry
 
 	mu      sync.Mutex
 	eos     []*execObject
@@ -80,6 +88,9 @@ type Executor struct {
 	nextID  int
 	fed     map[string]bool // "eoIdx/alias" table loads already done
 	closed  bool
+
+	samplerStop chan struct{}
+	samplerDone chan struct{}
 }
 
 type runningQuery struct {
@@ -101,18 +112,35 @@ func New(cat *catalog.Catalog, opts Options) *Executor {
 	if opts.Policy == nil {
 		opts.Policy = func(seed int64) eddy.Policy { return eddy.NewLottery(seed) }
 	}
-	return &Executor{
+	if opts.Metrics == nil {
+		opts.Metrics = telemetry.NewRegistry()
+	}
+	x := &Executor{
 		cat:     cat,
 		planner: plan.New(cat),
 		hub:     egress.NewHub(),
 		opts:    opts,
+		metrics: opts.Metrics,
 		queries: map[int]*runningQuery{},
 		fed:     map[string]bool{},
 	}
+	x.registerCollectors()
+	x.registerSystemStreams()
+	if opts.SampleInterval >= 0 {
+		iv := opts.SampleInterval
+		if iv == 0 {
+			iv = 500 * time.Millisecond
+		}
+		x.startSampler(iv)
+	}
+	return x
 }
 
 // Hub exposes result routing (the server wires spools through it).
 func (x *Executor) Hub() *egress.Hub { return x.hub }
+
+// Metrics exposes the telemetry registry the executor reports into.
+func (x *Executor) Metrics() *telemetry.Registry { return x.metrics }
 
 // ----------------------------------------------------------------- EO
 
@@ -123,6 +151,7 @@ const (
 	ctlRemoveQuery
 	ctlLoadTable
 	ctlBarrier
+	ctlStats
 )
 
 type envelope struct {
@@ -135,6 +164,7 @@ type envelope struct {
 	qid   int
 	rows  []*tuple.Tuple // table load
 	ack   chan error
+	snap  chan *eoSnapshot // ctlStats reply
 }
 
 // execObject is one Execution Object: a goroutine scheduling its
@@ -143,7 +173,7 @@ type envelope struct {
 type execObject struct {
 	idx     int
 	engine  *cacq.Engine
-	in      fjord.Queue[envelope]
+	in      *fjord.Counted[envelope]
 	feeds   map[string][]string // stream → aliases fed into this EO
 	sources map[string]bool     // footprint covered by this EO
 	done    chan struct{}
@@ -155,7 +185,7 @@ type execObject struct {
 func (x *Executor) newEO() *execObject {
 	eo := &execObject{
 		idx:     len(x.eos),
-		in:      fjord.NewPush[envelope](x.opts.QueueCap),
+		in:      fjord.Count(fjord.NewPush[envelope](x.opts.QueueCap)),
 		feeds:   map[string][]string{},
 		sources: map[string]bool{},
 		done:    make(chan struct{}),
@@ -252,6 +282,8 @@ func (eo *execObject) control(env envelope) {
 		}
 	case ctlBarrier:
 		err = eo.engine.Run()
+	case ctlStats:
+		env.snap <- eo.snapshot()
 	}
 	if env.ack != nil {
 		env.ack <- err
@@ -494,8 +526,20 @@ func (x *Executor) push(stream string, seq int64, vals []tuple.Value) (int64, er
 		}
 	}
 	x.mu.Unlock()
-	for _, eo := range eos {
-		if !eo.in.TryEnqueue(envelope{t: t}) {
+	// Each EO mutates its copy's lineage, so sharing one tuple across
+	// EOs would race; clone everything up front (an EO may start
+	// mutating the original the moment it is enqueued). The common
+	// single-EO case pays no clone.
+	copies := make([]*tuple.Tuple, len(eos))
+	for i := range eos {
+		if i == 0 {
+			copies[i] = t
+		} else {
+			copies[i] = t.Clone()
+		}
+	}
+	for i, eo := range eos {
+		if !eo.in.TryEnqueue(envelope{t: copies[i]}) {
 			eo.shed.Add(1)
 		}
 	}
@@ -550,7 +594,12 @@ func (x *Executor) Close() {
 	}
 	x.closed = true
 	eos := append([]*execObject(nil), x.eos...)
+	stop, done := x.samplerStop, x.samplerDone
 	x.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 	for _, eo := range eos {
 		eo.in.Close()
 		<-eo.done

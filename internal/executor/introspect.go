@@ -1,0 +1,293 @@
+// Introspection: the executor reports its internal state through two
+// channels. Pull-based telemetry collectors feed the /metrics and
+// /statz endpoints; a periodic sampler feeds the same observations into
+// synthetic *system streams* (tcq_operators, tcq_queues, tcq_queries)
+// registered in the catalog, so users can point ordinary continuous
+// queries at the engine's own state — the introspection that drives the
+// paper's adaptivity, made queryable with the paper's own query model.
+//
+// The engine's counters are plain fields owned by each Execution
+// Object; scrapers never touch them. Instead a scrape sends a ctlStats
+// envelope down the EO's control channel (the same mechanism Barrier
+// uses) and the EO assembles an eoSnapshot on its own thread. The hot
+// path therefore pays nothing — no atomics, no locks — for telemetry.
+package executor
+
+import (
+	"strconv"
+	"time"
+
+	"telegraphcq/internal/cacq"
+	"telegraphcq/internal/eddy"
+	"telegraphcq/internal/stem"
+	"telegraphcq/internal/telemetry"
+	"telegraphcq/internal/tuple"
+)
+
+// System stream names.
+const (
+	StreamOperators = "tcq_operators"
+	StreamQueues    = "tcq_queues"
+	StreamQueries   = "tcq_queries"
+)
+
+// eoSnapshot is one Execution Object's state as observed by its own
+// thread in response to a ctlStats envelope. Everything inside is a
+// copy; callers may read it freely while the EO keeps running.
+type eoSnapshot struct {
+	eddy    eddy.Stats
+	modules []eddy.ModuleStats
+	engine  cacq.EngineStats
+	filters []filterSnapshot
+	stems   []stemSnapshot
+	queries []cacq.QueryInfo
+}
+
+type filterSnapshot struct {
+	name    string
+	queries int
+	factors int
+}
+
+type stemSnapshot struct {
+	name  string
+	size  int
+	stats stem.Stats
+}
+
+// snapshot runs on the EO goroutine (ctlStats handler).
+func (eo *execObject) snapshot() *eoSnapshot {
+	ed := eo.engine.Eddy()
+	s := &eoSnapshot{
+		eddy:    ed.Stats(),
+		modules: ed.ModuleStatsSnapshot(),
+		engine:  eo.engine.Stats(),
+	}
+	in := eo.engine.Introspect()
+	s.queries = in.Queries
+	for _, gf := range in.Filters {
+		s.filters = append(s.filters, filterSnapshot{
+			name: gf.Name(), queries: gf.QueryCount(), factors: gf.FactorCount()})
+	}
+	for _, sm := range in.Stems {
+		s.stems = append(s.stems, stemSnapshot{
+			name: sm.Name(), size: sm.SteM().Size(), stats: sm.SteM().Stats()})
+	}
+	return s
+}
+
+// statsSnapshot round-trips a ctlStats envelope through the EO's
+// control channel. Returns nil if the EO is shutting down.
+func (eo *execObject) statsSnapshot() *eoSnapshot {
+	ch := make(chan *eoSnapshot, 1)
+	if err := eo.in.Enqueue(envelope{isCtl: true, ctl: ctlStats, snap: ch}); err != nil {
+		return nil
+	}
+	select {
+	case s := <-ch:
+		return s
+	case <-eo.done:
+		// The EO exited between enqueue and dispatch; drain if the reply
+		// raced ahead of done.
+		select {
+		case s := <-ch:
+			return s
+		default:
+			return nil
+		}
+	}
+}
+
+// registerSystemStreams creates the introspection streams in the
+// catalog (best effort: a shared catalog may already have them).
+func (x *Executor) registerSystemStreams() {
+	col := func(name string, k tuple.Kind) tuple.Column { return tuple.Column{Name: name, Kind: k} }
+	streams := []struct {
+		name string
+		cols []tuple.Column
+	}{
+		{StreamOperators, []tuple.Column{
+			col("eo", tuple.KindInt), col("module", tuple.KindString),
+			col("routed", tuple.KindInt), col("passed", tuple.KindInt),
+			col("dropped", tuple.KindInt), col("consumed", tuple.KindInt),
+			col("bounced", tuple.KindInt), col("work_ns", tuple.KindInt),
+			col("selectivity", tuple.KindFloat), col("cost_ns", tuple.KindFloat),
+		}},
+		{StreamQueues, []tuple.Column{
+			col("eo", tuple.KindInt), col("queue", tuple.KindString),
+			col("depth", tuple.KindInt), col("cap", tuple.KindInt),
+			col("enqueued", tuple.KindInt), col("dequeued", tuple.KindInt),
+			col("enq_stalls", tuple.KindInt), col("deq_empty", tuple.KindInt),
+		}},
+		{StreamQueries, []tuple.Column{
+			col("query", tuple.KindInt), col("delivered", tuple.KindInt),
+			col("pending", tuple.KindInt), col("dropped", tuple.KindInt),
+		}},
+	}
+	for _, s := range streams {
+		_, _ = x.cat.CreateSystemStream(s.name, s.cols)
+	}
+}
+
+// startSampler runs SampleSystemStreams on a fixed period until Close.
+func (x *Executor) startSampler(interval time.Duration) {
+	x.samplerStop = make(chan struct{})
+	x.samplerDone = make(chan struct{})
+	stop, done := x.samplerStop, x.samplerDone
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				x.SampleSystemStreams()
+			}
+		}
+	}()
+}
+
+// SampleSystemStreams pushes one batch of introspection rows into the
+// system streams. Cheap when nothing subscribes: Push is a no-op for
+// streams no EO feeds on, so an idle system pays only the snapshot.
+func (x *Executor) SampleSystemStreams() {
+	x.mu.Lock()
+	eos := append([]*execObject(nil), x.eos...)
+	x.mu.Unlock()
+
+	for _, eo := range eos {
+		s := eo.statsSnapshot()
+		if s == nil {
+			continue
+		}
+		eoID := int64(eo.idx)
+		for _, ms := range s.modules {
+			_, _ = x.Push(StreamOperators, []tuple.Value{
+				tuple.Int(eoID), tuple.String(ms.Name),
+				tuple.Int(ms.Routed), tuple.Int(ms.Passed),
+				tuple.Int(ms.Dropped), tuple.Int(ms.Consumed),
+				tuple.Int(ms.Bounced), tuple.Int(ms.WorkNs),
+				tuple.Float(ms.Selectivity()), tuple.Float(ms.CostNs()),
+			})
+		}
+		qs := eo.in.Stats()
+		_, _ = x.Push(StreamQueues, []tuple.Value{
+			tuple.Int(eoID), tuple.String("ingress"),
+			tuple.Int(int64(eo.in.Len())), tuple.Int(int64(eo.in.Cap())),
+			tuple.Int(qs.Enqueued), tuple.Int(qs.Dequeued),
+			tuple.Int(qs.EnqueueFails), tuple.Int(qs.DequeueEmpty),
+		})
+		for _, qi := range s.queries {
+			var pending, dropped int64
+			// The hub only knows externally subscribed queries; internal
+			// ones report zero backlog.
+			for _, sub := range x.hub.Subscriptions() {
+				if sub.ID == qi.ID {
+					pending, dropped = int64(sub.Len()), sub.Dropped()
+					break
+				}
+			}
+			_, _ = x.Push(StreamQueries, []tuple.Value{
+				tuple.Int(int64(qi.ID)), tuple.Int(qi.Delivered),
+				tuple.Int(pending), tuple.Int(dropped),
+			})
+		}
+	}
+}
+
+// registerCollectors wires the pull-based metrics: every scrape asks
+// each EO for a snapshot over its control channel and emits one sample
+// per counter. The hot paths pay nothing for this — all cost is at
+// scrape time.
+func (x *Executor) registerCollectors() {
+	x.metrics.Register(func(emit telemetry.Emit) {
+		x.mu.Lock()
+		eos := append([]*execObject(nil), x.eos...)
+		nq := len(x.queries)
+		x.mu.Unlock()
+
+		gauge := func(name, help string, v float64, labels ...telemetry.Label) {
+			emit(telemetry.Sample{Name: name, Help: help, Kind: telemetry.KindGauge, Labels: labels, Value: v})
+		}
+		counter := func(name, help string, v int64, labels ...telemetry.Label) {
+			emit(telemetry.Sample{Name: name, Help: help, Kind: telemetry.KindCounter, Labels: labels, Value: float64(v)})
+		}
+
+		gauge("tcq_eos", "execution objects running", float64(len(eos)))
+		gauge("tcq_queries_active", "standing continuous queries", float64(nq))
+
+		for _, eo := range eos {
+			lEO := telemetry.L("eo", strconv.Itoa(eo.idx))
+
+			// Ingress Fjord queue (atomic counters on the queue itself; no
+			// EO round-trip needed).
+			qs := eo.in.Stats()
+			gauge("tcq_eo_queue_depth", "EO ingress queue occupancy", float64(eo.in.Len()), lEO)
+			gauge("tcq_eo_queue_cap", "EO ingress queue capacity", float64(eo.in.Cap()), lEO)
+			counter("tcq_eo_enqueued_total", "envelopes accepted by the EO queue", qs.Enqueued, lEO)
+			counter("tcq_eo_dequeued_total", "envelopes drained from the EO queue", qs.Dequeued, lEO)
+			counter("tcq_eo_enqueue_stalls_total", "push-side stalls (queue full)", qs.EnqueueFails, lEO)
+			counter("tcq_eo_dequeue_empty_total", "pull-side stalls (queue empty)", qs.DequeueEmpty, lEO)
+			counter("tcq_eo_shed_total", "tuples shed at EO ingress", eo.shed.Load(), lEO)
+
+			s := eo.statsSnapshot()
+			if s == nil {
+				continue
+			}
+
+			// Eddy totals.
+			counter("tcq_eddy_admitted_total", "tuples admitted into routing", s.eddy.Admitted, lEO)
+			counter("tcq_eddy_routed_total", "tuple-to-module routing decisions", s.eddy.Routed, lEO)
+			counter("tcq_eddy_choose_total", "routing policy invocations", s.eddy.ChooseCalls, lEO)
+			counter("tcq_eddy_outputs_total", "tuples completing all modules", s.eddy.Outputs, lEO)
+			counter("tcq_eddy_dropped_total", "tuples dropped during routing", s.eddy.Dropped, lEO)
+
+			// Per-module routing observations (the policy's raw material).
+			for _, ms := range s.modules {
+				lMod := telemetry.L("module", ms.Name)
+				counter("tcq_module_routed_total", "tuples routed to the module", ms.Routed, lEO, lMod)
+				counter("tcq_module_passed_total", "tuples the module passed", ms.Passed, lEO, lMod)
+				counter("tcq_module_dropped_total", "tuples the module dropped", ms.Dropped, lEO, lMod)
+				counter("tcq_module_consumed_total", "tuples the module consumed", ms.Consumed, lEO, lMod)
+				counter("tcq_module_bounced_total", "tuples the module bounced", ms.Bounced, lEO, lMod)
+				counter("tcq_module_work_ns_total", "cumulative module processing time", ms.WorkNs, lEO, lMod)
+				gauge("tcq_module_selectivity", "estimated fraction of routed tuples surviving", ms.Selectivity(), lEO, lMod)
+				gauge("tcq_module_cost_ns", "estimated processing nanoseconds per routed tuple", ms.CostNs(), lEO, lMod)
+			}
+
+			// Engine totals.
+			counter("tcq_engine_pushed_total", "tuples pushed into the CACQ engine", s.engine.Pushed, lEO)
+			counter("tcq_engine_delivered_total", "result rows delivered by the engine", s.engine.Delivered, lEO)
+
+			// Shared state: grouped filters and SteMs.
+			for _, gf := range s.filters {
+				lF := telemetry.L("module", gf.name)
+				gauge("tcq_gfilter_queries", "queries sharing the grouped filter", float64(gf.queries), lEO, lF)
+				gauge("tcq_gfilter_factors", "boolean factors indexed by the grouped filter", float64(gf.factors), lEO, lF)
+			}
+			for _, sm := range s.stems {
+				lS := telemetry.L("module", sm.name)
+				gauge("tcq_stem_size", "tuples held in the SteM", float64(sm.size), lEO, lS)
+				counter("tcq_stem_builds_total", "tuples built into the SteM", sm.stats.Builds, lEO, lS)
+				counter("tcq_stem_probes_total", "probe operations against the SteM", sm.stats.Probes, lEO, lS)
+				counter("tcq_stem_matches_total", "join matches produced by probes", sm.stats.Matches, lEO, lS)
+				counter("tcq_stem_evicted_total", "tuples evicted by window movement", sm.stats.Evicted, lEO, lS)
+				counter("tcq_stem_index_probes_total", "probes answered by the hash index", sm.stats.IndexProbes, lEO, lS)
+				counter("tcq_stem_scan_probes_total", "probes requiring a full scan", sm.stats.ScanProbes, lEO, lS)
+			}
+			for _, qi := range s.queries {
+				counter("tcq_query_delivered_total", "rows delivered to the query",
+					qi.Delivered, telemetry.L("query", strconv.Itoa(qi.ID)))
+			}
+		}
+
+		// Result-side Fjord queues (per external subscriber).
+		for _, sub := range x.hub.Subscriptions() {
+			lQ := telemetry.L("query", strconv.Itoa(sub.ID))
+			gauge("tcq_result_queue_depth", "rows queued for the client", float64(sub.Len()), lQ)
+			counter("tcq_result_dropped_total", "result rows shed (slow client)", sub.Dropped(), lQ)
+		}
+	})
+}

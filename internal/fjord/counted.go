@@ -1,0 +1,91 @@
+package fjord
+
+import "sync/atomic"
+
+// QueueStats is a snapshot of a counted queue's activity. The
+// enqueue-fail count is the push-side stall signal (a full push-queue
+// sheds or bounces, per QoS policy); the dequeue-empty count is the
+// pull-side stall signal (control returned to the consumer with no
+// work — the essential Fjords property made measurable).
+type QueueStats struct {
+	Enqueued     int64 // elements accepted
+	Dequeued     int64 // elements removed
+	EnqueueFails int64 // TryEnqueue refusals (full/closed) — push stalls
+	DequeueEmpty int64 // TryDequeue misses (empty) — pull stalls
+}
+
+// Counted wraps a Queue with atomic activity counters so telemetry can
+// observe depth, throughput, and push-vs-pull stalls without adding
+// locks to the queue's hot path (one atomic add per operation).
+type Counted[T any] struct {
+	q        Queue[T]
+	enqueued atomic.Int64
+	dequeued atomic.Int64
+	enqFails atomic.Int64
+	deqEmpty atomic.Int64
+}
+
+// Count wraps q with counters. The wrapper implements Queue[T].
+func Count[T any](q Queue[T]) *Counted[T] { return &Counted[T]{q: q} }
+
+// TryEnqueue implements Queue.
+func (c *Counted[T]) TryEnqueue(v T) bool {
+	if c.q.TryEnqueue(v) {
+		c.enqueued.Add(1)
+		return true
+	}
+	c.enqFails.Add(1)
+	return false
+}
+
+// Enqueue implements Queue.
+func (c *Counted[T]) Enqueue(v T) error {
+	if err := c.q.Enqueue(v); err != nil {
+		c.enqFails.Add(1)
+		return err
+	}
+	c.enqueued.Add(1)
+	return nil
+}
+
+// TryDequeue implements Queue.
+func (c *Counted[T]) TryDequeue() (T, bool) {
+	v, ok := c.q.TryDequeue()
+	if ok {
+		c.dequeued.Add(1)
+	} else {
+		c.deqEmpty.Add(1)
+	}
+	return v, ok
+}
+
+// Dequeue implements Queue.
+func (c *Counted[T]) Dequeue() (T, error) {
+	v, err := c.q.Dequeue()
+	if err == nil {
+		c.dequeued.Add(1)
+	}
+	return v, err
+}
+
+// Close implements Queue.
+func (c *Counted[T]) Close() { c.q.Close() }
+
+// Len implements Queue.
+func (c *Counted[T]) Len() int { return c.q.Len() }
+
+// Cap implements Queue.
+func (c *Counted[T]) Cap() int { return c.q.Cap() }
+
+// Closed implements Queue.
+func (c *Counted[T]) Closed() bool { return c.q.Closed() }
+
+// Stats returns a snapshot of the counters; safe from any goroutine.
+func (c *Counted[T]) Stats() QueueStats {
+	return QueueStats{
+		Enqueued:     c.enqueued.Load(),
+		Dequeued:     c.dequeued.Load(),
+		EnqueueFails: c.enqFails.Load(),
+		DequeueEmpty: c.deqEmpty.Load(),
+	}
+}

@@ -314,14 +314,25 @@ func (s *PushServer) acceptLoop() {
 func (s *PushServer) serve(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	// reject reports a bad line back to the source ("error <line#> <why>")
+	// instead of dropping it silently; a source that never reads simply
+	// accumulates the replies in its socket buffer.
+	lineNo := 0
+	reject := func(why string) {
+		s.errs.Add(1)
+		fmt.Fprintf(w, "error %d %s\n", lineNo, strings.ReplaceAll(why, "\n", " "))
+		_ = w.Flush()
+	}
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
 		idx := strings.IndexByte(line, ',')
 		if idx < 0 {
-			s.errs.Add(1)
+			reject("expected stream,field,... line")
 			continue
 		}
 		stream := line[:idx]
@@ -329,16 +340,16 @@ func (s *PushServer) serve(conn net.Conn) {
 		schema := s.schemas[stream]
 		s.mu.Unlock()
 		if schema == nil {
-			s.errs.Add(1)
+			reject(fmt.Sprintf("unknown stream %q", stream))
 			continue
 		}
 		vals, err := ParseRow(schema, strings.Split(line[idx+1:], ","))
 		if err != nil {
-			s.errs.Add(1)
+			reject(err.Error())
 			continue
 		}
 		if err := s.sink(stream, vals); err != nil {
-			s.errs.Add(1)
+			reject(err.Error())
 			continue
 		}
 		s.rows.Add(1)

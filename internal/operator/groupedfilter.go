@@ -76,6 +76,17 @@ func (g *GroupedFilter) Column() *expr.ColumnRef { return g.col }
 // QueryCount returns the number of queries with factors registered.
 func (g *GroupedFilter) QueryCount() int { return len(g.queries) }
 
+// FactorCount returns the total number of registered boolean factors.
+// FactorCount/QueryCount ≥ 1 is the sharing factor one probe amortizes.
+// Like AddFactor, it must run on the owning Execution Object's thread.
+func (g *GroupedFilter) FactorCount() int {
+	n := 0
+	for _, fs := range g.queries {
+		n += len(fs)
+	}
+	return n
+}
+
 // AddFactor registers one boolean factor of query q. The factor's column
 // must match the filter's attribute.
 func (g *GroupedFilter) AddFactor(q int, f expr.RangeFactor) error {

@@ -180,6 +180,47 @@ func (c *Client) Fetch(id int, offset int64) ([]string, int64, error) {
 	return out, next, nil
 }
 
+// ShowStats runs SHOW STATS [LIKE 'prefix'] and returns the metric
+// lines (Prometheus text syntax, one per sample).
+func (c *Client) ShowStats(like string) ([]string, error) {
+	// Stats rows arrive tagged with the pseudo-cursor -1.
+	ch := make(chan string, 65536)
+	c.mu.Lock()
+	c.rows[-1] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.rows, -1)
+		c.mu.Unlock()
+	}()
+	stmt := "SHOW STATS"
+	if like != "" {
+		stmt += " LIKE '" + like + "'"
+	}
+	if err := c.sendLine(terminate(stmt)); err != nil {
+		return nil, err
+	}
+	line, err := c.ack(5 * time.Second)
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(line, "ok stats %d", &n); err != nil {
+		return nil, fmt.Errorf("unexpected response %q", line)
+	}
+	out := make([]string, 0, n)
+	deadline := time.After(5 * time.Second)
+	for len(out) < n {
+		select {
+		case r := <-ch:
+			out = append(out, r)
+		case <-deadline:
+			return out, fmt.Errorf("timeout reading stats")
+		}
+	}
+	return out, nil
+}
+
 // CloseCursor cancels a standing query.
 func (c *Client) CloseCursor(id int) error {
 	c.mu.Lock()
@@ -210,6 +251,7 @@ func terminate(s string) string {
 type PushConn struct {
 	conn net.Conn
 	w    *bufio.Writer
+	r    *bufio.Reader
 }
 
 // DialPush connects to the Wrapper port.
@@ -218,7 +260,22 @@ func DialPush(addr string) (*PushConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PushConn{conn: conn, w: bufio.NewWriter(conn)}, nil
+	return &PushConn{conn: conn, w: bufio.NewWriter(conn), r: bufio.NewReader(conn)}, nil
+}
+
+// ReadError reads one per-line error reply from the wrapper port
+// ("error <line#> <why>"), blocking up to timeout. It returns an error
+// on timeout — the absence of a reply means the lines were accepted.
+func (p *PushConn) ReadError(timeout time.Duration) (string, error) {
+	if err := p.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return "", err
+	}
+	defer p.conn.SetReadDeadline(time.Time{})
+	line, err := p.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
 }
 
 // Push sends one tuple as "stream,field,...".

@@ -23,6 +23,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"telegraphcq/internal/executor"
 	"telegraphcq/internal/ingress"
 	"telegraphcq/internal/sql"
+	"telegraphcq/internal/telemetry"
 	"telegraphcq/internal/tuple"
 )
 
@@ -41,6 +43,7 @@ type Server struct {
 
 	wrapper *ingress.PushServer
 	lnFront net.Listener
+	metrics *http.Server
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	closed  bool
@@ -75,6 +78,22 @@ func (s *Server) Start(frontAddr, wrapperAddr string) (front, wrapper string, er
 	return ln.Addr().String(), wrapper, nil
 }
 
+// StartMetrics serves the telemetry endpoints (/metrics Prometheus
+// text, /statz JSON, /healthz) on addr; returns the bound address.
+func (s *Server) StartMetrics(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.metrics = &http.Server{Handler: s.Exec.Metrics().Handler()}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.metrics.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
 // postmaster accepts connections and forks a FrontEnd session for each
 // (the fork-per-connection model of Figure 4, with goroutines for
 // processes).
@@ -105,6 +124,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	if s.lnFront != nil {
 		s.lnFront.Close()
+	}
+	if s.metrics != nil {
+		s.metrics.Close()
 	}
 	s.wrapper.Close()
 	s.Exec.Close()
@@ -236,9 +258,27 @@ func (c *session) dispatch(text string) {
 		c.send("ok dropped %s", stmt.Name)
 	case *sql.Select:
 		c.openCursor(stmt)
+	case *sql.ShowStats:
+		c.showStats(stmt)
 	default:
 		c.sendErr(fmt.Errorf("server: unsupported statement"))
 	}
+}
+
+// showStats dumps the telemetry registry as "row -1 <metric line>"
+// entries (Prometheus text syntax per row) followed by "ok stats <n>".
+// The continuous counterpart is a CQ over the tcq_* system streams.
+func (c *session) showStats(stmt *sql.ShowStats) {
+	samples := c.srv.Exec.Metrics().Gather()
+	n := 0
+	for i := range samples {
+		if stmt.Like != "" && !strings.HasPrefix(samples[i].Name, stmt.Like) {
+			continue
+		}
+		c.send("row -1 %s", strings.TrimSuffix(telemetry.PrometheusLine(&samples[i]), "\n"))
+		n++
+	}
+	c.send("ok stats %d", n)
 }
 
 // openCursor submits a continuous query and pumps its results to the

@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -258,6 +260,127 @@ func TestWrapperRejectsMalformedLines(t *testing.T) {
 }
 
 func (s *Server) wrapperErrs() int64 { return s.wrapper.Errs() }
+
+func TestWrapperErrorReplies(t *testing.T) {
+	_, front, wrapper := startServer(t)
+	cli, _ := Dial(front)
+	defer cli.Close()
+	if err := cli.Exec(`CREATE STREAM s (v int)`); err != nil {
+		t.Fatal(err)
+	}
+	push, _ := DialPush(wrapper)
+	defer push.Close()
+
+	_ = push.Push("nostream", "1")
+	_ = push.Flush()
+	msg, err := push.ReadError(2 * time.Second)
+	if err != nil {
+		t.Fatalf("no reply for unknown stream: %v", err)
+	}
+	if !strings.HasPrefix(msg, "error 1 ") || !strings.Contains(msg, `unknown stream "nostream"`) {
+		t.Fatalf("unknown-stream reply = %q", msg)
+	}
+
+	_ = push.Push("s", "notanint")
+	_ = push.Flush()
+	msg, err = push.ReadError(2 * time.Second)
+	if err != nil {
+		t.Fatalf("no reply for malformed line: %v", err)
+	}
+	if !strings.HasPrefix(msg, "error 2 ") || !strings.Contains(msg, "column v") {
+		t.Fatalf("parse-error reply = %q", msg)
+	}
+
+	// A valid line draws no reply.
+	_ = push.Push("s", "42")
+	_ = push.Flush()
+	if msg, err := push.ReadError(150 * time.Millisecond); err == nil {
+		t.Fatalf("unexpected reply for valid line: %q", msg)
+	}
+}
+
+func TestShowStatsOverWire(t *testing.T) {
+	s, front, wrapper := startServer(t)
+	cli, _ := Dial(front)
+	defer cli.Close()
+	if err := cli.Exec(`CREATE STREAM s (v int)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cli.Query(`SELECT v FROM s WHERE v > 0`); err != nil {
+		t.Fatal(err)
+	}
+	push, _ := DialPush(wrapper)
+	defer push.Close()
+	for i := 1; i <= 5; i++ {
+		_ = push.Push("s", fmt.Sprintf("%d", i))
+	}
+	_ = push.Flush()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.wrapper.Rows() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Exec.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines, err := cli.ShowStats("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, l := range lines {
+		name, _, _ := strings.Cut(l, "{")
+		name, _, _ = strings.Cut(name, " ")
+		found[name] = true
+	}
+	for _, want := range []string{"tcq_eos", "tcq_queries_active", "tcq_eddy_admitted_total", "tcq_module_routed_total"} {
+		if !found[want] {
+			t.Fatalf("SHOW STATS missing %s in %d lines", want, len(lines))
+		}
+	}
+
+	// LIKE narrows to the prefix.
+	lines, err = cli.ShowStats("tcq_eddy_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("SHOW STATS LIKE 'tcq_eddy_' returned nothing")
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "tcq_eddy_") {
+			t.Fatalf("LIKE filter leaked %q", l)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, front, _ := startServer(t)
+	addr, err := s.StartMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, _ := Dial(front)
+	defer cli.Close()
+	if err := cli.Exec(`CREATE STREAM s (v int)`); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{"# TYPE tcq_eos gauge", "tcq_queries_active"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
 
 func TestServerCloseIdempotent(t *testing.T) {
 	s := New(executor.Options{})

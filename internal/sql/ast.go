@@ -32,6 +32,11 @@ type Insert struct {
 // DropSource is "DROP STREAM name" / "DROP TABLE name".
 type DropSource struct{ Name string }
 
+// ShowStats is "SHOW STATS [LIKE 'prefix']": a point-in-time dump of the
+// engine's telemetry registry (metric, labels, value). The continuous
+// counterpart is a CQ over the tcq_* system streams.
+type ShowStats struct{ Like string }
+
 // SelectItem is one entry of the SELECT list.
 type SelectItem struct {
 	Star bool
@@ -78,4 +83,5 @@ func (*CreateStream) stmt() {}
 func (*CreateTable) stmt()  {}
 func (*Insert) stmt()       {}
 func (*DropSource) stmt()   {}
+func (*ShowStats) stmt()    {}
 func (*Select) stmt()       {}

@@ -103,9 +103,28 @@ func (p *parser) statement() (Statement, error) {
 		return p.drop()
 	case p.accept("select"):
 		return p.selectStmt()
+	case p.accept("show"):
+		return p.show()
 	default:
 		return nil, fmt.Errorf("sql: expected statement, found %s", p.peek())
 	}
+}
+
+// show parses "SHOW STATS [LIKE 'prefix']".
+func (p *parser) show() (Statement, error) {
+	if err := p.expect("stats"); err != nil {
+		return nil, err
+	}
+	st := &ShowStats{}
+	if p.accept("like") {
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("sql: SHOW STATS LIKE expects a string, found %s", t)
+		}
+		p.i++
+		st.Like = t.text
+	}
+	return st, nil
 }
 
 // ------------------------------------------------------------------ DDL

@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"net/http"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	GET /metrics  Prometheus text exposition format
+//	GET /statz    the same samples as indented JSON
+//	GET /healthz  "ok" (liveness)
+//
+// Mount it on a mux or serve it directly; every path other than the
+// three above returns 404.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}

@@ -1,0 +1,298 @@
+// Package telemetry is the engine's observability layer: a low-overhead
+// metrics registry the rest of the system (eddies, SteMs, fjord queues,
+// the executor, the buffer pool) reports into, plus textual exposition
+// in Prometheus text format and JSON.
+//
+// TelegraphCQ's core thesis is an engine that continuously observes
+// itself — eddies reroute tuples based on observed operator costs and
+// selectivities (§2.1–2.2), and "Adapting Adaptivity" (§4.3) tunes
+// routing overhead from measured behavior. This package makes those
+// observations first-class: hot paths increment plain atomic counters
+// (no locks, no maps); the registry resolves names, labels, and derived
+// gauges only at scrape time.
+//
+// Two disciplines keep the overhead within the §4.3 budget:
+//
+//   - Counters handed to hot paths are *Counter pointers resolved once
+//     at construction; an increment is a single atomic add.
+//   - Everything else (queue depths, SteM sizes, hit rates,
+//     selectivities) is pulled via Collectors — closures sampled only
+//     when someone scrapes /metrics, runs SHOW STATS, or the system
+//     stream sampler fires.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; increments are single atomic adds, safe from any goroutine.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must not be negative for Prometheus semantics; this is
+// not checked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Kind distinguishes counters (monotone) from gauges (instantaneous).
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+)
+
+func (k Kind) String() string {
+	if k == KindGauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Label is one key=value dimension of a sample.
+type Label struct{ Key, Value string }
+
+// L is shorthand for building a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// Sample is one observed metric value at scrape time.
+type Sample struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []Label
+	Value  float64
+}
+
+// key renders the sample's identity (name + sorted labels) for sorting
+// and deduplication.
+func (s *Sample) key() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Emit receives samples from a Collector.
+type Emit func(Sample)
+
+// Collector produces samples on demand. Collectors must be safe for
+// concurrent use: they run on the scraper's goroutine while the engine
+// is processing tuples.
+type Collector func(Emit)
+
+// Registry holds directly registered counters, gauge functions, and
+// collectors. A Registry is safe for concurrent use; registration takes
+// a lock, but incrementing a registered Counter does not.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   []registeredCounter
+	gauges     []registeredGauge
+	collectors []Collector
+}
+
+type registeredCounter struct {
+	name   string
+	help   string
+	labels []Label
+	c      *Counter
+}
+
+type registeredGauge struct {
+	name   string
+	help   string
+	labels []Label
+	fn     func() float64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers (or re-registers) a counter and returns the handle
+// hot paths increment. Registering the same name+labels twice returns
+// the existing counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	sortLabels(labels)
+	want := (&Sample{Name: name, Labels: labels}).key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rc := range r.counters {
+		if (&Sample{Name: rc.name, Labels: rc.labels}).key() == want {
+			return rc.c
+		}
+	}
+	c := &Counter{}
+	r.counters = append(r.counters, registeredCounter{name: name, help: help, labels: labels, c: c})
+	return c
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+// fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	sortLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = append(r.gauges, registeredGauge{name: name, help: help, labels: labels, fn: fn})
+}
+
+// Register adds a collector sampled on every Gather.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Gather samples every registered metric and collector and returns the
+// samples sorted by name then labels.
+func (r *Registry) Gather() []Sample {
+	r.mu.RLock()
+	counters := append([]registeredCounter(nil), r.counters...)
+	gauges := append([]registeredGauge(nil), r.gauges...)
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.RUnlock()
+
+	var out []Sample
+	for _, rc := range counters {
+		out = append(out, Sample{Name: rc.name, Help: rc.help, Kind: KindCounter,
+			Labels: rc.labels, Value: float64(rc.c.Load())})
+	}
+	for _, rg := range gauges {
+		out = append(out, Sample{Name: rg.name, Help: rg.help, Kind: KindGauge,
+			Labels: rg.labels, Value: rg.fn()})
+	}
+	emit := func(s Sample) {
+		sortLabels(s.Labels)
+		out = append(out, s)
+	}
+	for _, c := range collectors {
+		c(emit)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].key() < out[j].key()
+	})
+	return out
+}
+
+func sortLabels(ls []Label) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+}
+
+// ------------------------------------------------------------ exposition
+
+// WritePrometheus renders all samples in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Gather()
+	lastMeta := ""
+	for i := range samples {
+		s := &samples[i]
+		if s.Name != lastMeta {
+			lastMeta = s.Name
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, PrometheusLine(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusLine renders one sample as a single exposition line
+// (including the trailing newline).
+func PrometheusLine(s *Sample) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if len(s.Labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range s.Labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(s.Value))
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// jsonSample is the /statz wire form of one sample.
+type jsonSample struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	Help   string            `json:"help,omitempty"`
+}
+
+// WriteJSON renders all samples as a JSON array (the /statz endpoint).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	samples := r.Gather()
+	out := make([]jsonSample, len(samples))
+	for i, s := range samples {
+		js := jsonSample{Name: s.Name, Kind: s.Kind.String(), Value: s.Value, Help: s.Help}
+		if len(s.Labels) > 0 {
+			js.Labels = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				js.Labels[l.Key] = l.Value
+			}
+		}
+		out[i] = js
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

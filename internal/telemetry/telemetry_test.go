@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGather(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tcq_test_total", "test counter", L("module", "a"))
+	c.Add(3)
+	c.Inc()
+	// Same name+labels returns the same counter.
+	if c2 := r.Counter("tcq_test_total", "test counter", L("module", "a")); c2 != c {
+		t.Fatal("re-registration did not return the existing counter")
+	}
+	r.GaugeFunc("tcq_test_depth", "test gauge", func() float64 { return 2.5 }, L("q", "x"))
+	r.Register(func(emit Emit) {
+		emit(Sample{Name: "tcq_collected", Kind: KindGauge, Value: 7})
+	})
+	samples := r.Gather()
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	byName := map[string]Sample{}
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	if byName["tcq_test_total"].Value != 4 {
+		t.Fatalf("counter = %v, want 4", byName["tcq_test_total"].Value)
+	}
+	if byName["tcq_test_depth"].Value != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", byName["tcq_test_depth"].Value)
+	}
+	if byName["tcq_collected"].Value != 7 {
+		t.Fatalf("collected = %v, want 7", byName["tcq_collected"].Value)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tcq_routed_total", "tuples routed", L("module", `f"1`), L("eo", "0")).Add(12)
+	r.GaugeFunc("tcq_depth", "queue depth", func() float64 { return 1.5 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE tcq_routed_total counter",
+		"# HELP tcq_routed_total tuples routed",
+		`tcq_routed_total{eo="0",module="f\"1"} 12`,
+		"# TYPE tcq_depth gauge",
+		"tcq_depth 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tcq_x_total", "x", L("k", "v")).Add(9)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+	if got := get("/metrics"); !strings.Contains(got, `tcq_x_total{k="v"} 9`) {
+		t.Fatalf("/metrics: %s", got)
+	}
+	statz := get("/statz")
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(statz), &parsed); err != nil {
+		t.Fatalf("/statz not valid JSON: %v\n%s", err, statz)
+	}
+	if len(parsed) != 1 || parsed[0]["name"] != "tcq_x_total" || parsed[0]["value"] != 9.0 {
+		t.Fatalf("/statz content: %v", parsed)
+	}
+	if got := get("/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("/healthz: %s", got)
+	}
+}
+
+// TestConcurrentScrape hammers a counter from many goroutines while
+// gathering — the registry contract scrapers rely on (run with -race).
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tcq_race_total", "")
+	r.GaugeFunc("tcq_race_gauge", "", func() float64 { return float64(c.Load()) })
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				_ = r.WritePrometheus(&b)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+	if got := c.Load(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
