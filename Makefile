@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench clean
+.PHONY: build test race vet bench benchjson clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ vet:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Machine-readable experiment results: one BENCH_<id>.json per table,
+# written into the repo root (CI uploads them as an artifact).
+benchjson:
+	$(GO) run ./cmd/tcqbench -json .
 
 clean:
 	$(GO) clean ./...

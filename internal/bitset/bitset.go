@@ -39,6 +39,17 @@ func (s *Set) grow(word int) {
 	if word < len(s.words) {
 		return
 	}
+	if word < cap(s.words) {
+		// Reuse spare capacity, zeroing it explicitly: CopyFrom shrinks
+		// len in place, so the region beyond len may hold stale words
+		// from a previous generation (or the debug poison pattern).
+		n := len(s.words)
+		s.words = s.words[:word+1]
+		for i := n; i <= word; i++ {
+			s.words[i] = 0
+		}
+		return
+	}
 	w := make([]uint64, word+1)
 	copy(w, s.words)
 	s.words = w
@@ -97,6 +108,18 @@ func (s *Set) Empty() bool {
 func (s *Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
+	}
+}
+
+// Poison fills every allocated word (including spare capacity) with a
+// sentinel pattern. Debug aid for pooled owners: a stale alias to a
+// recycled set observes "everything is a member" instead of silently
+// sharing bits with the set's next life. The set must be Cleared before
+// reuse; pool Get paths do this.
+func (s *Set) Poison() {
+	w := s.words[:cap(s.words)]
+	for i := range w {
+		w[i] = 0xDEADDEADDEADDEAD
 	}
 }
 

@@ -287,7 +287,8 @@ func (e *Engine) Push(t *tuple.Tuple) error {
 	src := t.Schema.Sources[0]
 	in := e.interest[src]
 	if in == nil || in.Empty() {
-		return nil // no query reads this stream
+		tuple.Recycle(t) // no query reads this stream; Push owns the tuple
+		return nil
 	}
 	t.Lineage().Queries.CopyFrom(in)
 	e.stats.Pushed++
@@ -354,8 +355,12 @@ func (e *Engine) Flush() error {
 }
 
 // output is the eddy's completion callback: demultiplex to queries.
+// The engine owns the completed tuple here: consumers that keep it
+// (raw deliveries, window buffers) retain it inside deliverTo, so the
+// trailing Recycle returns only truly retired tuples to the pool.
 func (e *Engine) output(t *tuple.Tuple) {
 	if t.Lin == nil {
+		tuple.Recycle(t)
 		return
 	}
 	srcs := t.Schema.Sources
@@ -372,6 +377,7 @@ func (e *Engine) output(t *tuple.Tuple) {
 		e.deliverTo(id, r, t)
 		return true
 	})
+	tuple.Recycle(t)
 }
 
 func sameSources(a, b []string) bool {
@@ -401,6 +407,7 @@ func (e *Engine) deliverTo(id int, r *registered, t *tuple.Tuple) {
 		}
 	}
 	if r.agg != nil {
+		t.Retain() // the window buffer keeps the row until the window closes
 		_, _ = r.agg.Process(t, e.aggEmit(id, r))
 		return
 	}
@@ -411,6 +418,11 @@ func (e *Engine) deliverTo(id int, r *registered, t *tuple.Tuple) {
 		if err != nil {
 			return
 		}
+	} else {
+		// Raw delivery shares the completed tuple itself — possibly with
+		// several queries' subscriptions and spools — so it must never be
+		// recycled. Projected rows are fresh per query and stay eligible.
+		t.Retain()
 	}
 	r.delivered++
 	e.stats.Delivered++

@@ -89,6 +89,47 @@ type Eddy struct {
 
 	pendingBatch map[string]*batch // open admission batches by schema signature
 	pendingOrder []string
+
+	// free recycles batch structs (tuple slice + ready/done bitsets) so
+	// steady-state routing does not allocate per admission. Bounded: a
+	// burst of in-flight batches beyond the cap falls back to the heap.
+	free []*batch
+	// inherit is the done-set scratch emitFn reads; valid only during a
+	// routeBatch Process call. No module stores its emit callback
+	// (deferred producers re-enter through Idle/e.emit), so one shared
+	// closure replaces a per-batch clone + closure allocation.
+	inherit bitset.Set
+	emitFn  operator.Emit
+}
+
+// freeBatchCap bounds the batch freelist.
+const freeBatchCap = 64
+
+// newBatch returns an empty batch with cleared routing state, reusing a
+// retired one when available.
+func (e *Eddy) newBatch() *batch {
+	if n := len(e.free); n > 0 {
+		b := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return b
+	}
+	return &batch{ready: bitset.New(len(e.modules)), done: bitset.New(len(e.modules))}
+}
+
+// freeBatch retires a fully routed batch to the freelist.
+func (e *Eddy) freeBatch(b *batch) {
+	if len(e.free) >= freeBatchCap {
+		return
+	}
+	for i := range b.tuples {
+		b.tuples[i] = nil
+	}
+	b.tuples = b.tuples[:0]
+	b.ready.Clear()
+	b.done.Clear()
+	b.bounces = 0
+	e.free = append(e.free, b)
 }
 
 // batch is a set of tuples sharing a routing state. With BatchSize 1
@@ -114,6 +155,7 @@ func New(modules []operator.Module, policy Policy, output func(*tuple.Tuple)) *E
 		FixedHops:    1,
 		pendingBatch: map[string]*batch{},
 	}
+	e.emitFn = func(x *tuple.Tuple) { e.enqueueDerived(x, &e.inherit) }
 	for i, m := range modules {
 		e.mstats = append(e.mstats, ModuleStats{Name: m.Name()})
 		if sm, ok := m.(*operator.StemModule); ok {
@@ -172,15 +214,15 @@ func (e *Eddy) ModuleStatsSnapshot() []ModuleStats {
 	return append([]ModuleStats(nil), e.mstats...)
 }
 
-// readyBits computes the fresh ready bitmap for a tuple entering routing.
-func (e *Eddy) readyBits(t *tuple.Tuple) *bitset.Set {
-	r := bitset.New(len(e.modules))
+// readyBitsInto overwrites r with the fresh ready bitmap for a tuple
+// entering routing.
+func (e *Eddy) readyBitsInto(t *tuple.Tuple, r *bitset.Set) {
+	r.Clear()
 	for i, m := range e.modules {
 		if m.Interested(t) {
 			r.Add(i)
 		}
 	}
-	return r
 }
 
 // Admit enters a source tuple into the dataflow: it is stamped with its
@@ -202,8 +244,12 @@ func (e *Eddy) Admit(t *tuple.Tuple) error {
 }
 
 // sig is the batching key: tuples sharing a source signature share
-// routing state.
+// routing state. Single-source schemas (the overwhelmingly common case)
+// use the source name itself to avoid building a key per tuple.
 func sig(s *tuple.Schema) string {
+	if len(s.Sources) == 1 {
+		return s.Sources[0]
+	}
 	k := ""
 	for _, src := range s.Sources {
 		k += src + "\x00"
@@ -216,17 +262,17 @@ func sig(s *tuple.Schema) string {
 func (e *Eddy) enqueue(t *tuple.Tuple) {
 	e.stats.Admitted++
 	if e.BatchSize <= 1 {
-		e.work = append(e.work, &batch{
-			tuples: []*tuple.Tuple{t},
-			ready:  e.readyBits(t),
-			done:   bitset.New(len(e.modules)),
-		})
+		b := e.newBatch()
+		e.readyBitsInto(t, b.ready)
+		b.tuples = append(b.tuples, t)
+		e.work = append(e.work, b)
 		return
 	}
 	key := sig(t.Schema)
 	b := e.pendingBatch[key]
 	if b == nil {
-		b = &batch{ready: e.readyBits(t), done: bitset.New(len(e.modules))}
+		b = e.newBatch()
+		e.readyBitsInto(t, b.ready)
 		e.pendingBatch[key] = b
 		e.pendingOrder = append(e.pendingOrder, key)
 	}
@@ -244,22 +290,23 @@ func (e *Eddy) enqueue(t *tuple.Tuple) {
 // exactly-once and avoids re-filtering columns already filtered.
 func (e *Eddy) enqueueDerived(t *tuple.Tuple, done *bitset.Set) {
 	e.stats.Admitted++
-	ready := e.readyBits(t)
-	d := bitset.New(len(e.modules))
+	b := e.newBatch()
+	e.readyBitsInto(t, b.ready)
 	if done != nil {
-		d.CopyFrom(done)
+		b.done.CopyFrom(done)
 	}
 	if t.Lin != nil {
-		d.Union(&t.Lin.Done)
+		b.done.Union(&t.Lin.Done)
 	}
-	ready.Subtract(d)
+	b.ready.Subtract(b.done)
 	// Alternative groups: a done member marks the whole group done.
 	for _, g := range e.groups {
-		if d.IntersectsWith(g) {
-			ready.Subtract(g)
+		if b.done.IntersectsWith(g) {
+			b.ready.Subtract(g)
 		}
 	}
-	e.work = append(e.work, &batch{tuples: []*tuple.Tuple{t}, ready: ready, done: d})
+	b.tuples = append(b.tuples, t)
+	e.work = append(e.work, b)
 }
 
 func (e *Eddy) removePendingOrder(key string) {
@@ -346,11 +393,14 @@ func (e *Eddy) Step() (bool, error) {
 		e.work = append(e.work, b)
 		return true, nil
 	}
-	// Routing complete: deliver survivors.
+	// Routing complete: deliver survivors. The output callback owns each
+	// tuple from here (it retains or recycles per the pool's ownership
+	// rules); the batch shell goes back to the freelist.
 	for _, t := range b.tuples {
 		e.stats.Outputs++
 		e.output(t)
 	}
+	e.freeBatch(b)
 	return true, nil
 }
 
@@ -362,10 +412,14 @@ func (e *Eddy) routeBatch(b *batch, m int) error {
 	survivors := b.tuples[:0]
 	var bounced []*tuple.Tuple
 	// Emissions during this batch inherit the batch's done set plus the
-	// module being visited, so cascades never revisit this module.
-	inherit := b.done.Clone()
-	inherit.Add(m)
-	emit := func(x *tuple.Tuple) { e.enqueueDerived(x, inherit) }
+	// module being visited, so cascades never revisit this module. The
+	// inherited set lives in shared scratch read by the pre-built emitFn:
+	// emit is only ever called synchronously inside Process (async
+	// producers re-enter through Idle), so no per-batch clone or closure
+	// is needed. enqueueDerived copies the scratch before returning.
+	e.inherit.CopyFrom(b.done)
+	e.inherit.Add(m)
+	emit := e.emitFn
 	mc := &e.mstats[m]
 	for _, t := range b.tuples {
 		start := time.Now()
@@ -386,11 +440,14 @@ func (e *Eddy) routeBatch(b *batch, m int) error {
 		case operator.Drop:
 			e.stats.Dropped++
 			mc.Dropped++
+			// The routing pass retired this tuple; back to the pool
+			// (no-op if a SteM or other store retained it earlier).
+			tuple.Recycle(t)
 		case operator.Consumed:
 			// The module retained the tuple; derived tuples arrive via
 			// emit, possibly later (async). Stamp the done set on the
 			// tuple so deferred emissions inherit it.
-			t.Lineage().Done.CopyFrom(inherit)
+			t.Lineage().Done.CopyFrom(&e.inherit)
 			mc.Consumed++
 		case operator.Bounce:
 			e.stats.Bounced++
@@ -407,12 +464,11 @@ func (e *Eddy) routeBatch(b *batch, m int) error {
 	}
 	b.tuples = survivors
 	if len(bounced) > 0 {
-		retry := &batch{
-			tuples:  bounced,
-			ready:   b.ready.Clone(), // m still ready for these
-			done:    b.done.Clone(),
-			bounces: b.bounces + 1,
-		}
+		retry := e.newBatch()
+		retry.tuples = append(retry.tuples, bounced...)
+		retry.ready.CopyFrom(b.ready) // m still ready for these
+		retry.done.CopyFrom(b.done)
+		retry.bounces = b.bounces + 1
 		if retry.bounces > 3 {
 			// Stalled on async work: let idle cycles make progress.
 			if _, err := e.idleModules(); err != nil {

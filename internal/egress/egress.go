@@ -3,22 +3,34 @@
 // bounded Fjord queues (shedding when a client cannot keep up), and
 // pull-based spools that log results for clients that disconnect and
 // return intermittently (the PSoup modality).
+//
+// Ownership: Deliver and DeliverBatch take ownership of the rows they
+// are handed. A row that reaches a subscription belongs to the consumer
+// (which may tuple.Recycle it after use); a row kept by a spool is
+// Retained (pinned out of the pool, since spooled rows are fetched
+// repeatedly); a row with no consumer, or shed because the subscription
+// queue is full, is recycled here — egress is the module that retires
+// result tuples.
 package egress
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/tuple"
 )
 
-// Subscription is a push-based result channel for one query.
+// Subscription is a push-based result channel for one query. The queue
+// is a lock-free SPSC ring: the producing end is owned by the query's
+// Execution Object (one query lives on exactly one EO, and cancellation
+// hands the end over only after an ack round-trip), the consuming end by
+// the single client reader.
 type Subscription struct {
 	ID int
-	q  fjord.Queue[*tuple.Tuple]
+	q  *fjord.SPSC[*tuple.Tuple]
 
-	mu      sync.Mutex
-	dropped int64
+	dropped atomic.Int64
 }
 
 // Next blocks for the next row; ok is false when the subscription closed
@@ -31,12 +43,12 @@ func (s *Subscription) Next() (*tuple.Tuple, bool) {
 // TryNext returns a row without blocking.
 func (s *Subscription) TryNext() (*tuple.Tuple, bool) { return s.q.TryDequeue() }
 
+// NextBatch drains up to len(dst) queued rows into dst without blocking
+// and returns the count (batch consumers amortize the queue round-trip).
+func (s *Subscription) NextBatch(dst []*tuple.Tuple) int { return s.q.DequeueBatch(dst) }
+
 // Dropped counts rows shed because the client fell behind.
-func (s *Subscription) Dropped() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dropped
-}
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
 
 // Len returns queued rows.
 func (s *Subscription) Len() int { return s.q.Len() }
@@ -56,12 +68,13 @@ func NewHub() *Hub {
 
 // Subscribe attaches a push subscription of the given capacity for a
 // query id. Rows arriving while the queue is full are shed (QoS: a slow
-// client must not stall the shared dataflow).
+// client must not stall the shared dataflow). Capacity is rounded up to
+// a power of two by the ring buffer.
 func (h *Hub) Subscribe(id, capacity int) *Subscription {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	s := &Subscription{ID: id, q: fjord.NewPush[*tuple.Tuple](capacity)}
+	s := &Subscription{ID: id, q: fjord.NewSPSC[*tuple.Tuple](capacity)}
 	h.mu.Lock()
 	h.subs[id] = s
 	h.mu.Unlock()
@@ -81,21 +94,56 @@ func (h *Hub) SpoolFor(id int, capacity int) *Spool {
 }
 
 // Deliver routes one result row to the query's consumers. It never
-// blocks.
+// blocks, and it takes ownership of the row (see the package comment).
+// Producer-side SPSC contract: all Deliver/DeliverBatch calls for one
+// query id must be serialized — the executor guarantees this by keeping
+// each query on one EO and acking cancellation before the flush path
+// delivers.
 func (h *Hub) Deliver(id int, row *tuple.Tuple) {
 	h.mu.Lock()
 	sub := h.subs[id]
 	sp := h.spools[id]
 	h.mu.Unlock()
+	if sp != nil {
+		sp.Append(row) // retains
+	}
 	if sub != nil {
 		if !sub.q.TryEnqueue(row) {
-			sub.mu.Lock()
-			sub.dropped++
-			sub.mu.Unlock()
+			sub.dropped.Add(1)
+			tuple.Recycle(row)
 		}
+	} else if sp == nil {
+		tuple.Recycle(row)
 	}
+}
+
+// DeliverBatch routes a batch of result rows for one query: one hub
+// lookup and one ring publish for the whole slice. Ownership and
+// serialization rules are those of Deliver. The slice itself is not
+// retained.
+func (h *Hub) DeliverBatch(id int, rows []*tuple.Tuple) {
+	if len(rows) == 0 {
+		return
+	}
+	h.mu.Lock()
+	sub := h.subs[id]
+	sp := h.spools[id]
+	h.mu.Unlock()
 	if sp != nil {
-		sp.Append(row)
+		sp.AppendBatch(rows) // retains
+	}
+	if sub != nil {
+		n := sub.q.TryEnqueueBatch(rows)
+		if n < len(rows) {
+			sub.dropped.Add(int64(len(rows) - n))
+			for _, r := range rows[n:] {
+				tuple.Recycle(r)
+			}
+		}
+	} else if sp == nil {
+		for _, r := range rows {
+			tuple.Recycle(r)
+		}
 	}
 }
 
@@ -138,7 +186,8 @@ func (h *Hub) CloseAll() {
 // Spool is the pull-based egress operator: results are logged with
 // monotonically increasing offsets; an intermittent client fetches from
 // its last offset on reconnect. Capacity bounds retained rows (older
-// rows age out, and the base offset advances).
+// rows age out, and the base offset advances). Spooled rows are Retained
+// — Fetch hands out aliases, so they can never return to the pool.
 type Spool struct {
 	mu   sync.Mutex
 	rows []*tuple.Tuple
@@ -154,11 +203,27 @@ func NewSpool(capacity int) *Spool {
 	return &Spool{cap: capacity}
 }
 
-// Append logs one row.
+// Append logs one row, retaining it.
 func (s *Spool) Append(row *tuple.Tuple) {
+	row.Retain()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.rows = append(s.rows, row)
+	s.trimLocked()
+}
+
+// AppendBatch logs a batch of rows under one lock round-trip.
+func (s *Spool) AppendBatch(rows []*tuple.Tuple) {
+	for _, r := range rows {
+		r.Retain()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = append(s.rows, rows...)
+	s.trimLocked()
+}
+
+func (s *Spool) trimLocked() {
 	if over := len(s.rows) - s.cap; over > 0 {
 		s.rows = append(s.rows[:0], s.rows[over:]...)
 		s.base += int64(over)

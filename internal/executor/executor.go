@@ -155,11 +155,7 @@ const (
 )
 
 type envelope struct {
-	// data
-	t *tuple.Tuple
-	// control
 	ctl   ctlKind
-	isCtl bool
 	query *cacq.Query
 	qid   int
 	rows  []*tuple.Tuple // table load
@@ -167,17 +163,38 @@ type envelope struct {
 	snap  chan *eoSnapshot // ctlStats reply
 }
 
+// eoDrainBatch bounds how many data tuples one engine quantum admits.
+const eoDrainBatch = 256
+
+// delivery is one result row buffered during an engine quantum; the EO
+// flushes deliveries to the hub in per-query batches after each Run.
+type delivery struct {
+	id  int
+	row *tuple.Tuple
+}
+
 // execObject is one Execution Object: a goroutine scheduling its
 // dispatch units (control handling, ingress drain, engine work)
-// non-preemptively.
+// non-preemptively. Its ingress is two Fjord edges: a control queue of
+// envelopes (multi-writer: Submit, Cancel, Barrier, telemetry scrapes)
+// and a data queue of bare tuples with batch endpoints, drained
+// eoDrainBatch at a time so the per-tuple queue cost amortizes.
 type execObject struct {
 	idx     int
 	engine  *cacq.Engine
-	in      *fjord.Counted[envelope]
-	feeds   map[string][]string // stream → aliases fed into this EO
-	sources map[string]bool     // footprint covered by this EO
+	ctl     *fjord.Counted[envelope]      // control edge (rare, multi-writer)
+	data    *fjord.Counted[*tuple.Tuple]  // data edge (multi-writer fan-in)
+	feeds   map[string][]string           // stream → aliases fed into this EO
+	sources map[string]bool               // footprint covered by this EO
 	done    chan struct{}
 	x       *Executor
+
+	// EO-goroutine scratch (never shared): the drain buffer for
+	// DequeueBatch, the buffered deliveries of the current quantum, and
+	// the per-query row slice reused while flushing them.
+	drain  []*tuple.Tuple
+	out    []delivery
+	rowBuf []*tuple.Tuple
 
 	shed atomic.Int64 // tuples dropped because the EO queue was full
 }
@@ -185,14 +202,16 @@ type execObject struct {
 func (x *Executor) newEO() *execObject {
 	eo := &execObject{
 		idx:     len(x.eos),
-		in:      fjord.Count(fjord.NewPush[envelope](x.opts.QueueCap)),
+		ctl:     fjord.Count(fjord.NewPush[envelope](256)),
+		data:    fjord.Count(fjord.NewPush[*tuple.Tuple](x.opts.QueueCap)),
 		feeds:   map[string][]string{},
 		sources: map[string]bool{},
 		done:    make(chan struct{}),
 		x:       x,
+		drain:   make([]*tuple.Tuple, eoDrainBatch),
 	}
 	eo.engine = cacq.NewEngine(x.opts.Policy(int64(eo.idx)+1), func(id int, row *tuple.Tuple) {
-		x.deliver(id, row)
+		eo.out = append(eo.out, delivery{id: id, row: row})
 	})
 	if x.opts.Batch > 1 {
 		eo.engine.Eddy().BatchSize = x.opts.Batch
@@ -205,44 +224,85 @@ func (x *Executor) newEO() *execObject {
 	return eo
 }
 
-// run is the EO scheduler loop: drain control and data, give the engine
-// its quantum, idle briefly when nothing is queued.
+// run is the EO scheduler loop: drain control, drain a batch of data
+// tuples, give the engine its quantum, idle briefly when nothing is
+// queued. Control drains first so cancellation and barriers are not
+// starved by a full data queue.
 func (eo *execObject) run() {
 	defer close(eo.done)
 	idle := 0
 	for {
-		env, ok := eo.in.TryDequeue()
-		if !ok {
-			if eo.in.Closed() {
-				return
-			}
-			// Idle dispatch: async modules, pending admission batches.
-			_ = eo.engine.Run()
-			idle++
-			if idle > 8 {
-				time.Sleep(200 * time.Microsecond)
-			}
-			continue
-		}
-		idle = 0
-		if env.isCtl {
+		if env, ok := eo.ctl.TryDequeue(); ok {
+			idle = 0
 			eo.control(env)
 			continue
 		}
-		eo.push(env.t)
-		// Batch up to 256 more data tuples before running the engine.
-		for i := 0; i < 256; i++ {
-			more, ok := eo.in.TryDequeue()
-			if !ok {
-				break
+		if n := eo.data.DequeueBatch(eo.drain); n > 0 {
+			idle = 0
+			for i := 0; i < n; i++ {
+				eo.push(eo.drain[i])
+				eo.drain[i] = nil
 			}
-			if more.isCtl {
-				eo.control(more)
-				continue
-			}
-			eo.push(more.t)
+			_ = eo.runEngine()
+			continue
 		}
-		_ = eo.engine.Run()
+		if eo.ctl.Closed() {
+			return
+		}
+		// Idle dispatch: async modules, pending admission batches.
+		_ = eo.runEngine()
+		idle++
+		if idle > 8 {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// runEngine gives the engine a quantum and then flushes the result rows
+// it buffered, batched per query.
+func (eo *execObject) runEngine() error {
+	err := eo.engine.Run()
+	if len(eo.out) > 0 {
+		eo.flushOut()
+	}
+	return err
+}
+
+// flushOut hands buffered deliveries to the hub in runs of consecutive
+// same-query rows (engine deliveries cluster by query, so one DeliverBatch
+// usually covers a whole quantum's output for a query).
+func (eo *execObject) flushOut() {
+	pend := eo.out
+	for i := 0; i < len(pend); {
+		id := pend[i].id
+		eo.rowBuf = eo.rowBuf[:0]
+		j := i
+		for ; j < len(pend) && pend[j].id == id; j++ {
+			eo.rowBuf = append(eo.rowBuf, pend[j].row)
+		}
+		eo.x.deliverBatch(id, eo.rowBuf)
+		i = j
+	}
+	for i := range pend {
+		pend[i] = delivery{}
+	}
+	eo.out = pend[:0]
+}
+
+// drainData feeds every queued data tuple into the engine (no quantum
+// bound); barriers use it to reach quiescence. Returns tuples drained.
+func (eo *execObject) drainData() int {
+	total := 0
+	for {
+		n := eo.data.DequeueBatch(eo.drain)
+		if n == 0 {
+			return total
+		}
+		for i := 0; i < n; i++ {
+			eo.push(eo.drain[i])
+			eo.drain[i] = nil
+		}
+		total += n
 	}
 }
 
@@ -250,6 +310,7 @@ func (eo *execObject) push(t *tuple.Tuple) {
 	src := t.Schema.Sources[0]
 	aliases := eo.feeds[src]
 	if len(aliases) == 0 {
+		tuple.Recycle(t) // no query reads this stream here anymore
 		return
 	}
 	for _, alias := range aliases {
@@ -261,6 +322,11 @@ func (eo *execObject) push(t *tuple.Tuple) {
 			tt = t.Clone()
 		}
 		_ = eo.engine.Push(tt)
+	}
+	// The original tuple is pushed as-is only on the common one-alias
+	// fast path; any other shape pushed clones, so retire it.
+	if len(aliases) != 1 || aliases[0] != src {
+		tuple.Recycle(t)
 	}
 }
 
@@ -277,11 +343,22 @@ func (eo *execObject) control(env envelope) {
 				err = e
 			}
 		}
-		if e := eo.engine.Run(); e != nil && err == nil {
+		if e := eo.runEngine(); e != nil && err == nil {
 			err = e
 		}
 	case ctlBarrier:
-		err = eo.engine.Run()
+		// A barrier acks only after the data queue is empty and the
+		// engine has gone quiescent; keep alternating because a quantum
+		// may admit more arrivals queued behind the batch it drained.
+		for {
+			n := eo.drainData()
+			if e := eo.runEngine(); e != nil && err == nil {
+				err = e
+			}
+			if n == 0 {
+				break
+			}
+		}
 	case ctlStats:
 		env.snap <- eo.snapshot()
 	}
@@ -345,7 +422,7 @@ func (x *Executor) Submit(sel *sql.Select) (int, *egress.Subscription, error) {
 
 	// Add the query synchronously.
 	ack := make(chan error, 1)
-	if err := eo.in.Enqueue(envelope{isCtl: true, ctl: ctlAddQuery, query: planned.CQ, ack: ack}); err != nil {
+	if err := eo.ctl.Enqueue(envelope{ctl: ctlAddQuery, query: planned.CQ, ack: ack}); err != nil {
 		return 0, nil, err
 	}
 	if err := <-ack; err != nil {
@@ -376,7 +453,7 @@ func (x *Executor) Submit(sel *sql.Select) (int, *egress.Subscription, error) {
 			renamed[i] = rr
 		}
 		ack := make(chan error, 1)
-		if err := eo.in.Enqueue(envelope{isCtl: true, ctl: ctlLoadTable, rows: renamed, ack: ack}); err != nil {
+		if err := eo.ctl.Enqueue(envelope{ctl: ctlLoadTable, rows: renamed, ack: ack}); err != nil {
 			return 0, nil, err
 		}
 		if err := <-ack; err != nil {
@@ -440,7 +517,7 @@ func (x *Executor) Cancel(id int) error {
 		return fmt.Errorf("executor: unknown query %d", id)
 	}
 	ack := make(chan error, 1)
-	if err := rq.eo.in.Enqueue(envelope{isCtl: true, ctl: ctlRemoveQuery, qid: id, ack: ack}); err != nil {
+	if err := rq.eo.ctl.Enqueue(envelope{ctl: ctlRemoveQuery, qid: id, ack: ack}); err != nil {
 		return err
 	}
 	<-ack
@@ -515,35 +592,101 @@ func (x *Executor) push(stream string, seq int64, vals []tuple.Value) (int64, er
 	} else if err := src.AdvanceTo(seq); err != nil {
 		return 0, err
 	}
-	t := tuple.New(src.Schema, vals...)
+	// Pooled admission: copy the caller's values so the tuple (and its
+	// backing array) can be recycled once the dataflow retires it.
+	t := tuple.NewPooled(src.Schema)
+	t.Values = append(t.Values, vals...)
 	t.TS = tuple.Timestamp{Seq: seq, Wall: time.Now()}
 
+	eos := x.readers(stream)
+	if len(eos) == 0 {
+		tuple.Recycle(t)
+		return seq, nil
+	}
+	// Each EO mutates (and may recycle) its copy, so clone everything
+	// up front — an EO can retire the original the moment it is
+	// enqueued. The common single-EO case pays no clone.
+	copies := make([]*tuple.Tuple, len(eos))
+	copies[0] = t
+	for i := 1; i < len(eos); i++ {
+		copies[i] = t.Clone()
+	}
+	for i, eo := range eos {
+		if !eo.data.TryEnqueue(copies[i]) {
+			eo.shed.Add(1)
+			tuple.Recycle(copies[i])
+		}
+	}
+	return seq, nil
+}
+
+// PushBatch stamps a batch of tuples of one stream with consecutive
+// sequence numbers and moves the whole slice to every reading EO with a
+// single queue operation each. Returns the last assigned sequence. A
+// full EO queue sheds the unaccepted suffix (QoS, as with Push).
+func (x *Executor) PushBatch(stream string, rows [][]tuple.Value) (int64, error) {
+	src, err := x.cat.Lookup(stream)
+	if err != nil {
+		return 0, err
+	}
+	if src.Kind != catalog.KindStream {
+		return 0, fmt.Errorf("executor: %s is a table; use INSERT", stream)
+	}
+	wall := time.Now()
+	var seq int64
+	ts := make([]*tuple.Tuple, len(rows))
+	for i, vals := range rows {
+		if len(vals) != src.Schema.Arity() {
+			return 0, fmt.Errorf("executor: %s expects %d values, got %d", stream, src.Schema.Arity(), len(vals))
+		}
+		seq = src.NextSeq()
+		t := tuple.NewPooled(src.Schema)
+		t.Values = append(t.Values, vals...)
+		t.TS = tuple.Timestamp{Seq: seq, Wall: wall}
+		ts[i] = t
+	}
+	eos := x.readers(stream)
+	if len(eos) == 0 {
+		for _, t := range ts {
+			tuple.Recycle(t)
+		}
+		return seq, nil
+	}
+	// As in push: all clones are taken before any EO can touch (or
+	// retire) the originals.
+	batches := make([][]*tuple.Tuple, len(eos))
+	batches[0] = ts
+	for i := 1; i < len(eos); i++ {
+		cl := make([]*tuple.Tuple, len(ts))
+		for j, t := range ts {
+			cl[j] = t.Clone()
+		}
+		batches[i] = cl
+	}
+	for i, eo := range eos {
+		batch := batches[i]
+		n := eo.data.TryEnqueueBatch(batch)
+		if n < len(batch) {
+			eo.shed.Add(int64(len(batch) - n))
+			for _, t := range batch[n:] {
+				tuple.Recycle(t)
+			}
+		}
+	}
+	return seq, nil
+}
+
+// readers snapshots the EOs fed by a stream.
+func (x *Executor) readers(stream string) []*execObject {
 	x.mu.Lock()
+	defer x.mu.Unlock()
 	eos := make([]*execObject, 0, len(x.eos))
 	for _, eo := range x.eos {
 		if len(eo.feeds[stream]) > 0 {
 			eos = append(eos, eo)
 		}
 	}
-	x.mu.Unlock()
-	// Each EO mutates its copy's lineage, so sharing one tuple across
-	// EOs would race; clone everything up front (an EO may start
-	// mutating the original the moment it is enqueued). The common
-	// single-EO case pays no clone.
-	copies := make([]*tuple.Tuple, len(eos))
-	for i := range eos {
-		if i == 0 {
-			copies[i] = t
-		} else {
-			copies[i] = t.Clone()
-		}
-	}
-	for i, eo := range eos {
-		if !eo.in.TryEnqueue(envelope{t: copies[i]}) {
-			eo.shed.Add(1)
-		}
-	}
-	return seq, nil
+	return eos
 }
 
 // Barrier waits until every EO has drained its queue and run its engine
@@ -554,7 +697,7 @@ func (x *Executor) Barrier() error {
 	x.mu.Unlock()
 	for _, eo := range eos {
 		ack := make(chan error, 1)
-		if err := eo.in.Enqueue(envelope{isCtl: true, ctl: ctlBarrier, ack: ack}); err != nil {
+		if err := eo.ctl.Enqueue(envelope{ctl: ctlBarrier, ack: ack}); err != nil {
 			return err
 		}
 		if err := <-ack; err != nil {
@@ -564,25 +707,36 @@ func (x *Executor) Barrier() error {
 	return nil
 }
 
-// deliver applies per-query post-processing then hands rows to the hub.
-func (x *Executor) deliver(id int, row *tuple.Tuple) {
+// deliverBatch applies per-query post-processing then hands a batch of
+// rows for one query to the hub. It owns the rows (the hub recycles or
+// retains them) but not the slice.
+func (x *Executor) deliverBatch(id int, rows []*tuple.Tuple) {
 	x.mu.Lock()
 	rq := x.queries[id]
 	x.mu.Unlock()
 	if rq == nil {
+		for _, r := range rows {
+			tuple.Recycle(r) // query cancelled mid-quantum
+		}
 		return
 	}
 	if rq.post != nil {
-		rows, done := rq.post.process(row)
-		for _, r := range rows {
-			x.hub.Deliver(id, r)
+		done := false
+		for _, row := range rows {
+			out, d := rq.post.process(row)
+			for _, r := range out {
+				x.hub.Deliver(id, r)
+			}
+			if d {
+				done = true
+			}
 		}
 		if done {
 			go func() { _ = x.Cancel(id) }()
 		}
 		return
 	}
-	x.hub.Deliver(id, row)
+	x.hub.DeliverBatch(id, rows)
 }
 
 // Close shuts every EO down.
@@ -601,7 +755,8 @@ func (x *Executor) Close() {
 		<-done
 	}
 	for _, eo := range eos {
-		eo.in.Close()
+		eo.data.Close()
+		eo.ctl.Close()
 		<-eo.done
 	}
 	x.hub.CloseAll()
@@ -649,6 +804,7 @@ func (pp *postProcessor) process(row *tuple.Tuple) ([]*tuple.Tuple, bool) {
 	if pp.dup != nil {
 		out, err := pp.dup.Process(row, nil)
 		if err != nil || out == operator.Drop {
+			tuple.Recycle(row) // duplicate retired here
 			return nil, false
 		}
 	}
@@ -671,9 +827,15 @@ func (pp *postProcessor) takeLimited(rows []*tuple.Tuple) ([]*tuple.Tuple, bool)
 		return rows, false
 	}
 	if pp.sent >= pp.limit {
+		for _, r := range rows {
+			tuple.Recycle(r)
+		}
 		return nil, true
 	}
 	if remaining := pp.limit - pp.sent; int64(len(rows)) > remaining {
+		for _, r := range rows[remaining:] {
+			tuple.Recycle(r)
+		}
 		rows = rows[:remaining]
 	}
 	pp.sent += int64(len(rows))

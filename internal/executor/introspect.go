@@ -80,7 +80,7 @@ func (eo *execObject) snapshot() *eoSnapshot {
 // control channel. Returns nil if the EO is shutting down.
 func (eo *execObject) statsSnapshot() *eoSnapshot {
 	ch := make(chan *eoSnapshot, 1)
-	if err := eo.in.Enqueue(envelope{isCtl: true, ctl: ctlStats, snap: ch}); err != nil {
+	if err := eo.ctl.Enqueue(envelope{ctl: ctlStats, snap: ch}); err != nil {
 		return nil
 	}
 	select {
@@ -172,12 +172,22 @@ func (x *Executor) SampleSystemStreams() {
 				tuple.Float(ms.Selectivity()), tuple.Float(ms.CostNs()),
 			})
 		}
-		qs := eo.in.Stats()
+		// One row per ingress edge. Data counters advance per tuple even
+		// when the edge moves batches, so these rows read the same
+		// whether or not producers vectorize.
+		qs := eo.data.Stats()
 		_, _ = x.Push(StreamQueues, []tuple.Value{
 			tuple.Int(eoID), tuple.String("ingress"),
-			tuple.Int(int64(eo.in.Len())), tuple.Int(int64(eo.in.Cap())),
+			tuple.Int(int64(eo.data.Len())), tuple.Int(int64(eo.data.Cap())),
 			tuple.Int(qs.Enqueued), tuple.Int(qs.Dequeued),
 			tuple.Int(qs.EnqueueFails), tuple.Int(qs.DequeueEmpty),
+		})
+		cs := eo.ctl.Stats()
+		_, _ = x.Push(StreamQueues, []tuple.Value{
+			tuple.Int(eoID), tuple.String("control"),
+			tuple.Int(int64(eo.ctl.Len())), tuple.Int(int64(eo.ctl.Cap())),
+			tuple.Int(cs.Enqueued), tuple.Int(cs.Dequeued),
+			tuple.Int(cs.EnqueueFails), tuple.Int(cs.DequeueEmpty),
 		})
 		for _, qi := range s.queries {
 			var pending, dropped int64
@@ -221,16 +231,22 @@ func (x *Executor) registerCollectors() {
 		for _, eo := range eos {
 			lEO := telemetry.L("eo", strconv.Itoa(eo.idx))
 
-			// Ingress Fjord queue (atomic counters on the queue itself; no
-			// EO round-trip needed).
-			qs := eo.in.Stats()
-			gauge("tcq_eo_queue_depth", "EO ingress queue occupancy", float64(eo.in.Len()), lEO)
-			gauge("tcq_eo_queue_cap", "EO ingress queue capacity", float64(eo.in.Cap()), lEO)
-			counter("tcq_eo_enqueued_total", "envelopes accepted by the EO queue", qs.Enqueued, lEO)
-			counter("tcq_eo_dequeued_total", "envelopes drained from the EO queue", qs.Dequeued, lEO)
+			// Ingress Fjord queues (atomic counters on the queues
+			// themselves; no EO round-trip needed). Counters advance per
+			// tuple, not per batch, so vectorized and scalar producers
+			// report identically.
+			qs := eo.data.Stats()
+			gauge("tcq_eo_queue_depth", "EO ingress data queue occupancy", float64(eo.data.Len()), lEO)
+			gauge("tcq_eo_queue_cap", "EO ingress data queue capacity", float64(eo.data.Cap()), lEO)
+			counter("tcq_eo_enqueued_total", "tuples accepted by the EO data queue", qs.Enqueued, lEO)
+			counter("tcq_eo_dequeued_total", "tuples drained from the EO data queue", qs.Dequeued, lEO)
 			counter("tcq_eo_enqueue_stalls_total", "push-side stalls (queue full)", qs.EnqueueFails, lEO)
 			counter("tcq_eo_dequeue_empty_total", "pull-side stalls (queue empty)", qs.DequeueEmpty, lEO)
 			counter("tcq_eo_shed_total", "tuples shed at EO ingress", eo.shed.Load(), lEO)
+			cs := eo.ctl.Stats()
+			gauge("tcq_eo_ctl_queue_depth", "EO control queue occupancy", float64(eo.ctl.Len()), lEO)
+			counter("tcq_eo_ctl_enqueued_total", "control envelopes accepted", cs.Enqueued, lEO)
+			counter("tcq_eo_ctl_dequeued_total", "control envelopes handled", cs.Dequeued, lEO)
 
 			s := eo.statsSnapshot()
 			if s == nil {

@@ -45,9 +45,9 @@ func E2GroupedFilter(scale int) *Table {
 
 		start := time.Now()
 		var matched int64
+		m := bitset.New(p)
 		for _, v := range vals {
-			m, err := g.MatchQueries(tuple.Float(float64(v)), universe)
-			if err != nil {
+			if err := g.MatchQueriesInto(tuple.Float(float64(v)), universe, m); err != nil {
 				panic(err)
 			}
 			matched += int64(m.Count())

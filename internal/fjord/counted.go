@@ -38,6 +38,21 @@ func (c *Counted[T]) TryEnqueue(v T) bool {
 	return false
 }
 
+// TryEnqueueBatch implements Queue. The counters advance by the number
+// of *elements* moved, not the number of batch calls, so queue telemetry
+// reads the same whether an edge is vectorized or not; a partial accept
+// also counts one enqueue-fail (the producer observed back-pressure).
+func (c *Counted[T]) TryEnqueueBatch(vs []T) int {
+	n := c.q.TryEnqueueBatch(vs)
+	if n > 0 {
+		c.enqueued.Add(int64(n))
+	}
+	if n < len(vs) {
+		c.enqFails.Add(1)
+	}
+	return n
+}
+
 // Enqueue implements Queue.
 func (c *Counted[T]) Enqueue(v T) error {
 	if err := c.q.Enqueue(v); err != nil {
@@ -57,6 +72,18 @@ func (c *Counted[T]) TryDequeue() (T, bool) {
 		c.deqEmpty.Add(1)
 	}
 	return v, ok
+}
+
+// DequeueBatch implements Queue; counters advance per element (see
+// TryEnqueueBatch). An empty drain counts one dequeue-empty stall.
+func (c *Counted[T]) DequeueBatch(dst []T) int {
+	n := c.q.DequeueBatch(dst)
+	if n > 0 {
+		c.dequeued.Add(int64(n))
+	} else {
+		c.deqEmpty.Add(1)
+	}
+	return n
 }
 
 // Dequeue implements Queue.

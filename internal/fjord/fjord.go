@@ -34,12 +34,22 @@ type Queue[T any] interface {
 	// queue is full or closed (the producer may bounce the tuple back
 	// to its Eddy or shed it, per QoS policy).
 	TryEnqueue(v T) bool
+	// TryEnqueueBatch adds a prefix of vs without blocking and returns
+	// how many elements were accepted (0 when full or closed). The
+	// accepted prefix is enqueued in order under a single queue
+	// operation, so producers amortize synchronization over the batch.
+	TryEnqueueBatch(vs []T) int
 	// Enqueue blocks until space is available; returns ErrClosed if the
 	// queue is closed.
 	Enqueue(v T) error
 	// TryDequeue removes the oldest element without blocking; ok is
 	// false when the queue is empty (closed or not).
 	TryDequeue() (v T, ok bool)
+	// DequeueBatch drains up to len(dst) elements into dst without
+	// blocking and returns the count (0 when empty). Elements arrive in
+	// FIFO order under a single queue operation — the consumer-side
+	// twin of TryEnqueueBatch.
+	DequeueBatch(dst []T) int
 	// Dequeue blocks until an element is available; returns ErrClosed
 	// when the queue is closed and drained.
 	Dequeue() (v T, err error)
@@ -106,6 +116,57 @@ func (r *ring[T]) put(v T) {
 	r.notEmpty.Signal()
 }
 
+// tryEnqueueBatch appends as much of vs as fits under one lock
+// acquisition and returns the accepted count. One signal covers the
+// whole batch: the waiting consumer drains everything it can per wake.
+func (r *ring[T]) tryEnqueueBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0
+	}
+	n := len(r.buf) - r.n
+	if n > len(vs) {
+		n = len(vs)
+	}
+	for i := 0; i < n; i++ {
+		r.buf[(r.head+r.n+i)%len(r.buf)] = vs[i]
+	}
+	r.n += n
+	if n > 0 {
+		r.notEmpty.Signal()
+	}
+	return n
+}
+
+// dequeueBatch drains up to len(dst) elements under one lock
+// acquisition and returns the count.
+func (r *ring[T]) dequeueBatch(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if n > len(dst) {
+		n = len(dst)
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[r.head]
+		r.buf[r.head] = zero // release reference for GC
+		r.head = (r.head + 1) % len(r.buf)
+	}
+	r.n -= n
+	if n > 0 {
+		r.notFull.Signal()
+	}
+	return n
+}
+
 func (r *ring[T]) tryDequeue() (T, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -168,10 +229,12 @@ func (r *ring[T]) isClosed() bool {
 // the paper's queue taxonomy.
 type queue[T any] struct{ r *ring[T] }
 
-func (q queue[T]) TryEnqueue(v T) bool     { return q.r.tryEnqueue(v) }
-func (q queue[T]) Enqueue(v T) error       { return q.r.enqueue(v) }
-func (q queue[T]) TryDequeue() (T, bool)   { return q.r.tryDequeue() }
-func (q queue[T]) Dequeue() (v T, e error) { return q.r.dequeue() }
+func (q queue[T]) TryEnqueue(v T) bool       { return q.r.tryEnqueue(v) }
+func (q queue[T]) TryEnqueueBatch(vs []T) int { return q.r.tryEnqueueBatch(vs) }
+func (q queue[T]) Enqueue(v T) error         { return q.r.enqueue(v) }
+func (q queue[T]) TryDequeue() (T, bool)     { return q.r.tryDequeue() }
+func (q queue[T]) DequeueBatch(dst []T) int  { return q.r.dequeueBatch(dst) }
+func (q queue[T]) Dequeue() (v T, e error)   { return q.r.dequeue() }
 func (q queue[T]) Close()                  { q.r.close() }
 func (q queue[T]) Len() int                { return q.r.len() }
 func (q queue[T]) Cap() int                { return len(q.r.buf) }

@@ -25,6 +25,12 @@ import (
 // Sink receives parsed rows for a stream; the executor's Push is one.
 type Sink func(stream string, vals []tuple.Value) error
 
+// BatchSink receives a batch of parsed rows for one stream; the
+// executor's PushBatch is one. Vectorized wrappers hand whole slices
+// down so the executor can move them through its Fjords with one queue
+// operation per batch.
+type BatchSink func(stream string, rows [][]tuple.Value) error
+
 // ParseRow converts CSV fields to values following a schema.
 func ParseRow(schema *tuple.Schema, fields []string) ([]tuple.Value, error) {
 	if len(fields) != schema.Arity() {
@@ -100,6 +106,53 @@ func (c *CSVReader) Run(r io.Reader, sink Sink) (int64, error) {
 			return n, err
 		}
 		n++
+	}
+	return n, sc.Err()
+}
+
+// RunBatch parses r to exhaustion, delivering rows to sink in batches
+// of up to batch rows (<=0 → 256).
+func (c *CSVReader) RunBatch(r io.Reader, batch int, sink BatchSink) (int64, error) {
+	if batch <= 0 {
+		batch = 256
+	}
+	sep := c.Comma
+	if sep == "" {
+		sep = ","
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var n int64
+	pend := make([][]tuple.Value, 0, batch)
+	flush := func() error {
+		if len(pend) == 0 {
+			return nil
+		}
+		if err := sink(c.Stream, pend); err != nil {
+			return err
+		}
+		n += int64(len(pend))
+		pend = pend[:0]
+		return nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		vals, err := ParseRow(c.Schema, strings.Split(line, sep))
+		if err != nil {
+			return n, err
+		}
+		pend = append(pend, vals)
+		if len(pend) == batch {
+			if err := flush(); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return n, err
 	}
 	return n, sc.Err()
 }

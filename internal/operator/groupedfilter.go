@@ -32,6 +32,14 @@ type GroupedFilter struct {
 
 	queries map[int][]expr.RangeFactor // per-query factors (for removal)
 	stats   Stats
+
+	// Probe scratch space. A probe runs on the owning Execution Object's
+	// thread (like AddFactor), so one set of reusable bitsets per filter
+	// instance makes the steady-state probe allocation-free — the E2
+	// sub-crossover cost was exactly these per-probe allocations.
+	failScratch  bitset.Set // union of failing queries for this probe
+	matchScratch bitset.Set // queries whose = factor matched v
+	eqScratch    bitset.Set // allEq minus matches
 }
 
 type eqEntry struct {
@@ -176,11 +184,11 @@ func (g *GroupedFilter) Process(t *tuple.Tuple, _ Emit) (Outcome, error) {
 	v := t.Values[i]
 	lin := t.Lineage()
 
-	failed := bitset.New(0)
-	if err := g.collectFailures(v, failed); err != nil {
+	g.failScratch.Clear()
+	if err := g.collectFailures(v, &g.failScratch); err != nil {
 		return Drop, err
 	}
-	lin.Queries.Subtract(failed)
+	lin.Queries.Subtract(&g.failScratch)
 	if lin.Queries.Empty() {
 		g.stats.Dropped++
 		return Drop, nil
@@ -208,11 +216,15 @@ func (g *GroupedFilter) collectFailures(v tuple.Value, failed *bitset.Set) error
 	// factors matches v exactly. (A query with two different = factors on
 	// the same attribute can never pass; that is the correct semantics of
 	// the conjunction.)
+	if g.allEq.Empty() && len(g.ne) == 0 {
+		return nil
+	}
+	h := v.Hash()
 	if !g.allEq.Empty() {
-		matched := bitset.New(0)
-		for _, e := range g.eq[v.Hash()] {
+		g.matchScratch.Clear()
+		for _, e := range g.eq[h] {
 			if tuple.Equal(e.val, v) {
-				matched.Add(e.query)
+				g.matchScratch.Add(e.query)
 			}
 		}
 		// Queries with >1 distinct = conjunct cannot all match one value;
@@ -220,15 +232,15 @@ func (g *GroupedFilter) collectFailures(v tuple.Value, failed *bitset.Set) error
 		// semantics are preserved because a query with contradictory =
 		// factors registers both, and both must match the same v — they
 		// cannot, so at most one matches and the other fails it below.)
-		fails := g.allEq.Clone()
-		fails.Subtract(matched)
-		failed.Union(fails)
+		g.eqScratch.CopyFrom(g.allEq)
+		g.eqScratch.Subtract(&g.matchScratch)
+		failed.Union(&g.eqScratch)
 		// Contradictory conjunctions: if query q has k>=2 equality
 		// factors, v can match at most one unless values are equal.
 		for q, k := range g.eqConjuncts {
 			if k > 1 {
 				n := 0
-				for _, e := range g.eq[v.Hash()] {
+				for _, e := range g.eq[h] {
 					if e.query == q && tuple.Equal(e.val, v) {
 						n++
 					}
@@ -240,7 +252,7 @@ func (g *GroupedFilter) collectFailures(v tuple.Value, failed *bitset.Set) error
 		}
 	}
 	// Inequality: only queries holding a != factor equal to v fail.
-	for _, e := range g.ne[v.Hash()] {
+	for _, e := range g.ne[h] {
 		if tuple.Equal(e.val, v) {
 			failed.Add(e.query)
 		}
@@ -252,13 +264,24 @@ func (g *GroupedFilter) collectFailures(v tuple.Value, failed *bitset.Set) error
 // whose factors on this attribute all pass for value v, given the
 // universe of registered queries.
 func (g *GroupedFilter) MatchQueries(v tuple.Value, universe *bitset.Set) (*bitset.Set, error) {
-	out := universe.Clone()
-	failed := bitset.New(0)
-	if err := g.collectFailures(v, failed); err != nil {
+	out := bitset.New(0)
+	if err := g.MatchQueriesInto(v, universe, out); err != nil {
 		return nil, err
 	}
-	out.Subtract(failed)
 	return out, nil
+}
+
+// MatchQueriesInto is the allocation-free form of MatchQueries: it
+// overwrites out with the passing subset of universe, reusing out's
+// storage. Like Process, it must run on the owning thread.
+func (g *GroupedFilter) MatchQueriesInto(v tuple.Value, universe, out *bitset.Set) error {
+	out.CopyFrom(universe)
+	g.failScratch.Clear()
+	if err := g.collectFailures(v, &g.failScratch); err != nil {
+		return err
+	}
+	out.Subtract(&g.failScratch)
+	return nil
 }
 
 // ModuleStats implements StatsProvider.
@@ -320,55 +343,32 @@ func (rc *rangeClass) failures(v tuple.Value) (*bitset.Set, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	cmpAt := func(i int) (int, error) {
-		c, ok := tuple.Compare(rc.entries[i].val, v)
+	// Hand-rolled binary search: sort.Search's closure would capture v
+	// and an error slot per probe, which defeats the zero-alloc contract.
+	// Boundary predicate per class (cmp is Compare(bound, v)):
+	//   >  : fails iff v <= bound ⇒ first index with cmp >= 0
+	//   >= : fails iff v <  bound ⇒ first index with cmp >  0
+	//   <  : fails iff v >= bound ⇒ prefix of bounds <= v   (cmp > 0)
+	//   <= : fails iff v >  bound ⇒ prefix of bounds <  v   (cmp >= 0)
+	geq := rc.op == expr.OpGt || rc.op == expr.OpLe
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		c, ok := tuple.Compare(rc.entries[mid].val, v)
 		if !ok {
-			return 0, fmt.Errorf("incomparable value %v for bound %v", v, rc.entries[i].val)
+			return nil, fmt.Errorf("incomparable value %v for bound %v", v, rc.entries[mid].val)
 		}
-		return c, nil
+		var after bool
+		if geq {
+			after = c >= 0
+		} else {
+			after = c > 0
+		}
+		if after {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
 	}
-	var idx int
-	var searchErr error
-	switch rc.op {
-	case expr.OpGt:
-		// col > bound fails iff v <= bound ⇒ first index with bound >= v.
-		idx = sort.Search(n, func(i int) bool {
-			c, err := cmpAt(i)
-			if err != nil && searchErr == nil {
-				searchErr = err
-			}
-			return c >= 0
-		})
-	case expr.OpGe:
-		// col >= bound fails iff v < bound ⇒ first index with bound > v.
-		idx = sort.Search(n, func(i int) bool {
-			c, err := cmpAt(i)
-			if err != nil && searchErr == nil {
-				searchErr = err
-			}
-			return c > 0
-		})
-	case expr.OpLt:
-		// col < bound fails iff v >= bound ⇒ prefix of bounds <= v.
-		idx = sort.Search(n, func(i int) bool {
-			c, err := cmpAt(i)
-			if err != nil && searchErr == nil {
-				searchErr = err
-			}
-			return c > 0
-		})
-	case expr.OpLe:
-		// col <= bound fails iff v > bound ⇒ prefix of bounds < v.
-		idx = sort.Search(n, func(i int) bool {
-			c, err := cmpAt(i)
-			if err != nil && searchErr == nil {
-				searchErr = err
-			}
-			return c >= 0
-		})
-	}
-	if searchErr != nil {
-		return nil, searchErr
-	}
-	return rc.fail[idx], nil
+	return rc.fail[lo], nil
 }

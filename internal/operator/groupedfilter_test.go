@@ -268,3 +268,88 @@ func BenchmarkGroupedFilterProbe(b *testing.B) {
 		})
 	}
 }
+
+// TestGroupedFilterProbeZeroAlloc pins the steady-state probe at zero
+// allocations. E2's sub-crossover loss was per-probe bitset allocation;
+// this test keeps it from coming back.
+func TestGroupedFilterProbeZeroAlloc(t *testing.T) {
+	g := NewGroupedFilter(expr.Col("", "price"))
+	q := 0
+	for _, op := range []expr.Op{expr.OpGt, expr.OpGe, expr.OpLt, expr.OpLe} {
+		for i := 0; i < 25; i++ {
+			addFactor(t, g, q, op, float64(i*4))
+			q++
+		}
+	}
+	universe := bitset.New(0)
+	for i := 0; i < q; i++ {
+		universe.Add(i)
+	}
+	tp := gfTuple(50)
+	lin := tp.Lineage()
+	lin.Queries.CopyFrom(universe)
+	// Warm up: first probes may size the scratch bitsets and rebuild the
+	// range classes; steady state starts after that.
+	if _, err := g.Process(tp, noEmit); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		lin.Queries.CopyFrom(universe)
+		if _, err := g.Process(tp, noEmit); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("grouped filter probe allocates %.1f per run, want 0", allocs)
+	}
+
+	// The PSoup-facing probe must be zero-alloc too.
+	out := bitset.New(0)
+	if err := g.MatchQueriesInto(tuple.Float(50), universe, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if err := g.MatchQueriesInto(tuple.Float(50), universe, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("MatchQueriesInto allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestGroupedFilterProbeZeroAllocEq covers the equality/inequality probe
+// path (hash lookup + scratch copy) at zero allocations.
+func TestGroupedFilterProbeZeroAllocEq(t *testing.T) {
+	g := NewGroupedFilter(expr.Col("", "sym"))
+	syms := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	for q, s := range syms {
+		if err := g.AddFactor(q, expr.RangeFactor{Col: expr.Col("", "sym"), Op: expr.OpEq, Val: tuple.String(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q, s := range syms {
+		if err := g.AddFactor(len(syms)+q, expr.RangeFactor{Col: expr.Col("", "sym"), Op: expr.OpNe, Val: tuple.String(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	universe := bitset.New(0)
+	for i := 0; i < 2*len(syms); i++ {
+		universe.Add(i)
+	}
+	tp := stock(1, "C", 10)
+	lin := tp.Lineage()
+	lin.Queries.CopyFrom(universe)
+	if _, err := g.Process(tp, noEmit); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		lin.Queries.CopyFrom(universe)
+		if _, err := g.Process(tp, noEmit); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("eq/ne probe allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -74,6 +74,7 @@ type PSoup struct {
 	// be flushed to disk"); late queries reach past memory through them.
 	archives map[string]*storage.Archive
 	stats    Stats
+	mscratch bitset.Set // per-push grouped-filter match scratch (single-owner)
 }
 
 // New builds an empty PSoup engine.
@@ -168,6 +169,7 @@ func (p *PSoup) AddQuery(q *Query) error {
 				return false
 			}
 			if ok {
+				t.Retain() // archive-read rows enter the Results Structure
 				r.results = append(r.results, t)
 				p.stats.Matches++
 			}
@@ -223,6 +225,7 @@ func (p *PSoup) PushData(t *tuple.Tuple) error {
 	}
 	src := t.Schema.Sources[0]
 	p.stats.DataArrived++
+	t.Retain() // entering the Data SteM: this tuple is history now
 	p.data[src] = append(p.data[src], t)
 	if t.TS.Seq > p.maxSeq[src] {
 		p.maxSeq[src] = t.TS.Seq
@@ -245,11 +248,10 @@ func (p *PSoup) PushData(t *tuple.Tuple) error {
 			if err != nil {
 				return err
 			}
-			m, err := g.MatchQueries(t.Values[i], u)
-			if err != nil {
+			if err := g.MatchQueriesInto(t.Values[i], u, &p.mscratch); err != nil {
 				return err
 			}
-			matched.Intersect(m)
+			matched.Intersect(&p.mscratch)
 		}
 		var merr error
 		matched.ForEach(func(id int) bool {

@@ -313,6 +313,9 @@ func (c *session) openCursor(stmt *sql.Select) {
 				row = row2
 			}
 			c.send("row %d %s", id, row.String())
+			// The consumer retires rows it has written to the wire (a
+			// no-op for rows the spool retained).
+			tuple.Recycle(row)
 		}
 	}()
 }

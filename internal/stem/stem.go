@@ -72,6 +72,7 @@ func (s *SteM) Stats() Stats { return s.stats }
 
 // Build inserts t into the SteM.
 func (s *SteM) Build(t *tuple.Tuple) error {
+	t.Retain() // stored join state outlives the routing pass
 	e := &entry{t: t, arrival: t.Arrival}
 	if s.keyExpr != nil {
 		v, err := s.keyExpr.Eval(t)

@@ -1,0 +1,33 @@
+//go:build tcqdebug
+
+package tuple
+
+// PoisonEnabled reports whether pool poisoning is compiled in. With the
+// tcqdebug build tag, Recycle scribbles sentinel garbage over a tuple's
+// buffers before pooling it, so any module that kept an alias past its
+// ownership window reads obviously-wrong data (and lineage probes see a
+// full set) instead of silently sharing state with the tuple's next
+// life. Tests under this tag catch ownership bugs that the race
+// detector cannot (the pool itself synchronizes the reuse).
+const PoisonEnabled = true
+
+// poisonValue is a value no legitimate module produces: an out-of-range
+// kind with every payload field set.
+var poisonValue = Value{K: Kind(0xEE), I: -6148914691236517206, F: -6.66e66, S: "\xde\xadPOISON\xde\xad", B: true}
+
+func poisonTuple(t *Tuple) {
+	vs := t.Values[:cap(t.Values)]
+	for i := range vs {
+		vs[i] = poisonValue
+	}
+	t.Values = t.Values[:0]
+	t.Schema = nil
+	t.TS = Timestamp{}
+	t.Arrival = -1
+}
+
+func poisonLineage(l *Lineage) {
+	l.Ready.Poison()
+	l.Done.Poison()
+	l.Queries.Poison()
+}

@@ -1,0 +1,10 @@
+//go:build !tcqdebug
+
+package tuple
+
+// PoisonEnabled reports whether pool poisoning is compiled in (the
+// tcqdebug build tag). Release builds skip the scrub entirely.
+const PoisonEnabled = false
+
+func poisonTuple(*Tuple)     {}
+func poisonLineage(*Lineage) {}

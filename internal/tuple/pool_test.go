@@ -1,0 +1,105 @@
+package tuple
+
+import "testing"
+
+func poolSchema() *Schema {
+	return NewSchema(
+		Column{Source: "pool_test", Name: "a", Kind: KindInt},
+		Column{Source: "pool_test", Name: "b", Kind: KindString},
+	)
+}
+
+func TestRecycleAndReuse(t *testing.T) {
+	s := poolSchema()
+	a := NewPooled(s)
+	a.Values = append(a.Values, Int(1), String("x"))
+	a.Lineage().Done.Add(7)
+	a.TS.Seq = 99
+	a.Arrival = 42
+	Recycle(a)
+
+	// The next pooled tuple must come up empty regardless of what the
+	// recycled one carried — especially the lineage (a stale Done bit
+	// would corrupt eddy routing).
+	b := NewPooled(s)
+	if len(b.Values) != 0 {
+		t.Fatalf("reused tuple has %d values, want 0", len(b.Values))
+	}
+	if b.TS.Seq != 0 || b.Arrival != 0 {
+		t.Fatalf("reused tuple has stale metadata: TS.Seq=%d Arrival=%d", b.TS.Seq, b.Arrival)
+	}
+	if b.Lin != nil {
+		t.Fatal("reused tuple has a lineage attached before Lineage() was called")
+	}
+	if lin := b.Lineage(); !lin.Ready.Empty() || !lin.Done.Empty() || !lin.Queries.Empty() {
+		t.Fatalf("pooled lineage not cleared: ready=%v done=%v queries=%v",
+			lin.Ready.String(), lin.Done.String(), lin.Queries.String())
+	}
+	Recycle(b)
+}
+
+func TestRetainBlocksRecycle(t *testing.T) {
+	s := poolSchema()
+	a := NewPooled(s)
+	a.Values = append(a.Values, Int(5))
+	a.Retain()
+	if !a.Retained() {
+		t.Fatal("Retained() = false after Retain")
+	}
+	Recycle(a) // must be a no-op
+	if a.Schema != s || len(a.Values) != 1 || a.Values[0].I != 5 {
+		t.Fatal("Recycle mutated a retained tuple")
+	}
+	Recycle(a) // and must stay a no-op (no double-put panic)
+}
+
+func TestRecycleNilIsNoop(t *testing.T) {
+	Recycle(nil)
+}
+
+func TestDoubleRecyclePanics(t *testing.T) {
+	a := NewPooled(poolSchema())
+	Recycle(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Recycle did not panic")
+		}
+	}()
+	Recycle(a)
+}
+
+func TestCloneIndependentOfRecycledOriginal(t *testing.T) {
+	s := poolSchema()
+	a := NewPooled(s)
+	a.Values = append(a.Values, Int(10), String("keep"))
+	a.Lineage().Queries.Add(3)
+	c := a.Clone()
+	Recycle(a)
+	// Clone must not share storage with the recycled original.
+	if c.Values[0].I != 10 || c.Values[1].S != "keep" {
+		t.Fatalf("clone values corrupted after original recycled: %v", c.Values)
+	}
+	if !c.Lin.Queries.Contains(3) {
+		t.Fatal("clone lineage corrupted after original recycled")
+	}
+	Recycle(c)
+}
+
+func TestConcatAndProjectFromPool(t *testing.T) {
+	s := poolSchema()
+	a, b := New(s, Int(1), String("l")), New(s, Int(2), String("r"))
+	a.Arrival, b.Arrival = 5, 9
+	j := Concat(a, b)
+	if len(j.Values) != 4 || j.Values[0].I != 1 || j.Values[3].S != "r" {
+		t.Fatalf("Concat values wrong: %v", j.Values)
+	}
+	if j.Arrival != 9 {
+		t.Fatalf("Concat Arrival = %d, want max(5,9)", j.Arrival)
+	}
+	p := j.Project(s, []int{2, 3})
+	if len(p.Values) != 2 || p.Values[0].I != 2 {
+		t.Fatalf("Project values wrong: %v", p.Values)
+	}
+	Recycle(j)
+	Recycle(p)
+}

@@ -35,6 +35,12 @@ type Tuple struct {
 	Arrival int64
 	// Lin is lazily allocated; tuples outside an Eddy don't pay for it.
 	Lin *Lineage
+
+	// retained (atomic) marks tuples that escaped into long-lived
+	// storage and must never be pooled; pooled guards against
+	// double-Recycle. See pool.go for the ownership rules.
+	retained int32
+	pooled   bool
 }
 
 // New allocates a tuple over the given schema.
@@ -45,25 +51,29 @@ func New(s *Schema, vals ...Value) *Tuple {
 // Get returns the value at column i.
 func (t *Tuple) Get(i int) Value { return t.Values[i] }
 
-// Lineage returns the tuple's lineage, allocating it on first use.
+// Lineage returns the tuple's lineage, drawing a cleared one from the
+// recycler pool on first use.
 func (t *Tuple) Lineage() *Lineage {
 	if t.Lin == nil {
-		t.Lin = &Lineage{}
+		t.Lin = getLineage()
 	}
 	return t.Lin
 }
 
 // Clone returns a deep copy (values are immutable and shared; lineage and
-// the value slice are copied).
+// the value slice are copied). The copy comes from the recycler pool, so
+// in steady state a clone reuses a retired tuple's value slice and
+// lineage bitmaps instead of allocating fresh ones.
 func (t *Tuple) Clone() *Tuple {
-	c := &Tuple{Schema: t.Schema, TS: t.TS, Arrival: t.Arrival}
-	c.Values = make([]Value, len(t.Values))
-	copy(c.Values, t.Values)
+	c := getTuple()
+	c.Schema, c.TS, c.Arrival = t.Schema, t.TS, t.Arrival
+	c.Values = append(c.Values, t.Values...)
 	if t.Lin != nil {
-		c.Lin = &Lineage{}
-		c.Lin.Ready.CopyFrom(&t.Lin.Ready)
-		c.Lin.Done.CopyFrom(&t.Lin.Done)
-		c.Lin.Queries.CopyFrom(&t.Lin.Queries)
+		lin := getLineage()
+		lin.Ready.CopyFrom(&t.Lin.Ready)
+		lin.Done.CopyFrom(&t.Lin.Done)
+		lin.Queries.CopyFrom(&t.Lin.Queries)
+		c.Lin = lin
 	}
 	return c
 }
@@ -73,30 +83,33 @@ func (t *Tuple) Clone() *Tuple {
 // operators downstream see the freshest component (standard stream-join
 // timestamping); lineage is not propagated — the Eddy re-derives it.
 func Concat(t, o *Tuple) *Tuple {
-	vals := make([]Value, 0, len(t.Values)+len(o.Values))
-	vals = append(vals, t.Values...)
-	vals = append(vals, o.Values...)
-	ts := t.TS
-	if o.TS.Seq > ts.Seq {
-		ts.Seq = o.TS.Seq
+	c := getTuple()
+	c.Schema = t.Schema.Concat(o.Schema)
+	c.Values = append(append(c.Values, t.Values...), o.Values...)
+	c.TS = t.TS
+	if o.TS.Seq > c.TS.Seq {
+		c.TS.Seq = o.TS.Seq
 	}
-	if o.TS.Wall.After(ts.Wall) {
-		ts.Wall = o.TS.Wall
+	if o.TS.Wall.After(c.TS.Wall) {
+		c.TS.Wall = o.TS.Wall
 	}
-	arr := t.Arrival
-	if o.Arrival > arr {
-		arr = o.Arrival
+	c.Arrival = t.Arrival
+	if o.Arrival > c.Arrival {
+		c.Arrival = o.Arrival
 	}
-	return &Tuple{Schema: t.Schema.Concat(o.Schema), Values: vals, TS: ts, Arrival: arr}
+	return c
 }
 
-// Project returns a new tuple restricted to the given column positions.
+// Project returns a new tuple (from the recycler pool) restricted to the
+// given column positions.
 func (t *Tuple) Project(s *Schema, idx []int) *Tuple {
-	vals := make([]Value, len(idx))
-	for i, j := range idx {
-		vals[i] = t.Values[j]
+	p := getTuple()
+	p.Schema = s
+	for _, j := range idx {
+		p.Values = append(p.Values, t.Values[j])
 	}
-	return &Tuple{Schema: s, Values: vals, TS: t.TS}
+	p.TS = t.TS
+	return p
 }
 
 // Key computes a grouping/duplicate key over the given columns, suitable

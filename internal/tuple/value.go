@@ -237,14 +237,13 @@ func (v Value) Hash() uint64 {
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
+	// FNV-1a, written without a mix closure so the hot probe path stays
+	// free of captured-variable heap traffic. Byte order and sentinel
+	// bytes match the original closure version exactly.
 	h := uint64(offset64)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime64
-	}
 	switch v.K {
 	case KindNull:
-		mix(0)
+		h = (h ^ 0) * prime64
 	case KindInt, KindFloat, KindTime:
 		f := v.AsFloat()
 		if f == 0 {
@@ -252,18 +251,18 @@ func (v Value) Hash() uint64 {
 		}
 		u := math.Float64bits(f)
 		for i := 0; i < 8; i++ {
-			mix(byte(u >> (8 * i)))
+			h = (h ^ uint64(byte(u>>(8*i)))) * prime64
 		}
 	case KindString:
-		mix(2)
+		h = (h ^ 2) * prime64
 		for i := 0; i < len(v.S); i++ {
-			mix(v.S[i])
+			h = (h ^ uint64(v.S[i])) * prime64
 		}
 	case KindBool:
 		if v.B {
-			mix(3)
+			h = (h ^ 3) * prime64
 		} else {
-			mix(4)
+			h = (h ^ 4) * prime64
 		}
 	}
 	return h
