@@ -16,7 +16,9 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/executor"
 	"telegraphcq/internal/server"
 )
@@ -28,9 +30,20 @@ func main() {
 	mode := flag.String("class-mode", "footprint", "query class placement: footprint|single|per-query")
 	batch := flag.Int("batch", 1, "eddy tuple-batching knob")
 	hops := flag.Int("fixed-hops", 1, "eddy operator-fixing knob")
+	chaosSpec := flag.String("chaos", "", `fault injection spec, e.g. "seed=7,drop=0.01,stall=0.05,corrupt=0.02" (see internal/chaos)`)
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "max time to flush in-flight tuples on SIGINT/SIGTERM")
 	flag.Parse()
 
 	opts := executor.Options{Batch: *batch, FixedHops: *hops}
+	if *chaosSpec != "" {
+		inj, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -chaos spec: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Chaos = inj
+		fmt.Printf("telegraphcq: CHAOS MODE %s\n", *chaosSpec)
+	}
 	switch *mode {
 	case "footprint":
 		opts.Mode = executor.ClassByFootprint
@@ -63,6 +76,14 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("telegraphcq: shutting down")
-	srv.Close()
+	fmt.Println("telegraphcq: draining (signal again to force exit)")
+	go func() {
+		// A second signal skips the drain: operators must always have a
+		// way to make the process leave now.
+		<-sig
+		fmt.Println("telegraphcq: forced exit")
+		os.Exit(1)
+	}()
+	srv.Drain(*drainTimeout)
+	fmt.Println("telegraphcq: shut down")
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/tuple"
 )
 
@@ -43,6 +44,21 @@ type Source struct {
 	mu   sync.RWMutex
 	rows []*tuple.Tuple // table contents (streams keep none here)
 	seq  int64          // stream: last assigned sequence number
+	qos  fjord.QoS      // per-stream overflow policy (zero = drop-newest)
+}
+
+// SetQoS installs the stream's overflow policy (DDL WITH options).
+func (s *Source) SetQoS(q fjord.QoS) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.qos = q
+}
+
+// QoS returns the stream's overflow policy.
+func (s *Source) QoS() fjord.QoS {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.qos
 }
 
 // Rows returns a snapshot of a table's contents.

@@ -1,0 +1,255 @@
+// Package chaos is a deterministic, seedable fault injector for the
+// "uncertain world" the paper designs against (§1.1: volatile network
+// conditions, unreliable sources). Wrappers and Fjord producers consult
+// an Injector at well-defined points — before reading a line, before
+// enqueueing a tuple — and the injector decides, from a seeded PRNG,
+// whether that point experiences a fault: a connection drop, a read
+// stall, a corrupted row, a duplicated or reordered batch, a simulated
+// queue-full burst, or an operator panic.
+//
+// Determinism matters: the E-series experiments need to regenerate the
+// same volatile-network scenario run after run, and failing tests need
+// to replay. All randomness flows from the configured seed; an Injector
+// makes the same decisions in the same order for the same seed.
+//
+// A nil *Injector is a valid no-op: every decision method is nil-safe,
+// so production paths carry a single pointer and pay one nil check when
+// chaos is off.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets per-decision-point fault probabilities (all in [0,1]).
+// The zero value injects nothing.
+type Config struct {
+	// Seed drives the PRNG; equal seeds replay equal fault sequences.
+	Seed int64
+	// Disconnect is the probability a connection-oriented wrapper drops
+	// its connection at the next row boundary.
+	Disconnect float64
+	// Stall is the probability a read stalls for StallFor.
+	Stall float64
+	// StallFor is the injected stall duration (0 → 2ms).
+	StallFor time.Duration
+	// Corrupt is the probability a row's bytes are mangled in flight.
+	Corrupt float64
+	// Duplicate is the probability a delivered row is delivered again
+	// (at-least-once sources re-sending after an ambiguous failure).
+	Duplicate float64
+	// Reorder is the probability a batch is delivered out of order.
+	Reorder float64
+	// QueueFull is the probability a Fjord producer observes a
+	// (simulated) full queue, forcing its overflow policy to run.
+	QueueFull float64
+	// PanicStream, when non-empty, makes PanicFor report true once for
+	// tuples of that stream — a deliberately faulty operator used to
+	// prove panic quarantine.
+	PanicStream string
+}
+
+// Stats counts faults actually injected, per kind.
+type Stats struct {
+	Disconnects int64
+	Stalls      int64
+	Corrupted   int64
+	Duplicated  int64
+	Reordered   int64
+	QueueFulls  int64
+	Panics      int64
+}
+
+// Injector makes fault decisions. Safe for concurrent use; decisions
+// are serialized so a seed fully determines the fault sequence.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	disconnects atomic.Int64
+	stalls      atomic.Int64
+	corrupted   atomic.Int64
+	duplicated  atomic.Int64
+	reordered   atomic.Int64
+	queueFulls  atomic.Int64
+	panics      atomic.Int64
+}
+
+// New builds an injector from a config.
+func New(cfg Config) *Injector {
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = 2 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+}
+
+// Parse builds an injector from a comma-separated spec, the -chaos flag
+// syntax: "seed=42,drop=0.01,stall=0.005,stallms=5,corrupt=0.02,
+// dup=0.01,reorder=0.01,full=0.1,panic=streamname". Unknown keys error.
+func Parse(spec string) (*Injector, error) {
+	cfg := Config{}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("chaos: bad spec entry %q (want key=value)", kv)
+		}
+		key, val := strings.ToLower(strings.TrimSpace(kv[:eq])), strings.TrimSpace(kv[eq+1:])
+		num := func() (float64, error) {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return 0, fmt.Errorf("chaos: %s wants a probability in [0,1], got %q", key, val)
+			}
+			return f, nil
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop", "disconnect":
+			cfg.Disconnect, err = num()
+		case "stall":
+			cfg.Stall, err = num()
+		case "stallms":
+			var ms int64
+			ms, err = strconv.ParseInt(val, 10, 64)
+			cfg.StallFor = time.Duration(ms) * time.Millisecond
+		case "corrupt":
+			cfg.Corrupt, err = num()
+		case "dup", "duplicate":
+			cfg.Duplicate, err = num()
+		case "reorder":
+			cfg.Reorder, err = num()
+		case "full", "queuefull":
+			cfg.QueueFull, err = num()
+		case "panic":
+			cfg.PanicStream = val
+		default:
+			return nil, fmt.Errorf("chaos: unknown spec key %q", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return New(cfg), nil
+}
+
+// draw serializes one PRNG sample.
+func (in *Injector) draw() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64()
+}
+
+// decide is the nil-safe Bernoulli trial shared by all decision points.
+func (in *Injector) decide(p float64, hits *atomic.Int64) bool {
+	if in == nil || p <= 0 {
+		return false
+	}
+	if in.draw() >= p {
+		return false
+	}
+	hits.Add(1)
+	return true
+}
+
+// Disconnect reports whether the wrapper should drop its connection now.
+func (in *Injector) Disconnect() bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(in.cfg.Disconnect, &in.disconnects)
+}
+
+// Stall returns a stall duration to sleep (0 = no stall injected).
+func (in *Injector) Stall() time.Duration {
+	if in == nil {
+		return 0
+	}
+	if !in.decide(in.cfg.Stall, &in.stalls) {
+		return 0
+	}
+	return in.cfg.StallFor
+}
+
+// CorruptLine possibly mangles one wire line; ok reports whether it did.
+// Corruption is byte-level (a flipped separator and truncation) so the
+// downstream parser sees the kind of damage a lossy link produces.
+func (in *Injector) CorruptLine(line string) (string, bool) {
+	if in == nil || !in.decide(in.cfg.Corrupt, &in.corrupted) {
+		return line, false
+	}
+	if len(line) < 2 {
+		return line + "\x00corrupt", true
+	}
+	cut := 1 + int(in.draw()*float64(len(line)-1))
+	return strings.ReplaceAll(line[:cut], ",", ";") + "\x00", true
+}
+
+// Duplicate reports whether the current row should be delivered twice.
+func (in *Injector) Duplicate() bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(in.cfg.Duplicate, &in.duplicated)
+}
+
+// ReorderPerm returns a delivery permutation for a batch of n rows: nil
+// when the batch should go out in order, else a seeded shuffle.
+func (in *Injector) ReorderPerm(n int) []int {
+	if in == nil || n < 2 || !in.decide(in.cfg.Reorder, &in.reordered) {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Perm(n)
+}
+
+// QueueFull reports whether a Fjord producer should treat its queue as
+// full right now (a burst of back-pressure without real load).
+func (in *Injector) QueueFull() bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(in.cfg.QueueFull, &in.queueFulls)
+}
+
+// PanicFor reports whether processing a tuple of the named stream should
+// panic. It fires at most once, so one query is quarantined and the rest
+// of the run proceeds normally.
+func (in *Injector) PanicFor(stream string) bool {
+	if in == nil || in.cfg.PanicStream == "" || stream != in.cfg.PanicStream {
+		return false
+	}
+	if in.panics.Add(1) > 1 {
+		return false
+	}
+	return true
+}
+
+// Stats snapshots the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return Stats{
+		Disconnects: in.disconnects.Load(),
+		Stalls:      in.stalls.Load(),
+		Corrupted:   in.corrupted.Load(),
+		Duplicated:  in.duplicated.Load(),
+		Reordered:   in.reordered.Load(),
+		QueueFulls:  in.queueFulls.Load(),
+		Panics:      in.panics.Load(),
+	}
+}

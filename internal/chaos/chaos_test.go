@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// Equal seeds must replay equal fault sequences — the property the
+// E-series experiments rely on to regenerate a scenario.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Disconnect: 0.2, Stall: 0.3, Corrupt: 0.25, QueueFull: 0.4}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		if a.Disconnect() != b.Disconnect() {
+			t.Fatalf("disconnect decision diverged at step %d", i)
+		}
+		if (a.Stall() > 0) != (b.Stall() > 0) {
+			t.Fatalf("stall decision diverged at step %d", i)
+		}
+		la, oka := a.CorruptLine("s,1,2,3")
+		lb, okb := b.CorruptLine("s,1,2,3")
+		if oka != okb || la != lb {
+			t.Fatalf("corruption diverged at step %d: %q vs %q", i, la, lb)
+		}
+		if a.QueueFull() != b.QueueFull() {
+			t.Fatalf("queue-full decision diverged at step %d", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Corrupted == 0 || a.Stats().Disconnects == 0 {
+		t.Fatalf("expected some injected faults, got %+v", a.Stats())
+	}
+}
+
+// A nil injector must be a total no-op so production paths can carry it
+// unconditionally.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Disconnect() || in.Duplicate() || in.QueueFull() || in.PanicFor("s") {
+		t.Fatal("nil injector injected a fault")
+	}
+	if d := in.Stall(); d != 0 {
+		t.Fatalf("nil injector stalled for %v", d)
+	}
+	if line, ok := in.CorruptLine("a,b"); ok || line != "a,b" {
+		t.Fatalf("nil injector corrupted line: %q", line)
+	}
+	if perm := in.ReorderPerm(8); perm != nil {
+		t.Fatalf("nil injector reordered: %v", perm)
+	}
+	if in.Stats() != (Stats{}) {
+		t.Fatal("nil injector has stats")
+	}
+}
+
+func TestCorruptLineChangesBytes(t *testing.T) {
+	in := New(Config{Seed: 1, Corrupt: 1})
+	line := "stream,1,2.5,true"
+	got, ok := in.CorruptLine(line)
+	if !ok {
+		t.Fatal("corruption did not fire at p=1")
+	}
+	if got == line {
+		t.Fatalf("corrupted line unchanged: %q", got)
+	}
+}
+
+func TestPanicForFiresOnce(t *testing.T) {
+	in := New(Config{PanicStream: "ticks"})
+	if in.PanicFor("other") {
+		t.Fatal("panicked for wrong stream")
+	}
+	if !in.PanicFor("ticks") {
+		t.Fatal("did not panic for configured stream")
+	}
+	if in.PanicFor("ticks") {
+		t.Fatal("panicked twice")
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("seed=42, drop=0.25, stall=0.1, stallms=7, corrupt=0.5, full=0.3, panic=ticks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.cfg.Seed != 42 || in.cfg.Disconnect != 0.25 || in.cfg.Stall != 0.1 ||
+		in.cfg.StallFor != 7*time.Millisecond || in.cfg.Corrupt != 0.5 ||
+		in.cfg.QueueFull != 0.3 || in.cfg.PanicStream != "ticks" {
+		t.Fatalf("bad parsed config: %+v", in.cfg)
+	}
+	for _, bad := range []string{"nope", "frob=1", "drop=2", "drop=x", "seed=abc"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("spec %q should not parse", bad)
+		}
+	}
+	// Empty spec parses to a no-op injector.
+	if in, err := Parse(""); err != nil || in == nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+}

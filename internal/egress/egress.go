@@ -31,6 +31,17 @@ type Subscription struct {
 	q  *fjord.SPSC[*tuple.Tuple]
 
 	dropped atomic.Int64
+	failed  atomic.Value // error: set when the query was quarantined
+}
+
+// Err returns the terminal error of a failed query (nil while healthy).
+// It becomes non-nil before the queue closes, so a consumer that sees
+// Next report closed can ask Err why.
+func (s *Subscription) Err() error {
+	if v := s.failed.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
 }
 
 // Next blocks for the next row; ok is false when the subscription closed
@@ -144,6 +155,21 @@ func (h *Hub) DeliverBatch(id int, rows []*tuple.Tuple) {
 		for _, r := range rows {
 			tuple.Recycle(r)
 		}
+	}
+}
+
+// Fail marks a query's subscription with a terminal error (its EO was
+// quarantined) and closes the queue. Already-delivered rows remain
+// consumable; after draining, Next reports closed and Err explains why.
+// The subscription stays attached so telemetry still observes it until
+// the query is cancelled.
+func (h *Hub) Fail(id int, err error) {
+	h.mu.Lock()
+	sub := h.subs[id]
+	h.mu.Unlock()
+	if sub != nil {
+		sub.failed.Store(err)
+		sub.q.Close()
 	}
 }
 

@@ -8,13 +8,18 @@
 package executor
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
+	"os"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"telegraphcq/internal/cacq"
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/catalog"
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/egress"
@@ -72,6 +77,10 @@ type Options struct {
 	// SampleInterval is the period of the system-stream sampler feeding
 	// tcq_operators/tcq_queues/tcq_queries (0 → 500ms; <0 disables).
 	SampleInterval time.Duration
+	// Chaos, when non-nil, injects faults at the executor's Fjord
+	// producers (simulated queue-full bursts) and inside EO run loops
+	// (operator panics) for robustness testing.
+	Chaos *chaos.Injector
 }
 
 // Executor owns the EOs and the query table.
@@ -82,15 +91,26 @@ type Executor struct {
 	opts    Options
 	metrics *telemetry.Registry
 
-	mu      sync.Mutex
-	eos     []*execObject
-	queries map[int]*runningQuery
-	nextID  int
-	fed     map[string]bool // "eoIdx/alias" table loads already done
-	closed  bool
+	mu          sync.Mutex
+	eos         []*execObject
+	queries     map[int]*runningQuery
+	nextID      int
+	fed         map[string]bool // "eoIdx/alias" table loads already done
+	closed      bool
+	quarantines int64 // EOs retired after an operator panic
+
+	// qstats tracks per-stream QoS shed accounting (stream → *streamQoS).
+	qstats sync.Map
+	// qosRng draws the Bernoulli trials for sample-policy admission.
+	qosMu  sync.Mutex
+	qosRng *rand.Rand
 
 	samplerStop chan struct{}
 	samplerDone chan struct{}
+
+	// sourceStats, when set, reports wrapper-side source health for the
+	// tcq_sources system stream and /metrics (see SetSourceStats).
+	sourceStats atomic.Pointer[func() []SourceStat]
 }
 
 type runningQuery struct {
@@ -99,6 +119,30 @@ type runningQuery struct {
 	planned *plan.Planned
 	sub     *egress.Subscription
 	post    *postProcessor
+	err     error // non-nil once the query is quarantined
+}
+
+// streamQoS is one stream's overflow accounting: every tuple lost at an
+// EO ingress queue under the stream's policy, and every Block wait that
+// expired, is counted here. The invariant tests reconcile is
+// pushed == delivered-into-engine + shed, exactly.
+type streamQoS struct {
+	shed          atomic.Int64 // tuples lost (newest shed or oldest evicted)
+	blockTimeouts atomic.Int64 // Block waits that gave up
+}
+
+// qstatsFor returns (creating on first use) a stream's QoS counters.
+func (x *Executor) qstatsFor(stream string) *streamQoS {
+	if v, ok := x.qstats.Load(stream); ok {
+		return v.(*streamQoS)
+	}
+	v, _ := x.qstats.LoadOrStore(stream, &streamQoS{})
+	return v.(*streamQoS)
+}
+
+// StreamShed returns tuples lost at EO ingress for one stream (QoS).
+func (x *Executor) StreamShed(stream string) int64 {
+	return x.qstatsFor(stream).shed.Load()
 }
 
 // New builds an executor over a catalog.
@@ -123,6 +167,7 @@ func New(cat *catalog.Catalog, opts Options) *Executor {
 		metrics: opts.Metrics,
 		queries: map[int]*runningQuery{},
 		fed:     map[string]bool{},
+		qosRng:  rand.New(rand.NewSource(1)),
 	}
 	x.registerCollectors()
 	x.registerSystemStreams()
@@ -197,6 +242,7 @@ type execObject struct {
 	rowBuf []*tuple.Tuple
 
 	shed atomic.Int64 // tuples dropped because the EO queue was full
+	dead atomic.Bool  // quarantined after an operator panic
 }
 
 func (x *Executor) newEO() *execObject {
@@ -227,35 +273,54 @@ func (x *Executor) newEO() *execObject {
 // run is the EO scheduler loop: drain control, drain a batch of data
 // tuples, give the engine its quantum, idle briefly when nothing is
 // queued. Control drains first so cancellation and barriers are not
-// starved by a full data queue.
+// starved by a full data queue. Each iteration runs inside step's
+// panic isolation: a fault in operator code quarantines this EO's
+// queries and retires the EO instead of crashing the process.
 func (eo *execObject) run() {
 	defer close(eo.done)
 	idle := 0
 	for {
-		if env, ok := eo.ctl.TryDequeue(); ok {
-			idle = 0
-			eo.control(env)
-			continue
-		}
-		if n := eo.data.DequeueBatch(eo.drain); n > 0 {
-			idle = 0
-			for i := 0; i < n; i++ {
-				eo.push(eo.drain[i])
-				eo.drain[i] = nil
-			}
-			_ = eo.runEngine()
-			continue
-		}
-		if eo.ctl.Closed() {
+		if eo.step(&idle) {
 			return
 		}
-		// Idle dispatch: async modules, pending admission batches.
-		_ = eo.runEngine()
-		idle++
-		if idle > 8 {
-			time.Sleep(200 * time.Microsecond)
-		}
 	}
+}
+
+// step is one scheduler iteration; it reports whether the loop should
+// exit. A panic anywhere inside — engine quantum, operator code, a
+// control handler — unwinds to here, where the executor quarantines the
+// EO (§2.4 motivation: partial failure must not take the engine down).
+func (eo *execObject) step(idle *int) (exit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			eo.x.quarantine(eo, r, debug.Stack())
+			exit = true
+		}
+	}()
+	if env, ok := eo.ctl.TryDequeue(); ok {
+		*idle = 0
+		eo.control(env)
+		return false
+	}
+	if n := eo.data.DequeueBatch(eo.drain); n > 0 {
+		*idle = 0
+		for i := 0; i < n; i++ {
+			eo.push(eo.drain[i])
+			eo.drain[i] = nil
+		}
+		_ = eo.runEngine()
+		return false
+	}
+	if eo.ctl.Closed() {
+		return true
+	}
+	// Idle dispatch: async modules, pending admission batches.
+	_ = eo.runEngine()
+	*idle++
+	if *idle > 8 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	return false
 }
 
 // runEngine gives the engine a quantum and then flushes the result rows
@@ -308,6 +373,9 @@ func (eo *execObject) drainData() int {
 
 func (eo *execObject) push(t *tuple.Tuple) {
 	src := t.Schema.Sources[0]
+	if eo.x.opts.Chaos.PanicFor(src) {
+		panic(fmt.Sprintf("chaos: injected operator panic on stream %s (EO %d)", src, eo.idx))
+	}
 	aliases := eo.feeds[src]
 	if len(aliases) == 0 {
 		tuple.Recycle(t) // no query reads this stream here anymore
@@ -331,6 +399,18 @@ func (eo *execObject) push(t *tuple.Tuple) {
 }
 
 func (eo *execObject) control(env envelope) {
+	// A panic inside a handler must still release the waiting submitter
+	// before it unwinds into quarantine, or Submit/Barrier would hang on
+	// an ack that never comes.
+	acked := false
+	defer func() {
+		if r := recover(); r != nil {
+			if env.ack != nil && !acked {
+				env.ack <- fmt.Errorf("executor: EO %d panicked in control handler: %v", eo.idx, r)
+			}
+			panic(r)
+		}
+	}()
 	var err error
 	switch env.ctl {
 	case ctlAddQuery:
@@ -363,8 +443,89 @@ func (eo *execObject) control(env envelope) {
 		env.snap <- eo.snapshot()
 	}
 	if env.ack != nil {
+		acked = true
 		env.ack <- err
 	}
+}
+
+// ErrQuarantined reports that a query was retired because its Execution
+// Object panicked.
+var ErrQuarantined = errors.New("executor: query quarantined after operator panic")
+
+// quarantine retires a panicked EO: it stops admission, drains and
+// recycles queued work, releases any waiting control senders, marks the
+// EO's queries errored, and delivers the failure to their subscribers.
+// Other EOs — and therefore all queries in other classes — keep running.
+// Runs on the EO's own goroutine, immediately before it exits.
+func (x *Executor) quarantine(eo *execObject, cause any, stack []byte) {
+	eo.dead.Store(true)
+	err := fmt.Errorf("%w: EO %d: %v", ErrQuarantined, eo.idx, cause)
+	fmt.Fprintf(os.Stderr, "telegraphcq: %v\n%s", err, stack)
+
+	// Stop admission, then retire everything already queued: the drain
+	// scratch (a panic mid-batch leaves its tail unprocessed), the data
+	// queue, and the engine's buffered deliveries.
+	eo.data.Close()
+	eo.ctl.Close()
+	for i := range eo.drain {
+		if eo.drain[i] != nil {
+			tuple.Recycle(eo.drain[i])
+			eo.drain[i] = nil
+		}
+	}
+	for {
+		t, ok := eo.data.TryDequeue()
+		if !ok {
+			break
+		}
+		tuple.Recycle(t)
+	}
+	// Release queued control senders (Submit, Barrier, scrapes) with the
+	// quarantine error so nothing deadlocks on a dead EO.
+	for {
+		env, ok := eo.ctl.TryDequeue()
+		if !ok {
+			break
+		}
+		if env.ack != nil {
+			env.ack <- err
+		}
+		if env.snap != nil {
+			close(env.snap)
+		}
+	}
+
+	x.mu.Lock()
+	x.quarantines++
+	var failed []*runningQuery
+	for _, rq := range x.queries {
+		if rq.eo == eo && rq.err == nil {
+			rq.err = err
+			failed = append(failed, rq)
+		}
+	}
+	x.mu.Unlock()
+	for _, rq := range failed {
+		x.hub.Fail(rq.id, err)
+	}
+}
+
+// QueryErr returns the quarantine error of a query (nil while healthy;
+// an error wrapping ErrQuarantined once its EO panicked).
+func (x *Executor) QueryErr(id int) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if rq, ok := x.queries[id]; ok {
+		return rq.err
+	}
+	return fmt.Errorf("executor: unknown query %d", id)
+}
+
+// Quarantines returns how many EOs have been retired after panics.
+func (x *Executor) Quarantines() int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.quarantines
 }
 
 // --------------------------------------------------------------- submit
@@ -473,19 +634,25 @@ func (x *Executor) Submit(sel *sql.Select) (int, *egress.Subscription, error) {
 }
 
 // placeLocked picks (or creates) the EO for a planned query.
+// Quarantined EOs are never placement candidates.
 func (x *Executor) placeLocked(p *plan.Planned) *execObject {
 	switch x.opts.Mode {
 	case ClassSingle:
-		if len(x.eos) == 0 {
-			return x.newEO()
+		for _, eo := range x.eos {
+			if !eo.dead.Load() {
+				return eo
+			}
 		}
-		return x.eos[0]
+		return x.newEO()
 	case ClassPerQuery:
 		return x.newEO()
 	default:
-		// Footprint overlap: first EO sharing any source.
+		// Footprint overlap: first live EO sharing any source.
 		fp := p.CQ.Footprint()
 		for _, eo := range x.eos {
+			if eo.dead.Load() {
+				continue
+			}
 			for _, s := range fp {
 				if eo.sources[s] {
 					return eo
@@ -516,11 +683,15 @@ func (x *Executor) Cancel(id int) error {
 	if !ok {
 		return fmt.Errorf("executor: unknown query %d", id)
 	}
-	ack := make(chan error, 1)
-	if err := rq.eo.ctl.Enqueue(envelope{ctl: ctlRemoveQuery, qid: id, ack: ack}); err != nil {
-		return err
+	// A quarantined EO no longer accepts control traffic; its engine is
+	// gone, so there is nothing to remove — just release the consumers.
+	if !rq.eo.dead.Load() {
+		ack := make(chan error, 1)
+		if err := rq.eo.ctl.Enqueue(envelope{ctl: ctlRemoveQuery, qid: id, ack: ack}); err != nil {
+			return err
+		}
+		<-ack
 	}
-	<-ack
 	if rq.post != nil {
 		for _, r := range rq.post.flush() {
 			x.hub.Deliver(id, r)
@@ -611,13 +782,49 @@ func (x *Executor) push(stream string, seq int64, vals []tuple.Value) (int64, er
 	for i := 1; i < len(eos); i++ {
 		copies[i] = t.Clone()
 	}
+	qos := src.QoS()
 	for i, eo := range eos {
-		if !eo.data.TryEnqueue(copies[i]) {
-			eo.shed.Add(1)
-			tuple.Recycle(copies[i])
-		}
+		x.offer(eo, copies[i], stream, qos)
 	}
 	return seq, nil
+}
+
+// offer admits one tuple into one EO's ingress queue under the stream's
+// overflow policy, keeping the QoS books: every lost tuple (the shed
+// newcomer or the evicted oldest) increments exactly one shed count, so
+// pushed == entered-engine + shed reconciles exactly.
+func (x *Executor) offer(eo *execObject, t *tuple.Tuple, stream string, qos fjord.QoS) bool {
+	opts := fjord.OfferOpts{QoS: qos}
+	if qos.Policy == fjord.Sample {
+		opts.Rand = x.qosDraw
+	}
+	if x.opts.Chaos != nil {
+		opts.Full = x.opts.Chaos.QueueFull
+	}
+	res := fjord.Offer[*tuple.Tuple](eo.data, t, opts)
+	qs := x.qstatsFor(stream)
+	if res.DidEvict {
+		tuple.Recycle(res.Evicted)
+		eo.shed.Add(1)
+		qs.shed.Add(1)
+	}
+	if !res.Accepted {
+		tuple.Recycle(t)
+		eo.shed.Add(1)
+		qs.shed.Add(1)
+		if res.TimedOut {
+			qs.blockTimeouts.Add(1)
+		}
+		return false
+	}
+	return true
+}
+
+// qosDraw serializes sample-policy admission draws on a seeded PRNG.
+func (x *Executor) qosDraw() float64 {
+	x.qosMu.Lock()
+	defer x.qosMu.Unlock()
+	return x.qosRng.Float64()
 }
 
 // PushBatch stamps a batch of tuples of one stream with consecutive
@@ -663,26 +870,32 @@ func (x *Executor) PushBatch(stream string, rows [][]tuple.Value) (int64, error)
 		}
 		batches[i] = cl
 	}
+	qos := src.QoS()
 	for i, eo := range eos {
 		batch := batches[i]
-		n := eo.data.TryEnqueueBatch(batch)
-		if n < len(batch) {
-			eo.shed.Add(int64(len(batch) - n))
-			for _, t := range batch[n:] {
-				tuple.Recycle(t)
-			}
+		// Vectorized fast path; a chaos queue-full burst diverts the
+		// whole batch through the per-tuple policy path instead.
+		n := 0
+		if !(x.opts.Chaos != nil && x.opts.Chaos.QueueFull()) {
+			n = eo.data.TryEnqueueBatch(batch)
+		}
+		// The unaccepted suffix goes through the stream's overflow
+		// policy tuple by tuple (block waits, drop-oldest evicts, ...).
+		for _, t := range batch[n:] {
+			x.offer(eo, t, stream, qos)
 		}
 	}
 	return seq, nil
 }
 
-// readers snapshots the EOs fed by a stream.
+// readers snapshots the live EOs fed by a stream (a quarantined EO
+// accepts no more data; its tuples would be recycled unprocessed).
 func (x *Executor) readers(stream string) []*execObject {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	eos := make([]*execObject, 0, len(x.eos))
 	for _, eo := range x.eos {
-		if len(eo.feeds[stream]) > 0 {
+		if len(eo.feeds[stream]) > 0 && !eo.dead.Load() {
 			eos = append(eos, eo)
 		}
 	}
@@ -696,11 +909,20 @@ func (x *Executor) Barrier() error {
 	eos := append([]*execObject(nil), x.eos...)
 	x.mu.Unlock()
 	for _, eo := range eos {
+		if eo.dead.Load() {
+			continue // a quarantined EO is permanently quiescent
+		}
 		ack := make(chan error, 1)
 		if err := eo.ctl.Enqueue(envelope{ctl: ctlBarrier, ack: ack}); err != nil {
+			if eo.dead.Load() {
+				continue // lost the race with a quarantine
+			}
 			return err
 		}
 		if err := <-ack; err != nil {
+			if errors.Is(err, ErrQuarantined) {
+				continue // the EO died while the barrier was queued
+			}
 			return err
 		}
 	}

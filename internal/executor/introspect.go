@@ -29,7 +29,39 @@ const (
 	StreamOperators = "tcq_operators"
 	StreamQueues    = "tcq_queues"
 	StreamQueries   = "tcq_queries"
+	StreamSources   = "tcq_sources"
 )
+
+// SourceStat is one wrapper-side source's health as reported into the
+// tcq_sources system stream and /metrics: the supervision state machine
+// (up / degraded / down), its restart and failure history, and rows
+// delivered. The ingress layer supplies these via SetSourceStats; the
+// executor deliberately knows nothing about wrappers beyond this shape.
+type SourceStat struct {
+	Name     string
+	State    string // "up", "degraded", "down"
+	Restarts int64  // reconnect attempts that succeeded
+	Failures int64  // run attempts that ended in error
+	Rows     int64  // rows delivered across all attempts
+	LastErr  string // most recent failure, "" when none
+}
+
+// SetSourceStats installs the callback the sampler and the metrics
+// collector use to observe wrapper-side source health (nil clears it).
+func (x *Executor) SetSourceStats(fn func() []SourceStat) {
+	if fn == nil {
+		x.sourceStats.Store(nil)
+		return
+	}
+	x.sourceStats.Store(&fn)
+}
+
+func (x *Executor) sourceStatsSnapshot() []SourceStat {
+	if fn := x.sourceStats.Load(); fn != nil {
+		return (*fn)()
+	}
+	return nil
+}
 
 // eoSnapshot is one Execution Object's state as observed by its own
 // thread in response to a ctlStats envelope. Everything inside is a
@@ -122,6 +154,12 @@ func (x *Executor) registerSystemStreams() {
 		{StreamQueries, []tuple.Column{
 			col("query", tuple.KindInt), col("delivered", tuple.KindInt),
 			col("pending", tuple.KindInt), col("dropped", tuple.KindInt),
+			col("state", tuple.KindString),
+		}},
+		{StreamSources, []tuple.Column{
+			col("source", tuple.KindString), col("state", tuple.KindString),
+			col("restarts", tuple.KindInt), col("failures", tuple.KindInt),
+			col("rows", tuple.KindInt), col("last_error", tuple.KindString),
 		}},
 	}
 	for _, s := range streams {
@@ -202,8 +240,36 @@ func (x *Executor) SampleSystemStreams() {
 			_, _ = x.Push(StreamQueries, []tuple.Value{
 				tuple.Int(int64(qi.ID)), tuple.Int(qi.Delivered),
 				tuple.Int(pending), tuple.Int(dropped),
+				tuple.String("running"),
 			})
 		}
+	}
+
+	// Quarantined queries no longer appear in any engine snapshot (their
+	// EO is gone); report them from the executor's query table so the
+	// failure is observable through the same stream.
+	x.mu.Lock()
+	var errored []int
+	for id, rq := range x.queries {
+		if rq.err != nil {
+			errored = append(errored, id)
+		}
+	}
+	x.mu.Unlock()
+	for _, id := range errored {
+		_, _ = x.Push(StreamQueries, []tuple.Value{
+			tuple.Int(int64(id)), tuple.Int(0), tuple.Int(0), tuple.Int(0),
+			tuple.String("errored"),
+		})
+	}
+
+	// Wrapper-side source health (supervision state machine).
+	for _, st := range x.sourceStatsSnapshot() {
+		_, _ = x.Push(StreamSources, []tuple.Value{
+			tuple.String(st.Name), tuple.String(st.State),
+			tuple.Int(st.Restarts), tuple.Int(st.Failures),
+			tuple.Int(st.Rows), tuple.String(st.LastErr),
+		})
 	}
 }
 
@@ -227,6 +293,36 @@ func (x *Executor) registerCollectors() {
 
 		gauge("tcq_eos", "execution objects running", float64(len(eos)))
 		gauge("tcq_queries_active", "standing continuous queries", float64(nq))
+
+		x.mu.Lock()
+		quarantines := x.quarantines
+		x.mu.Unlock()
+		counter("tcq_eo_quarantined_total", "EOs retired after an operator panic", quarantines)
+
+		// Per-stream QoS shed accounting (overflow policy outcomes).
+		x.qstats.Range(func(k, v any) bool {
+			qs := v.(*streamQoS)
+			lS := telemetry.L("stream", k.(string))
+			counter("tcq_stream_shed_total", "tuples lost at EO ingress under the stream's overflow policy", qs.shed.Load(), lS)
+			counter("tcq_stream_block_timeouts_total", "block-policy waits that expired", qs.blockTimeouts.Load(), lS)
+			return true
+		})
+
+		// Wrapper-side source health (supervision state machine).
+		for _, st := range x.sourceStatsSnapshot() {
+			lSrc := telemetry.L("source", st.Name)
+			up := 0.0
+			switch st.State {
+			case "up":
+				up = 1
+			case "degraded":
+				up = 0.5
+			}
+			gauge("tcq_source_up", "source health (1 up, 0.5 degraded, 0 down)", up, lSrc)
+			counter("tcq_source_restarts_total", "successful source reconnects", st.Restarts, lSrc)
+			counter("tcq_source_failures_total", "source run attempts that failed", st.Failures, lSrc)
+			counter("tcq_source_rows_total", "rows delivered by the source", st.Rows, lSrc)
+		}
 
 		for _, eo := range eos {
 			lEO := telemetry.L("eo", strconv.Itoa(eo.idx))

@@ -1,0 +1,165 @@
+package fjord
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// OverflowPolicy selects what a producer does when a push-queue is full
+// — the QoS decision of §2.3/§4.2: the engine must never block on a
+// slow consumer by accident, but *which* tuples to sacrifice (or whether
+// to apply back-pressure deliberately) is a per-stream policy choice,
+// not an implicit property of the queue.
+type OverflowPolicy uint8
+
+const (
+	// DropNewest sheds the arriving tuple (the historical default: the
+	// unaccepted suffix of a burst is lost, the window keeps its past).
+	DropNewest OverflowPolicy = iota
+	// DropOldest evicts the oldest queued tuple to admit the new one
+	// (recency-preserving: monitoring queries that care about "now").
+	DropOldest
+	// Block applies back-pressure: the producer waits, up to a timeout,
+	// for space (lossless ingest; the wrapper's connection stalls
+	// instead — which is where the paper wants blocking to live).
+	Block
+	// Sample interpolates: on overflow the new tuple is admitted with
+	// probability p (evicting the oldest), else shed — a load-shedding
+	// sampler whose expected loss is split between old and new.
+	Sample
+)
+
+func (p OverflowPolicy) String() string {
+	switch p {
+	case DropOldest:
+		return "drop-oldest"
+	case Block:
+		return "block"
+	case Sample:
+		return "sample"
+	default:
+		return "drop-newest"
+	}
+}
+
+// ParseOverflowPolicy accepts the DDL spellings ("drop-newest",
+// "drop_newest", "block", "sample", ...), case-insensitively.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch strings.ToLower(strings.ReplaceAll(s, "_", "-")) {
+	case "", "drop-newest", "dropnewest", "shed":
+		return DropNewest, nil
+	case "drop-oldest", "dropoldest", "evict":
+		return DropOldest, nil
+	case "block":
+		return Block, nil
+	case "sample":
+		return Sample, nil
+	}
+	return DropNewest, fmt.Errorf("fjord: unknown overflow policy %q (want block, drop-newest, drop-oldest, or sample)", s)
+}
+
+// QoS is a stream's complete overflow behavior. The zero value is the
+// historical default: drop-newest.
+type QoS struct {
+	Policy OverflowPolicy
+	// SampleP is the admit probability for Sample (ignored otherwise).
+	SampleP float64
+	// BlockTimeout bounds how long Block waits for space (0 → 100ms).
+	BlockTimeout time.Duration
+}
+
+// DefaultBlockTimeout bounds Block waits when DDL gives no timeout.
+const DefaultBlockTimeout = 100 * time.Millisecond
+
+// OfferOpts parameterizes one Offer call.
+type OfferOpts struct {
+	QoS QoS
+	// Rand supplies the Bernoulli draw for Sample; nil admits always.
+	Rand func() float64
+	// Full, when non-nil, simulates a full queue (chaos bursts): each
+	// enqueue attempt for which it returns true is treated as refused.
+	Full func() bool
+}
+
+// OfferResult reports what happened to the offered element — and, for
+// eviction policies, which element was sacrificed so the caller can
+// retire it (the queue is generic; only the caller knows how to recycle).
+type OfferResult[T any] struct {
+	// Accepted reports whether the offered element is now queued.
+	Accepted bool
+	// Evicted holds the sacrificed oldest element when DidEvict is set.
+	Evicted  T
+	DidEvict bool
+	// TimedOut is set when Block gave up waiting.
+	TimedOut bool
+}
+
+// Offer admits v into q under an overflow policy. It never blocks except
+// under Block, and then only up to the timeout. Exactly one element is
+// lost per overflow event (the newest or the oldest), so producers can
+// reconcile exactly: offered == queued + lost.
+func Offer[T any](q Queue[T], v T, o OfferOpts) OfferResult[T] {
+	full := o.Full != nil && o.Full()
+	if !full && q.TryEnqueue(v) {
+		return OfferResult[T]{Accepted: true}
+	}
+	switch o.QoS.Policy {
+	case Block:
+		timeout := o.QoS.BlockTimeout
+		if timeout <= 0 {
+			timeout = DefaultBlockTimeout
+		}
+		deadline := time.Now().Add(timeout)
+		wait := 20 * time.Microsecond
+		for {
+			if q.Closed() {
+				return OfferResult[T]{}
+			}
+			if !(o.Full != nil && o.Full()) && q.TryEnqueue(v) {
+				return OfferResult[T]{Accepted: true}
+			}
+			if time.Now().After(deadline) {
+				return OfferResult[T]{TimedOut: true}
+			}
+			time.Sleep(wait)
+			if wait < time.Millisecond {
+				wait *= 2
+			}
+		}
+	case DropOldest:
+		return evictAndOffer(q, v)
+	case Sample:
+		if o.Rand == nil || o.Rand() < o.QoS.SampleP {
+			return evictAndOffer(q, v)
+		}
+		return OfferResult[T]{}
+	default: // DropNewest
+		return OfferResult[T]{}
+	}
+}
+
+// evictAndOffer makes room by removing the oldest element, then admits
+// v. Under concurrency the freed slot can be stolen, so it retries a few
+// times before giving up and shedding the new element instead.
+func evictAndOffer[T any](q Queue[T], v T) OfferResult[T] {
+	var res OfferResult[T]
+	for attempt := 0; attempt < 4; attempt++ {
+		// At most one eviction per overflow: a stolen-slot retry must
+		// not sacrifice a second element (and every sacrificed element
+		// must be reported so the caller can retire it).
+		if !res.DidEvict {
+			if old, ok := q.TryDequeue(); ok {
+				res.Evicted, res.DidEvict = old, true
+			}
+		}
+		if q.TryEnqueue(v) {
+			res.Accepted = true
+			return res
+		}
+		if q.Closed() {
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,129 @@
+package fjord
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseOverflowPolicy(t *testing.T) {
+	cases := map[string]OverflowPolicy{
+		"block": Block, "BLOCK": Block,
+		"drop-newest": DropNewest, "drop_newest": DropNewest, "shed": DropNewest,
+		"drop-oldest": DropOldest, "DROP_OLDEST": DropOldest, "evict": DropOldest,
+		"sample": Sample, "": DropNewest,
+	}
+	for in, want := range cases {
+		got, err := ParseOverflowPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseOverflowPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseOverflowPolicy("lossy"); err == nil {
+		t.Fatal("bad policy should not parse")
+	}
+}
+
+func fill(q Queue[int], n int) {
+	for i := 0; i < n; i++ {
+		if !q.TryEnqueue(i) {
+			panic("fill failed")
+		}
+	}
+}
+
+func TestOfferDropNewest(t *testing.T) {
+	q := NewPush[int](2)
+	fill(q, 2)
+	res := Offer(q, 99, OfferOpts{QoS: QoS{Policy: DropNewest}})
+	if res.Accepted || res.DidEvict {
+		t.Fatalf("drop-newest on full queue: %+v", res)
+	}
+	if v, _ := q.TryDequeue(); v != 0 {
+		t.Fatalf("oldest element disturbed: %d", v)
+	}
+}
+
+func TestOfferDropOldest(t *testing.T) {
+	q := NewPush[int](2)
+	fill(q, 2)
+	res := Offer(q, 99, OfferOpts{QoS: QoS{Policy: DropOldest}})
+	if !res.Accepted || !res.DidEvict || res.Evicted != 0 {
+		t.Fatalf("drop-oldest: %+v", res)
+	}
+	a, _ := q.TryDequeue()
+	b, _ := q.TryDequeue()
+	if a != 1 || b != 99 {
+		t.Fatalf("queue after eviction: %d, %d (want 1, 99)", a, b)
+	}
+}
+
+func TestOfferBlock(t *testing.T) {
+	q := NewPush[int](1)
+	fill(q, 1)
+	// A consumer frees the slot shortly; Block must wait and succeed.
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		q.TryDequeue()
+	}()
+	res := Offer(q, 99, OfferOpts{QoS: QoS{Policy: Block, BlockTimeout: time.Second}})
+	if !res.Accepted || res.TimedOut {
+		t.Fatalf("block did not admit after space freed: %+v", res)
+	}
+	// With no consumer, Block must give up at the timeout.
+	res = Offer(q, 100, OfferOpts{QoS: QoS{Policy: Block, BlockTimeout: 5 * time.Millisecond}})
+	if res.Accepted || !res.TimedOut {
+		t.Fatalf("block on stuck queue: %+v", res)
+	}
+}
+
+func TestOfferBlockClosedQueue(t *testing.T) {
+	q := NewPush[int](1)
+	fill(q, 1)
+	q.Close()
+	res := Offer(q, 99, OfferOpts{QoS: QoS{Policy: Block, BlockTimeout: time.Second}})
+	if res.Accepted {
+		t.Fatalf("block admitted into closed queue: %+v", res)
+	}
+}
+
+func TestOfferSample(t *testing.T) {
+	q := NewPush[int](1)
+	fill(q, 1)
+	// Deterministic draws: first below p (admit via eviction), then above
+	// (shed the newcomer).
+	draws := []float64{0.1, 0.9}
+	i := 0
+	rnd := func() float64 { v := draws[i%len(draws)]; i++; return v }
+	res := Offer(q, 99, OfferOpts{QoS: QoS{Policy: Sample, SampleP: 0.5}, Rand: rnd})
+	if !res.Accepted || !res.DidEvict {
+		t.Fatalf("sample admit draw: %+v", res)
+	}
+	res = Offer(q, 100, OfferOpts{QoS: QoS{Policy: Sample, SampleP: 0.5}, Rand: rnd})
+	if res.Accepted || res.DidEvict {
+		t.Fatalf("sample shed draw: %+v", res)
+	}
+}
+
+// The chaos Full hook must force the policy to run even when the queue
+// has space.
+func TestOfferSimulatedFull(t *testing.T) {
+	q := NewPush[int](8)
+	fill(q, 2)
+	res := Offer(q, 99, OfferOpts{QoS: QoS{Policy: DropNewest}, Full: func() bool { return true }})
+	if res.Accepted {
+		t.Fatalf("simulated full queue still accepted: %+v", res)
+	}
+	res = Offer(q, 99, OfferOpts{QoS: QoS{Policy: DropOldest}, Full: func() bool { return true }})
+	if !res.Accepted || !res.DidEvict {
+		t.Fatalf("simulated full + drop-oldest: %+v", res)
+	}
+	// Block with a transient burst: Full fires once, then clears.
+	fired := false
+	res = Offer(q, 100, OfferOpts{
+		QoS:  QoS{Policy: Block, BlockTimeout: time.Second},
+		Full: func() bool { f := !fired; fired = true; return f },
+	})
+	if !res.Accepted {
+		t.Fatalf("block across transient burst: %+v", res)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/tuple"
 )
 
@@ -39,6 +40,12 @@ func ParseRow(schema *tuple.Schema, fields []string) ([]tuple.Value, error) {
 	vals := make([]tuple.Value, len(fields))
 	for i, f := range fields {
 		f = strings.TrimSpace(f)
+		// NULL is a valid value for every column kind, not just strings —
+		// sensors report missing readings as NULL in any position.
+		if f == "NULL" {
+			vals[i] = tuple.Null()
+			continue
+		}
 		switch schema.Cols[i].Kind {
 		case tuple.KindInt:
 			n, err := strconv.ParseInt(f, 10, 64)
@@ -65,11 +72,7 @@ func ParseRow(schema *tuple.Schema, fields []string) ([]tuple.Value, error) {
 			}
 			vals[i] = tuple.Value{K: tuple.KindTime, I: ns}
 		default:
-			if f == "NULL" {
-				vals[i] = tuple.Null()
-			} else {
-				vals[i] = tuple.String(f)
-			}
+			vals[i] = tuple.String(f)
 		}
 	}
 	return vals, nil
@@ -321,6 +324,10 @@ type PushServer struct {
 	wg      sync.WaitGroup
 	rows    atomic.Int64
 	errs    atomic.Int64
+
+	// Chaos, when set, injects faults into every connection: read stalls,
+	// forced disconnects, and corrupted lines (nil-safe; see internal/chaos).
+	Chaos *chaos.Injector
 }
 
 // NewPushServer builds a push-server delivering into sink.
@@ -379,7 +386,19 @@ func (s *PushServer) serve(conn net.Conn) {
 	}
 	for sc.Scan() {
 		lineNo++
+		// Fault injection: stall the read loop, drop the connection, or
+		// corrupt the line before it is parsed — the downstream path must
+		// reject corruption and the supervisor must absorb the disconnect.
+		if d := s.Chaos.Stall(); d > 0 {
+			time.Sleep(d)
+		}
+		if s.Chaos.Disconnect() {
+			return
+		}
 		line := strings.TrimSpace(sc.Text())
+		if corrupted, ok := s.Chaos.CorruptLine(line); ok {
+			line = corrupted
+		}
 		if line == "" {
 			continue
 		}
@@ -427,19 +446,65 @@ func (s *PushServer) Close() {
 
 // PushClient connects out to a data source that speaks the same line
 // protocol (push-client sources: "connections can be initiated ... by
-// the Wrapper").
+// the Wrapper"). It is built to live on an unreliable wire: a row that
+// fails to parse is counted and skipped (one corrupt reading must not
+// kill the feed), and Stop closes the live connection so a Supervisor
+// can interrupt a blocked read.
 type PushClient struct {
 	Stream string
 	Schema *tuple.Schema
+
+	badRows atomic.Int64
+
+	mu      sync.Mutex
+	conn    net.Conn
+	stopped bool
 }
 
-// Run connects to addr and forwards lines until the source closes.
+// BadRows counts lines skipped because they failed to parse.
+func (c *PushClient) BadRows() int64 { return c.badRows.Load() }
+
+// Stop closes the current connection (if any) and makes subsequent Run
+// calls return immediately — the hook a Supervisor's stop channel uses.
+func (c *PushClient) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Run connects to addr and forwards lines until the source closes or
+// Stop is called. Unparseable rows are skipped, not fatal.
 func (c *PushClient) Run(addr string, sink Sink) (int64, error) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return 0, nil
+	}
+	c.mu.Unlock()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return 0, err
 	}
-	defer conn.Close()
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		conn.Close()
+		return 0, nil
+	}
+	c.conn = conn
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		if c.conn == conn {
+			c.conn = nil
+		}
+		c.mu.Unlock()
+		conn.Close()
+	}()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var n int64
@@ -450,12 +515,22 @@ func (c *PushClient) Run(addr string, sink Sink) (int64, error) {
 		}
 		vals, err := ParseRow(c.Schema, strings.Split(line, ","))
 		if err != nil {
-			return n, err
+			c.badRows.Add(1)
+			continue
 		}
 		if err := sink(c.Stream, vals); err != nil {
 			return n, err
 		}
 		n++
 	}
-	return n, sc.Err()
+	err = sc.Err()
+	c.mu.Lock()
+	stopped := c.stopped
+	c.mu.Unlock()
+	if stopped {
+		// The error (if any) came from Stop closing the socket under us;
+		// report a clean end so a supervisor does not reconnect.
+		return n, nil
+	}
+	return n, err
 }

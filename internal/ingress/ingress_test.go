@@ -59,6 +59,51 @@ func TestParseRow(t *testing.T) {
 	}
 }
 
+func TestParseRowNull(t *testing.T) {
+	// NULL must be accepted in every column position, whatever the kind.
+	full := tuple.NewSchema(
+		tuple.Column{Source: "s", Name: "sym", Kind: tuple.KindString},
+		tuple.Column{Source: "s", Name: "price", Kind: tuple.KindFloat},
+		tuple.Column{Source: "s", Name: "qty", Kind: tuple.KindInt},
+		tuple.Column{Source: "s", Name: "hot", Kind: tuple.KindBool},
+		tuple.Column{Source: "s", Name: "at", Kind: tuple.KindTime},
+	)
+	cases := []struct {
+		name   string
+		fields []string
+		nulls  []int // column indexes expected NULL
+	}{
+		{"string null", []string{"NULL", "1.5", "2", "true", "3"}, []int{0}},
+		{"float null", []string{"M", "NULL", "2", "true", "3"}, []int{1}},
+		{"int null", []string{"M", "1.5", "NULL", "true", "3"}, []int{2}},
+		{"bool null", []string{"M", "1.5", "2", "NULL", "3"}, []int{3}},
+		{"time null", []string{"M", "1.5", "2", "true", "NULL"}, []int{4}},
+		{"all null", []string{"NULL", "NULL", "NULL", "NULL", "NULL"}, []int{0, 1, 2, 3, 4}},
+		{"padded null", []string{"M", " NULL ", "2", "true", "3"}, []int{1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vals, err := ParseRow(full, tc.fields)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[int]bool{}
+			for _, i := range tc.nulls {
+				want[i] = true
+			}
+			for i, v := range vals {
+				if got := v.K == tuple.KindNull; got != want[i] {
+					t.Fatalf("column %d: null=%v, want %v (vals %v)", i, got, want[i], vals)
+				}
+			}
+		})
+	}
+	// Lower-case "null" is data, not NULL: it must still fail for an int.
+	if _, err := ParseRow(full, []string{"M", "1.5", "null", "true", "3"}); err == nil {
+		t.Fatal(`lower-case "null" accepted as int`)
+	}
+}
+
 func TestCSVReader(t *testing.T) {
 	input := `# header comment
 MSFT,50,1,true

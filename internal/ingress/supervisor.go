@@ -1,0 +1,271 @@
+// Source supervision: the Fjords argument (§2.3, [MF02]) is that the
+// engine must never block on a slow, stalled, or dead source — but the
+// seed engine's wrappers died permanently on their first network error,
+// which is the opposite failure mode: the engine survives, the data is
+// gone forever. A Supervisor keeps a wrapper alive across an uncertain
+// network: it re-runs the wrapper's connection loop with exponential
+// backoff and jitter, caps the retry budget, and tracks a small health
+// state machine (up → degraded → down) that telemetry and the
+// tcq_sources system stream expose.
+package ingress
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Health is a supervised source's state.
+type Health int32
+
+const (
+	// HealthUp: the wrapper's run loop is connected and delivering.
+	HealthUp Health = iota
+	// HealthDegraded: the last attempt failed; reconnecting with backoff.
+	HealthDegraded
+	// HealthDown: the retry budget is exhausted, Stop was called, or the
+	// source ended cleanly; the supervisor will not reconnect.
+	HealthDown
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthUp:
+		return "up"
+	case HealthDegraded:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// Backoff configures the supervisor's retry schedule.
+type Backoff struct {
+	// Initial is the first retry delay (0 → 10ms).
+	Initial time.Duration
+	// Max caps the delay (0 → 5s).
+	Max time.Duration
+	// Factor multiplies the delay per consecutive failure (<=1 → 2).
+	Factor float64
+	// Jitter spreads each delay uniformly in ±Jitter·delay (0 → 0.2), so
+	// a farm of wrappers does not reconnect in lockstep after an outage.
+	Jitter float64
+	// Budget caps *consecutive* failures before the source is declared
+	// down (0 → unlimited). A healthy run resets the count.
+	Budget int
+	// HealthyAfter is how long a run must survive to count as healthy
+	// and reset the failure count (0 → 500ms).
+	HealthyAfter time.Duration
+	// Seed makes the jitter deterministic (tests, chaos replays).
+	Seed int64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Initial <= 0 {
+		b.Initial = 10 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.Jitter <= 0 {
+		b.Jitter = 0.2
+	}
+	if b.HealthyAfter <= 0 {
+		b.HealthyAfter = 500 * time.Millisecond
+	}
+	return b
+}
+
+// SourceHealth is one supervised source's observable state (the shape
+// the tcq_sources system stream and /metrics report).
+type SourceHealth struct {
+	Name     string
+	State    string
+	Restarts int64 // successful (re)starts after the first
+	Failures int64 // run attempts that ended in error
+	Rows     int64 // rows delivered across all attempts
+	LastErr  string
+}
+
+// Supervisor keeps one wrapper running. Run is one connection attempt:
+// it should deliver rows (reporting them via AddRows) until the source
+// fails or ends; returning nil means the source completed cleanly (no
+// restart), returning an error schedules a reconnect.
+type Supervisor struct {
+	Name string
+	// Run is one attempt. The stop channel closes when Stop is called;
+	// attempts that can block forever should select on it or close their
+	// connection from a watcher goroutine.
+	Run     func(stop <-chan struct{}) error
+	Backoff Backoff
+
+	state    atomic.Int32
+	restarts atomic.Int64
+	failures atomic.Int64
+	rows     atomic.Int64
+	starts   atomic.Int64
+
+	mu      sync.Mutex
+	lastErr string
+	rng     *rand.Rand
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSupervisor builds a supervisor for one wrapper run loop.
+func NewSupervisor(name string, run func(stop <-chan struct{}) error, b Backoff) *Supervisor {
+	s := &Supervisor{Name: name, Run: run, Backoff: b.withDefaults()}
+	s.state.Store(int32(HealthDown))
+	s.rng = rand.New(rand.NewSource(s.Backoff.Seed + 1))
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	return s
+}
+
+// AddRows is called by the supervised run loop to account delivered
+// rows (visible in tcq_sources and used to reason about loss).
+func (s *Supervisor) AddRows(n int64) { s.rows.Add(n) }
+
+// Start launches the supervision loop.
+func (s *Supervisor) Start() {
+	go s.loop()
+}
+
+// Stop ends supervision; the current attempt's stop channel closes and
+// no further attempts are made. Blocks until the loop exits.
+func (s *Supervisor) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// State returns the current health state.
+func (s *Supervisor) State() Health { return Health(s.state.Load()) }
+
+// Snapshot returns the source's observable health.
+func (s *Supervisor) Snapshot() SourceHealth {
+	s.mu.Lock()
+	lastErr := s.lastErr
+	s.mu.Unlock()
+	return SourceHealth{
+		Name:     s.Name,
+		State:    s.State().String(),
+		Restarts: s.restarts.Load(),
+		Failures: s.failures.Load(),
+		Rows:     s.rows.Load(),
+		LastErr:  lastErr,
+	}
+}
+
+func (s *Supervisor) setErr(err error) {
+	s.mu.Lock()
+	s.lastErr = err.Error()
+	s.mu.Unlock()
+}
+
+// jitter spreads d uniformly in ±Jitter·d.
+func (s *Supervisor) jitter(d time.Duration) time.Duration {
+	s.mu.Lock()
+	f := 1 + s.Backoff.Jitter*(2*s.rng.Float64()-1)
+	s.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// loop is the supervision state machine.
+func (s *Supervisor) loop() {
+	defer close(s.done)
+	delay := s.Backoff.Initial
+	consecutive := 0
+	for {
+		select {
+		case <-s.stop:
+			s.state.Store(int32(HealthDown))
+			return
+		default:
+		}
+		s.state.Store(int32(HealthUp))
+		if s.starts.Add(1) > 1 {
+			s.restarts.Add(1)
+		}
+		began := time.Now()
+		err := s.Run(s.stop)
+		if err == nil {
+			// Clean completion: the source ended; nothing to retry.
+			s.state.Store(int32(HealthDown))
+			return
+		}
+		s.failures.Add(1)
+		s.setErr(err)
+		if time.Since(began) >= s.Backoff.HealthyAfter {
+			// The run was healthy for a while before failing: treat the
+			// failure as fresh, not part of a crash loop.
+			consecutive = 0
+			delay = s.Backoff.Initial
+		}
+		consecutive++
+		if s.Backoff.Budget > 0 && consecutive >= s.Backoff.Budget {
+			s.setErr(fmt.Errorf("retry budget exhausted after %d consecutive failures: %w", consecutive, err))
+			s.state.Store(int32(HealthDown))
+			return
+		}
+		s.state.Store(int32(HealthDegraded))
+		select {
+		case <-s.stop:
+			s.state.Store(int32(HealthDown))
+			return
+		case <-time.After(s.jitter(delay)):
+		}
+		delay = time.Duration(float64(delay) * s.Backoff.Factor)
+		if delay > s.Backoff.Max {
+			delay = s.Backoff.Max
+		}
+	}
+}
+
+// Registry tracks every supervised source in a wrapper process; the
+// server adapts Snapshots into the executor's tcq_sources feed.
+type Registry struct {
+	mu   sync.Mutex
+	sups []*Supervisor
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Supervise registers a run loop under supervision and starts it.
+func (r *Registry) Supervise(name string, run func(stop <-chan struct{}) error, b Backoff) *Supervisor {
+	s := NewSupervisor(name, run, b)
+	r.mu.Lock()
+	r.sups = append(r.sups, s)
+	r.mu.Unlock()
+	s.Start()
+	return s
+}
+
+// Snapshots reports every supervised source's health.
+func (r *Registry) Snapshots() []SourceHealth {
+	r.mu.Lock()
+	sups := append([]*Supervisor(nil), r.sups...)
+	r.mu.Unlock()
+	out := make([]SourceHealth, len(sups))
+	for i, s := range sups {
+		out[i] = s.Snapshot()
+	}
+	return out
+}
+
+// StopAll stops every supervisor (server shutdown).
+func (r *Registry) StopAll() {
+	r.mu.Lock()
+	sups := append([]*Supervisor(nil), r.sups...)
+	r.mu.Unlock()
+	for _, s := range sups {
+		s.Stop()
+	}
+}

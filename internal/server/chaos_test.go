@@ -1,0 +1,278 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/chaos"
+	"telegraphcq/internal/executor"
+	"telegraphcq/internal/ingress"
+	"telegraphcq/internal/tuple"
+)
+
+// TestChaosEndToEnd is the whole failure-handling subsystem in one run:
+// a remote source that keeps dropping its connection, a supervised
+// push-client wrapper that reconnects, a block-policy stream that loses
+// nothing the engine accepted, a wrapper port corrupting lines under an
+// injector — and through all of it the server keeps answering queries.
+func TestChaosEndToEnd(t *testing.T) {
+	srv := New(executor.Options{
+		SubscriptionCap: 1 << 16,
+	})
+	front, _, err := srv.Start("127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := DialWith(front, ClientOptions{AckTimeout: 2 * time.Second, FetchTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Exec(`CREATE STREAM quakes (region string, mag float) WITH (overflow = 'block', timeout_ms = 5000)`); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := cli.Query(`SELECT region, mag FROM quakes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A chaotic remote source: every accepted connection sends a few
+	// rows (one corrupt) and hangs up.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			for j := 0; j < 8; j++ {
+				if j == 3 {
+					fmt.Fprintln(conn, "not;a;row")
+				} else {
+					fmt.Fprintf(conn, "R%d,%d.5\n", i, j)
+				}
+			}
+			conn.Close()
+		}
+	}()
+
+	// Supervise a push-client wrapper that feeds the engine directly.
+	schema := tuple.NewSchema(
+		tuple.Column{Source: "quakes", Name: "region", Kind: tuple.KindString},
+		tuple.Column{Source: "quakes", Name: "mag", Kind: tuple.KindFloat},
+	)
+	pc := &ingress.PushClient{Stream: "quakes", Schema: schema}
+	sup := srv.Sources.Supervise("quakes", func(stop <-chan struct{}) error {
+		_, err := pc.Run(ln.Addr().String(), func(stream string, vals []tuple.Value) error {
+			_, perr := srv.Exec.Push(stream, vals)
+			return perr
+		})
+		if err == nil {
+			// The remote hung up cleanly: retry, this source never ends.
+			return errors.New("source disconnected")
+		}
+		return err
+	}, ingress.Backoff{Initial: time.Millisecond, Max: 5 * time.Millisecond, Seed: 9, HealthyAfter: time.Hour})
+	defer func() { pc.Stop(); sup.Stop() }()
+
+	// Wait for rows to flow across several reconnects.
+	got := recvRows(t, rows, 30)
+	if len(got) < 30 {
+		t.Fatalf("only %d rows across reconnects", len(got))
+	}
+	snap := sup.Snapshot()
+	if snap.Restarts < 2 {
+		t.Fatalf("restarts=%d, want >=2", snap.Restarts)
+	}
+	if pc.BadRows() == 0 {
+		t.Fatal("corrupt rows were not skipped")
+	}
+
+	// The block policy lost nothing the engine accepted.
+	if shed := srv.Exec.StreamShed("quakes"); shed != 0 {
+		t.Fatalf("block policy shed %d tuples", shed)
+	}
+
+	// Supervisor health is visible to operators via SHOW STATS.
+	stats, err := cli.ShowStats("tcq_source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawRestarts bool
+	for _, line := range stats {
+		if strings.HasPrefix(line, "tcq_source_restarts_total") && !strings.Contains(line, " 0") {
+			sawRestarts = true
+		}
+	}
+	if !sawRestarts {
+		t.Fatalf("restarts not visible in SHOW STATS: %v", stats)
+	}
+
+	// And through the tcq_sources system stream, as a continuous query.
+	_, srcRows, err := cli.Query(`SELECT source, state, restarts FROM tcq_sources`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Exec.SampleSystemStreams()
+	sourceRows := recvRows(t, srcRows, 1)
+	if !strings.Contains(sourceRows[0], "quakes") {
+		t.Fatalf("tcq_sources row: %q", sourceRows[0])
+	}
+
+	// After all that chaos the server still answers plain DDL.
+	if err := cli.Exec(`CREATE STREAM heartbeat (n int)`); err != nil {
+		t.Fatalf("server unhealthy after chaos: %v", err)
+	}
+}
+
+// TestWrapperPortChaos sends rows through the wrapper ingress port with
+// an injector corrupting lines mid-flight: corrupt rows are rejected
+// with error replies, clean rows are delivered, the port stays up.
+func TestWrapperPortChaos(t *testing.T) {
+	srv := New(executor.Options{
+		Chaos: chaos.New(chaos.Config{Seed: 17, Corrupt: 0.2}),
+	})
+	front, wrapperAddr, err := srv.Start("127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Exec(`CREATE STREAM ticks (n int)`); err != nil {
+		t.Fatal(err)
+	}
+	push, err := DialPush(wrapperAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer push.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := push.Push("ticks", fmt.Sprint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := push.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	w := srv.wrapper
+	for w.Rows()+w.Errs() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if w.Rows()+w.Errs() != n {
+		t.Fatalf("rows %d + errs %d != sent %d", w.Rows(), w.Errs(), n)
+	}
+	if w.Errs() == 0 {
+		t.Fatal("20% corruption produced no rejects")
+	}
+	if w.Rows() == 0 {
+		t.Fatal("no clean rows survived")
+	}
+}
+
+// TestQueryFailReportedToClient exercises the fail protocol verb: a
+// panic quarantines the query server-side, and the client observes the
+// closed cursor with a QueryErr explaining why — while the connection
+// itself remains usable.
+func TestQueryFailReportedToClient(t *testing.T) {
+	srv := New(executor.Options{
+		Chaos: chaos.New(chaos.Config{Seed: 29, PanicStream: "stocks"}),
+	})
+	front, wrapperAddr, err := srv.Start("127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Exec(`CREATE STREAM stocks (sym string, price float)`); err != nil {
+		t.Fatal(err)
+	}
+	id, rows, err := cli.Query(`SELECT sym, price FROM stocks`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := DialPush(wrapperAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer push.Close()
+	_ = push.Push("stocks", "MSFT", "50.5")
+	_ = push.Flush()
+
+	// The cursor must terminate (not hang) once the query is quarantined.
+	deadline := time.After(5 * time.Second)
+	for open := true; open; {
+		select {
+		case _, ok := <-rows:
+			open = ok
+		case <-deadline:
+			t.Fatal("cursor did not close after server-side panic")
+		}
+	}
+	qerr := cli.QueryErr(id)
+	if qerr == nil || !strings.Contains(qerr.Error(), "quarantined") {
+		t.Fatalf("QueryErr=%v, want quarantine explanation", qerr)
+	}
+	// The connection survives the dead cursor.
+	if err := cli.Exec(`CREATE STREAM after (n int)`); err != nil {
+		t.Fatalf("connection unusable after fail: %v", err)
+	}
+}
+
+// TestDrainFlushesInFlight checks graceful shutdown: rows pushed just
+// before Drain still reach the subscriber before the server exits.
+func TestDrainFlushesInFlight(t *testing.T) {
+	srv := New(executor.Options{SubscriptionCap: 1 << 12})
+	front, _, err := srv.Start("127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Exec(`CREATE STREAM s (n int)`); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := cli.Query(`SELECT n FROM s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, err := srv.Exec.Push("s", []tuple.Value{tuple.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { srv.Drain(10 * time.Second); close(done) }()
+	got := recvRows(t, rows, n)
+	if len(got) != n {
+		t.Fatalf("drain delivered %d of %d", len(got), n)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain did not return")
+	}
+}

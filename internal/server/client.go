@@ -10,30 +10,59 @@ import (
 	"time"
 )
 
+// ClientOptions configures a FrontEnd client's patience. The zero value
+// gives the historical defaults; tests shorten them so a dead server
+// fails fast instead of eating the suite's time budget.
+type ClientOptions struct {
+	// AckTimeout bounds the wait for a statement's ok/error/cursor reply
+	// (0 → 5s).
+	AckTimeout time.Duration
+	// FetchTimeout bounds the wait for the row bodies of a FETCH or
+	// SHOW STATS response (0 → 5s).
+	FetchTimeout time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 5 * time.Second
+	}
+	if o.FetchTimeout <= 0 {
+		o.FetchTimeout = 5 * time.Second
+	}
+	return o
+}
+
 // Client speaks the FrontEnd protocol: one connection, many cursors
 // (the proxy of Figure 5 collapses into the client here).
 type Client struct {
 	conn net.Conn
 	wmu  sync.Mutex
+	opts ClientOptions
 
 	mu      sync.Mutex
 	acks    chan string // ok / error / cursor / rows responses, in order
 	rows    map[int]chan string
-	pending []string // rows announced by "rows" awaiting consumption
+	fails   map[int]string // cursor id → terminal error ("fail" lines)
+	pending []string       // rows announced by "rows" awaiting consumption
 	done    chan struct{}
 }
 
-// Dial connects to a TelegraphCQ FrontEnd.
-func Dial(addr string) (*Client, error) {
+// Dial connects to a TelegraphCQ FrontEnd with default options.
+func Dial(addr string) (*Client, error) { return DialWith(addr, ClientOptions{}) }
+
+// DialWith connects to a TelegraphCQ FrontEnd with explicit options.
+func DialWith(addr string, opts ClientOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
-		conn: conn,
-		acks: make(chan string, 64),
-		rows: map[int]chan string{},
-		done: make(chan struct{}),
+		conn:  conn,
+		opts:  opts.withDefaults(),
+		acks:  make(chan string, 64),
+		rows:  map[int]chan string{},
+		fails: map[int]string{},
+		done:  make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
@@ -64,6 +93,19 @@ func (c *Client) readLoop() {
 				case ch <- rest[idx+1:]:
 				default: // client stalled: shed
 				}
+			}
+		case strings.HasPrefix(line, "fail "):
+			// "fail <id> <message>": the query died server-side; record
+			// why so QueryErr can report it after done closes the channel.
+			rest := line[5:]
+			idx := strings.IndexByte(rest, ' ')
+			if idx < 0 {
+				continue
+			}
+			if id, err := strconv.Atoi(rest[:idx]); err == nil {
+				c.mu.Lock()
+				c.fails[id] = rest[idx+1:]
+				c.mu.Unlock()
 			}
 		case strings.HasPrefix(line, "done "):
 			id, err := strconv.Atoi(strings.TrimSpace(line[5:]))
@@ -105,12 +147,25 @@ func (c *Client) ack(timeout time.Duration) (string, error) {
 	}
 }
 
+// QueryErr reports the terminal error the server announced for a
+// cursor ("fail <id> <msg>"), or nil while the query is healthy. The
+// row channel closes after the error is recorded, so a consumer that
+// sees the channel close can ask QueryErr why.
+func (c *Client) QueryErr(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if msg, ok := c.fails[id]; ok {
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
 // Exec runs a DDL/INSERT statement and waits for its ack.
 func (c *Client) Exec(stmt string) error {
 	if err := c.sendLine(terminate(stmt)); err != nil {
 		return err
 	}
-	_, err := c.ack(5 * time.Second)
+	_, err := c.ack(c.opts.AckTimeout)
 	return err
 }
 
@@ -121,7 +176,7 @@ func (c *Client) Query(stmt string) (int, <-chan string, error) {
 	if err := c.sendLine(terminate(stmt)); err != nil {
 		return 0, nil, err
 	}
-	line, err := c.ack(5 * time.Second)
+	line, err := c.ack(c.opts.AckTimeout)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -158,7 +213,7 @@ func (c *Client) Fetch(id int, offset int64) ([]string, int64, error) {
 	if err := c.sendLine(fmt.Sprintf("FETCH %d %d;", id, offset)); err != nil {
 		return nil, 0, err
 	}
-	line, err := c.ack(5 * time.Second)
+	line, err := c.ack(c.opts.AckTimeout)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -168,7 +223,7 @@ func (c *Client) Fetch(id int, offset int64) ([]string, int64, error) {
 		return nil, 0, fmt.Errorf("unexpected response %q", line)
 	}
 	out := make([]string, 0, count)
-	deadline := time.After(5 * time.Second)
+	deadline := time.After(c.opts.FetchTimeout)
 	for len(out) < count {
 		select {
 		case r := <-ch:
@@ -200,7 +255,7 @@ func (c *Client) ShowStats(like string) ([]string, error) {
 	if err := c.sendLine(terminate(stmt)); err != nil {
 		return nil, err
 	}
-	line, err := c.ack(5 * time.Second)
+	line, err := c.ack(c.opts.AckTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +264,7 @@ func (c *Client) ShowStats(like string) ([]string, error) {
 		return nil, fmt.Errorf("unexpected response %q", line)
 	}
 	out := make([]string, 0, n)
-	deadline := time.After(5 * time.Second)
+	deadline := time.After(c.opts.FetchTimeout)
 	for len(out) < n {
 		select {
 		case r := <-ch:
@@ -232,7 +287,7 @@ func (c *Client) CloseCursor(id int) error {
 	if err := c.sendLine(fmt.Sprintf("CLOSE %d;", id)); err != nil {
 		return err
 	}
-	_, err := c.ack(5 * time.Second)
+	_, err := c.ack(c.opts.AckTimeout)
 	return err
 }
 

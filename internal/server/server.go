@@ -13,6 +13,7 @@
 //	                  cursor <id> push|spool
 //	                  row <id> <comma-separated values>
 //	                  rows <id> <count> <nextOffset>
+//	                  fail <id> <message>   (query died; done follows)
 //	                  done <id>
 //	                  error <message>
 //
@@ -27,9 +28,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"telegraphcq/internal/catalog"
 	"telegraphcq/internal/executor"
+	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/ingress"
 	"telegraphcq/internal/sql"
 	"telegraphcq/internal/telemetry"
@@ -40,22 +43,50 @@ import (
 type Server struct {
 	Cat  *catalog.Catalog
 	Exec *executor.Executor
+	// Sources supervises the server's outbound (push-client, pull)
+	// wrappers; its health snapshots feed the tcq_sources system stream
+	// and the tcq_source_* metrics.
+	Sources *ingress.Registry
 
 	wrapper *ingress.PushServer
 	lnFront net.Listener
 	metrics *http.Server
 	wg      sync.WaitGroup
 	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
 	closed  bool
 }
 
-// New builds a server around a catalog and executor options.
+// New builds a server around a catalog and executor options. When
+// opts.Chaos is set, the wrapper port injects the same fault schedule
+// as the executor (tcqd -chaos).
 func New(opts executor.Options) *Server {
 	cat := catalog.New()
-	s := &Server{Cat: cat, Exec: executor.New(cat, opts)}
+	s := &Server{
+		Cat:     cat,
+		Exec:    executor.New(cat, opts),
+		Sources: ingress.NewRegistry(),
+		conns:   map[net.Conn]struct{}{},
+	}
 	s.wrapper = ingress.NewPushServer(func(stream string, vals []tuple.Value) error {
 		_, err := s.Exec.Push(stream, vals)
 		return err
+	})
+	s.wrapper.Chaos = opts.Chaos
+	s.Exec.SetSourceStats(func() []executor.SourceStat {
+		snaps := s.Sources.Snapshots()
+		out := make([]executor.SourceStat, len(snaps))
+		for i, sn := range snaps {
+			out[i] = executor.SourceStat{
+				Name:     sn.Name,
+				State:    sn.State,
+				Restarts: sn.Restarts,
+				Failures: sn.Failures,
+				Rows:     sn.Rows,
+				LastErr:  sn.LastErr,
+			}
+		}
+		return out
 	})
 	return s
 }
@@ -104,9 +135,22 @@ func (s *Server) postmaster() {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			sess := &session{srv: s, conn: conn}
 			sess.run()
 		}()
@@ -121,6 +165,12 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	// Session goroutines block reading their client's socket; a daemon
+	// that cannot exit until every client hangs up is not shut-downable,
+	// so sever the connections here.
+	for conn := range s.conns {
+		conn.Close()
+	}
 	s.mu.Unlock()
 	if s.lnFront != nil {
 		s.lnFront.Close()
@@ -128,9 +178,61 @@ func (s *Server) Close() {
 	if s.metrics != nil {
 		s.metrics.Close()
 	}
+	s.Sources.StopAll()
 	s.wrapper.Close()
 	s.Exec.Close()
 	s.wg.Wait()
+}
+
+// Drain is the graceful variant of Close (SIGINT/SIGTERM in tcqd):
+// ingress stops first (supervised sources, then the wrapper port, so no
+// new data enters), then a Barrier flushes every in-flight tuple through
+// the EOs to subscribers, then the server closes. If the barrier does
+// not complete within timeout the shutdown proceeds anyway — a stuck
+// drain must not wedge process exit.
+func (s *Server) Drain(timeout time.Duration) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	s.Sources.StopAll()
+	s.wrapper.Close()
+	deadline := time.Now().Add(timeout)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Exec.Barrier()
+	}()
+	select {
+	case <-done:
+		// The barrier put every in-flight tuple into subscription queues;
+		// now let the session pumps write them to the wire before the
+		// connections are severed. Stop when the queues are empty — or
+		// when they stop making progress (a disconnected PSoup client's
+		// orphaned subscription will never drain; don't wait for it).
+		stalled := 0
+		last := -1
+		for time.Now().Before(deadline) && stalled < 50 {
+			queued := 0
+			for _, sub := range s.Exec.Hub().Subscriptions() {
+				queued += sub.Len()
+			}
+			if queued == 0 {
+				break
+			}
+			if queued == last {
+				stalled++
+			} else {
+				stalled = 0
+				last = queued
+			}
+			time.Sleep(time.Millisecond)
+		}
+	case <-time.After(time.Until(deadline)):
+	}
+	s.Close()
 }
 
 // --------------------------------------------------------------- session
@@ -229,6 +331,20 @@ func (c *session) dispatch(text string) {
 			c.sendErr(err)
 			return
 		}
+		if stmt.With != nil {
+			// WITH (overflow = ..., rate = ..., timeout_ms = ...) — the
+			// policy was validated at parse time.
+			pol, err := fjord.ParseOverflowPolicy(stmt.With.Overflow)
+			if err != nil {
+				c.sendErr(err)
+				return
+			}
+			src.SetQoS(fjord.QoS{
+				Policy:       pol,
+				SampleP:      stmt.With.SampleP,
+				BlockTimeout: time.Duration(stmt.With.TimeoutMs) * time.Millisecond,
+			})
+		}
 		c.srv.wrapper.Register(stmt.Name, src.Schema)
 		c.send("ok created stream %s", stmt.Name)
 	case *sql.CreateTable:
@@ -307,6 +423,11 @@ func (c *session) openCursor(stmt *sql.Select) {
 			if !ok {
 				row2, ok2 := waitNext(sub, stopped)
 				if !ok2 {
+					// A quarantined query closes its subscription with a
+					// terminal error; tell the client why before done.
+					if err := sub.Err(); err != nil {
+						c.send("fail %d %s", id, strings.ReplaceAll(err.Error(), "\n", " "))
+					}
 					c.send("done %d", id)
 					return
 				}

@@ -10,11 +10,24 @@ import (
 // Statement is any parsed SQL statement.
 type Statement interface{ stmt() }
 
-// CreateStream is "CREATE STREAM name (col type, ...) [ARCHIVED]".
+// StreamWith holds the DDL options of "WITH (key = value, ...)":
+// the stream's ingress overflow (QoS) policy.
+type StreamWith struct {
+	// Overflow names the policy: block, drop-newest, drop-oldest, sample.
+	Overflow string
+	// SampleP is the admit probability for overflow = 'sample'.
+	SampleP float64
+	// TimeoutMs bounds how long overflow = 'block' waits for space.
+	TimeoutMs int64
+}
+
+// CreateStream is "CREATE STREAM name (col type, ...) [ARCHIVED]
+// [WITH (overflow = ..., ...)]".
 type CreateStream struct {
 	Name     string
 	Cols     []tuple.Column
 	Archived bool
+	With     *StreamWith
 }
 
 // CreateTable is "CREATE TABLE name (col type, ...)".

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"telegraphcq/internal/expr"
+	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/operator"
 	"telegraphcq/internal/tuple"
 	"telegraphcq/internal/window"
@@ -168,9 +169,77 @@ func (p *parser) create() (Statement, error) {
 	}
 	if isStream {
 		archived := p.accept("archived")
-		return &CreateStream{Name: name, Cols: cols, Archived: archived}, nil
+		with, err := p.streamWith()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateStream{Name: name, Cols: cols, Archived: archived, With: with}, nil
 	}
 	return &CreateTable{Name: name, Cols: cols}, nil
+}
+
+// streamWith parses the optional "WITH (key = value, ...)" options of
+// CREATE STREAM. Keys: overflow (policy name), rate (sample admit
+// probability), timeout_ms (block wait bound).
+func (p *parser) streamWith() (*StreamWith, error) {
+	if !p.accept("with") {
+		return nil, nil
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	w := &StreamWith{}
+	for {
+		key, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(key) {
+		case "overflow":
+			t := p.peek()
+			if t.kind != tokString && t.kind != tokIdent {
+				return nil, fmt.Errorf("sql: overflow wants a policy name, found %s", t)
+			}
+			p.i++
+			if _, err := fjord.ParseOverflowPolicy(t.text); err != nil {
+				return nil, fmt.Errorf("sql: %w", err)
+			}
+			w.Overflow = t.text
+		case "rate":
+			t := p.peek()
+			if t.kind != tokNumber {
+				return nil, fmt.Errorf("sql: rate wants a number, found %s", t)
+			}
+			p.i++
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("sql: rate wants a probability in [0,1], got %q", t.text)
+			}
+			w.SampleP = f
+		case "timeout_ms":
+			n, err := p.signedInt()
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("sql: timeout_ms must be non-negative, got %d", n)
+			}
+			w.TimeoutMs = n
+		default:
+			return nil, fmt.Errorf("sql: unknown stream option %q (want overflow, rate, or timeout_ms)", key)
+		}
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return w, nil
 }
 
 func (p *parser) insert() (Statement, error) {

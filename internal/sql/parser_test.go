@@ -39,6 +39,57 @@ func TestCreateStream(t *testing.T) {
 	}
 }
 
+func TestCreateStreamWithOptions(t *testing.T) {
+	st, err := Parse(`CREATE STREAM ticks (price float) ARCHIVED
+		WITH (overflow = 'drop-oldest')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.(*CreateStream)
+	if !cs.Archived || cs.With == nil || cs.With.Overflow != "drop-oldest" {
+		t.Fatalf("parsed: %+v with %+v", cs, cs.With)
+	}
+
+	st, err = Parse(`CREATE STREAM s (v int) WITH (overflow = block, timeout_ms = 250)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = st.(*CreateStream)
+	if cs.With == nil || cs.With.Overflow != "block" || cs.With.TimeoutMs != 250 {
+		t.Fatalf("parsed with: %+v", cs.With)
+	}
+
+	st, err = Parse(`CREATE STREAM s (v int) WITH (overflow = 'sample', rate = 0.25)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = st.(*CreateStream)
+	if cs.With == nil || cs.With.Overflow != "sample" || cs.With.SampleP != 0.25 {
+		t.Fatalf("parsed with: %+v", cs.With)
+	}
+
+	// No WITH clause leaves the options nil (historical default).
+	st, err = Parse(`CREATE STREAM s (v int)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*CreateStream).With != nil {
+		t.Fatal("expected nil With without a WITH clause")
+	}
+
+	for _, bad := range []string{
+		`CREATE STREAM s (v int) WITH (overflow = 'lossy')`,
+		`CREATE STREAM s (v int) WITH (frobnicate = 1)`,
+		`CREATE STREAM s (v int) WITH (rate = 1.5)`,
+		`CREATE STREAM s (v int) WITH (timeout_ms = -5)`,
+		`CREATE STREAM s (v int) WITH (overflow = 'block'`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("%q should not parse", bad)
+		}
+	}
+}
+
 func TestCreateTableAndInsert(t *testing.T) {
 	st, err := Parse(`CREATE TABLE companies (sym string, hq string)`)
 	if err != nil {
