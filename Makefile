@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench benchjson clean
+.PHONY: build test race vet bench benchjson oracle clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,13 @@ bench:
 # written into the repo root (CI uploads them as an artifact).
 benchjson:
 	$(GO) run ./cmd/tcqbench -json .
+
+# Differential correctness oracle: 200 seeded workloads diffed against
+# the reference interpreter across the config sweep, then again with
+# queue-full fault injection. Failures leave tcqcheck-seed*.tcq repros.
+oracle:
+	$(GO) run ./cmd/tcqcheck -seeds 200
+	$(GO) run ./cmd/tcqcheck -seeds 200 -chaos
 
 clean:
 	$(GO) clean ./...

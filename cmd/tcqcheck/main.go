@@ -1,0 +1,99 @@
+// Command tcqcheck is the differential correctness oracle: it runs
+// seeded random workloads through a naive reference interpreter and
+// through the real engine under a sweep of adaptivity configs (batch
+// size, routing policy, EO placement, optional fault injection), and
+// diffs per-query output multisets. On a mismatch it greedily shrinks
+// the workload and writes a minimal replayable .tcq repro.
+//
+// Usage:
+//
+//	tcqcheck -seeds 200            # sweep seeds 1..200
+//	tcqcheck -seed 1337            # one seed, verbose
+//	tcqcheck -replay bug.tcq       # re-run a pinned/shrunken repro
+//	tcqcheck -seeds 50 -chaos      # add a queue-full chaos config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"telegraphcq/internal/refimpl"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 0, "check exactly this seed (0 = use -seeds sweep)")
+		seeds  = flag.Int64("seeds", 50, "number of seeds to sweep")
+		start  = flag.Int64("start", 1, "first seed of the sweep")
+		chaos  = flag.Bool("chaos", false, "add a queue-full fault-injection config to the sweep")
+		out    = flag.String("out", ".", "directory for shrunken .tcq repros")
+		replay = flag.String("replay", "", "replay a .tcq workload instead of generating")
+		budget = flag.Int("shrink-budget", 400, "max engine re-runs spent shrinking a failure")
+		v      = flag.Bool("v", false, "log every seed, not just failures")
+	)
+	flag.Parse()
+
+	cfgs := refimpl.Configs(*chaos)
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := refimpl.Decode(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *replay, err))
+		}
+		m, err := refimpl.CheckWorkload(w, cfgs)
+		if err != nil {
+			fatal(err)
+		}
+		if m != nil {
+			fmt.Fprintln(os.Stderr, m)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok across %d configs\n", *replay, len(cfgs))
+		return
+	}
+
+	lo, hi := *start, *start+*seeds-1
+	if *seed != 0 {
+		lo, hi, *v = *seed, *seed, true
+	}
+	failures := 0
+	for s := lo; s <= hi; s++ {
+		w, m, err := refimpl.CheckSeed(s, cfgs, *budget)
+		if err != nil {
+			fatal(fmt.Errorf("seed %d: %w", s, err))
+		}
+		if m == nil {
+			if *v {
+				fmt.Printf("seed %d: ok (%d queries, %d events, %d configs)\n",
+					s, len(w.Queries), len(w.Events), len(cfgs))
+			}
+			continue
+		}
+		failures++
+		fmt.Fprintln(os.Stderr, m)
+		path := filepath.Join(*out, fmt.Sprintf("tcqcheck-seed%d.tcq", s))
+		if f, err := os.Create(path); err == nil {
+			if err := w.Encode(f); err == nil {
+				fmt.Fprintf(os.Stderr, "  minimal repro: %s (replay with tcqcheck -replay %s)\n", path, path)
+			}
+			f.Close()
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d seeds failed\n", failures, hi-lo+1)
+		os.Exit(1)
+	}
+	fmt.Printf("%d seeds ok across %d configs\n", hi-lo+1, len(cfgs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcqcheck:", err)
+	os.Exit(1)
+}

@@ -218,19 +218,42 @@ func (e *Engine) AddQuery(q *Query) error {
 		}
 	}
 
+	// Source pairs no join factor links are Cartesian: without SteMs the
+	// pair would never form and the query would silently emit nothing.
+	// Give each side a match-all probe against the other.
+	if len(q.Sources) > 1 {
+		linked := map[string]bool{}
+		for _, jf := range joinFactors {
+			linked[jf.Left.Source+"\x00"+jf.Right.Source] = true
+			linked[jf.Right.Source+"\x00"+jf.Left.Source] = true
+		}
+		for i, a := range q.Sources {
+			for _, b := range q.Sources[i+1:] {
+				if linked[a+"\x00"+b] {
+					continue
+				}
+				for _, pair := range [][2]string{{a, b}, {b, a}} {
+					sm := e.stems[pair[0]]
+					if sm == nil {
+						sm = operator.NewStemModule(pair[0], stem.New(pair[0], nil), nil, nil)
+						e.stems[pair[0]] = sm
+						e.ed.AddModule(sm)
+					}
+					sm.AddCross(pair[1])
+				}
+			}
+		}
+	}
+
 	// Window: retention per source and optional aggregate.
 	if q.Window != nil {
 		if err := q.Window.Validate(); err != nil {
 			return fmt.Errorf("cacq: query %d window: %w", q.ID, err)
 		}
-		kind, width, _ := q.Window.Classify()
+		// Per-definition retention: the two sides of a band join may
+		// declare different widths, and eviction must honor each.
 		for _, d := range q.Window.Defs {
-			switch kind {
-			case window.KindSliding:
-				r.retention[d.Stream] = width
-			default:
-				r.retention[d.Stream] = math.MaxInt64
-			}
+			r.retention[d.Stream] = q.Window.Retention(d.Stream)
 		}
 	}
 	if len(q.Aggs) > 0 {

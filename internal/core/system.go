@@ -8,10 +8,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"telegraphcq/internal/catalog"
 	"telegraphcq/internal/egress"
 	"telegraphcq/internal/executor"
+	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/sql"
 	"telegraphcq/internal/storage"
 	"telegraphcq/internal/telemetry"
@@ -92,6 +94,19 @@ func (s *System) Exec(stmt string) error {
 		src, err := s.cat.CreateStream(x.Name, x.Cols, x.Archived)
 		if err != nil {
 			return err
+		}
+		if x.With != nil {
+			// WITH (overflow = ..., rate = ..., timeout_ms = ...) — the
+			// policy name was validated at parse time.
+			pol, err := fjord.ParseOverflowPolicy(x.With.Overflow)
+			if err != nil {
+				return err
+			}
+			src.SetQoS(fjord.QoS{
+				Policy:       pol,
+				SampleP:      x.With.SampleP,
+				BlockTimeout: time.Duration(x.With.TimeoutMs) * time.Millisecond,
+			})
 		}
 		if x.Archived {
 			if err := s.openArchive(src); err != nil {
@@ -234,6 +249,27 @@ func (s *System) Push(stream string, vals ...tuple.Value) error {
 		src, _ := s.cat.Lookup(stream)
 		t := tuple.New(src.Schema, vals...)
 		t.TS = tuple.Timestamp{Seq: seq}
+		return a.Append(t)
+	}
+	return nil
+}
+
+// PushStamped is Push with a caller-controlled wall clock, the seam
+// deterministic harnesses use to drive physical-time windows
+// reproducibly. A zero wall admits the tuple untimestamped (no physical
+// coordinate: it belongs to no physical window).
+func (s *System) PushStamped(stream string, wall time.Time, vals ...tuple.Value) error {
+	seq, err := s.exec.PushStamped(stream, wall, vals)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	a := s.archives[stream]
+	s.mu.Unlock()
+	if a != nil {
+		src, _ := s.cat.Lookup(stream)
+		t := tuple.New(src.Schema, vals...)
+		t.TS = tuple.Timestamp{Seq: seq, Wall: wall}
 		return a.Append(t)
 	}
 	return nil

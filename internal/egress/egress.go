@@ -61,6 +61,10 @@ func (s *Subscription) NextBatch(dst []*tuple.Tuple) int { return s.q.DequeueBat
 // Dropped counts rows shed because the client fell behind.
 func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
 
+// Closed reports whether the producing end has closed the subscription.
+// Queued rows may still be pending; drain them with TryNext.
+func (s *Subscription) Closed() bool { return s.q.Closed() }
+
 // Len returns queued rows.
 func (s *Subscription) Len() int { return s.q.Len() }
 

@@ -19,8 +19,8 @@ import (
 	"time"
 
 	"telegraphcq/internal/cacq"
-	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/egress"
 	"telegraphcq/internal/expr"
@@ -227,10 +227,10 @@ type delivery struct {
 type execObject struct {
 	idx     int
 	engine  *cacq.Engine
-	ctl     *fjord.Counted[envelope]      // control edge (rare, multi-writer)
-	data    *fjord.Counted[*tuple.Tuple]  // data edge (multi-writer fan-in)
-	feeds   map[string][]string           // stream → aliases fed into this EO
-	sources map[string]bool               // footprint covered by this EO
+	ctl     *fjord.Counted[envelope]     // control edge (rare, multi-writer)
+	data    *fjord.Counted[*tuple.Tuple] // data edge (multi-writer fan-in)
+	feeds   map[string][]string          // stream → aliases fed into this EO
+	sources map[string]bool              // footprint covered by this EO
 	done    chan struct{}
 	x       *Executor
 
@@ -737,17 +737,25 @@ func (x *Executor) EOCount() int {
 // routes it to every EO reading the stream. Returns the assigned
 // sequence.
 func (x *Executor) Push(stream string, vals []tuple.Value) (int64, error) {
-	return x.push(stream, -1, vals)
+	return x.push(stream, -1, time.Now(), vals)
 }
 
 // PushAt delivers a tuple carrying a source-assigned logical timestamp
 // (e.g. the trading day); timestamps may repeat but not regress.
 func (x *Executor) PushAt(stream string, seq int64, vals []tuple.Value) error {
-	_, err := x.push(stream, seq, vals)
+	_, err := x.push(stream, seq, time.Now(), vals)
 	return err
 }
 
-func (x *Executor) push(stream string, seq int64, vals []tuple.Value) (int64, error) {
+// PushStamped delivers a tuple with a caller-controlled wall clock — the
+// seam deterministic harnesses (tcqcheck) use to drive physical-time
+// windows reproducibly. A zero wall admits the tuple untimestamped: it
+// has no physical coordinate and belongs to no physical window.
+func (x *Executor) PushStamped(stream string, wall time.Time, vals []tuple.Value) (int64, error) {
+	return x.push(stream, -1, wall, vals)
+}
+
+func (x *Executor) push(stream string, seq int64, wall time.Time, vals []tuple.Value) (int64, error) {
 	src, err := x.cat.Lookup(stream)
 	if err != nil {
 		return 0, err
@@ -767,7 +775,7 @@ func (x *Executor) push(stream string, seq int64, vals []tuple.Value) (int64, er
 	// backing array) can be recycled once the dataflow retires it.
 	t := tuple.NewPooled(src.Schema)
 	t.Values = append(t.Values, vals...)
-	t.TS = tuple.Timestamp{Seq: seq, Wall: time.Now()}
+	t.TS = tuple.Timestamp{Seq: seq, Wall: wall}
 
 	eos := x.readers(stream)
 	if len(eos) == 0 {

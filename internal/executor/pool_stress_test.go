@@ -78,18 +78,28 @@ func TestPoolOwnershipStress(t *testing.T) {
 	}
 	got := 0
 	buf := make([]*tuple.Tuple, 128)
-	deadline := time.Now().Add(20 * time.Second)
 	for got < total {
 		n := sub.NextBatch(buf)
 		if n == 0 {
-			if err := x.Barrier(); err != nil {
-				t.Fatal(err)
-			}
-			if sub.Len() == 0 && got+int(x.Shed()) >= total {
+			// Wait for more rows or for the books to balance. The
+			// timeout is per stall and resets on every delivery, so a
+			// slow box that keeps making progress never trips it.
+			done := false
+			waitFor(t, 30*time.Second, "rows or balanced delivery books", func() bool {
+				if sub.Len() > 0 {
+					return true
+				}
+				if err := x.Barrier(); err != nil {
+					t.Fatal(err)
+				}
+				if sub.Len() == 0 && got+int(x.Shed()) >= total {
+					done = true
+					return true
+				}
+				return false
+			})
+			if done {
 				break
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("timeout: %d/%d rows", got, total)
 			}
 			continue
 		}

@@ -24,37 +24,32 @@ func pushN(t *testing.T, x *Executor, n int) int64 {
 }
 
 // drainAll consumes the subscription until the engine is quiet and
-// returns the delivered count.
+// returns the delivered count. Each pass runs a barrier (flushing the
+// ingress path) and then empties the ring; the drain is done only when
+// a whole pass delivers nothing new, because in-flight rows can still
+// be crossing the SPSC ring after the barrier returns.
 func drainAll(t *testing.T, x *Executor, sub interface {
 	TryNext() (*tuple.Tuple, bool)
 	Len() int
 }) int64 {
 	t.Helper()
-	if err := x.Barrier(); err != nil {
-		t.Fatal(err)
-	}
 	var n int64
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if r, ok := sub.TryNext(); ok {
+	waitFor(t, 30*time.Second, "subscription to drain", func() bool {
+		if err := x.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		before := n
+		for {
+			r, ok := sub.TryNext()
+			if !ok {
+				break
+			}
 			tuple.Recycle(r)
 			n++
-			continue
 		}
-		if time.Now().After(deadline) || sub.Len() == 0 {
-			// One more barrier pass: in-flight tuples may still land.
-			if err := x.Barrier(); err != nil {
-				t.Fatal(err)
-			}
-			if r, ok := sub.TryNext(); ok {
-				tuple.Recycle(r)
-				n++
-				continue
-			}
-			return n
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return n == before && sub.Len() == 0
+	})
+	return n
 }
 
 // TestOverflowAccounting reconciles the QoS books under every overflow
@@ -165,10 +160,9 @@ func TestPanicQuarantineIsolatesQuery(t *testing.T) {
 
 	// The first stocks tuple to enter the EO loop trips the panic.
 	pushN(t, x, 5)
-	deadline := time.Now().Add(5 * time.Second)
-	for x.Quarantines() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 30*time.Second, "the EO to quarantine", func() bool {
+		return x.Quarantines() != 0
+	})
 	if got := x.Quarantines(); got != 1 {
 		t.Fatalf("quarantines=%d, want 1", got)
 	}
@@ -180,16 +174,18 @@ func TestPanicQuarantineIsolatesQuery(t *testing.T) {
 	if err := subStocks.Err(); !errors.Is(err, ErrQuarantined) {
 		t.Fatalf("subscription Err=%v, want ErrQuarantined", err)
 	}
-	// ...and its subscription terminates rather than hanging.
-	termDeadline := time.Now().Add(2 * time.Second)
-	for {
-		if _, ok := subStocks.Next(); !ok {
-			break
+	// ...and its subscription terminates rather than hanging: drain any
+	// rows that landed before the panic, then see it report closed.
+	waitFor(t, 30*time.Second, "quarantined subscription to close", func() bool {
+		for {
+			r, ok := subStocks.TryNext()
+			if !ok {
+				break
+			}
+			tuple.Recycle(r)
 		}
-		if time.Now().After(termDeadline) {
-			t.Fatal("quarantined subscription did not close")
-		}
-	}
+		return subStocks.Closed()
+	})
 
 	// Pushing to the dead query's stream must not crash or error.
 	if _, err := x.Push("stocks", []tuple.Value{tuple.String("S"), tuple.Float(1)}); err != nil {
@@ -229,10 +225,9 @@ func TestQuarantineVisibleInTelemetry(t *testing.T) {
 	defer x.Close()
 	submit(t, x, `SELECT sym, price FROM stocks`)
 	pushN(t, x, 3)
-	deadline := time.Now().Add(5 * time.Second)
-	for x.Quarantines() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 30*time.Second, "the EO to quarantine", func() bool {
+		return x.Quarantines() != 0
+	})
 	found := false
 	for _, s := range x.Metrics().Gather() {
 		if s.Name == "tcq_eo_quarantined_total" && s.Value >= 1 {

@@ -1,0 +1,27 @@
+package executor
+
+import (
+	"testing"
+	"time"
+)
+
+// waitFor polls cond with exponential backoff until it holds, failing
+// the test if it still does not after timeout. Tests that need an
+// "eventually" should use this instead of racing a fixed wall-clock
+// deadline against the scheduler: the budget here is a generous hang
+// detector, not a performance bound, so a loaded CI box (or -race)
+// slows the test down without flaking it.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	sleep := 50 * time.Microsecond
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(sleep)
+		if sleep < 5*time.Millisecond {
+			sleep *= 2
+		}
+	}
+}

@@ -229,16 +229,16 @@ func (r *ring[T]) isClosed() bool {
 // the paper's queue taxonomy.
 type queue[T any] struct{ r *ring[T] }
 
-func (q queue[T]) TryEnqueue(v T) bool       { return q.r.tryEnqueue(v) }
+func (q queue[T]) TryEnqueue(v T) bool        { return q.r.tryEnqueue(v) }
 func (q queue[T]) TryEnqueueBatch(vs []T) int { return q.r.tryEnqueueBatch(vs) }
-func (q queue[T]) Enqueue(v T) error         { return q.r.enqueue(v) }
-func (q queue[T]) TryDequeue() (T, bool)     { return q.r.tryDequeue() }
-func (q queue[T]) DequeueBatch(dst []T) int  { return q.r.dequeueBatch(dst) }
-func (q queue[T]) Dequeue() (v T, e error)   { return q.r.dequeue() }
-func (q queue[T]) Close()                  { q.r.close() }
-func (q queue[T]) Len() int                { return q.r.len() }
-func (q queue[T]) Cap() int                { return len(q.r.buf) }
-func (q queue[T]) Closed() bool            { return q.r.isClosed() }
+func (q queue[T]) Enqueue(v T) error          { return q.r.enqueue(v) }
+func (q queue[T]) TryDequeue() (T, bool)      { return q.r.tryDequeue() }
+func (q queue[T]) DequeueBatch(dst []T) int   { return q.r.dequeueBatch(dst) }
+func (q queue[T]) Dequeue() (v T, e error)    { return q.r.dequeue() }
+func (q queue[T]) Close()                     { q.r.close() }
+func (q queue[T]) Len() int                   { return q.r.len() }
+func (q queue[T]) Cap() int                   { return len(q.r.buf) }
+func (q queue[T]) Closed() bool               { return q.r.isClosed() }
 
 // NewPull returns a pull-queue: both ends blocking (iterator model over a
 // bounded buffer).

@@ -234,6 +234,9 @@ func (w *WindowAgg) Process(t *tuple.Tuple, emit Emit) (Outcome, error) {
 		return Consumed, nil
 	}
 	x := t.TS.Instant(w.spec.Domain)
+	if x == tuple.NoInstant {
+		return Consumed, nil // no coordinate in this domain: in no window
+	}
 	r := w.cur.Ranges[w.stream]
 	for x > r.Right {
 		if err := w.closeWindow(emit); err != nil {

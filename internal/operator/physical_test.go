@@ -54,6 +54,46 @@ func TestPhysicalTimeWindows(t *testing.T) {
 	}
 }
 
+// An untimestamped tuple (zero Wall) has no physical coordinate and
+// belongs to no physical window. Before tuple.NoInstant, it mapped to
+// instant 0 and was absorbed by any window touching the epoch.
+func TestWindowAggSkipsUntimestamped(t *testing.T) {
+	spec := &window.Spec{
+		Domain: tuple.PhysicalTime,
+		Init:   window.STExpr(100),
+		Cond:   window.Cond{Op: window.CondTrue},
+		Step:   100,
+		Defs: []window.Def{{
+			Stream: "stocks",
+			Left:   window.ConstExpr(0), // landmark anchored at the epoch
+			Right:  window.TExpr(0),
+		}},
+	}
+	agg, err := NewWindowAgg("agg", "stocks", spec, 0,
+		nil, []AggSpec{{Kind: AggCount}}, StrategyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*tuple.Tuple
+	push := func(ts tuple.Timestamp) {
+		tp := stock(1, "A", 1)
+		tp.TS = ts
+		if _, err := agg.Process(tp, collect(&out)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push(tuple.Timestamp{Seq: 1, Wall: time.UnixMilli(10)})
+	push(tuple.Timestamp{Seq: 2}) // untimestamped: zero Wall
+	push(tuple.Timestamp{Seq: 3, Wall: time.UnixMilli(20)})
+	push(tuple.Timestamp{Seq: 4, Wall: time.UnixMilli(150)}) // closes [0,100]
+	if len(out) != 1 {
+		t.Fatalf("windows closed = %d: %v", len(out), out)
+	}
+	if got := out[0].Values[1].I; got != 2 {
+		t.Fatalf("count = %d, want 2 (untimestamped tuple must not land at the epoch)", got)
+	}
+}
+
 // Physical sliding windows evict by wall time, not arrival count: slow
 // and fast arrival phases retain different state sizes (§4.1.2).
 func TestPhysicalWindowStateTracksArrivalRate(t *testing.T) {

@@ -24,6 +24,11 @@ type StemModule struct {
 	// indexCol is the stored-side column the SteM's hash index is built
 	// on; only equality factors over it can use the index.
 	indexCol *expr.ColumnRef
+	// cross names foreign sources whose tuples probe this SteM with no
+	// predicate at all: a Cartesian pairing. Registered for query pairs
+	// joined without any cross-source factor, which would otherwise
+	// never meet and silently emit nothing.
+	cross map[string]bool
 	// group marks alternative access paths: modules sharing a group are
 	// interchangeable for routing purposes (hybrid joins, §2.2).
 	group string
@@ -65,6 +70,28 @@ func (m *StemModule) AddFactor(f expr.JoinFactor) {
 	m.factors = append(m.factors, f)
 }
 
+// AddCross registers source as a Cartesian partner: its tuples probe
+// this SteM unconditionally and every stored tuple matches.
+func (m *StemModule) AddCross(source string) {
+	if m.cross == nil {
+		m.cross = map[string]bool{}
+	}
+	m.cross[source] = true
+}
+
+// crossProbe reports whether t probes as a Cartesian partner.
+func (m *StemModule) crossProbe(t *tuple.Tuple) bool {
+	if len(m.cross) == 0 {
+		return false
+	}
+	for _, s := range t.Schema.Sources {
+		if m.cross[s] {
+			return true
+		}
+	}
+	return false
+}
+
 // Group implements the router's Alternative interface.
 func (m *StemModule) Group() string { return m.group }
 
@@ -83,6 +110,9 @@ func (m *StemModule) IsBase(t *tuple.Tuple) bool {
 func (m *StemModule) Interested(t *tuple.Tuple) bool {
 	if t.Schema.HasSource(m.source) {
 		return false
+	}
+	if m.crossProbe(t) {
+		return true
 	}
 	_, _, n := m.probePlan(t)
 	return n > 0
@@ -133,7 +163,11 @@ func (m *StemModule) Process(t *tuple.Tuple, emit Emit) (Outcome, error) {
 	}
 	key, residual, n := m.probePlan(t)
 	if n == 0 {
-		return Pass, nil // nothing to evaluate: vacuous visit
+		if !m.crossProbe(t) {
+			return Pass, nil // nothing to evaluate: vacuous visit
+		}
+		// Cartesian partner: every stored tuple matches.
+		key, residual = nil, nil
 	}
 	matches, err := m.st.Probe(t, stem.ProbeSpec{KeyExpr: key, Residual: residual, MaxArrival: t.Arrival})
 	if err != nil {

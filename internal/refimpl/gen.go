@@ -1,0 +1,647 @@
+package refimpl
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// The workload generator. One seed determines everything: schemas,
+// query shapes across all five window kinds (snapshot, landmark,
+// sliding, backward, mixed), predicate sets, the push script, and the
+// mid-run add/remove points. Generated workloads obey the determinism
+// rules that make a multiset diff meaningful:
+//
+//   - streams use blocking QoS (lossless: every push is answered);
+//   - windowed joins force a barrier after every push, because SteM
+//     eviction horizons on the two sides only agree when each tuple is
+//     fully routed before the next arrives;
+//   - physical-time windows appear only on single-stream aggregates
+//     (CACQ join retention is sequence-based) and never reference ST
+//     (the engine binds physical ST to the real clock);
+//   - backward loops always carry a bounded condition — a backward
+//     CondTrue loop is Validate-legal yet never terminates a scan;
+//   - LIMIT never combines with ORDER BY (the juggle's release order
+//     inside its sort window is an implementation detail);
+//   - value domains are small and float arithmetic stays in dyadic
+//     rationals (k/2), so aggregate sums are exact in any order.
+
+// QKind is the query archetype.
+type QKind uint8
+
+const (
+	QSelect QKind = iota
+	QJoin
+	QAgg
+	QHistorical
+)
+
+// GenCol names a column bound through a FROM alias.
+type GenCol struct {
+	Alias string
+	Col   string
+	Kind  tuple.Kind
+}
+
+func (c GenCol) String() string { return c.Alias + "." + c.Col }
+
+// GenPred is one WHERE conjunct: col OP literal, or col OP col.
+type GenPred struct {
+	Left GenCol
+	Op   string // "=", "!=", "<", "<=", ">", ">="
+	Lit  string // rendered literal (empty when RCol is set)
+	RCol *GenCol
+}
+
+func (p GenPred) String() string {
+	if p.RCol != nil {
+		return fmt.Sprintf("%s %s %s", p.Left, p.Op, *p.RCol)
+	}
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Lit)
+}
+
+// GenItem is one SELECT item.
+type GenItem struct {
+	Star bool
+	Col  *GenCol
+	Agg  string  // "count", "sum", ... ; "" for scalar items
+	Arg  *GenCol // nil for count(*)
+}
+
+func (it GenItem) String() string {
+	switch {
+	case it.Star:
+		return "*"
+	case it.Agg != "":
+		if it.Arg == nil {
+			return it.Agg + "(*)"
+		}
+		return fmt.Sprintf("%s(%s)", it.Agg, *it.Arg)
+	default:
+		return it.Col.String()
+	}
+}
+
+// GenWindow is the structured for-loop.
+type GenWindow struct {
+	Physical bool
+	Init     window.LinExpr
+	CondOp   window.CondOp
+	CondRHS  window.LinExpr
+	Step     int64
+	Defs     []window.Def // Def.Stream holds the alias
+}
+
+// GenFrom is one FROM binding.
+type GenFrom struct {
+	Stream string
+	Alias  string
+}
+
+// GenQuery is the structured query the shrinker edits; Render turns it
+// into the SQL text both the engine and the reference consume.
+type GenQuery struct {
+	Kind     QKind
+	From     []GenFrom
+	Items    []GenItem
+	Where    []GenPred
+	GroupBy  []GenCol
+	Distinct bool
+	Limit    int64
+	Window   *GenWindow
+}
+
+func renderLin(e window.LinExpr) string {
+	var b strings.Builder
+	term := func(coef int64, v string) {
+		if coef == 0 {
+			return
+		}
+		if b.Len() > 0 {
+			if coef < 0 {
+				b.WriteString(" - ")
+				coef = -coef
+			} else {
+				b.WriteString(" + ")
+			}
+		} else if coef < 0 {
+			b.WriteString("-")
+			coef = -coef
+		}
+		if v == "" {
+			b.WriteString(strconv.FormatInt(coef, 10))
+			return
+		}
+		if coef != 1 {
+			fmt.Fprintf(&b, "%d*", coef)
+		}
+		b.WriteString(v)
+	}
+	term(e.TCoef, "t")
+	term(e.STCoef, "st")
+	term(e.Const, "")
+	if b.Len() == 0 {
+		return "0"
+	}
+	return b.String()
+}
+
+var condOps = map[window.CondOp]string{
+	window.CondEq: "=", window.CondLt: "<", window.CondLe: "<=",
+	window.CondGt: ">", window.CondGe: ">=",
+}
+
+func (w *GenWindow) render() string {
+	var b strings.Builder
+	b.WriteString(" FOR ")
+	if w.Physical {
+		b.WriteString("PHYSICAL ")
+	}
+	fmt.Fprintf(&b, "(t = %s; ", renderLin(w.Init))
+	if w.CondOp != window.CondTrue {
+		fmt.Fprintf(&b, "t %s %s", condOps[w.CondOp], renderLin(w.CondRHS))
+	}
+	b.WriteString("; ")
+	switch {
+	case w.Step > 0:
+		fmt.Fprintf(&b, "t += %d", w.Step)
+	case w.Step < 0:
+		fmt.Fprintf(&b, "t -= %d", -w.Step)
+	}
+	b.WriteString(") { ")
+	for _, d := range w.Defs {
+		fmt.Fprintf(&b, "WindowIs(%s, %s, %s); ", d.Stream, renderLin(d.Left), renderLin(d.Right))
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Render produces the SQL text.
+func (q *GenQuery) Render() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range q.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	for i, f := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s AS %s", f.Stream, f.Alias)
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Window != nil {
+		b.WriteString(q.Window.render())
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------- generation
+
+type gen struct {
+	rng     *rand.Rand
+	streams []StreamDef
+}
+
+// Generate builds the deterministic workload for a seed.
+func Generate(seed int64) *Workload {
+	g := &gen{rng: rand.New(rand.NewSource(seed))}
+	w := &Workload{Seed: seed}
+
+	nStreams := 2 + g.rng.Intn(2)
+	kinds := []tuple.Kind{tuple.KindInt, tuple.KindInt, tuple.KindFloat, tuple.KindString}
+	for i := 0; i < nStreams; i++ {
+		def := StreamDef{Name: fmt.Sprintf("s%d", i), Archived: g.rng.Float64() < 0.4}
+		nCols := 2 + g.rng.Intn(3)
+		for c := 0; c < nCols; c++ {
+			def.Cols = append(def.Cols, ColDef{
+				Name: fmt.Sprintf("c%d", c),
+				Kind: kinds[g.rng.Intn(len(kinds))],
+			})
+		}
+		w.Streams = append(w.Streams, def)
+	}
+	g.streams = w.Streams
+
+	nQueries := 2 + g.rng.Intn(4)
+	for i := 0; i < nQueries; i++ {
+		gq := g.genQuery(i)
+		w.Queries = append(w.Queries, QueryDef{SQL: gq.Render(), Gen: gq})
+	}
+	if g.rng.Float64() < 0.15 {
+		w.Queries = append(w.Queries, g.genExpectErr())
+	}
+
+	// Event script: history pushes first (historical queries and ST
+	// bindings need a past), then adds/removes woven between pushes.
+	histPushes := 8 + g.rng.Intn(12)
+	mainPushes := 40 + g.rng.Intn(80)
+	type sched struct {
+		at, query int
+		remove    bool
+	}
+	var plan []sched
+	for qi := range w.Queries {
+		plan = append(plan, sched{at: g.rng.Intn(mainPushes), query: qi})
+		if g.rng.Float64() < 0.25 {
+			// Remove later in the run (historical removes are no-ops).
+			at := plan[len(plan)-1].at + 1 + g.rng.Intn(mainPushes)
+			plan = append(plan, sched{at: at, query: qi, remove: true})
+		}
+	}
+	wall := int64(1_000_000)
+	pushEvent := func() Event {
+		def := w.Streams[g.rng.Intn(len(w.Streams))]
+		wall += int64(1 + g.rng.Intn(40))
+		ms := wall
+		if g.rng.Float64() < 0.05 {
+			ms = 0 // untimestamped: no physical coordinate
+		}
+		vals := make([]tuple.Value, len(def.Cols))
+		for i, c := range def.Cols {
+			vals[i] = g.value(c.Kind)
+		}
+		return Event{Kind: EvPush, Stream: def.Name, WallMs: ms, Values: vals}
+	}
+	for i := 0; i < histPushes; i++ {
+		w.Events = append(w.Events, pushEvent())
+	}
+	added := map[int]bool{}
+	for p := 0; p <= mainPushes; p++ {
+		for _, s := range plan {
+			if s.at != p {
+				continue
+			}
+			if s.remove {
+				if added[s.query] {
+					w.Events = append(w.Events, Event{Kind: EvRemove, Query: s.query})
+				}
+			} else {
+				w.Events = append(w.Events, Event{Kind: EvAdd, Query: s.query})
+				added[s.query] = true
+			}
+		}
+		if p < mainPushes {
+			w.Events = append(w.Events, pushEvent())
+		}
+	}
+	for qi := range w.Queries {
+		if !added[qi] {
+			w.Events = append(w.Events, Event{Kind: EvAdd, Query: qi})
+		}
+	}
+
+	w.BarrierEvery = []int{0, 0, 1, 3, 7}[g.rng.Intn(5)]
+	for _, q := range w.Queries {
+		if q.Gen != nil && q.Gen.Kind == QJoin && q.Gen.Window != nil {
+			w.BarrierEvery = 1
+		}
+	}
+	return w
+}
+
+func (g *gen) value(k tuple.Kind) tuple.Value {
+	switch k {
+	case tuple.KindInt:
+		return tuple.Int(int64(g.rng.Intn(10)))
+	case tuple.KindFloat:
+		// Dyadic rationals: float sums are exact in any accumulation
+		// order, so aggregate diffs are real bugs, not rounding.
+		return tuple.Float(float64(g.rng.Intn(21)) * 0.5)
+	default:
+		return tuple.String(string(rune('a' + g.rng.Intn(4))))
+	}
+}
+
+func (g *gen) literal(k tuple.Kind) string {
+	switch k {
+	case tuple.KindInt:
+		return strconv.Itoa(g.rng.Intn(10))
+	case tuple.KindFloat:
+		return strconv.FormatFloat(float64(g.rng.Intn(21))*0.5, 'g', -1, 64)
+	default:
+		return "'" + string(rune('a'+g.rng.Intn(4))) + "'"
+	}
+}
+
+func (g *gen) pickStream() StreamDef { return g.streams[g.rng.Intn(len(g.streams))] }
+
+func (g *gen) pickCol(def StreamDef, alias string) GenCol {
+	c := def.Cols[g.rng.Intn(len(def.Cols))]
+	return GenCol{Alias: alias, Col: c.Name, Kind: c.Kind}
+}
+
+func (g *gen) pickNumericCol(def StreamDef, alias string) *GenCol {
+	var nums []ColDef
+	for _, c := range def.Cols {
+		if c.Kind == tuple.KindInt || c.Kind == tuple.KindFloat {
+			nums = append(nums, c)
+		}
+	}
+	if len(nums) == 0 {
+		return nil
+	}
+	c := nums[g.rng.Intn(len(nums))]
+	return &GenCol{Alias: alias, Col: c.Name, Kind: c.Kind}
+}
+
+var cmpOpsByKind = map[bool][]string{
+	true:  {"=", "!=", "<", "<=", ">", ">="}, // ordered kinds
+	false: {"=", "!="},
+}
+
+func (g *gen) litPred(def StreamDef, alias string) GenPred {
+	col := g.pickCol(def, alias)
+	ops := cmpOpsByKind[col.Kind != tuple.KindString]
+	// Strings order fine too, but =/!= keep selectivity predictable.
+	return GenPred{Left: col, Op: ops[g.rng.Intn(len(ops))], Lit: g.literal(col.Kind)}
+}
+
+func (g *gen) archivedStream() (StreamDef, bool) {
+	var arch []StreamDef
+	for _, s := range g.streams {
+		if s.Archived {
+			arch = append(arch, s)
+		}
+	}
+	if len(arch) == 0 {
+		return StreamDef{}, false
+	}
+	return arch[g.rng.Intn(len(arch))], true
+}
+
+func (g *gen) genQuery(i int) *GenQuery {
+	roll := g.rng.Float64()
+	switch {
+	case roll < 0.30:
+		return g.genSelect(i)
+	case roll < 0.55:
+		return g.genJoin(i)
+	case roll < 0.85:
+		return g.genAgg(i)
+	default:
+		if _, ok := g.archivedStream(); ok {
+			return g.genHistorical(i)
+		}
+		return g.genAgg(i)
+	}
+}
+
+func (g *gen) genSelect(i int) *GenQuery {
+	def := g.pickStream()
+	alias := fmt.Sprintf("q%da", i)
+	q := &GenQuery{Kind: QSelect, From: []GenFrom{{def.Name, alias}}}
+	if g.rng.Float64() < 0.3 {
+		q.Items = []GenItem{{Star: true}}
+	} else {
+		n := 1 + g.rng.Intn(3)
+		for j := 0; j < n; j++ {
+			c := g.pickCol(def, alias)
+			q.Items = append(q.Items, GenItem{Col: &c})
+		}
+	}
+	for j := g.rng.Intn(3); j > 0; j-- {
+		q.Where = append(q.Where, g.litPred(def, alias))
+	}
+	q.Distinct = g.rng.Float64() < 0.2
+	if g.rng.Float64() < 0.2 {
+		q.Limit = int64(1 + g.rng.Intn(10))
+	}
+	return q
+}
+
+func (g *gen) genJoin(i int) *GenQuery {
+	defA := g.pickStream()
+	defB := g.pickStream()
+	if g.rng.Float64() < 0.25 {
+		defB = defA // self join
+	}
+	aA, aB := fmt.Sprintf("q%da", i), fmt.Sprintf("q%db", i)
+	q := &GenQuery{Kind: QJoin, From: []GenFrom{{defA.Name, aA}, {defB.Name, aB}}}
+	if g.rng.Float64() < 0.4 {
+		q.Items = []GenItem{{Star: true}}
+	} else {
+		ca, cb := g.pickCol(defA, aA), g.pickCol(defB, aB)
+		q.Items = []GenItem{{Col: &ca}, {Col: &cb}}
+	}
+	// Equality join predicate over a same-kind column pair when one
+	// exists (exercises the hash-indexed SteM path).
+	if g.rng.Float64() < 0.75 {
+		var pairs [][2]GenCol
+		for _, ca := range defA.Cols {
+			for _, cb := range defB.Cols {
+				if ca.Kind == cb.Kind {
+					pairs = append(pairs, [2]GenCol{
+						{Alias: aA, Col: ca.Name, Kind: ca.Kind},
+						{Alias: aB, Col: cb.Name, Kind: cb.Kind},
+					})
+				}
+			}
+		}
+		if len(pairs) > 0 {
+			p := pairs[g.rng.Intn(len(pairs))]
+			rc := p[1]
+			q.Where = append(q.Where, GenPred{Left: p[0], Op: "=", RCol: &rc})
+		}
+	}
+	if g.rng.Float64() < 0.4 {
+		q.Where = append(q.Where, g.litPred(defA, aA))
+	}
+	// Window: none (no eviction), symmetric/asymmetric sliding bands,
+	// or mixed sliding+landmark (per-def retention, the S2 shape).
+	switch g.rng.Intn(3) {
+	case 1:
+		wA, wB := int64(2+g.rng.Intn(8)), int64(2+g.rng.Intn(8))
+		q.Window = &GenWindow{
+			Init: window.STExpr(0), CondOp: window.CondTrue, Step: 1,
+			Defs: []window.Def{
+				{Stream: aA, Left: window.TExpr(1 - wA), Right: window.TExpr(0)},
+				{Stream: aB, Left: window.TExpr(1 - wB), Right: window.TExpr(0)},
+			},
+		}
+	case 2:
+		wA := int64(2 + g.rng.Intn(8))
+		q.Window = &GenWindow{
+			Init: window.STExpr(0), CondOp: window.CondTrue, Step: 1,
+			Defs: []window.Def{
+				{Stream: aA, Left: window.TExpr(1 - wA), Right: window.TExpr(0)},
+				{Stream: aB, Left: window.ConstExpr(1), Right: window.TExpr(0)}, // landmark: keep all
+			},
+		}
+	}
+	return q
+}
+
+func (g *gen) aggItems(def StreamDef, alias string) []GenItem {
+	var items []GenItem
+	n := 1 + g.rng.Intn(3)
+	for j := 0; j < n; j++ {
+		switch g.rng.Intn(6) {
+		case 0:
+			items = append(items, GenItem{Agg: "count"})
+		case 1:
+			c := g.pickCol(def, alias)
+			items = append(items, GenItem{Agg: "count", Arg: &c})
+		case 2, 3:
+			if c := g.pickNumericCol(def, alias); c != nil {
+				kind := []string{"sum", "avg", "stddev"}[g.rng.Intn(3)]
+				items = append(items, GenItem{Agg: kind, Arg: c})
+			} else {
+				items = append(items, GenItem{Agg: "count"})
+			}
+		default:
+			c := g.pickCol(def, alias)
+			kind := []string{"min", "max"}[g.rng.Intn(2)]
+			items = append(items, GenItem{Agg: kind, Arg: &c})
+		}
+	}
+	return items
+}
+
+func (g *gen) genAgg(i int) *GenQuery {
+	def := g.pickStream()
+	alias := fmt.Sprintf("q%da", i)
+	q := &GenQuery{Kind: QAgg, From: []GenFrom{{def.Name, alias}}}
+	q.Items = g.aggItems(def, alias)
+	for j := g.rng.Intn(2); j > 0; j-- {
+		q.Where = append(q.Where, g.litPred(def, alias))
+	}
+	if g.rng.Float64() < 0.4 {
+		c := g.pickCol(def, alias)
+		q.GroupBy = []GenCol{c}
+		if g.rng.Float64() < 0.3 {
+			q.Items = append([]GenItem{{Col: &c}}, q.Items...)
+		}
+	}
+	physical := g.rng.Float64() < 0.3
+	if physical {
+		// Physical windows never reference ST: the engine binds it to
+		// the real clock, which no deterministic oracle can predict.
+		base := int64(1_000_000)
+		step := int64(50 * (1 + g.rng.Intn(4)))
+		width := int64(50 + g.rng.Intn(350))
+		gw := &GenWindow{Physical: true, CondOp: window.CondTrue, Step: step,
+			Init: window.ConstExpr(base + step)}
+		if g.rng.Float64() < 0.5 {
+			gw.Defs = []window.Def{{Stream: alias,
+				Left: window.TExpr(1 - width), Right: window.TExpr(0)}} // sliding
+		} else {
+			gw.Defs = []window.Def{{Stream: alias,
+				Left: window.ConstExpr(base), Right: window.TExpr(0)}} // landmark
+		}
+		q.Window = gw
+		return q
+	}
+	switch g.rng.Intn(3) {
+	case 0: // snapshot: one fixed window ending k past registration
+		k := int64(2 + g.rng.Intn(10))
+		q.Window = &GenWindow{
+			Init:   window.LinExpr{STCoef: 1, Const: k},
+			CondOp: window.CondEq, CondRHS: window.LinExpr{STCoef: 1, Const: k},
+			Step: 0,
+			Defs: []window.Def{{Stream: alias,
+				Left: window.STExpr(1), Right: window.LinExpr{STCoef: 1, Const: k}}},
+		}
+	case 1: // landmark: everything since the beginning, every hop
+		hop := int64(1 + g.rng.Intn(3))
+		q.Window = &GenWindow{
+			Init: window.STExpr(hop), CondOp: window.CondTrue, Step: hop,
+			Defs: []window.Def{{Stream: alias,
+				Left: window.ConstExpr(1), Right: window.TExpr(0)}},
+		}
+	default: // sliding
+		width := int64(2 + g.rng.Intn(8))
+		hop := int64(1 + g.rng.Intn(3))
+		q.Window = &GenWindow{
+			Init: window.STExpr(hop), CondOp: window.CondTrue, Step: hop,
+			Defs: []window.Def{{Stream: alias,
+				Left: window.TExpr(1 - width), Right: window.TExpr(0)}},
+		}
+	}
+	return q
+}
+
+func (g *gen) genHistorical(i int) *GenQuery {
+	def, _ := g.archivedStream()
+	alias := fmt.Sprintf("q%da", i)
+	q := &GenQuery{Kind: QHistorical, From: []GenFrom{{def.Name, alias}}}
+	width := int64(1 + g.rng.Intn(5))
+	// Backward loops must carry a bounded condition: a backward
+	// CondTrue loop never terminates the archive scan.
+	q.Window = &GenWindow{
+		Init:   window.STExpr(0),
+		CondOp: window.CondGt, CondRHS: window.ConstExpr(0),
+		Step: -int64(1 + g.rng.Intn(3)),
+		Defs: []window.Def{{Stream: alias,
+			Left: window.TExpr(1 - width), Right: window.TExpr(0)}},
+	}
+	if g.rng.Float64() < 0.3 {
+		q.Items = g.aggItems(def, alias)
+	} else {
+		if g.rng.Float64() < 0.4 {
+			q.Items = []GenItem{{Star: true}}
+		} else {
+			c := g.pickCol(def, alias)
+			q.Items = []GenItem{{Col: &c}}
+		}
+		if g.rng.Float64() < 0.2 {
+			q.Limit = int64(1 + g.rng.Intn(10))
+		}
+	}
+	for j := g.rng.Intn(2); j > 0; j-- {
+		q.Where = append(q.Where, g.litPred(def, alias))
+	}
+	return q
+}
+
+// genExpectErr emits a query the engine must REJECT. Each template pins
+// a validation bug: before its fix the engine accepted (or hung inside)
+// the query.
+func (g *gen) genExpectErr() QueryDef {
+	def := g.pickStream()
+	var sql string
+	switch g.rng.Intn(3) {
+	case 0:
+		// Non-terminating backward loop: t decreases, bound never fails.
+		sql = fmt.Sprintf(
+			"SELECT * FROM %s AS e0 FOR (t = 5; t < 100; t -= 1) { WindowIs(e0, t - 1, t); }", def.Name)
+	case 1:
+		// Stuck loop: no step and the CondTrue loop never exits.
+		sql = fmt.Sprintf(
+			"SELECT count(*) FROM %s AS e0 FOR (t = 5; ; ) { WindowIs(e0, 1, t); }", def.Name)
+	default:
+		sql = fmt.Sprintf("SELECT no_such_col FROM %s AS e0", def.Name)
+	}
+	return QueryDef{SQL: sql, ExpectErr: true}
+}

@@ -1,0 +1,122 @@
+package refimpl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The oracle: run a workload through the reference and through the
+// engine under every config in the sweep, and diff per-query output
+// multisets. A workload "fails" when any config disagrees with the
+// reference or errors reproducibly (rejecting a query it must accept,
+// accepting one it must reject, shedding tuples under blocking QoS).
+
+// Mismatch describes one oracle failure, pinned to the first config
+// that exposed it.
+type Mismatch struct {
+	Seed   int64
+	Config string
+	// Query/SQL identify the disagreeing query (-1 when the whole run
+	// errored instead of producing comparable output).
+	Query   int
+	SQL     string
+	Missing []string // rows the reference expects that the engine lost
+	Extra   []string // rows the engine invented
+	// Err is set when the engine run itself failed.
+	Err error
+}
+
+func (m *Mismatch) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d, config %s: ", m.Seed, m.Config)
+	if m.Err != nil {
+		fmt.Fprintf(&b, "engine run failed: %v", m.Err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "query %d diverged\n  %s\n", m.Query, m.SQL)
+	show := func(label string, rows []string) {
+		if len(rows) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %s (%d):\n", label, len(rows))
+		for i, r := range rows {
+			if i == 8 {
+				fmt.Fprintf(&b, "    … %d more\n", len(rows)-i)
+				break
+			}
+			fmt.Fprintf(&b, "    %s\n", humanRow(r))
+		}
+	}
+	show("missing from engine", m.Missing)
+	show("extra in engine", m.Extra)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// humanRow decodes RenderRow's kind-tagged encoding for display.
+func humanRow(r string) string {
+	cols := strings.Split(r, "\x1f")
+	for i, c := range cols {
+		if len(c) > 0 && c[0] >= '0' && c[0] <= '9' {
+			cols[i] = c[1:]
+		}
+	}
+	return strings.Join(cols, ", ")
+}
+
+// CheckWorkload diffs the workload across the configs; nil means every
+// config agreed with the reference. A RunReference error is returned as
+// err (harness bug, not an engine finding).
+func CheckWorkload(w *Workload, cfgs []EngineConfig) (*Mismatch, error) {
+	want, err := RunReference(w)
+	if err != nil {
+		return nil, fmt.Errorf("reference: %w", err)
+	}
+	for _, cfg := range cfgs {
+		got, err := RunEngine(w, cfg)
+		if err != nil {
+			return &Mismatch{Seed: w.Seed, Config: cfg.Label, Query: -1, Err: err}, nil
+		}
+		for qi := range w.Queries {
+			missing, extra := want[qi].Diff(got[qi])
+			if len(missing) == 0 && len(extra) == 0 {
+				continue
+			}
+			sort.Strings(missing)
+			sort.Strings(extra)
+			return &Mismatch{
+				Seed: w.Seed, Config: cfg.Label,
+				Query: qi, SQL: w.Queries[qi].SQL,
+				Missing: missing, Extra: extra,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// CheckSeed generates the seed's workload, checks it, and — on failure
+// — shrinks it to a minimal repro against the config that exposed the
+// bug. Returns the (possibly shrunken) workload alongside the mismatch.
+func CheckSeed(seed int64, cfgs []EngineConfig, shrinkBudget int) (*Workload, *Mismatch, error) {
+	w := Generate(seed)
+	m, err := CheckWorkload(w, cfgs)
+	if err != nil || m == nil {
+		return w, m, err
+	}
+	var failCfg []EngineConfig
+	for _, c := range cfgs {
+		if c.Label == m.Config {
+			failCfg = []EngineConfig{c}
+		}
+	}
+	small := Shrink(w, func(cand *Workload) bool {
+		cm, cerr := CheckWorkload(cand, failCfg)
+		return cerr == nil && cm != nil
+	}, shrinkBudget)
+	// Re-derive the mismatch from the shrunken workload so the report
+	// matches the repro that gets written out.
+	if sm, serr := CheckWorkload(small, failCfg); serr == nil && sm != nil {
+		return small, sm, nil
+	}
+	return w, m, nil
+}

@@ -1,0 +1,141 @@
+package refimpl
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWorkloadCodecRoundTrip: encoding is stable — decode(encode(w))
+// re-encodes byte-identically, so .tcq pins replay what was written.
+func TestWorkloadCodecRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		w := Generate(seed)
+		var a bytes.Buffer
+		if err := w.Encode(&a); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(bytes.NewReader(a.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v\n%s", seed, err, a.String())
+		}
+		var b bytes.Buffer
+		if err := back.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: round trip drifted:\n--- first\n%s\n--- second\n%s", seed, a.String(), b.String())
+		}
+	}
+}
+
+// TestGenerateDeterministic: one seed, one workload.
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Generate(42).Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Generate(42).Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Generate(42) is not deterministic")
+	}
+}
+
+// TestOracleSmoke is the in-tree slice of the tcqcheck sweep: 20 seeds
+// against a 3-config subset. The CI job runs ~200 seeds against the
+// full sweep; this keeps `go test ./...` honest without the cost.
+func TestOracleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle smoke is not -short")
+	}
+	cfgs := SmokeConfigs()
+	for seed := int64(1); seed <= 20; seed++ {
+		w, m, err := CheckSeed(seed, cfgs, 50)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m != nil {
+			var repro bytes.Buffer
+			_ = w.Encode(&repro)
+			t.Fatalf("seed %d: %s\nrepro:\n%s", seed, m, repro.String())
+		}
+	}
+}
+
+// TestPinnedWorkloads replays every .tcq under testdata/ — one file per
+// engine bug this oracle (or its satellites) caught. They must stay
+// green forever.
+func TestPinnedWorkloads(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.tcq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no pinned workloads in testdata/")
+	}
+	cfgs := SmokeConfigs()
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := Decode(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := CheckWorkload(w, cfgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != nil {
+				t.Fatalf("pinned workload regressed: %s", m)
+			}
+		})
+	}
+}
+
+// TestShrinkerMinimizes drives Shrink with an artificial failure
+// predicate and checks it reaches the predicate's floor: greedy passes
+// must strip every query, push, and clause not needed for the failure.
+func TestShrinkerMinimizes(t *testing.T) {
+	w := Generate(7)
+	pushes := func(w *Workload) int {
+		n := 0
+		for _, e := range w.Events {
+			if e.Kind == EvPush {
+				n++
+			}
+		}
+		return n
+	}
+	if pushes(w) < 10 || len(w.Queries) < 2 {
+		t.Fatalf("seed 7 workload too small to exercise the shrinker: %d pushes, %d queries",
+			pushes(w), len(w.Queries))
+	}
+	failing := func(c *Workload) bool {
+		return pushes(c) >= 3 && len(c.Queries) >= 1
+	}
+	small := Shrink(w, failing, 10_000)
+	if !failing(small) {
+		t.Fatal("shrinker returned a non-failing workload")
+	}
+	if got := pushes(small); got != 3 {
+		t.Errorf("pushes after shrink = %d, want 3", got)
+	}
+	if got := len(small.Queries); got != 1 {
+		t.Errorf("queries after shrink = %d, want 1", got)
+	}
+	// Clause simplification: the surviving query should have lost its
+	// optional trimmings (they can't be required by this predicate).
+	q := small.Queries[0]
+	if q.Gen != nil && !q.ExpectErr {
+		if len(q.Gen.Where) != 0 || q.Gen.Distinct || q.Gen.Limit != 0 || len(q.Gen.GroupBy) != 0 {
+			t.Errorf("query kept removable clauses: %s", q.SQL)
+		}
+	}
+}

@@ -1,0 +1,582 @@
+package refimpl
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+	"telegraphcq/internal/window"
+)
+
+// The reference interpreter. It trades every efficiency the engine has
+// for auditability: all pushed tuples are buffered forever, every query
+// re-evaluates its windows, joins, and aggregates from scratch over the
+// full history, and nothing is shared between queries. Its output is
+// the specification the engine is diffed against.
+
+// maxWindowIters bounds for-loop enumeration — a runaway guard, far
+// above anything the generator emits.
+const maxWindowIters = 1 << 16
+
+// noRetention marks an alias whose stored tuples are never evicted.
+const noRetention = int64(-1)
+
+// pushRec is one buffered input tuple.
+type pushRec struct {
+	event  int   // global event index (position in Workload.Events)
+	seq    int64 // per-stream logical sequence, first push = 1
+	wallMs int64 // 0 = untimestamped
+	vals   []tuple.Value
+}
+
+// activation is one [add, remove) lifetime of a query. cancel is the
+// event index of the remove (len(events) if never removed).
+type activation struct{ reg, cancel int }
+
+// RunReference evaluates the workload naively and returns the expected
+// output multiset per query index. ExpectErr queries contribute an
+// empty multiset (they must fail to submit).
+func RunReference(w *Workload) (map[int]Multiset, error) {
+	streams := map[string]StreamDef{}
+	for _, s := range w.Streams {
+		streams[s.Name] = s
+	}
+	pushes := map[string][]pushRec{}
+	seqs := map[string]int64{}
+	acts := map[int][]activation{}
+	openAct := map[int]int{}
+	for i, e := range w.Events {
+		switch e.Kind {
+		case EvPush:
+			seqs[e.Stream]++
+			pushes[e.Stream] = append(pushes[e.Stream], pushRec{
+				event: i, seq: seqs[e.Stream], wallMs: e.WallMs, vals: e.Values,
+			})
+		case EvAdd:
+			openAct[e.Query] = len(acts[e.Query])
+			acts[e.Query] = append(acts[e.Query], activation{reg: i, cancel: len(w.Events)})
+		case EvRemove:
+			if j, ok := openAct[e.Query]; ok {
+				acts[e.Query][j].cancel = i
+				delete(openAct, e.Query)
+			}
+		}
+	}
+	out := map[int]Multiset{}
+	for qi, q := range w.Queries {
+		out[qi] = Multiset{}
+		if q.ExpectErr {
+			continue
+		}
+		st, err := sql.Parse(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", qi, err)
+		}
+		sel, ok := st.(*sql.Select)
+		if !ok {
+			return nil, fmt.Errorf("query %d: not a SELECT", qi)
+		}
+		r := &refQuery{sel: sel, streams: streams, pushes: pushes}
+		for _, act := range acts[qi] {
+			if err := r.eval(act, out[qi]); err != nil {
+				return nil, fmt.Errorf("query %d: %w", qi, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// refQuery evaluates one parsed query over the buffered history. The
+// AST is this query's private copy (RunReference parses per query), so
+// column-cache state inside expressions never leaks across consumers.
+type refQuery struct {
+	sel     *sql.Select
+	streams map[string]StreamDef
+	pushes  map[string][]pushRec
+}
+
+func (r *refQuery) eval(act activation, out Multiset) error {
+	switch {
+	case r.sel.Window != nil && r.sel.Window.Step < 0:
+		return r.evalHistorical(act, out)
+	case hasAgg(r.sel):
+		return r.evalAgg(act, out)
+	case len(r.sel.From) == 2:
+		return r.evalJoin(act, out)
+	case len(r.sel.From) == 1:
+		return r.evalSelect(act, out)
+	}
+	return fmt.Errorf("refimpl: unsupported FROM arity %d", len(r.sel.From))
+}
+
+func hasAgg(sel *sql.Select) bool {
+	for _, it := range sel.Items {
+		if it.Agg != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// schemaFor renames the stream schema to the FROM item's binding name,
+// mirroring feed registration in the executor.
+func (r *refQuery) schemaFor(f sql.FromItem) (*tuple.Schema, error) {
+	def, ok := r.streams[f.Source]
+	if !ok {
+		return nil, fmt.Errorf("refimpl: unknown stream %q", f.Source)
+	}
+	return def.Schema().Rename(f.Name()), nil
+}
+
+// makeTuple materializes a buffered push as a tuple of the given schema.
+func makeTuple(s *tuple.Schema, p pushRec) *tuple.Tuple {
+	t := tuple.New(s, p.vals...)
+	t.TS = tuple.Timestamp{Seq: p.seq}
+	if p.wallMs > 0 {
+		t.TS.Wall = time.UnixMilli(p.wallMs)
+	}
+	return t
+}
+
+// within selects the stream's pushes a live query observes: those
+// admitted inside its [reg, cancel) lifetime.
+func (r *refQuery) within(stream string, act activation) []pushRec {
+	var recs []pushRec
+	for _, p := range r.pushes[stream] {
+		if p.event > act.reg && p.event < act.cancel {
+			recs = append(recs, p)
+		}
+	}
+	return recs
+}
+
+// stBinding mirrors Submit: logical ST is the max current sequence over
+// the FROM streams at registration. Physical ST binds the wall clock,
+// which the generator keeps out of every expression (STCoef = 0), so 0
+// is as good as any value.
+func (r *refQuery) stBinding(act activation) int64 {
+	if r.sel.Window != nil && r.sel.Window.Domain == tuple.PhysicalTime {
+		return 0
+	}
+	var st int64
+	for _, f := range r.sel.From {
+		st = max(st, r.curSeqAt(f.Source, act.reg))
+	}
+	return st
+}
+
+// curSeqAt is the stream's sequence counter just before the event.
+func (r *refQuery) curSeqAt(stream string, event int) int64 {
+	var cur int64
+	for _, p := range r.pushes[stream] {
+		if p.event < event {
+			cur = p.seq
+		}
+	}
+	return cur
+}
+
+// projectRow evaluates the SELECT list against one (possibly joined)
+// tuple. A star expands to every column in FROM order. An eval error
+// drops the row, as in the engine's delivery path.
+func projectRow(sel *sql.Select, t *tuple.Tuple) ([]tuple.Value, bool) {
+	var row []tuple.Value
+	for _, it := range sel.Items {
+		if it.Star {
+			row = append(row, t.Values...)
+			continue
+		}
+		v, err := it.Expr.Eval(t)
+		if err != nil {
+			return nil, false
+		}
+		row = append(row, v)
+	}
+	return row, true
+}
+
+// passes applies the WHERE clause; eval errors drop the row.
+func passes(where expr.Expr, t *tuple.Tuple) bool {
+	if where == nil {
+		return true
+	}
+	ok, err := expr.Truthy(where, t)
+	return err == nil && ok
+}
+
+// ------------------------------------------------------ plain selection
+
+func (r *refQuery) evalSelect(act activation, out Multiset) error {
+	s, err := r.schemaFor(r.sel.From[0])
+	if err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	var emitted int64
+	for _, p := range r.within(r.sel.From[0].Source, act) {
+		t := makeTuple(s, p)
+		if !passes(r.sel.Where, t) {
+			continue
+		}
+		row, ok := projectRow(r.sel, t)
+		if !ok {
+			continue
+		}
+		key := RenderRow(row)
+		if r.sel.Distinct {
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		out.Add(key)
+		emitted++
+		if r.sel.Limit > 0 && emitted >= r.sel.Limit {
+			break
+		}
+	}
+	return nil
+}
+
+// --------------------------------------------------------------- joins
+
+// refRetention derives the eviction horizon the engine applies to an
+// alias's stored tuples, from first principles: a rigid sliding window
+// (both edges ride t, the loop steps forward without bound) keeps
+// exactly `width` trailing tuples; any other shape pins history
+// forever. Computed independently of window.Retention so a bug there
+// shows up as a diff.
+func refRetention(spec *window.Spec, alias string) int64 {
+	if spec == nil || spec.Step <= 0 || spec.Cond.Op == window.CondEq {
+		return noRetention
+	}
+	for _, d := range spec.Defs {
+		if d.Stream != alias {
+			continue
+		}
+		rigid := d.Left.TCoef == 1 && d.Right.TCoef == 1 &&
+			d.Left.STCoef == 0 && d.Right.STCoef == 0
+		if !rigid {
+			return noRetention
+		}
+		if w := d.Right.Const - d.Left.Const + 1; w > 0 {
+			return w
+		}
+		return noRetention
+	}
+	return noRetention
+}
+
+func (r *refQuery) evalJoin(act activation, out Multiset) error {
+	fa, fb := r.sel.From[0], r.sel.From[1]
+	sa, err := r.schemaFor(fa)
+	if err != nil {
+		return err
+	}
+	sb, err := r.schemaFor(fb)
+	if err != nil {
+		return err
+	}
+	wa := refRetention(r.sel.Window, fa.Name())
+	wb := refRetention(r.sel.Window, fb.Name())
+	pa := r.within(fa.Source, act)
+	pb := r.within(fb.Source, act)
+	// maxSeqUpTo(stream, e) = highest sequence this query has seen for
+	// the stream at or before event e — the horizon the engine's SteM
+	// eviction had applied by the time the later tuple probed.
+	maxSeqUpTo := func(stream string, e int) int64 {
+		var m int64
+		for _, p := range r.pushes[stream] {
+			if p.event > act.reg && p.event <= e && p.event < act.cancel {
+				m = p.seq
+			}
+		}
+		return m
+	}
+	retained := func(stored pushRec, storedStream string, w int64, probeEvent int) bool {
+		if w == noRetention {
+			return true
+		}
+		horizon := maxSeqUpTo(storedStream, probeEvent) - w + 1
+		return stored.seq >= horizon
+	}
+	for _, a := range pa {
+		ta := makeTuple(sa, a)
+		for _, b := range pb {
+			if a.event != b.event {
+				// The earlier tuple is the stored side: it must have
+				// survived its alias's eviction horizon at probe time.
+				if a.event < b.event {
+					if !retained(a, fa.Source, wa, b.event) {
+						continue
+					}
+				} else if !retained(b, fb.Source, wb, a.event) {
+					continue
+				}
+			}
+			// Same event (self-join diagonal): both bindings of one
+			// push, paired exactly once with no retention check.
+			j := tuple.Concat(ta, makeTuple(sb, b))
+			if !passes(r.sel.Where, j) {
+				continue
+			}
+			row, ok := projectRow(r.sel, j)
+			if !ok {
+				continue
+			}
+			out.Add(RenderRow(row))
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------- aggregates
+
+// aggCompute re-derives one aggregate over a window's tuples with the
+// engine's exact arithmetic (float accumulation, NULL args skipped).
+func aggCompute(a *operator.AggSpec, rows []*tuple.Tuple) tuple.Value {
+	if a.Kind == operator.AggCount && a.Arg == nil {
+		return tuple.Int(int64(len(rows)))
+	}
+	var count, sum, sumsq float64
+	minV, maxV := tuple.Null(), tuple.Null()
+	for _, t := range rows {
+		v, err := a.Arg.Eval(t)
+		if err != nil || v.IsNull() {
+			continue
+		}
+		f := v.AsFloat()
+		count++
+		sum += f
+		sumsq += f * f
+		if c, ok := tuple.Compare(v, minV); minV.IsNull() || (ok && c < 0) {
+			minV = v
+		}
+		if c, ok := tuple.Compare(maxV, v); maxV.IsNull() || (ok && c < 0) {
+			maxV = v
+		}
+	}
+	switch a.Kind {
+	case operator.AggCount:
+		return tuple.Int(int64(count))
+	case operator.AggSum:
+		if count == 0 {
+			return tuple.Null()
+		}
+		return tuple.Float(sum)
+	case operator.AggAvg:
+		if count == 0 {
+			return tuple.Null()
+		}
+		return tuple.Float(sum / count)
+	case operator.AggMin:
+		return minV
+	case operator.AggMax:
+		return maxV
+	case operator.AggStdDev:
+		if count == 0 {
+			return tuple.Null()
+		}
+		mean := sum / count
+		v := sumsq/count - mean*mean
+		if v < 0 {
+			v = 0
+		}
+		return tuple.Float(math.Sqrt(v))
+	}
+	return tuple.Null()
+}
+
+// emitAggRows renders one window instance's aggregate output: the
+// engine's WindowAgg schema is [t, GROUP BY columns, aggregates in
+// SELECT order]. Without GROUP BY, an empty window still emits a row
+// (COUNT 0, NULL otherwise); with GROUP BY only populated groups do.
+func (r *refQuery) emitAggRows(t int64, rows []*tuple.Tuple, out Multiset) error {
+	var aggs []*operator.AggSpec
+	for _, it := range r.sel.Items {
+		if it.Agg != nil {
+			aggs = append(aggs, it.Agg)
+		}
+	}
+	emit := func(groupRows []*tuple.Tuple, groupVals []tuple.Value) {
+		row := append([]tuple.Value{tuple.Int(t)}, groupVals...)
+		for _, a := range aggs {
+			row = append(row, aggCompute(a, groupRows))
+		}
+		out.Add(RenderRow(row))
+	}
+	if len(r.sel.GroupBy) == 0 {
+		emit(rows, nil)
+		return nil
+	}
+	groups := map[string][]*tuple.Tuple{}
+	keyVals := map[string][]tuple.Value{}
+	for _, tp := range rows {
+		var gv []tuple.Value
+		bad := false
+		for _, c := range r.sel.GroupBy {
+			v, err := c.Eval(tp)
+			if err != nil {
+				bad = true
+				break
+			}
+			gv = append(gv, v)
+		}
+		if bad {
+			continue
+		}
+		k := RenderRow(gv)
+		groups[k] = append(groups[k], tp)
+		keyVals[k] = gv
+	}
+	for k, g := range groups {
+		emit(g, keyVals[k])
+	}
+	return nil
+}
+
+func (r *refQuery) evalAgg(act activation, out Multiset) error {
+	if len(r.sel.From) != 1 {
+		return fmt.Errorf("refimpl: aggregates are single-stream")
+	}
+	spec := r.sel.Window
+	if spec == nil {
+		return fmt.Errorf("refimpl: aggregate without window")
+	}
+	s, err := r.schemaFor(r.sel.From[0])
+	if err != nil {
+		return err
+	}
+	def := spec.Defs[0]
+	for _, d := range spec.Defs {
+		if d.Stream == r.sel.From[0].Name() {
+			def = d
+		}
+	}
+	st := r.stBinding(act)
+	// Buffer the passing tuples with their instants; untimestamped
+	// tuples have no coordinate in a physical domain and are skipped.
+	var kept []*tuple.Tuple
+	maxInstant := int64(math.MinInt64)
+	for _, p := range r.within(r.sel.From[0].Source, act) {
+		t := makeTuple(s, p)
+		x := t.TS.Instant(spec.Domain)
+		if x == tuple.NoInstant {
+			continue
+		}
+		if !passes(r.sel.Where, t) {
+			continue
+		}
+		kept = append(kept, t)
+		maxInstant = max(maxInstant, x)
+	}
+	// Re-run the for-loop: a window [L,R] has closed — and is emitted —
+	// once some passing tuple's instant moved strictly past R. Stop at
+	// the first still-open window.
+	t := spec.Init.Eval(0, st)
+	for iter := 0; iter < maxWindowIters && spec.Cond.Holds(t, st); iter++ {
+		l := def.Left.Eval(t, st)
+		rr := def.Right.Eval(t, st)
+		if maxInstant <= rr {
+			break
+		}
+		var wins []*tuple.Tuple
+		for _, tp := range kept {
+			if x := tp.TS.Instant(spec.Domain); x >= l && x <= rr {
+				wins = append(wins, tp)
+			}
+		}
+		if err := r.emitAggRows(t, wins, out); err != nil {
+			return err
+		}
+		if spec.Step == 0 {
+			break
+		}
+		t += spec.Step
+	}
+	return nil
+}
+
+// ---------------------------------------------------------- historical
+
+func (r *refQuery) evalHistorical(act activation, out Multiset) error {
+	if len(r.sel.From) != 1 {
+		return fmt.Errorf("refimpl: historical queries are single-stream")
+	}
+	f := r.sel.From[0]
+	if !r.streams[f.Source].Archived {
+		return fmt.Errorf("refimpl: historical query over unarchived stream %s", f.Source)
+	}
+	s, err := r.schemaFor(f)
+	if err != nil {
+		return err
+	}
+	spec := r.sel.Window
+	def := spec.Defs[0]
+	for _, d := range spec.Defs {
+		if d.Stream == f.Name() {
+			def = d
+		}
+	}
+	// The archive records every push, whether or not any query was
+	// listening: visibility is "all of history before submission", and
+	// ST binds the stream's global sequence counter at that moment.
+	st := r.curSeqAt(f.Source, act.reg)
+	var history []pushRec
+	for _, p := range r.pushes[f.Source] {
+		if p.event < act.reg {
+			history = append(history, p)
+		}
+	}
+	hasAggs := hasAgg(r.sel)
+	var rows []string
+	t := spec.Init.Eval(0, st)
+	for iter := 0; iter < maxWindowIters && spec.Cond.Holds(t, st); iter++ {
+		l := def.Left.Eval(t, st)
+		rr := def.Right.Eval(t, st)
+		var kept []*tuple.Tuple
+		for _, p := range history {
+			if p.seq < l || p.seq > rr {
+				continue
+			}
+			tp := makeTuple(s, p)
+			if passes(r.sel.Where, tp) {
+				kept = append(kept, tp)
+			}
+		}
+		if hasAggs {
+			// Every instance aggregates, even an empty one: the scan
+			// hands each window to a fresh aggregate and flushes it.
+			sub := Multiset{}
+			if err := r.emitAggRows(t, kept, sub); err != nil {
+				return err
+			}
+			for row, n := range sub {
+				for i := 0; i < n; i++ {
+					rows = append(rows, row)
+				}
+			}
+		} else {
+			for _, tp := range kept {
+				if row, ok := projectRow(r.sel, tp); ok {
+					rows = append(rows, RenderRow(row))
+				}
+			}
+		}
+		if spec.Step == 0 {
+			break
+		}
+		t += spec.Step
+	}
+	if r.sel.Limit > 0 && int64(len(rows)) > r.sel.Limit {
+		rows = rows[:r.sel.Limit]
+	}
+	for _, row := range rows {
+		out.Add(row)
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package refimpl
+
+import "slices"
+
+// The greedy shrinker. Given a workload that fails (engine disagrees
+// with the reference, or errors reproducibly) and a predicate that
+// re-checks failure, it tries structural deletions — whole queries,
+// push events in halves then singles, query clauses, unused streams —
+// keeping each edit only if the failure survives. The result is the
+// minimal repro written next to the bug as a .tcq pin.
+
+// defaultShrinkBudget caps predicate invocations; each one replays the
+// workload through the engine, so this bounds shrink time.
+const defaultShrinkBudget = 400
+
+type shrinker struct {
+	failing func(*Workload) bool
+	budget  int
+}
+
+// Shrink greedily minimizes w under the failing predicate. budget <= 0
+// uses the default. The input workload is never mutated.
+func Shrink(w *Workload, failing func(*Workload) bool, budget int) *Workload {
+	if budget <= 0 {
+		budget = defaultShrinkBudget
+	}
+	s := &shrinker{failing: failing, budget: budget}
+	cur := w
+	for {
+		next := s.pass(cur)
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// check spends budget; once exhausted every candidate is rejected.
+func (s *shrinker) check(w *Workload) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	return s.failing(w)
+}
+
+// pass runs every shrink strategy once; nil means no edit survived.
+func (s *shrinker) pass(w *Workload) *Workload {
+	improved := false
+	for _, strat := range []func(*Workload) *Workload{
+		s.dropQueries, s.dropEventRuns, s.simplifyQueries, s.dropStreams,
+	} {
+		if next := strat(w); next != nil {
+			w, improved = next, true
+		}
+	}
+	if !improved {
+		return nil
+	}
+	return w
+}
+
+func cloneWorkload(w *Workload) *Workload {
+	c := *w
+	c.Streams = slices.Clone(w.Streams)
+	c.Queries = slices.Clone(w.Queries)
+	c.Events = slices.Clone(w.Events)
+	return &c
+}
+
+// dropQuery removes query qi and renumbers event references.
+func dropQuery(w *Workload, qi int) *Workload {
+	c := cloneWorkload(w)
+	c.Queries = append(slices.Clone(w.Queries[:qi]), w.Queries[qi+1:]...)
+	c.Events = nil
+	for _, e := range w.Events {
+		if e.Kind == EvAdd || e.Kind == EvRemove {
+			if e.Query == qi {
+				continue
+			}
+			if e.Query > qi {
+				e.Query--
+			}
+		}
+		c.Events = append(c.Events, e)
+	}
+	return c
+}
+
+func (s *shrinker) dropQueries(w *Workload) *Workload {
+	var out *Workload
+	for qi := len(w.Queries) - 1; qi >= 0 && len(w.Queries) > 1; qi-- {
+		if c := dropQuery(w, qi); s.check(c) {
+			w, out = c, c
+		}
+	}
+	return out
+}
+
+// dropEventRuns removes runs of push events: halves first (delta
+// debugging flavor), then singles.
+func (s *shrinker) dropEventRuns(w *Workload) *Workload {
+	pushIdx := func(w *Workload) []int {
+		var idx []int
+		for i, e := range w.Events {
+			if e.Kind == EvPush {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	dropRange := func(w *Workload, idx []int, lo, hi int) *Workload {
+		doomed := map[int]bool{}
+		for _, i := range idx[lo:hi] {
+			doomed[i] = true
+		}
+		c := cloneWorkload(w)
+		c.Events = nil
+		for i, e := range w.Events {
+			if !doomed[i] {
+				c.Events = append(c.Events, e)
+			}
+		}
+		return c
+	}
+	var out *Workload
+	for chunk := len(pushIdx(w)) / 2; chunk >= 1; chunk /= 2 {
+		for {
+			idx := pushIdx(w)
+			shrunk := false
+			for lo := 0; lo+chunk <= len(idx); lo += chunk {
+				if c := dropRange(w, idx, lo, lo+chunk); s.check(c) {
+					w, out, shrunk = c, c, true
+					break // indices shifted; rescan
+				}
+			}
+			if !shrunk {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func cloneGen(g *GenQuery) *GenQuery {
+	c := *g
+	c.From = slices.Clone(g.From)
+	c.Items = slices.Clone(g.Items)
+	c.Where = slices.Clone(g.Where)
+	c.GroupBy = slices.Clone(g.GroupBy)
+	if g.Window != nil {
+		wc := *g.Window
+		wc.Defs = slices.Clone(g.Window.Defs)
+		c.Window = &wc
+	}
+	return &c
+}
+
+// simplifyQueries edits query clauses through the structured GenQuery
+// form (raw-SQL queries loaded from .tcq files are left alone).
+func (s *shrinker) simplifyQueries(w *Workload) *Workload {
+	countAggs := func(g *GenQuery) int {
+		n := 0
+		for _, it := range g.Items {
+			if it.Agg != "" {
+				n++
+			}
+		}
+		return n
+	}
+	var out *Workload
+	for qi := range w.Queries {
+		g := w.Queries[qi].Gen
+		if g == nil || w.Queries[qi].ExpectErr {
+			continue
+		}
+		var edits []func(*GenQuery) bool // return false if inapplicable
+		for i := range g.Where {
+			i := i
+			edits = append(edits, func(c *GenQuery) bool {
+				c.Where = append(slices.Clone(c.Where[:i]), c.Where[i+1:]...)
+				return true
+			})
+		}
+		edits = append(edits,
+			func(c *GenQuery) bool { old := c.Distinct; c.Distinct = false; return old },
+			func(c *GenQuery) bool { old := c.Limit; c.Limit = 0; return old > 0 },
+			func(c *GenQuery) bool {
+				if len(c.GroupBy) == 0 {
+					return false
+				}
+				c.GroupBy = nil
+				// Scalar items are only legal as GROUP BY columns.
+				var items []GenItem
+				for _, it := range c.Items {
+					if it.Agg != "" || it.Star {
+						items = append(items, it)
+					}
+				}
+				if len(items) == 0 {
+					return false
+				}
+				c.Items = items
+				return true
+			},
+			func(c *GenQuery) bool {
+				// Windows are structural for aggregates and historical
+				// queries; only join windows are optional.
+				if c.Kind != QJoin || c.Window == nil {
+					return false
+				}
+				c.Window = nil
+				return true
+			},
+		)
+		if countAggs(g) > 1 {
+			for i := range g.Items {
+				i := i
+				if g.Items[i].Agg == "" {
+					continue
+				}
+				edits = append(edits, func(c *GenQuery) bool {
+					if countAggs(c) <= 1 {
+						return false
+					}
+					c.Items = append(slices.Clone(c.Items[:i]), c.Items[i+1:]...)
+					return true
+				})
+			}
+		}
+		for _, edit := range edits {
+			cg := cloneGen(w.Queries[qi].Gen)
+			if !edit(cg) {
+				continue
+			}
+			c := cloneWorkload(w)
+			c.Queries[qi].Gen = cg
+			c.Queries[qi].SQL = cg.Render()
+			if s.check(c) {
+				w, out = c, c
+			}
+		}
+	}
+	return out
+}
+
+// dropStreams removes streams no query reads and no push feeds.
+func (s *shrinker) dropStreams(w *Workload) *Workload {
+	used := map[string]bool{}
+	for _, q := range w.Queries {
+		if q.Gen != nil {
+			for _, f := range q.Gen.From {
+				used[f.Stream] = true
+			}
+		} else {
+			// Raw SQL: conservatively keep every stream it names.
+			for _, st := range w.Streams {
+				if containsWord(q.SQL, st.Name) {
+					used[st.Name] = true
+				}
+			}
+		}
+	}
+	for _, e := range w.Events {
+		if e.Kind == EvPush {
+			used[e.Stream] = true
+		}
+	}
+	var keep []StreamDef
+	for _, st := range w.Streams {
+		if used[st.Name] {
+			keep = append(keep, st)
+		}
+	}
+	if len(keep) == len(w.Streams) {
+		return nil
+	}
+	c := cloneWorkload(w)
+	c.Streams = keep
+	if s.check(c) {
+		return c
+	}
+	return nil
+}
+
+func containsWord(s, word string) bool {
+	for i := 0; i+len(word) <= len(s); i++ {
+		if s[i:i+len(word)] != word {
+			continue
+		}
+		beforeOK := i == 0 || !isWordByte(s[i-1])
+		afterOK := i+len(word) == len(s) || !isWordByte(s[i+len(word)])
+		if beforeOK && afterOK {
+			return true
+		}
+	}
+	return false
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}

@@ -1,0 +1,401 @@
+// Package refimpl is the differential correctness oracle behind
+// cmd/tcqcheck: a deliberately naive reference interpreter for the
+// engine's query language, a seeded workload generator, and a greedy
+// shrinker. The reference buffers every input tuple and re-evaluates
+// each query from scratch — no shared filters, no SteMs, no eddies, no
+// incremental window state — so its answers are easy to audit. The
+// oracle runs the identical workload through the real engine across a
+// sweep of adaptivity knobs and compares per-query output multisets;
+// any disagreement is an engine bug (or a determinism leak), which the
+// shrinker reduces to a minimal replayable .tcq script.
+package refimpl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"telegraphcq/internal/tuple"
+)
+
+// ColDef is one column of a generated stream.
+type ColDef struct {
+	Name string
+	Kind tuple.Kind
+}
+
+// StreamDef declares one input stream of a workload.
+type StreamDef struct {
+	Name     string
+	Cols     []ColDef
+	Archived bool
+}
+
+// Schema builds the tuple schema of the stream.
+func (s StreamDef) Schema() *tuple.Schema {
+	cols := make([]tuple.Column, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = tuple.Column{Source: s.Name, Name: c.Name, Kind: c.Kind}
+	}
+	return tuple.NewSchema(cols...)
+}
+
+// DDL renders the CREATE STREAM statement. Streams always declare the
+// lossless block policy: the oracle's contract is that every pushed
+// tuple enters the engine, so output multisets are exactly comparable.
+func (s StreamDef) DDL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE STREAM %s (", s.Name)
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, kindName(c.Kind))
+	}
+	b.WriteString(")")
+	if s.Archived {
+		b.WriteString(" ARCHIVED")
+	}
+	b.WriteString(" WITH (overflow = 'block', timeout_ms = 10000)")
+	return b.String()
+}
+
+func kindName(k tuple.Kind) string {
+	switch k {
+	case tuple.KindInt:
+		return "int"
+	case tuple.KindFloat:
+		return "float"
+	case tuple.KindString:
+		return "string"
+	case tuple.KindBool:
+		return "bool"
+	}
+	return "int"
+}
+
+// QueryDef is one workload query: the SQL text both sides consume, plus
+// the structured form the shrinker edits (nil for queries loaded from a
+// .tcq file).
+type QueryDef struct {
+	SQL string
+	// ExpectErr marks a query whose Submit must FAIL (pinned
+	// validation bugs: before the fix the engine accepted — or hung on
+	// — the query; after, it must reject it).
+	ExpectErr bool
+	Gen       *GenQuery
+}
+
+// EventKind discriminates workload events.
+type EventKind uint8
+
+const (
+	// EvPush delivers one tuple into a stream.
+	EvPush EventKind = iota
+	// EvAdd submits a query (by index into Workload.Queries).
+	EvAdd
+	// EvRemove cancels a previously added query.
+	EvRemove
+	// EvBarrier forces quiescence + drain (pins use it for explicit
+	// sequencing; the runner also barriers around add/remove).
+	EvBarrier
+)
+
+// Event is one step of a workload.
+type Event struct {
+	Kind   EventKind
+	Stream string        // EvPush
+	WallMs int64         // EvPush: wall-clock ms; 0 = untimestamped
+	Values []tuple.Value // EvPush
+	Query  int           // EvAdd / EvRemove: index into Queries
+}
+
+// Workload is a complete, self-contained differential test case.
+type Workload struct {
+	Seed    int64
+	Streams []StreamDef
+	Queries []QueryDef
+	Events  []Event
+	// BarrierEvery forces a barrier+drain after every N pushes
+	// (0 = only around add/remove and at the end). Workloads with
+	// windowed joins need 1: SteM eviction horizons are only equal on
+	// both sides when each push is fully routed before the next.
+	BarrierEvery int
+}
+
+// ------------------------------------------------------------- encoding
+
+// Encode renders the workload as a replayable .tcq script.
+func (w *Workload) Encode(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "# tcqcheck workload (seed %d)\n", w.Seed)
+	fmt.Fprintf(bw, "seed %d\n", w.Seed)
+	if w.BarrierEvery > 0 {
+		fmt.Fprintf(bw, "barrier-every %d\n", w.BarrierEvery)
+	}
+	for _, s := range w.Streams {
+		fmt.Fprintf(bw, "stream %s", s.Name)
+		if s.Archived {
+			fmt.Fprint(bw, " archived")
+		}
+		fmt.Fprint(bw, " (")
+		for i, c := range s.Cols {
+			if i > 0 {
+				fmt.Fprint(bw, ", ")
+			}
+			fmt.Fprintf(bw, "%s %s", c.Name, kindName(c.Kind))
+		}
+		fmt.Fprintln(bw, ")")
+	}
+	for i, q := range w.Queries {
+		bang := ""
+		if q.ExpectErr {
+			bang = "!"
+		}
+		fmt.Fprintf(bw, "query%s %d %s\n", bang, i, q.SQL)
+	}
+	for _, e := range w.Events {
+		switch e.Kind {
+		case EvPush:
+			fmt.Fprintf(bw, "push %s", e.Stream)
+			if e.WallMs > 0 {
+				fmt.Fprintf(bw, " @%d", e.WallMs)
+			}
+			fmt.Fprint(bw, " ")
+			for i, v := range e.Values {
+				if i > 0 {
+					fmt.Fprint(bw, ",")
+				}
+				fmt.Fprint(bw, v.String())
+			}
+			fmt.Fprintln(bw)
+		case EvAdd:
+			fmt.Fprintf(bw, "add %d\n", e.Query)
+		case EvRemove:
+			fmt.Fprintf(bw, "remove %d\n", e.Query)
+		case EvBarrier:
+			fmt.Fprintln(bw, "barrier")
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses a .tcq script back into a workload. Queries come back
+// as raw SQL (Gen is nil: loaded workloads replay, they don't shrink).
+func Decode(in io.Reader) (*Workload, error) {
+	w := &Workload{}
+	streams := map[string]StreamDef{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		word, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		var err error
+		switch word {
+		case "seed":
+			w.Seed, err = strconv.ParseInt(rest, 10, 64)
+		case "barrier-every":
+			w.BarrierEvery, err = strconv.Atoi(rest)
+		case "stream":
+			var def StreamDef
+			def, err = decodeStream(rest)
+			if err == nil {
+				streams[def.Name] = def
+				w.Streams = append(w.Streams, def)
+			}
+		case "query", "query!":
+			idStr, sql, ok := strings.Cut(rest, " ")
+			if !ok {
+				err = fmt.Errorf("query wants '<id> <sql>'")
+				break
+			}
+			var id int
+			if id, err = strconv.Atoi(idStr); err != nil {
+				break
+			}
+			if id != len(w.Queries) {
+				err = fmt.Errorf("query ids must be dense and ordered (got %d, want %d)", id, len(w.Queries))
+				break
+			}
+			w.Queries = append(w.Queries, QueryDef{SQL: strings.TrimSpace(sql), ExpectErr: word == "query!"})
+		case "push":
+			var ev Event
+			ev, err = decodePush(rest, streams)
+			if err == nil {
+				w.Events = append(w.Events, ev)
+			}
+		case "add", "remove":
+			var id int
+			if id, err = strconv.Atoi(rest); err != nil {
+				break
+			}
+			if id < 0 || id >= len(w.Queries) {
+				err = fmt.Errorf("unknown query %d", id)
+				break
+			}
+			kind := EvAdd
+			if word == "remove" {
+				kind = EvRemove
+			}
+			w.Events = append(w.Events, Event{Kind: kind, Query: id})
+		case "barrier":
+			w.Events = append(w.Events, Event{Kind: EvBarrier})
+		default:
+			err = fmt.Errorf("unknown directive %q", word)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tcq line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// decodeStream parses "name [archived] (col kind, ...)".
+func decodeStream(rest string) (StreamDef, error) {
+	def := StreamDef{}
+	open := strings.Index(rest, "(")
+	closeIdx := strings.LastIndex(rest, ")")
+	if open < 0 || closeIdx < open {
+		return def, fmt.Errorf("stream wants 'name [archived] (col kind, ...)'")
+	}
+	head := strings.Fields(rest[:open])
+	if len(head) == 0 {
+		return def, fmt.Errorf("stream wants a name")
+	}
+	def.Name = head[0]
+	for _, f := range head[1:] {
+		if f == "archived" {
+			def.Archived = true
+		} else {
+			return def, fmt.Errorf("unknown stream flag %q", f)
+		}
+	}
+	for _, col := range strings.Split(rest[open+1:closeIdx], ",") {
+		parts := strings.Fields(strings.TrimSpace(col))
+		if len(parts) != 2 {
+			return def, fmt.Errorf("bad column %q", col)
+		}
+		k, err := tuple.ParseKind(parts[1])
+		if err != nil {
+			return def, err
+		}
+		def.Cols = append(def.Cols, ColDef{Name: parts[0], Kind: k})
+	}
+	return def, nil
+}
+
+// decodePush parses "stream [@wallms] v,v,...".
+func decodePush(rest string, streams map[string]StreamDef) (Event, error) {
+	ev := Event{Kind: EvPush}
+	parts := strings.Fields(rest)
+	if len(parts) < 2 {
+		return ev, fmt.Errorf("push wants 'stream [@ms] values'")
+	}
+	ev.Stream = parts[0]
+	def, ok := streams[ev.Stream]
+	if !ok {
+		return ev, fmt.Errorf("push into undeclared stream %q", ev.Stream)
+	}
+	vals := parts[1]
+	if strings.HasPrefix(vals, "@") {
+		if len(parts) < 3 {
+			return ev, fmt.Errorf("push wants values after the wall stamp")
+		}
+		ms, err := strconv.ParseInt(vals[1:], 10, 64)
+		if err != nil {
+			return ev, err
+		}
+		ev.WallMs = ms
+		vals = strings.Join(parts[2:], " ")
+	} else {
+		vals = strings.Join(parts[1:], " ")
+	}
+	fields := strings.Split(vals, ",")
+	if len(fields) != len(def.Cols) {
+		return ev, fmt.Errorf("stream %s wants %d values, got %d", ev.Stream, len(def.Cols), len(fields))
+	}
+	for i, f := range fields {
+		v, err := parseValue(strings.TrimSpace(f), def.Cols[i].Kind)
+		if err != nil {
+			return ev, err
+		}
+		ev.Values = append(ev.Values, v)
+	}
+	return ev, nil
+}
+
+func parseValue(s string, k tuple.Kind) (tuple.Value, error) {
+	switch k {
+	case tuple.KindInt:
+		n, err := strconv.ParseInt(s, 10, 64)
+		return tuple.Int(n), err
+	case tuple.KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		return tuple.Float(f), err
+	case tuple.KindBool:
+		b, err := strconv.ParseBool(s)
+		return tuple.Bool(b), err
+	default:
+		return tuple.String(s), nil
+	}
+}
+
+// ---------------------------------------------------------- multisets
+
+// Multiset counts rendered output rows.
+type Multiset map[string]int
+
+// Add counts one row.
+func (m Multiset) Add(row string) { m[row]++ }
+
+// Total returns the number of rows (with multiplicity).
+func (m Multiset) Total() int {
+	n := 0
+	for _, c := range m {
+		n += c
+	}
+	return n
+}
+
+// Diff returns rows missing from got (present in m with higher count)
+// and rows extra in got, as "row ×count" strings.
+func (m Multiset) Diff(got Multiset) (missing, extra []string) {
+	for row, want := range m {
+		if have := got[row]; have < want {
+			missing = append(missing, fmt.Sprintf("%s ×%d", row, want-have))
+		}
+	}
+	for row, have := range got {
+		if want := m[row]; have > want {
+			extra = append(extra, fmt.Sprintf("%s ×%d", row, have-want))
+		}
+	}
+	return missing, extra
+}
+
+// RenderRow is the canonical row encoding both sides share: each value
+// tagged with its kind so "1" (int) and "1" (string) never collide, and
+// joined with an unprintable separator so column boundaries are
+// unambiguous.
+func RenderRow(vals []tuple.Value) string {
+	var b strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteByte(byte('0' + v.K))
+		b.WriteString(v.String())
+	}
+	return b.String()
+}

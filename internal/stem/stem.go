@@ -167,7 +167,8 @@ func (s *SteM) EvictBefore(seq int64) int {
 }
 
 // EvictOutside removes stored tuples whose instant in the given domain
-// falls outside [left, right].
+// falls outside [left, right]. Tuples with no coordinate in the domain
+// (tuple.NoInstant) belong to no window and are always evicted.
 func (s *SteM) EvictOutside(d tuple.Domain, left, right int64) int {
 	return s.evict(func(t *tuple.Tuple) bool {
 		x := t.TS.Instant(d)

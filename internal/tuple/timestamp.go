@@ -1,6 +1,9 @@
 package tuple
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // Timestamp carries the two simultaneous notions of time the paper's
 // windowing algebra supports (§4.1): a logical sequence number assigned
@@ -88,15 +91,24 @@ func (d Domain) String() string {
 	return "physical"
 }
 
+// NoInstant is the sentinel Instant returns for a timestamp that has no
+// coordinate in the requested domain (an untimestamped tuple asked for
+// physical time). It lies below every representable instant, so range
+// checks exclude it; window operators additionally skip it explicitly —
+// an untimestamped tuple belongs to no physical window, rather than to
+// whichever window happens to touch the epoch.
+const NoInstant = int64(math.MinInt64)
+
 // Instant extracts the coordinate of ts in the given domain. Physical
 // instants are expressed in milliseconds since the Unix epoch — the
-// granularity the SQL dialect's PHYSICAL windows quantify over.
+// granularity the SQL dialect's PHYSICAL windows quantify over. A zero
+// Wall in the physical domain yields NoInstant, never 0 (the epoch).
 func (ts Timestamp) Instant(d Domain) int64 {
 	if d == LogicalTime {
 		return ts.Seq
 	}
 	if ts.Wall.IsZero() {
-		return 0
+		return NoInstant
 	}
 	return ts.Wall.UnixMilli()
 }

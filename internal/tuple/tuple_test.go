@@ -280,8 +280,14 @@ func TestInstant(t *testing.T) {
 	if ts.Instant(PhysicalTime) != 5000 { // milliseconds
 		t.Errorf("physical instant = %d", ts.Instant(PhysicalTime))
 	}
-	if (Timestamp{}).Instant(PhysicalTime) != 0 {
-		t.Error("zero wall should map to 0")
+	// A zero Wall has no physical coordinate: it must map to the
+	// NoInstant sentinel, not to the epoch (0), which would place
+	// untimestamped tuples inside any physical window touching it.
+	if got := (Timestamp{}).Instant(PhysicalTime); got != NoInstant {
+		t.Errorf("zero wall instant = %d, want NoInstant", got)
+	}
+	if (Timestamp{Seq: 7}).Instant(LogicalTime) != 7 {
+		t.Error("logical instant ignores wall")
 	}
 }
 

@@ -1,0 +1,140 @@
+package window
+
+import (
+	"math"
+	"testing"
+)
+
+// TestValidateTermination exercises every condition-operator /
+// step-sign combination: a bounded condition the step direction can
+// never falsify is rejected (the dead check this pins used to return
+// nil on both paths).
+func TestValidateTermination(t *testing.T) {
+	mk := func(op CondOp, step int64) *Spec {
+		return &Spec{
+			Init: ConstExpr(10),
+			Cond: Cond{Op: op, RHS: ConstExpr(100)},
+			Step: step,
+			Defs: []Def{{Stream: "S", Left: TExpr(-4), Right: TExpr(0)}},
+		}
+	}
+	cases := []struct {
+		name string
+		op   CondOp
+		step int64
+		ok   bool
+	}{
+		{"true/pos", CondTrue, 1, true},   // explicit continuous
+		{"true/neg", CondTrue, -1, true},  // continuous, backward
+		{"eq/pos", CondEq, 1, true},       // snapshot idiom: step breaks equality
+		{"eq/neg", CondEq, -1, true},      // snapshot idiom, backward step
+		{"eq/zero", CondEq, 0, true},      // one-shot
+		{"lt/pos", CondLt, 1, true},       // t grows toward the bound
+		{"lt/neg", CondLt, -1, false},     // t shrinks: t < X never fails
+		{"le/pos", CondLe, 1, true},       //
+		{"le/neg", CondLe, -1, false},     // t <= X never fails
+		{"gt/pos", CondGt, 1, false},      // t > X never fails
+		{"gt/neg", CondGt, -1, true},      // backward browsing toward the bound
+		{"ge/pos", CondGe, 1, false},      // t >= X never fails
+		{"ge/neg", CondGe, -1, true},      //
+		{"lt/zero", CondLt, 0, false},     // zero step needs ==
+		{"gt/zero", CondGt, 0, false},     //
+		{"true/zero", CondTrue, 0, false}, //
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mk(tc.op, tc.step).Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("valid spec rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("non-terminating spec (t %s 100; t += %d) validated", tc.op, tc.step)
+			}
+		})
+	}
+	// The presets must all stay valid.
+	for _, s := range []*Spec{
+		Snapshot("S", 1, 5),
+		Landmark("S", 1, 1, 10),
+		Sliding("S", 5, 2, 10),
+		Sliding("S", 5, 2, 0), // continuous
+		BandJoin("a", "b", 5, 10),
+		Backward("S", 5, 2, 3),
+	} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("preset rejected: %v", err)
+		}
+	}
+}
+
+// TestClassifyBackwardWidth pins the Classify bug that reported width=0
+// for every backward window.
+func TestClassifyBackwardWidth(t *testing.T) {
+	spec := Backward("S", 5, 2, 3) // windows of 5 instants, hopping back 2
+	kind, width, hop := spec.Classify()
+	if kind != KindBackward {
+		t.Fatalf("kind = %v, want backward", kind)
+	}
+	if width != 5 {
+		t.Fatalf("backward width = %d, want 5", width)
+	}
+	if hop != 2 {
+		t.Fatalf("backward hop = %d, want 2", hop)
+	}
+}
+
+// TestClassifyPerDef pins the bug where sliding width/hop came from
+// Defs[0] only: a band join with asymmetric widths must not report the
+// first stream's width for both, and per-def classification must still
+// see each side's true extent.
+func TestClassifyPerDef(t *testing.T) {
+	spec := BandJoin("a", "b", 3, 0)
+	spec.Defs[1].Left = TExpr(-6) // b keeps 7 instants, a keeps 3
+
+	kind, width, hop := spec.Classify()
+	if kind != KindMixed || width != 0 || hop != 0 {
+		t.Fatalf("asymmetric band join Classify = (%v, %d, %d), want (mixed, 0, 0)", kind, width, hop)
+	}
+
+	ka, wa, ha := spec.ClassifyDef(spec.Defs[0])
+	kb, wb, hb := spec.ClassifyDef(spec.Defs[1])
+	if ka != KindSliding || wa != 3 || ha != 1 {
+		t.Fatalf("def a = (%v, %d, %d), want (sliding, 3, 1)", ka, wa, ha)
+	}
+	if kb != KindSliding || wb != 7 || hb != 1 {
+		t.Fatalf("def b = (%v, %d, %d), want (sliding, 7, 1)", kb, wb, hb)
+	}
+
+	if r := spec.Retention("a"); r != 3 {
+		t.Fatalf("Retention(a) = %d, want 3", r)
+	}
+	if r := spec.Retention("b"); r != 7 {
+		t.Fatalf("Retention(b) = %d, want 7", r)
+	}
+	// Unknown streams and growing windows retain everything.
+	if r := spec.Retention("zzz"); r != math.MaxInt64 {
+		t.Fatalf("Retention(zzz) = %d, want MaxInt64", r)
+	}
+	if r := Landmark("S", 1, 1, 10).Retention("S"); r != math.MaxInt64 {
+		t.Fatalf("landmark Retention = %d, want MaxInt64", r)
+	}
+}
+
+// TestClassifyAgreeingDefs: a symmetric band join still classifies as a
+// single sliding kind with one width/hop.
+func TestClassifyAgreeingDefs(t *testing.T) {
+	kind, width, hop := BandJoin("a", "b", 5, 10).Classify()
+	if kind != KindSliding || width != 5 || hop != 1 {
+		t.Fatalf("band join Classify = (%v, %d, %d), want (sliding, 5, 1)", kind, width, hop)
+	}
+	kind, width, hop = Sliding("S", 8, 3, 0).Classify()
+	if kind != KindSliding || width != 8 || hop != 3 {
+		t.Fatalf("sliding Classify = (%v, %d, %d), want (sliding, 8, 3)", kind, width, hop)
+	}
+	if kind, _, _ := Landmark("S", 1, 1, 10).Classify(); kind != KindLandmark {
+		t.Fatalf("landmark Classify = %v", kind)
+	}
+	if kind, _, _ := Snapshot("S", 1, 5).Classify(); kind != KindSnapshot {
+		t.Fatalf("snapshot Classify = %v", kind)
+	}
+}

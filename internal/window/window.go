@@ -190,13 +190,20 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("zero step requires a one-shot (==) condition")
 		}
 	}
-	// Non-terminating snapshot idiom like "t==0; t=-1" is fine: step -1
-	// breaks equality. Detect steps that move away from a bounded cond
-	// yet can never falsify it.
+	// A bounded condition must be falsifiable by the step direction.
+	// "t > X" with a growing t (or "t < X" with a shrinking one) either
+	// fails on the first iteration or holds forever — there is no third
+	// outcome, so the bound is dead weight and a sequence consumer (the
+	// archive scanner, the aggregate operator) would loop without end.
+	// CondTrue is the explicit way to declare a continuous loop, and the
+	// snapshot idiom "t == X; t += s" terminates by breaking equality.
 	if s.Step > 0 && (s.Cond.Op == CondGt || s.Cond.Op == CondGe) {
-		// t grows and condition is t > X: never terminates, which is a
-		// continuous query; allowed.
-		return nil
+		return fmt.Errorf("window condition t %s %s can never fail with step +%d (use no condition for a continuous window)",
+			s.Cond.Op, s.Cond.RHS, s.Step)
+	}
+	if s.Step < 0 && (s.Cond.Op == CondLt || s.Cond.Op == CondLe) {
+		return fmt.Errorf("window condition t %s %s can never fail with step %d (use no condition for a continuous window)",
+			s.Cond.Op, s.Cond.RHS, s.Step)
 	}
 	return nil
 }
@@ -229,42 +236,79 @@ func (k Kind) String() string {
 	}
 }
 
-// Classify reports the spec's window kind and, for sliding windows, the
-// width and hop. A hop larger than the width means portions of the
-// stream are never examined (§4.1.2); callers can warn on it.
-func (s *Spec) Classify() (kind Kind, width, hop int64) {
-	oneShot := s.Cond.Op == CondEq
-	if oneShot {
-		return KindSnapshot, 0, 0
-	}
-	if s.Step < 0 {
-		return KindBackward, 0, -s.Step
-	}
-	var k Kind
-	set := false
-	for _, d := range s.Defs {
-		var dk Kind
-		switch {
-		case !d.Left.DependsOnT() && d.Right.DependsOnT():
-			dk = KindLandmark
-		case d.Left.DependsOnT() && d.Right.DependsOnT():
-			dk = KindSliding
-		default:
-			dk = KindSnapshot // static window repeated
+// ClassifyDef classifies one WindowIs definition under the spec's
+// transition behaviour. width is the window's fixed extent (instants
+// spanned, inclusive) when both bounds move together — sliding, backward
+// and static windows are "rigid" this way; landmark windows grow, so
+// their width is reported as 0 ("unbounded"). hop is how far the right
+// edge moves per iteration (always reported as a magnitude).
+func (s *Spec) ClassifyDef(d Def) (kind Kind, width, hop int64) {
+	rigid := d.Left.TCoef == d.Right.TCoef && d.Left.STCoef == d.Right.STCoef
+	if rigid {
+		width = d.Right.Const - d.Left.Const + 1
+		if width < 0 {
+			width = 0 // inverted bounds: an always-empty window
 		}
-		if !set {
-			k, set = dk, true
-		} else if dk != k {
+	}
+	if s.Cond.Op == CondEq {
+		return KindSnapshot, width, 0 // one-shot: the loop body runs once
+	}
+	hop = s.Step * d.Right.TCoef
+	if hop < 0 {
+		hop = -hop
+	}
+	switch {
+	case s.Step < 0:
+		kind = KindBackward
+	case !d.Left.DependsOnT() && d.Right.DependsOnT():
+		kind = KindLandmark
+	case d.Left.DependsOnT() && d.Right.DependsOnT():
+		kind = KindSliding
+	default:
+		kind = KindSnapshot // static window repeated
+	}
+	return kind, width, hop
+}
+
+// Classify reports the spec's window kind and, for rigid windows, the
+// width and hop. Kind, width and hop are derived per WindowIs definition
+// (a band join may declare different widths per stream); when the
+// definitions disagree the spec is KindMixed and callers must fall back
+// to ClassifyDef (or Retention) for per-stream decisions. A hop larger
+// than the width means portions of the stream are never examined
+// (§4.1.2); callers can warn on it.
+func (s *Spec) Classify() (kind Kind, width, hop int64) {
+	if len(s.Defs) == 0 {
+		return KindMixed, 0, 0
+	}
+	kind, width, hop = s.ClassifyDef(s.Defs[0])
+	for _, d := range s.Defs[1:] {
+		dk, dw, dh := s.ClassifyDef(d)
+		if dk != kind || dw != width || dh != hop {
 			return KindMixed, 0, 0
 		}
 	}
-	if k == KindSliding {
-		// width from any def (they share transition behaviour).
-		d := s.Defs[0]
-		width = d.Right.Eval(0, 0) - d.Left.Eval(0, 0) + 1
-		hop = s.Step * d.Right.TCoef
+	return kind, width, hop
+}
+
+// Retention returns how many trailing instants of stream the executor
+// must keep reachable for this window: the per-definition width for
+// rigid forward-moving (sliding) windows, math.MaxInt64 when the window
+// can reach arbitrarily far back (landmark and snapshot anchor their
+// left edge; backward windows browse history). Shared-state eviction
+// uses it per stream — the two sides of a band join may retain
+// different amounts.
+func (s *Spec) Retention(stream string) int64 {
+	for _, d := range s.Defs {
+		if d.Stream != stream {
+			continue
+		}
+		if kind, width, _ := s.ClassifyDef(d); kind == KindSliding && width > 0 {
+			return width
+		}
+		return math.MaxInt64
 	}
-	return k, width, hop
+	return math.MaxInt64
 }
 
 // Instance is one iteration of the loop: a concrete window per stream.
