@@ -1,0 +1,60 @@
+package cacq
+
+import (
+	"testing"
+
+	"telegraphcq/internal/expr"
+)
+
+// Q0: equi-join stocks.sym = news.sym. Q1: pure Cartesian stocks x news.
+// Both share the same SteMs. Q1 must see the full cross product.
+func TestCartesianSharesStemWithEquiJoin(t *testing.T) {
+	s := newSink()
+	e := NewEngine(nil, s.deliver)
+	if err := e.AddQuery(&Query{
+		ID:      0,
+		Sources: []string{"stocks", "news"},
+		Where:   expr.Bin(expr.OpEq, expr.Col("stocks", "sym"), expr.Col("news", "sym")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddQuery(&Query{
+		ID:      1,
+		Sources: []string{"stocks", "news"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = e.Push(stock(1, "MSFT", 50))
+	_ = e.Push(news(1, "MSFT", 0.9))
+	_ = e.Push(news(2, "IBM", 0.5))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.rows[0]); got != 1 {
+		t.Errorf("equi-join rows = %d, want 1", got)
+	}
+	if got := len(s.rows[1]); got != 2 {
+		t.Errorf("cartesian rows = %d, want 2 (1 stock x 2 news)", got)
+	}
+}
+
+// Cartesian alone (control): should work per the PR's fix.
+func TestCartesianAlone(t *testing.T) {
+	s := newSink()
+	e := NewEngine(nil, s.deliver)
+	if err := e.AddQuery(&Query{
+		ID:      1,
+		Sources: []string{"stocks", "news"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = e.Push(stock(1, "MSFT", 50))
+	_ = e.Push(news(1, "MSFT", 0.9))
+	_ = e.Push(news(2, "IBM", 0.5))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.rows[1]); got != 2 {
+		t.Errorf("cartesian rows = %d, want 2", got)
+	}
+}
