@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench benchjson oracle clean
+.PHONY: build test race vet bench benchjson oracle loadtest clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ oracle:
 	$(GO) run ./cmd/tcqcheck -seeds 200
 	$(GO) run ./cmd/tcqcheck -seeds 200 -chaos
 
+# Fan-out smoke gate (the CI job): 1k subscribers under the block
+# policy for 10s must lose nothing and keep p99 delivery latency under
+# 250ms; the latency histogram lands in loadtest-hist.txt. The full
+# 100k-subscriber E11 run is `go run ./cmd/tcqload` with defaults.
+loadtest:
+	$(GO) run ./cmd/tcqload -subs 1000 -dur 10s -policy block \
+		-assert-zero-loss -max-p99 250ms -hist loadtest-hist.txt
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_*.json
+	rm -f BENCH_*.json loadtest-hist.txt

@@ -1,0 +1,363 @@
+// Command tcqload measures the fan-out subsystem at scale: it runs an
+// embedded catalog + executor, submits one standing query, attaches N
+// fan-out subscribers (mock clients), drives paced ingest through the
+// normal Push path, and reports per-policy delivery latency
+// (p50/p95/p99 of frame birth → consume) and loss.
+//
+// The subscribers are serviced by a small pool of polling workers —
+// each worker owns a shard and drains frames with TryNextFrame — so the
+// harness itself stays at O(workers) goroutines while the engine side
+// exercises the real tree (relay stages, refcounted frames, QoS books).
+//
+// Usage:
+//
+//	tcqload -subs 100000 -dur 30s                     # the E11 run
+//	tcqload -subs 100000 -policy drop-oldest,block    # compare policies
+//	tcqload -subs 1000 -dur 10s -policy block \
+//	        -assert-zero-loss -max-p99 250ms -hist hist.txt   # CI smoke
+//
+// Exit status is non-zero when an assertion fails: shed counters that
+// do not reconcile (offered != consumed+dedup+shed), an encode count
+// that scaled with subscribers instead of frames, -assert-zero-loss
+// violated, or -max-p99 exceeded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/executor"
+	"telegraphcq/internal/fanout"
+	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/sql"
+	"telegraphcq/internal/tuple"
+)
+
+func main() {
+	var (
+		subs     = flag.Int("subs", 100000, "concurrent mock subscribers")
+		dur      = flag.Duration("dur", 30*time.Second, "ingest duration")
+		rate     = flag.Int("rate", 5000, "ingest rows per second")
+		batch    = flag.Int("batch", 500, "max rows per PushBatch")
+		policies = flag.String("policy", "drop-oldest", "comma-separated overflow policies, assigned round-robin")
+		queue    = flag.Int("queue", 64, "per-subscriber frame ring capacity")
+		timeout  = flag.Duration("timeout", fjord.DefaultBlockTimeout, "block-policy offer timeout")
+		sampleP  = flag.Float64("sample", 0.5, "sample-policy admit probability")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "polling workers servicing the subscribers")
+		cohorts  = flag.Int("cohorts", 0, "spread subscribers over this many shared-cursor cohorts (0 = none)")
+		drain    = flag.Duration("drain", 5*time.Second, "grace period to drain queued frames after ingest stops")
+		histOut  = flag.String("hist", "", "write the merged latency histogram to this file")
+		zeroLoss = flag.Bool("assert-zero-loss", false, "exit 1 if any subscriber shed a frame")
+		maxP99   = flag.Duration("max-p99", 0, "exit 1 if overall p99 delivery latency exceeds this (0 = no bound)")
+		verbose  = flag.Bool("v", false, "print per-second progress")
+	)
+	flag.Parse()
+
+	pols, err := parsePolicies(*policies)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Embedded engine: the load path under test is Push → EO → Hub →
+	// fan-out tree → subscriber ring, i.e. everything but the TCP write.
+	cat := catalog.New()
+	x := executor.New(cat, executor.Options{SampleInterval: -1})
+	defer x.Close()
+
+	cols := []tuple.Column{
+		{Source: "gen", Name: "k", Kind: tuple.KindInt},
+		{Source: "gen", Name: "v", Kind: tuple.KindFloat},
+	}
+	src, err := cat.CreateStream("gen", cols, false)
+	if err != nil {
+		fatal(err)
+	}
+	// Lossless ingress edge: loss, if any, must happen at the subscriber
+	// edge where the policies under test live — not upstream of them.
+	src.SetQoS(fjord.QoS{Policy: fjord.Block, BlockTimeout: time.Second})
+
+	st, err := sql.Parse("SELECT * FROM gen")
+	if err != nil {
+		fatal(err)
+	}
+	id, err := x.SubmitDetached(st.(*sql.Select))
+	if err != nil {
+		fatal(err)
+	}
+	tree, err := x.FanoutTree(id)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Attach the fleet.
+	attachStart := time.Now()
+	fleet := make([]*fanout.Subscriber, *subs)
+	for i := range fleet {
+		opts := fanout.SubOptions{
+			QoS: fjord.QoS{
+				Policy:       pols[i%len(pols)],
+				SampleP:      *sampleP,
+				BlockTimeout: *timeout,
+			},
+			Queue: *queue,
+		}
+		if *cohorts > 0 {
+			opts.Cohort = fmt.Sprintf("c%03d", i%*cohorts)
+		}
+		sub, err := tree.Attach(opts)
+		if err != nil {
+			fatal(fmt.Errorf("attach %d/%d: %w", i, *subs, err))
+		}
+		fleet[i] = sub
+	}
+	attachTook := time.Since(attachStart)
+	fmt.Printf("attached %d subscribers in %v (%.0f/s), tree stages=%d\n",
+		*subs, attachTook.Round(time.Millisecond),
+		float64(*subs)/attachTook.Seconds(), tree.Stats().Stages)
+
+	// Workers: each owns fleet[w], fleet[w+W], ... and drains frames into
+	// per-policy histograms (merged after the run; Histogram is not
+	// goroutine-safe by design).
+	stopWorkers := make(chan struct{})
+	var wg sync.WaitGroup
+	hists := make([][]*fanout.Histogram, *workers)
+	for w := 0; w < *workers; w++ {
+		hists[w] = make([]*fanout.Histogram, len(pols))
+		for p := range pols {
+			hists[w][p] = &fanout.Histogram{}
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idle := true
+				for i := w; i < len(fleet); i += *workers {
+					h := hists[w][i%len(pols)]
+					// Bounded burst per subscriber per sweep so one hot
+					// ring cannot starve the rest of the shard.
+					for k := 0; k < 32; k++ {
+						f, ok := fleet[i].TryNextFrame()
+						if !ok {
+							break
+						}
+						h.Record(time.Since(f.Born()))
+						f.Release()
+						idle = false
+					}
+				}
+				select {
+				case <-stopWorkers:
+					return
+				default:
+				}
+				if idle {
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}(w)
+	}
+
+	// Paced ingest: fixed ticks, rate/tickHz rows each.
+	const tickHz = 50
+	perTick := *rate / tickHz
+	if perTick < 1 {
+		perTick = 1
+	}
+	var pushed int64
+	ingestStart := time.Now()
+	stopProgress := make(chan struct{})
+	if *verbose {
+		go func() {
+			tk := time.NewTicker(time.Second)
+			defer tk.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-tk.C:
+					s := tree.Stats()
+					fmt.Printf("  t=%v pushed=%d frames=%d offered=%d consumed=%d shed=%d pending=%d\n",
+						time.Since(ingestStart).Round(time.Second), pushed,
+						s.Published, s.Offered, s.Consumed, s.Shed, s.Pending)
+				}
+			}
+		}()
+	}
+	tick := time.NewTicker(time.Second / tickHz)
+	deadline := time.Now().Add(*dur)
+	rows := make([][]tuple.Value, 0, perTick)
+	for time.Now().Before(deadline) {
+		<-tick.C
+		for got := 0; got < perTick; {
+			n := perTick - got
+			if n > *batch {
+				n = *batch
+			}
+			rows = rows[:0]
+			for j := 0; j < n; j++ {
+				rows = append(rows, []tuple.Value{
+					tuple.Int(pushed + int64(j)),
+					tuple.Float(float64(pushed+int64(j)) * 0.5),
+				})
+			}
+			if _, err := x.PushBatch("gen", rows); err != nil {
+				fatal(err)
+			}
+			pushed += int64(n)
+			got += n
+		}
+	}
+	tick.Stop()
+	ingestTook := time.Since(ingestStart)
+
+	// Flush in-flight tuples through the EOs, then let the workers drain
+	// the tree. Stop waiting when it is empty or stops shrinking (a
+	// saturated Block fleet may legitimately still be paying timeouts).
+	_ = x.Barrier()
+	drainBy := time.Now().Add(*drain)
+	last, stalled := -1, 0
+	for time.Now().Before(drainBy) && stalled < 200 {
+		p := tree.Pending()
+		if p == 0 {
+			break
+		}
+		if p == last {
+			stalled++
+		} else {
+			stalled, last = 0, p
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stopWorkers)
+	wg.Wait()
+	if *verbose {
+		close(stopProgress)
+	}
+
+	// ---------------------------------------------------------- report
+	stats := tree.Stats()
+	enc := tree.Encoder()
+	fmt.Printf("\ningest: %d rows in %v (%.0f rows/s), %d frames published (%d rows framed)\n",
+		pushed, ingestTook.Round(time.Millisecond), float64(pushed)/ingestTook.Seconds(),
+		stats.Published, stats.PublishedRows)
+
+	exit := 0
+
+	// Encode-once: serializations must track frames, not frame×subs.
+	naive := stats.Published * int64(*subs)
+	fmt.Printf("encode-once: %d live encodes for %d frames across %d subscribers (naive per-sub encoding = %d)\n",
+		enc.LiveEncodes(), stats.Published, *subs, naive)
+	if enc.LiveEncodes() != stats.Published {
+		fmt.Printf("FAIL encode-once violated: %d encodes != %d published frames\n",
+			enc.LiveEncodes(), stats.Published)
+		exit = 1
+	}
+
+	// Reconciliation: every offered frame is accounted for exactly once.
+	if got := stats.Consumed + stats.Dedup + stats.Shed + stats.Pending; got != stats.Offered {
+		fmt.Printf("FAIL shed counters do not reconcile: offered=%d but consumed+dedup+shed+pending=%d\n",
+			stats.Offered, got)
+		exit = 1
+	} else {
+		fmt.Printf("reconciled: offered=%d = consumed=%d + dedup=%d + shed=%d + pending=%d\n",
+			stats.Offered, stats.Consumed, stats.Dedup, stats.Shed, stats.Pending)
+	}
+
+	// Per-policy books + latency.
+	all := &fanout.Histogram{}
+	fmt.Printf("\n%-12s %8s %14s %14s %12s %8s %10s %10s %10s\n",
+		"policy", "subs", "offered", "consumed", "shed", "loss%", "p50", "p95", "p99")
+	for p, pol := range pols {
+		var offered, consumed, shed int64
+		n := 0
+		for i := p; i < len(fleet); i += len(pols) {
+			ss := fleet[i].Stats()
+			offered += ss.Offered
+			consumed += ss.Consumed
+			shed += ss.Shed
+			n++
+		}
+		h := &fanout.Histogram{}
+		for w := range hists {
+			h.Merge(hists[w][p])
+		}
+		all.Merge(h)
+		loss := 0.0
+		if offered > 0 {
+			loss = 100 * float64(shed) / float64(offered)
+		}
+		fmt.Printf("%-12s %8d %14d %14d %12d %7.3f%% %10v %10v %10v\n",
+			pol, n, offered, consumed, shed, loss,
+			h.Percentile(50).Round(time.Microsecond),
+			h.Percentile(95).Round(time.Microsecond),
+			h.Percentile(99).Round(time.Microsecond))
+		if *zeroLoss && shed > 0 {
+			fmt.Printf("FAIL zero-loss assertion: policy %v shed %d frames\n", pol, shed)
+			exit = 1
+		}
+	}
+	p99 := all.Percentile(99)
+	fmt.Printf("\noverall: %d frame deliveries, p50=%v p95=%v p99=%v max=%v\n",
+		all.Count(),
+		all.Percentile(50).Round(time.Microsecond),
+		all.Percentile(95).Round(time.Microsecond),
+		p99.Round(time.Microsecond),
+		all.Max().Round(time.Microsecond))
+	if *maxP99 > 0 && p99 > *maxP99 {
+		fmt.Printf("FAIL p99 %v exceeds bound %v\n", p99.Round(time.Microsecond), *maxP99)
+		exit = 1
+	}
+
+	if *histOut != "" {
+		if err := writeHist(*histOut, all, *subs, pols, p99); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("histogram written to %s\n", *histOut)
+	}
+	os.Exit(exit)
+}
+
+func parsePolicies(s string) ([]fjord.OverflowPolicy, error) {
+	var out []fjord.OverflowPolicy
+	for _, part := range strings.Split(s, ",") {
+		p, err := fjord.ParseOverflowPolicy(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// writeHist dumps the merged latency histogram as "floor_ns count"
+// lines with a '#'-prefixed summary header (the CI artifact format).
+func writeHist(path string, h *fanout.Histogram, subs int, pols []fjord.OverflowPolicy, p99 time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	names := make([]string, len(pols))
+	for i, p := range pols {
+		names[i] = p.String()
+	}
+	fmt.Fprintf(f, "# tcqload delivery-latency histogram (ns buckets, log-linear)\n")
+	fmt.Fprintf(f, "# subs=%d policies=%s samples=%d p50=%d p95=%d p99=%d max=%d\n",
+		subs, strings.Join(names, ","), h.Count(),
+		h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+	h.Buckets(func(floor time.Duration, count uint64) {
+		fmt.Fprintf(f, "%d %d\n", int64(floor), count)
+	})
+	return f.Sync()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcqload:", err)
+	os.Exit(1)
+}

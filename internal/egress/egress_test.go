@@ -1,6 +1,7 @@
 package egress
 
 import (
+	"errors"
 	"testing"
 
 	"telegraphcq/internal/tuple"
@@ -104,5 +105,112 @@ func TestCloseAll(t *testing.T) {
 	h.CloseAll()
 	if _, ok := s1.Next(); ok {
 		t.Fatal("subscription alive after CloseAll")
+	}
+}
+
+func TestSubscribeDisplacesPrevious(t *testing.T) {
+	h := NewHub()
+	s1 := h.Subscribe(1, 4)
+	h.Deliver(1, row(1))
+	s2 := h.Subscribe(1, 4) // same id: the older subscription is displaced
+	// The displaced consumer drains what it had, then sees the reason.
+	if _, ok := s1.Next(); !ok {
+		t.Fatal("displaced subscription lost its buffered row")
+	}
+	if _, ok := s1.Next(); ok {
+		t.Fatal("displaced subscription still live")
+	}
+	if !errors.Is(s1.Err(), ErrDisplaced) {
+		t.Fatalf("displaced err = %v", s1.Err())
+	}
+	// New rows flow to the replacement, not the ghost.
+	h.Deliver(1, row(2))
+	got, ok := s2.Next()
+	if !ok || got.Values[0].I != 2 {
+		t.Fatalf("replacement got %v %v", got, ok)
+	}
+}
+
+func TestFailThenDrainOrdering(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(1, 8)
+	sp := h.SpoolFor(1, 8)
+	for i := 0; i < 3; i++ {
+		h.Deliver(1, row(int64(i)))
+	}
+	boom := errors.New("operator quarantined")
+	h.Fail(1, boom)
+	// Every row delivered before the failure drains in order first...
+	for i := 0; i < 3; i++ {
+		got, ok := sub.Next()
+		if !ok || got.Values[0].I != int64(i) {
+			t.Fatalf("drain row %d: %v %v", i, got, ok)
+		}
+	}
+	// ...then the terminal error is observed.
+	if _, ok := sub.Next(); ok {
+		t.Fatal("read past failure")
+	}
+	if !errors.Is(sub.Err(), boom) || !errors.Is(sp.Err(), boom) {
+		t.Fatalf("errs: sub=%v spool=%v", sub.Err(), sp.Err())
+	}
+	// Producers racing past the failure neither panic nor leak: the row
+	// is recycled and counted, not enqueued into the sealed queue.
+	before := sub.Dropped()
+	h.Deliver(1, row(99))
+	if sub.Dropped() != before+1 {
+		t.Fatalf("post-fail delivery not counted: %d -> %d", before, sub.Dropped())
+	}
+}
+
+func TestSpoolFetchIntoAtBaseBoundary(t *testing.T) {
+	sp := NewSpool(5)
+	for i := 0; i < 12; i++ {
+		sp.Append(row(int64(i)))
+	}
+	if sp.Base() != 7 || sp.End() != 12 {
+		t.Fatalf("base=%d end=%d", sp.Base(), sp.End())
+	}
+	buf := make([]*tuple.Tuple, 0, 3)
+	// Exactly at the base: no clamp, rows 7..9.
+	rows, next := sp.FetchInto(buf, 7)
+	if len(rows) != 3 || rows[0].Values[0].I != 7 || next != 10 {
+		t.Fatalf("at base: %v next %d", rows, next)
+	}
+	// Below the base (aged out): clamps forward to the oldest retained
+	// row, and next reflects the clamp so callers can detect the gap.
+	rows, next = sp.FetchInto(buf, 2)
+	if len(rows) != 3 || rows[0].Values[0].I != 7 || next != 10 {
+		t.Fatalf("below base: %v next %d", rows, next)
+	}
+	// At the end: empty, next stays put.
+	rows, next = sp.FetchInto(buf, 12)
+	if len(rows) != 0 || next != 12 {
+		t.Fatalf("at end: %v next %d", rows, next)
+	}
+	// Zero-capacity destination is a no-op, not a spin hazard.
+	rows, next = sp.FetchInto(nil, 7)
+	if len(rows) != 0 || next != 7 {
+		t.Fatalf("nil dst: %v next %d", rows, next)
+	}
+}
+
+func TestSpoolFetchIntoDoesNotAllocate(t *testing.T) {
+	sp := NewSpool(64)
+	for i := 0; i < 64; i++ {
+		sp.Append(row(int64(i)))
+	}
+	buf := make([]*tuple.Tuple, 0, 16)
+	var from int64
+	allocs := testing.AllocsPerRun(100, func() {
+		var rows []*tuple.Tuple
+		rows, from = sp.FetchInto(buf, from)
+		if from >= sp.End() {
+			from = 0
+		}
+		_ = rows
+	})
+	if allocs != 0 {
+		t.Fatalf("FetchInto allocates %v per call", allocs)
 	}
 }

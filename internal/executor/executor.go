@@ -534,6 +534,20 @@ func (x *Executor) Quarantines() int64 {
 // EO by footprint, registers the query, and returns its id and a result
 // subscription.
 func (x *Executor) Submit(sel *sql.Select) (int, *egress.Subscription, error) {
+	return x.submit(sel, true)
+}
+
+// SubmitDetached registers a query with no single-consumer push
+// subscription: results reach only the query's spool and/or fan-out
+// tree. This is the submission path for SUBSCRIBE SELECT, where N
+// clients share one encode-once delivery point instead of one SPSC
+// ring.
+func (x *Executor) SubmitDetached(sel *sql.Select) (int, error) {
+	id, _, err := x.submit(sel, false)
+	return id, err
+}
+
+func (x *Executor) submit(sel *sql.Select, attach bool) (int, *egress.Subscription, error) {
 	x.mu.Lock()
 	if x.closed {
 		x.mu.Unlock()
@@ -622,7 +636,10 @@ func (x *Executor) Submit(sel *sql.Select) (int, *egress.Subscription, error) {
 		}
 	}
 
-	sub := x.hub.Subscribe(id, x.opts.SubscriptionCap)
+	var sub *egress.Subscription
+	if attach {
+		sub = x.hub.Subscribe(id, x.opts.SubscriptionCap)
+	}
 	rq := &runningQuery{id: id, eo: eo, planned: planned, sub: sub}
 	if planned.Distinct || len(planned.OrderBy) > 0 || planned.Limit > 0 {
 		rq.post = newPostProcessor(planned)

@@ -1,0 +1,90 @@
+// Fan-out attachment: the executor-side seam between a running query
+// and the internal/fanout subscriber tree. The hub owns the tree as an
+// egress.Publisher; the executor builds it lazily on the first
+// SubscribeFanout and propagates quarantine failures that raced ahead
+// of the tree's creation.
+package executor
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/egress"
+	"telegraphcq/internal/fanout"
+	"telegraphcq/internal/sql"
+)
+
+// FanoutTree returns (building on first use) the fan-out tree of a
+// standing query. The tree is attached to the hub as the query's
+// publisher, so every delivered batch is encoded once and relayed to
+// all attached subscribers; the query's spool is created alongside so
+// cohort subscribers can replay retained results.
+func (x *Executor) FanoutTree(id int) (*fanout.Tree, error) {
+	x.mu.Lock()
+	rq := x.queries[id]
+	closed := x.closed
+	x.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("executor: closed")
+	}
+	if rq == nil {
+		return nil, fmt.Errorf("executor: unknown query %d", id)
+	}
+	sp := x.hub.SpoolFor(id, 0)
+	pub := x.hub.PublisherFor(id, func() egress.Publisher {
+		return fanout.NewTree(fanout.Options{
+			Query:  id,
+			Prefix: fmt.Sprintf("row %d ", id),
+			Spool:  sp,
+		})
+	})
+	tree, ok := pub.(*fanout.Tree)
+	if !ok {
+		return nil, fmt.Errorf("executor: query %d already has a non-fanout publisher", id)
+	}
+	// A quarantine that completed before the tree existed never saw the
+	// publisher; surface the failure now (Fail is idempotent).
+	x.mu.Lock()
+	qerr := rq.err
+	x.mu.Unlock()
+	if qerr != nil {
+		tree.Fail(qerr)
+	}
+	return tree, nil
+}
+
+// SubscribeFanout attaches one subscriber to a standing query's fan-out
+// tree (SUBSCRIBE <id> WITH (...)).
+func (x *Executor) SubscribeFanout(id int, opts fanout.SubOptions) (*fanout.Subscriber, error) {
+	tree, err := x.FanoutTree(id)
+	if err != nil {
+		return nil, err
+	}
+	return tree.Attach(opts)
+}
+
+// SubmitFanout submits a query detached (no single-consumer push ring)
+// and attaches the first fan-out subscriber (SUBSCRIBE SELECT ...).
+func (x *Executor) SubmitFanout(sel *sql.Select, opts fanout.SubOptions) (int, *fanout.Subscriber, error) {
+	id, err := x.SubmitDetached(sel)
+	if err != nil {
+		return 0, nil, err
+	}
+	sub, err := x.SubscribeFanout(id, opts)
+	if err != nil {
+		_ = x.Cancel(id)
+		return 0, nil, err
+	}
+	return id, sub, nil
+}
+
+// FanoutTrees snapshots the fan-out trees attached to the hub, keyed by
+// query id (telemetry and drain iterate them).
+func (x *Executor) FanoutTrees() map[int]*fanout.Tree {
+	out := map[int]*fanout.Tree{}
+	for id, pub := range x.hub.Publishers() {
+		if t, ok := pub.(*fanout.Tree); ok {
+			out[id] = t
+		}
+	}
+	return out
+}

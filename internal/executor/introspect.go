@@ -26,10 +26,11 @@ import (
 
 // System stream names.
 const (
-	StreamOperators = "tcq_operators"
-	StreamQueues    = "tcq_queues"
-	StreamQueries   = "tcq_queries"
-	StreamSources   = "tcq_sources"
+	StreamOperators   = "tcq_operators"
+	StreamQueues      = "tcq_queues"
+	StreamQueries     = "tcq_queries"
+	StreamSources     = "tcq_sources"
+	StreamSubscribers = "tcq_subscribers"
 )
 
 // SourceStat is one wrapper-side source's health as reported into the
@@ -161,6 +162,18 @@ func (x *Executor) registerSystemStreams() {
 			col("restarts", tuple.KindInt), col("failures", tuple.KindInt),
 			col("rows", tuple.KindInt), col("last_error", tuple.KindString),
 		}},
+		// One aggregate row per fan-out query (not per subscriber — at
+		// 100k subscribers, per-subscriber rows would be a cardinality
+		// bomb; per-subscriber detail lives on the Subscriber itself).
+		{StreamSubscribers, []tuple.Column{
+			col("query", tuple.KindInt), col("subs", tuple.KindInt),
+			col("stages", tuple.KindInt), col("frames", tuple.KindInt),
+			col("rows", tuple.KindInt), col("offered", tuple.KindInt),
+			col("shed", tuple.KindInt), col("consumed", tuple.KindInt),
+			col("dedup", tuple.KindInt), col("replayed", tuple.KindInt),
+			col("pending", tuple.KindInt), col("live_encodes", tuple.KindInt),
+			col("replay_encodes", tuple.KindInt),
+		}},
 	}
 	for _, s := range streams {
 		_, _ = x.cat.CreateSystemStream(s.name, s.cols)
@@ -269,6 +282,20 @@ func (x *Executor) SampleSystemStreams() {
 			tuple.String(st.Name), tuple.String(st.State),
 			tuple.Int(st.Restarts), tuple.Int(st.Failures),
 			tuple.Int(st.Rows), tuple.String(st.LastErr),
+		})
+	}
+
+	// Fan-out delivery (one aggregate row per query's subscriber tree).
+	for _, tr := range x.FanoutTrees() {
+		st := tr.Stats()
+		_, _ = x.Push(StreamSubscribers, []tuple.Value{
+			tuple.Int(int64(st.Query)), tuple.Int(st.Subs),
+			tuple.Int(st.Stages), tuple.Int(st.Published),
+			tuple.Int(st.PublishedRows), tuple.Int(st.Offered),
+			tuple.Int(st.Shed), tuple.Int(st.Consumed),
+			tuple.Int(st.Dedup), tuple.Int(st.Replayed),
+			tuple.Int(st.Pending), tuple.Int(st.LiveEncodes),
+			tuple.Int(st.ReplayEncodes),
 		})
 	}
 }
@@ -400,6 +427,26 @@ func (x *Executor) registerCollectors() {
 			lQ := telemetry.L("query", strconv.Itoa(sub.ID))
 			gauge("tcq_result_queue_depth", "rows queued for the client", float64(sub.Len()), lQ)
 			counter("tcq_result_dropped_total", "result rows shed (slow client)", sub.Dropped(), lQ)
+		}
+
+		// Fan-out delivery: per-query aggregates over the subscriber tree
+		// (per-subscriber series would explode label cardinality at scale).
+		for _, tr := range x.FanoutTrees() {
+			st := tr.Stats()
+			lQ := telemetry.L("query", strconv.Itoa(st.Query))
+			gauge("tcq_subscriber_count", "live fan-out subscribers", float64(st.Subs), lQ)
+			gauge("tcq_fanout_stages", "relay stages in the fan-out tree", float64(st.Stages), lQ)
+			gauge("tcq_subscriber_pending", "frames buffered across subscriber rings", float64(st.Pending), lQ)
+			counter("tcq_fanout_frames_total", "encoded frames published to the tree", st.Published, lQ)
+			counter("tcq_fanout_rows_total", "result rows covered by published frames", st.PublishedRows, lQ)
+			counter("tcq_fanout_encodes_total", "hot-path batch serializations (encode-once)", st.LiveEncodes, lQ)
+			counter("tcq_fanout_replay_encodes_total", "cohort catch-up serializations", st.ReplayEncodes, lQ)
+			counter("tcq_subscriber_offered_total", "frame offers across subscribers", st.Offered, lQ)
+			counter("tcq_subscriber_shed_total", "frames lost to subscriber overflow policies", st.Shed, lQ)
+			counter("tcq_subscriber_block_timeouts_total", "subscriber block-policy waits that expired", st.BlockTimeouts, lQ)
+			counter("tcq_subscriber_consumed_total", "frames consumed by subscribers", st.Consumed, lQ)
+			counter("tcq_subscriber_dedup_total", "frames skipped as replay duplicates", st.Dedup, lQ)
+			counter("tcq_subscriber_replayed_total", "catch-up frames served from the spool", st.Replayed, lQ)
 		}
 	})
 }

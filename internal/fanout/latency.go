@@ -1,0 +1,100 @@
+package fanout
+
+import (
+	"math/bits"
+	"time"
+)
+
+// histBuckets covers int64 nanoseconds in log-linear buckets: 4 linear
+// sub-buckets per power-of-two octave, so relative bucket error is
+// bounded by 25% across the full range (the resolution the C-SPARQL/
+// CQELS-style latency methodology needs without per-sample storage).
+const histBuckets = 248
+
+// Histogram is a fixed-size log-linear latency histogram. It is NOT
+// goroutine-safe: tcqload keeps one per worker and merges at the end,
+// so the record path is a single array increment.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	max    int64
+}
+
+func bucketOf(v int64) int {
+	if v < 1 {
+		v = 1
+	}
+	b := bits.Len64(uint64(v)) - 1 // 0-based octave
+	if b < 2 {
+		return int(v) // 1..3 map to themselves
+	}
+	return (b-2)*4 + int((uint64(v)>>(uint(b)-2))&3) + 4
+}
+
+// bucketFloor returns the smallest value mapping to bucket i (the
+// conservative bound percentile reporting quotes).
+func bucketFloor(i int) int64 {
+	if i < 4 {
+		return int64(i)
+	}
+	b := (i-4)/4 + 2
+	sub := (i - 4) % 4
+	return int64(1)<<uint(b) + int64(sub)<<uint(b-2)
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	h.counts[bucketOf(v)]++
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h (worker histograms → the report histogram).
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.n += other.n
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Max returns the largest recorded sample exactly.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Percentile returns the latency at quantile p in [0,1] (lower bucket
+// bound; the true value is at most 25% above). Zero samples → 0.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return time.Duration(bucketFloor(i))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Buckets invokes fn for every non-empty bucket with its floor value
+// and count (the CI artifact writer serializes them).
+func (h *Histogram) Buckets(fn func(floor time.Duration, count uint64)) {
+	for i, c := range h.counts {
+		if c > 0 {
+			fn(time.Duration(bucketFloor(i)), c)
+		}
+	}
+}

@@ -39,12 +39,16 @@ type Client struct {
 	wmu  sync.Mutex
 	opts ClientOptions
 
-	mu      sync.Mutex
-	acks    chan string // ok / error / cursor / rows responses, in order
-	rows    map[int]chan string
-	fails   map[int]string // cursor id → terminal error ("fail" lines)
-	pending []string       // rows announced by "rows" awaiting consumption
-	done    chan struct{}
+	mu    sync.Mutex
+	acks  chan string // ok / error / cursor / rows responses, in order
+	rows  map[int]chan string
+	fails map[int]string // cursor id → terminal error ("fail" lines)
+	// pending buffers rows that raced ahead of the cursor's channel
+	// registration: a fan-out SUBSCRIBE with replay starts streaming the
+	// instant the server acks, possibly before Query has mapped the id.
+	pending   map[int][]string
+	doneEarly map[int]bool // done seen before the cursor was registered
+	done      chan struct{}
 }
 
 // Dial connects to a TelegraphCQ FrontEnd with default options.
@@ -57,12 +61,14 @@ func DialWith(addr string, opts ClientOptions) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		conn:  conn,
-		opts:  opts.withDefaults(),
-		acks:  make(chan string, 64),
-		rows:  map[int]chan string{},
-		fails: map[int]string{},
-		done:  make(chan struct{}),
+		conn:      conn,
+		opts:      opts.withDefaults(),
+		acks:      make(chan string, 64),
+		rows:      map[int]chan string{},
+		fails:     map[int]string{},
+		pending:   map[int][]string{},
+		doneEarly: map[int]bool{},
+		done:      make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
@@ -87,6 +93,9 @@ func (c *Client) readLoop() {
 			}
 			c.mu.Lock()
 			ch := c.rows[id]
+			if ch == nil && len(c.pending[id]) < 65536 {
+				c.pending[id] = append(c.pending[id], rest[idx+1:])
+			}
 			c.mu.Unlock()
 			if ch != nil {
 				select {
@@ -114,6 +123,8 @@ func (c *Client) readLoop() {
 				if ch := c.rows[id]; ch != nil {
 					close(ch)
 					delete(c.rows, id)
+				} else {
+					c.doneEarly[id] = true
 				}
 				c.mu.Unlock()
 			}
@@ -186,7 +197,20 @@ func (c *Client) Query(stmt string) (int, <-chan string, error) {
 		return 0, nil, fmt.Errorf("unexpected response %q", line)
 	}
 	c.mu.Lock()
-	c.rows[id] = ch
+	// Flush rows (and a terminal done) that beat this registration.
+	for _, r := range c.pending[id] {
+		select {
+		case ch <- r:
+		default:
+		}
+	}
+	delete(c.pending, id)
+	if c.doneEarly[id] {
+		delete(c.doneEarly, id)
+		close(ch)
+	} else {
+		c.rows[id] = ch
+	}
 	c.mu.Unlock()
 	return id, ch, nil
 }

@@ -7,6 +7,8 @@
 // Wire protocol (text lines over TCP):
 //
 //	client → server:  <SQL statement> ;           (may span lines)
+//	                  SUBSCRIBE <cursor> [WITH (...)] ;  (join a standing query's fan-out)
+//	                  SUBSCRIBE SELECT ... [WITH (...)] ; (submit + join)
 //	                  CLOSE <cursor> ;
 //	                  FETCH <cursor> <offset> ;   (pull/spool cursors)
 //	server → client:  ok <text>
@@ -32,6 +34,7 @@ import (
 
 	"telegraphcq/internal/catalog"
 	"telegraphcq/internal/executor"
+	"telegraphcq/internal/fanout"
 	"telegraphcq/internal/fjord"
 	"telegraphcq/internal/ingress"
 	"telegraphcq/internal/sql"
@@ -219,6 +222,9 @@ func (s *Server) Drain(timeout time.Duration) {
 			for _, sub := range s.Exec.Hub().Subscriptions() {
 				queued += sub.Len()
 			}
+			for _, tr := range s.Exec.FanoutTrees() {
+				queued += tr.Pending()
+			}
 			if queued == 0 {
 				break
 			}
@@ -242,15 +248,25 @@ type session struct {
 	conn net.Conn
 	wmu  sync.Mutex // serializes writes from pump goroutines
 	pubs sync.WaitGroup
-	subs map[int]func() // cursor id → stop pump
+	subs map[int]*cursorState // cursor id → pump state
+}
+
+// cursorState is one open cursor's session-side bookkeeping. owned
+// marks cursors whose CLOSE cancels the query itself (a plain SELECT,
+// or the submitting SUBSCRIBE SELECT); a SUBSCRIBE that merely joined a
+// standing query's fan-out detaches without killing the query for
+// everyone else.
+type cursorState struct {
+	stop  func()
+	owned bool
 }
 
 func (c *session) run() {
 	defer c.conn.Close()
-	c.subs = map[int]func(){}
+	c.subs = map[int]*cursorState{}
 	defer func() {
-		for _, stop := range c.subs {
-			stop()
+		for _, cs := range c.subs {
+			cs.stop()
 		}
 		c.pubs.Wait()
 	}()
@@ -374,6 +390,8 @@ func (c *session) dispatch(text string) {
 		c.send("ok dropped %s", stmt.Name)
 	case *sql.Select:
 		c.openCursor(stmt)
+	case *sql.Subscribe:
+		c.openFanout(stmt)
 	case *sql.ShowStats:
 		c.showStats(stmt)
 	default:
@@ -409,7 +427,7 @@ func (c *session) openCursor(stmt *sql.Select) {
 	c.srv.Exec.Hub().SpoolFor(id, 0)
 	c.send("cursor %d push", id)
 	stopped := make(chan struct{})
-	c.subs[id] = func() { close(stopped) }
+	c.subs[id] = &cursorState{stop: func() { close(stopped) }, owned: true}
 	c.pubs.Add(1)
 	go func() {
 		defer c.pubs.Done()
@@ -437,6 +455,73 @@ func (c *session) openCursor(stmt *sql.Select) {
 			// The consumer retires rows it has written to the wire (a
 			// no-op for rows the spool retained).
 			tuple.Recycle(row)
+		}
+	}()
+}
+
+// openFanout attaches this session to a query's fan-out tree
+// (SUBSCRIBE <id> / SUBSCRIBE SELECT ...) and pumps shared pre-encoded
+// frames to the client. Unlike openCursor's per-row fmt.Fprintf, the
+// pump writes frame bytes verbatim: the serialization ran once per
+// delivered batch, query-wide, no matter how many sessions subscribe.
+func (c *session) openFanout(stmt *sql.Subscribe) {
+	opts := fanout.SubOptions{}
+	if w := stmt.With; w != nil {
+		pol, err := fjord.ParseOverflowPolicy(w.Overflow)
+		if err != nil {
+			c.sendErr(err)
+			return
+		}
+		opts.QoS = fjord.QoS{
+			Policy:       pol,
+			SampleP:      w.SampleP,
+			BlockTimeout: time.Duration(w.TimeoutMs) * time.Millisecond,
+		}
+		opts.Cohort = w.Cohort
+		opts.Queue = int(w.Queue)
+		opts.Replay = w.Replay
+	}
+	var (
+		id  int
+		sub *fanout.Subscriber
+		err error
+	)
+	if stmt.Sel != nil {
+		id, sub, err = c.srv.Exec.SubmitFanout(stmt.Sel, opts)
+	} else {
+		id = int(stmt.Query)
+		sub, err = c.srv.Exec.SubscribeFanout(id, opts)
+	}
+	if err != nil {
+		c.sendErr(err)
+		return
+	}
+	if old, ok := c.subs[id]; ok {
+		old.stop() // one cursor id per session; displace the older pump
+	}
+	c.send("cursor %d push", id)
+	// Closing the subscriber wakes a pump blocked in NextFrame — no
+	// sidecar wait goroutine needed (cf. waitNext for legacy cursors).
+	c.subs[id] = &cursorState{stop: sub.Close, owned: stmt.Sel != nil}
+	c.pubs.Add(1)
+	go func() {
+		defer c.pubs.Done()
+		for {
+			f, ok := sub.NextFrame()
+			if !ok {
+				if !sub.Closed() { // the query ended, not the client
+					if err := sub.Err(); err != nil {
+						c.send("fail %d %s", id, strings.ReplaceAll(err.Error(), "\n", " "))
+					}
+				}
+				c.send("done %d", id)
+				sub.Close() // release anything racing in; idempotent
+				return
+			}
+			c.wmu.Lock()
+			_, _ = c.conn.Write(f.Bytes())
+			c.wmu.Unlock()
+			f.Release()
 		}
 	}()
 }
@@ -472,9 +557,17 @@ func (c *session) closeCursor(fields []string) {
 		c.sendErr(err)
 		return
 	}
-	if stop, ok := c.subs[id]; ok {
-		stop()
+	owned := true // CLOSE on a cursor this session never opened cancels (legacy behavior)
+	if cs, ok := c.subs[id]; ok {
+		cs.stop()
+		owned = cs.owned
 		delete(c.subs, id)
+	}
+	if !owned {
+		// A joined fan-out cursor detaches without cancelling the query
+		// other subscribers still read.
+		c.send("ok closed %d", id)
+		return
 	}
 	if err := c.srv.Exec.Cancel(id); err != nil {
 		c.sendErr(err)

@@ -391,3 +391,133 @@ func TestServerCloseIdempotent(t *testing.T) {
 	s.Close()
 	s.Close()
 }
+
+func TestSubscribeFanoutOverWire(t *testing.T) {
+	_, front, wrapper := startServer(t)
+	owner, err := Dial(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	if err := owner.Exec(`CREATE STREAM stocks (sym string, price float)`); err != nil {
+		t.Fatal(err)
+	}
+	id, ownRows, err := owner.Query(`SUBSCRIBE SELECT sym, price FROM stocks WHERE price > 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second connection joins the standing query's fan-out by id.
+	joiner, err := Dial(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+	jid, joinRows, err := joiner.Query(fmt.Sprintf(`SUBSCRIBE %d WITH (overflow = 'block')`, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jid != id {
+		t.Fatalf("joined cursor %d, want %d", jid, id)
+	}
+
+	push, err := DialPush(wrapper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer push.Close()
+	_ = push.Push("stocks", "MSFT", "60")
+	_ = push.Push("stocks", "IBM", "40")
+	_ = push.Push("stocks", "MSFT", "70")
+	_ = push.Flush()
+
+	// Both sessions see the same shared-encoded rows.
+	for name, ch := range map[string]<-chan string{"owner": ownRows, "joiner": joinRows} {
+		got := recvRows(t, ch, 2)
+		if got[0] != "MSFT,60" || got[1] != "MSFT,70" {
+			t.Fatalf("%s rows: %v", name, got)
+		}
+	}
+
+	// CLOSE on the joined cursor detaches that session only: the query
+	// keeps running for the owner.
+	if err := joiner.CloseCursor(id); err != nil {
+		t.Fatal(err)
+	}
+	_ = push.Push("stocks", "GOOG", "90")
+	_ = push.Flush()
+	if got := recvRows(t, ownRows, 1); got[0] != "GOOG,90" {
+		t.Fatalf("owner after joiner close: %v", got)
+	}
+
+	// CLOSE on the owning cursor cancels the query itself.
+	if err := owner.CloseCursor(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := joiner.Query(fmt.Sprintf(`SUBSCRIBE %d`, id)); err == nil {
+		t.Fatal("subscribed to a cancelled query")
+	}
+}
+
+func TestSubscribeReplayOverWire(t *testing.T) {
+	_, front, wrapper := startServer(t)
+	owner, err := Dial(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	if err := owner.Exec(`CREATE STREAM ticks (v int)`); err != nil {
+		t.Fatal(err)
+	}
+	id, ownRows, err := owner.Query(`SUBSCRIBE SELECT v FROM ticks`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	push, err := DialPush(wrapper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer push.Close()
+	for i := 1; i <= 3; i++ {
+		_ = push.Push("ticks", fmt.Sprintf("%d", i))
+	}
+	_ = push.Flush()
+	recvRows(t, ownRows, 3) // history is delivered and spooled
+
+	// A late joiner with replay catches up from the retained spool.
+	late, err := Dial(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	_, lateRows, err := late.Query(fmt.Sprintf(`SUBSCRIBE %d WITH (replay = true)`, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := recvRows(t, lateRows, 3)
+	for i, want := range []string{"1", "2", "3"} {
+		if got[i] != want {
+			t.Fatalf("replayed rows: %v", got)
+		}
+	}
+
+	// And keeps receiving live rows after the catch-up.
+	_ = push.Push("ticks", "4")
+	_ = push.Flush()
+	if got := recvRows(t, lateRows, 1); got[0] != "4" {
+		t.Fatalf("live after replay: %v", got)
+	}
+}
+
+func TestSubscribeUnknownQueryRejected(t *testing.T) {
+	_, front, _ := startServer(t)
+	cli, err := Dial(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, _, err := cli.Query(`SUBSCRIBE 424242`); err == nil {
+		t.Fatal("subscribe to unknown query succeeded")
+	}
+}

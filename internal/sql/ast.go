@@ -50,6 +50,34 @@ type DropSource struct{ Name string }
 // counterpart is a CQ over the tcq_* system streams.
 type ShowStats struct{ Like string }
 
+// SubscribeWith holds the options of "SUBSCRIBE ... WITH (...)": the
+// subscriber-edge overflow (QoS) policy and cohort membership.
+type SubscribeWith struct {
+	// Overflow names the policy: block, drop-newest, drop-oldest, sample.
+	Overflow string
+	// SampleP is the admit probability for overflow = 'sample'.
+	SampleP float64
+	// TimeoutMs bounds how long overflow = 'block' waits for space.
+	TimeoutMs int64
+	// Cohort names a shared replay cursor over the query's spool.
+	Cohort string
+	// Queue overrides the subscriber's frame ring capacity.
+	Queue int64
+	// Replay forces catch-up from the spool base without a cohort.
+	Replay bool
+}
+
+// Subscribe attaches a fan-out subscriber to a continuous query:
+// "SUBSCRIBE <query-id> [WITH (...)]" joins a standing query;
+// "SUBSCRIBE SELECT ... [WITH (...)]" submits the query first. Unlike a
+// plain SELECT cursor (one push subscription per query), SUBSCRIBE
+// cursors share one encode-once fan-out tree.
+type Subscribe struct {
+	Query int64   // target query id (the non-SELECT form)
+	Sel   *Select // non-nil for the submitting form
+	With  *SubscribeWith
+}
+
 // SelectItem is one entry of the SELECT list.
 type SelectItem struct {
 	Star bool
@@ -98,3 +126,4 @@ func (*Insert) stmt()       {}
 func (*DropSource) stmt()   {}
 func (*ShowStats) stmt()    {}
 func (*Select) stmt()       {}
+func (*Subscribe) stmt()    {}

@@ -106,6 +106,8 @@ func (p *parser) statement() (Statement, error) {
 		return p.selectStmt()
 	case p.accept("show"):
 		return p.show()
+	case p.accept("subscribe"):
+		return p.subscribe()
 	default:
 		return nil, fmt.Errorf("sql: expected statement, found %s", p.peek())
 	}
@@ -351,7 +353,125 @@ func (p *parser) drop() (Statement, error) {
 var reservedAfterExpr = map[string]bool{
 	"from": true, "where": true, "group": true, "order": true,
 	"limit": true, "for": true, "as": true, "and": true, "or": true,
-	"not": true, "asc": true, "desc": true, "by": true,
+	"not": true, "asc": true, "desc": true, "by": true, "with": true,
+}
+
+// subscribe parses "SUBSCRIBE <query-id> [WITH (...)]" and
+// "SUBSCRIBE SELECT ... [WITH (...)]".
+func (p *parser) subscribe() (Statement, error) {
+	st := &Subscribe{}
+	if p.accept("select") {
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Sel = sel.(*Select)
+	} else {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: SUBSCRIBE wants a query id or SELECT, found %s", t)
+		}
+		p.i++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad query id %q", t.text)
+		}
+		st.Query = n
+	}
+	w, err := p.subscribeWith()
+	if err != nil {
+		return nil, err
+	}
+	st.With = w
+	return st, nil
+}
+
+// subscribeWith parses the optional "WITH (key = value, ...)" options
+// of SUBSCRIBE. Keys: overflow (policy name), rate (sample admit
+// probability), timeout_ms (block wait bound), cohort (shared-cursor
+// name), queue (frame ring capacity), replay (true/false).
+func (p *parser) subscribeWith() (*SubscribeWith, error) {
+	if !p.accept("with") {
+		return nil, nil
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	w := &SubscribeWith{}
+	for {
+		key, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(key) {
+		case "overflow":
+			t := p.peek()
+			if t.kind != tokString && t.kind != tokIdent {
+				return nil, fmt.Errorf("sql: overflow wants a policy name, found %s", t)
+			}
+			p.i++
+			if _, err := fjord.ParseOverflowPolicy(t.text); err != nil {
+				return nil, fmt.Errorf("sql: %w", err)
+			}
+			w.Overflow = t.text
+		case "rate":
+			t := p.peek()
+			if t.kind != tokNumber {
+				return nil, fmt.Errorf("sql: rate wants a number, found %s", t)
+			}
+			p.i++
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("sql: rate wants a probability in [0,1], got %q", t.text)
+			}
+			w.SampleP = f
+		case "timeout_ms":
+			n, err := p.signedInt()
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("sql: timeout_ms must be non-negative, got %d", n)
+			}
+			w.TimeoutMs = n
+		case "cohort":
+			t := p.peek()
+			if t.kind != tokString && t.kind != tokIdent {
+				return nil, fmt.Errorf("sql: cohort wants a name, found %s", t)
+			}
+			p.i++
+			w.Cohort = t.text
+		case "queue":
+			n, err := p.signedInt()
+			if err != nil {
+				return nil, err
+			}
+			if n <= 0 {
+				return nil, fmt.Errorf("sql: queue must be positive, got %d", n)
+			}
+			w.Queue = n
+		case "replay":
+			t := p.peek()
+			if t.kind != tokIdent || (strings.ToLower(t.text) != "true" && strings.ToLower(t.text) != "false") {
+				return nil, fmt.Errorf("sql: replay wants true or false, found %s", t)
+			}
+			p.i++
+			w.Replay = strings.ToLower(t.text) == "true"
+		default:
+			return nil, fmt.Errorf("sql: unknown subscribe option %q (want overflow, rate, timeout_ms, cohort, queue, or replay)", key)
+		}
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return w, nil
 }
 
 func (p *parser) selectStmt() (Statement, error) {

@@ -446,3 +446,63 @@ func TestPhysicalWindowDomain(t *testing.T) {
 		t.Fatalf("default domain = %v", s.Window.Domain)
 	}
 }
+
+func TestSubscribeById(t *testing.T) {
+	st, err := Parse(`SUBSCRIBE 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := st.(*Subscribe)
+	if sub.Query != 7 || sub.Sel != nil || sub.With != nil {
+		t.Fatalf("parsed: %+v", sub)
+	}
+}
+
+func TestSubscribeByIdWithOptions(t *testing.T) {
+	st, err := Parse(`SUBSCRIBE 3 WITH (overflow = 'drop-oldest', queue = 128,
+		cohort = 'dashboard', replay = true, timeout_ms = 50, rate = 0.25)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := st.(*Subscribe)
+	w := sub.With
+	if sub.Query != 3 || w == nil {
+		t.Fatalf("parsed: %+v", sub)
+	}
+	if w.Overflow != "drop-oldest" || w.Queue != 128 || w.Cohort != "dashboard" ||
+		!w.Replay || w.TimeoutMs != 50 || w.SampleP != 0.25 {
+		t.Fatalf("with: %+v", w)
+	}
+}
+
+func TestSubscribeSelectForm(t *testing.T) {
+	st, err := Parse(`SUBSCRIBE SELECT sym, price FROM trades WHERE price > 10
+		WITH (overflow = block)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := st.(*Subscribe)
+	if sub.Sel == nil || len(sub.Sel.Items) != 2 || sub.Sel.Where == nil {
+		t.Fatalf("select: %+v", sub.Sel)
+	}
+	if sub.With == nil || sub.With.Overflow != "block" {
+		t.Fatalf("with: %+v", sub.With)
+	}
+}
+
+func TestSubscribeRejectsBadOptions(t *testing.T) {
+	for _, src := range []string{
+		`SUBSCRIBE`,                             // no id or SELECT
+		`SUBSCRIBE trades`,                      // not an id
+		`SUBSCRIBE 1 WITH (overflow = 'bogus')`, // unknown policy
+		`SUBSCRIBE 1 WITH (queue = 0)`,          // non-positive ring
+		`SUBSCRIBE 1 WITH (rate = 2)`,           // probability out of range
+		`SUBSCRIBE 1 WITH (replay = maybe)`,     // not a boolean
+		`SUBSCRIBE 1 WITH (timeout_ms = -5)`,    // negative wait
+		`SUBSCRIBE 1 WITH (compression = 'gz')`, // unknown key
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -133,6 +133,19 @@ func (t *Tuple) Key(cols []int) string {
 	return b.String()
 }
 
+// AppendText appends the tuple's comma-separated rendering (the String
+// form) to dst and returns the extended slice — the allocation-free
+// variant batch encoders use.
+func (t *Tuple) AppendText(dst []byte) []byte {
+	for i, v := range t.Values {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = v.AppendText(dst)
+	}
+	return dst
+}
+
 // String renders the tuple's values comma-separated (result rows).
 func (t *Tuple) String() string {
 	var b strings.Builder

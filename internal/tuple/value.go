@@ -160,6 +160,32 @@ func (v Value) String() string {
 	}
 }
 
+// AppendText appends the value's String rendering to dst and returns the
+// extended slice. Egress encoders format whole batches into one reused
+// buffer through it, so the hot delivery path produces no intermediate
+// string garbage.
+func (v Value) AppendText(dst []byte) []byte {
+	switch v.K {
+	case KindNull:
+		return append(dst, "NULL"...)
+	case KindInt:
+		return strconv.AppendInt(dst, v.I, 10)
+	case KindFloat:
+		return strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+	case KindString:
+		return append(dst, v.S...)
+	case KindBool:
+		if v.B {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case KindTime:
+		return v.AsTime().UTC().AppendFormat(dst, time.RFC3339Nano)
+	default:
+		return append(dst, '?')
+	}
+}
+
 // Compare orders two values. NULL sorts before everything; numeric kinds
 // compare by magnitude across int/float/time; otherwise values must share
 // a kind. The boolean ok is false for incomparable kinds (e.g. string vs
