@@ -8,6 +8,7 @@
 //	tcqbench               # run everything at scale 1
 //	tcqbench -run E3,E6    # selected experiments
 //	tcqbench -scale 4      # more tuples, smoother numbers
+//	tcqbench -shards 1,8   # shard counts for the sharded E10 rows
 //	tcqbench -json out/    # also write BENCH_<id>.json per experiment
 package main
 
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -26,22 +29,49 @@ import (
 // benchResult is the machine-readable form of one experiment table,
 // written as BENCH_<id>.json for harnesses diffing runs over time.
 type benchResult struct {
-	ID        string     `json:"id"`
-	Title     string     `json:"title"`
-	Claim     string     `json:"claim"`
-	Columns   []string   `json:"columns"`
-	Rows      [][]string `json:"rows"`
-	Notes     []string   `json:"notes,omitempty"`
-	Scale     int        `json:"scale"`
-	ElapsedMs int64      `json:"elapsed_ms"`
-	Timestamp string     `json:"timestamp"` // RFC 3339
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	Scale   int        `json:"scale"`
+	// Host parallelism context: sharded rows only show speedup when
+	// GOMAXPROCS gives the shards real cores to run on.
+	Shards     []int  `json:"shards"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	ElapsedMs  int64  `json:"elapsed_ms"`
+	Timestamp  string `json:"timestamp"` // RFC 3339
+}
+
+// parseShards parses the -shards comma list, enforcing the same bounds
+// the SQL WITH (shards=N) clause does.
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 || n > 64 {
+			return nil, fmt.Errorf("-shards: %q is not a shard count in [1,64]", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	scale := flag.Int("scale", 1, "workload scale factor")
+	shards := flag.String("shards", "1,2,4", "comma-separated eddy shard counts for the sharded experiment rows")
 	jsonDir := flag.String("json", "", "directory to write BENCH_<id>.json results (empty disables)")
 	flag.Parse()
+
+	sweep, err := parseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	experiments.ShardSweep = sweep
 
 	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
 	if *run != "" {
@@ -82,7 +112,9 @@ func main() {
 			res := benchResult{
 				ID: tab.ID, Title: tab.Title, Claim: tab.Claim,
 				Columns: tab.Columns, Rows: tab.Rows, Notes: tab.Notes,
-				Scale: *scale, ElapsedMs: elapsed[i].Milliseconds(), Timestamp: now,
+				Scale: *scale, Shards: sweep,
+				GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+				ElapsedMs: elapsed[i].Milliseconds(), Timestamp: now,
 			}
 			data, err := json.MarshalIndent(&res, "", "  ")
 			if err != nil {

@@ -1,7 +1,8 @@
 // Command tcqcheck is the differential correctness oracle: it runs
 // seeded random workloads through a naive reference interpreter and
-// through the real engine under a sweep of adaptivity configs (batch
-// size, routing policy, EO placement, optional fault injection), and
+// through the real engine under a sweep of adaptivity configs (shard
+// count, batch size, routing policy, EO placement, optional fault
+// injection), and
 // diffs per-query output multisets. On a mismatch it greedily shrinks
 // the workload and writes a minimal replayable .tcq repro.
 //

@@ -29,12 +29,17 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "telemetry HTTP listen address (/metrics, /statz, /healthz); empty disables")
 	mode := flag.String("class-mode", "footprint", "query class placement: footprint|single|per-query")
 	batch := flag.Int("batch", 1, "eddy tuple-batching knob")
+	shards := flag.Int("shards", 0, "eddy shards per EO (0/1 = single engine; queries may override with WITH (shards=N))")
 	hops := flag.Int("fixed-hops", 1, "eddy operator-fixing knob")
 	chaosSpec := flag.String("chaos", "", `fault injection spec, e.g. "seed=7,drop=0.01,stall=0.05,corrupt=0.02" (see internal/chaos)`)
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "max time to flush in-flight tuples on SIGINT/SIGTERM")
 	flag.Parse()
 
-	opts := executor.Options{Batch: *batch, FixedHops: *hops}
+	if *shards < 0 || *shards > 64 {
+		fmt.Fprintf(os.Stderr, "bad -shards %d (want 0..64)\n", *shards)
+		os.Exit(2)
+	}
+	opts := executor.Options{Batch: *batch, Shards: *shards, FixedHops: *hops}
 	if *chaosSpec != "" {
 		inj, err := chaos.Parse(*chaosSpec)
 		if err != nil {

@@ -325,6 +325,21 @@ func (e *Engine) Push(t *tuple.Tuple) error {
 	return nil
 }
 
+// AdvanceSeq raises a source's sequence high-water mark without pushing
+// a tuple, applying any window eviction the advance implies. Sharded
+// executors use it to keep every shard's eviction horizon on the global
+// stream frontier: a shard only receives its hash class of a stream's
+// tuples, so its own maxSeq would lag and stale SteM state would answer
+// probes a single-shard engine would never match. Must be called from
+// the engine's owning thread.
+func (e *Engine) AdvanceSeq(src string, seq int64) {
+	if seq <= e.maxSeq[src] {
+		return
+	}
+	e.maxSeq[src] = seq
+	e.evict(src)
+}
+
 // evict drops SteM state no window can reach anymore: tuples older than
 // maxSeq − (largest retention over queries reading src) + 1.
 func (e *Engine) evict(src string) {

@@ -214,6 +214,48 @@ func (e *Eddy) ModuleStatsSnapshot() []ModuleStats {
 	return append([]ModuleStats(nil), e.mstats...)
 }
 
+// Add sums two Stats snapshots. Sharded executors snapshot each shard's
+// eddy through its own control path (so no counter is ever read off its
+// owning thread) and aggregate the copies with Add — concurrent scrapes
+// stay race-free because only immutable snapshots are combined.
+func (s Stats) Add(o Stats) Stats {
+	s.Admitted += o.Admitted
+	s.Routed += o.Routed
+	s.ChooseCalls += o.ChooseCalls
+	s.Outputs += o.Outputs
+	s.Dropped += o.Dropped
+	s.Bounced += o.Bounced
+	return s
+}
+
+// MergeModuleStats folds more into dst by module name, summing the raw
+// counters (Selectivity/CostNs are derived, so they aggregate
+// correctly). Both inputs are snapshots; the merge allocates only when a
+// name in more is missing from dst. Order of dst is preserved; new
+// names append in their order of appearance.
+func MergeModuleStats(dst, more []ModuleStats) []ModuleStats {
+	idx := make(map[string]int, len(dst))
+	for i, m := range dst {
+		idx[m.Name] = i
+	}
+	for _, m := range more {
+		i, ok := idx[m.Name]
+		if !ok {
+			idx[m.Name] = len(dst)
+			dst = append(dst, m)
+			continue
+		}
+		d := &dst[i]
+		d.Routed += m.Routed
+		d.Passed += m.Passed
+		d.Dropped += m.Dropped
+		d.Consumed += m.Consumed
+		d.Bounced += m.Bounced
+		d.WorkNs += m.WorkNs
+	}
+	return dst
+}
+
 // readyBitsInto overwrites r with the fresh ready bitmap for a tuple
 // entering routing.
 func (e *Eddy) readyBitsInto(t *tuple.Tuple, r *bitset.Set) {

@@ -71,6 +71,11 @@ type Options struct {
 	// Batch and FixedHops set the adapting-adaptivity knobs on every EO.
 	Batch     int
 	FixedHops int
+	// Shards splits each EO into that many hash-partitioned eddy shards
+	// plus a catch-all shard (see shard.go). 0 or 1 keeps the classic
+	// single-engine EO. A query's WITH (shards=N) overrides this for the
+	// EO it creates.
+	Shards int
 	// Metrics receives the executor's telemetry (nil → a private
 	// registry; pass a shared one to aggregate with storage etc.).
 	Metrics *telemetry.Registry
@@ -202,6 +207,8 @@ const (
 type envelope struct {
 	ctl   ctlKind
 	query *cacq.Query
+	part  *plan.Partition // shard-placement contract (ctlAddQuery)
+	feeds []plan.Feed     // the query's stream feeds (ctlAddQuery)
 	qid   int
 	rows  []*tuple.Tuple // table load
 	ack   chan error
@@ -241,11 +248,24 @@ type execObject struct {
 	out    []delivery
 	rowBuf []*tuple.Tuple
 
+	// group is non-nil when this EO runs as a multi-eddy shard group
+	// (Options.Shards / WITH (shards=N)); its coordinator loop replaces
+	// the single-engine scheduler and eo.engine is nil.
+	group *shardGroup
+
 	shed atomic.Int64 // tuples dropped because the EO queue was full
 	dead atomic.Bool  // quarantined after an operator panic
 }
 
-func (x *Executor) newEO() *execObject {
+// shardCount reports how many eddy shards an EO runs on (1 = classic).
+func (eo *execObject) shardCount() int {
+	if eo.group != nil {
+		return eo.group.n
+	}
+	return 1
+}
+
+func (x *Executor) newEO(shards int) *execObject {
 	eo := &execObject{
 		idx:     len(x.eos),
 		ctl:     fjord.Count(fjord.NewPush[envelope](256)),
@@ -255,6 +275,12 @@ func (x *Executor) newEO() *execObject {
 		done:    make(chan struct{}),
 		x:       x,
 		drain:   make([]*tuple.Tuple, eoDrainBatch),
+	}
+	if shards > 1 {
+		eo.group = newShardGroup(eo, shards)
+		x.eos = append(x.eos, eo)
+		go eo.group.run()
+		return eo
 	}
 	eo.engine = cacq.NewEngine(x.opts.Policy(int64(eo.idx)+1), func(id int, row *tuple.Tuple) {
 		eo.out = append(eo.out, delivery{id: id, row: row})
@@ -495,6 +521,13 @@ func (x *Executor) quarantine(eo *execObject, cause any, stack []byte) {
 		}
 	}
 
+	x.failEO(eo, err)
+}
+
+// failEO is the executor-side bookkeeping of a quarantine: count it,
+// mark the EO's queries errored, and deliver the failure to their
+// subscribers. Shared by the single-engine and shard-group paths.
+func (x *Executor) failEO(eo *execObject, err error) {
 	x.mu.Lock()
 	x.quarantines++
 	var failed []*runningQuery
@@ -578,8 +611,16 @@ func (x *Executor) submit(sel *sql.Select, attach bool) (int, *egress.Subscripti
 	}
 	planned.CQ.StartTime = st
 
+	// WITH (shards=N) overrides the executor default, but only for the
+	// EO the query *creates*; placed on an existing EO the query joins
+	// that EO's shard count (footprint sharing wins over the hint).
+	shards := x.opts.Shards
+	if sel.Shards > 0 {
+		shards = sel.Shards
+	}
+
 	x.mu.Lock()
-	eo := x.placeLocked(planned)
+	eo := x.placeLocked(planned, shards)
 	// Register feeds before the query so data admitted concurrently is
 	// seen; the engine ignores tuples with no interested query.
 	for _, f := range planned.Feeds {
@@ -597,7 +638,7 @@ func (x *Executor) submit(sel *sql.Select, attach bool) (int, *egress.Subscripti
 
 	// Add the query synchronously.
 	ack := make(chan error, 1)
-	if err := eo.ctl.Enqueue(envelope{ctl: ctlAddQuery, query: planned.CQ, ack: ack}); err != nil {
+	if err := eo.ctl.Enqueue(envelope{ctl: ctlAddQuery, query: planned.CQ, part: planned.Partition, feeds: planned.Feeds, ack: ack}); err != nil {
 		return 0, nil, err
 	}
 	if err := <-ack; err != nil {
@@ -650,9 +691,10 @@ func (x *Executor) submit(sel *sql.Select, attach bool) (int, *egress.Subscripti
 	return id, sub, nil
 }
 
-// placeLocked picks (or creates) the EO for a planned query.
-// Quarantined EOs are never placement candidates.
-func (x *Executor) placeLocked(p *plan.Planned) *execObject {
+// placeLocked picks (or creates) the EO for a planned query; shards is
+// the shard count for a newly created EO. Quarantined EOs are never
+// placement candidates.
+func (x *Executor) placeLocked(p *plan.Planned, shards int) *execObject {
 	switch x.opts.Mode {
 	case ClassSingle:
 		for _, eo := range x.eos {
@@ -660,9 +702,9 @@ func (x *Executor) placeLocked(p *plan.Planned) *execObject {
 				return eo
 			}
 		}
-		return x.newEO()
+		return x.newEO(shards)
 	case ClassPerQuery:
-		return x.newEO()
+		return x.newEO(shards)
 	default:
 		// Footprint overlap: first live EO sharing any source.
 		fp := p.CQ.Footprint()
@@ -676,7 +718,7 @@ func (x *Executor) placeLocked(p *plan.Planned) *execObject {
 				}
 			}
 		}
-		return x.newEO()
+		return x.newEO(shards)
 	}
 }
 

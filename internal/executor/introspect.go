@@ -31,6 +31,7 @@ const (
 	StreamQueries     = "tcq_queries"
 	StreamSources     = "tcq_sources"
 	StreamSubscribers = "tcq_subscribers"
+	StreamShards      = "tcq_shards"
 )
 
 // SourceStat is one wrapper-side source's health as reported into the
@@ -74,6 +75,22 @@ type eoSnapshot struct {
 	filters []filterSnapshot
 	stems   []stemSnapshot
 	queries []cacq.QueryInfo
+	// shards holds the per-shard detail when the EO is a shard group
+	// (empty for a classic single-engine EO); the top-level fields above
+	// are then the sum over shards.
+	shards []shardSnapshot
+}
+
+// shardSnapshot is one eddy shard's state within a shard group's merged
+// snapshot.
+type shardSnapshot struct {
+	id         int
+	catchAll   bool
+	eddy       eddy.Stats
+	engine     cacq.EngineStats
+	stats      shardStats
+	ingressLen int
+	egressLen  int
 }
 
 type filterSnapshot struct {
@@ -89,14 +106,18 @@ type stemSnapshot struct {
 }
 
 // snapshot runs on the EO goroutine (ctlStats handler).
-func (eo *execObject) snapshot() *eoSnapshot {
-	ed := eo.engine.Eddy()
+func (eo *execObject) snapshot() *eoSnapshot { return snapshotEngine(eo.engine) }
+
+// snapshotEngine copies one CACQ engine's observable state; it must run
+// on the goroutine that owns the engine (an EO or an eddy shard).
+func snapshotEngine(e *cacq.Engine) *eoSnapshot {
+	ed := e.Eddy()
 	s := &eoSnapshot{
 		eddy:    ed.Stats(),
 		modules: ed.ModuleStatsSnapshot(),
-		engine:  eo.engine.Stats(),
+		engine:  e.Stats(),
 	}
-	in := eo.engine.Introspect()
+	in := e.Introspect()
 	s.queries = in.Queries
 	for _, gf := range in.Filters {
 		s.filters = append(s.filters, filterSnapshot{
@@ -107,6 +128,68 @@ func (eo *execObject) snapshot() *eoSnapshot {
 			name: sm.Name(), size: sm.SteM().Size(), stats: sm.SteM().Stats()})
 	}
 	return s
+}
+
+// mergeSnapshot folds one shard's snapshot into a group-level one:
+// counters sum; shared-state views merge by module name (a shardable
+// query's filters and SteMs exist on every hash shard — SteM sizes and
+// stats sum, grouped-filter registration counts agree so the max is the
+// true value); per-query delivery counts sum by query id.
+func mergeSnapshot(dst, src *eoSnapshot) {
+	dst.eddy = dst.eddy.Add(src.eddy)
+	dst.modules = eddy.MergeModuleStats(dst.modules, src.modules)
+	dst.engine.Pushed += src.engine.Pushed
+	dst.engine.Delivered += src.engine.Delivered
+	for _, gf := range src.filters {
+		found := false
+		for i := range dst.filters {
+			if dst.filters[i].name == gf.name {
+				if gf.queries > dst.filters[i].queries {
+					dst.filters[i].queries = gf.queries
+				}
+				if gf.factors > dst.filters[i].factors {
+					dst.filters[i].factors = gf.factors
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst.filters = append(dst.filters, gf)
+		}
+	}
+	for _, sm := range src.stems {
+		found := false
+		for i := range dst.stems {
+			if dst.stems[i].name == sm.name {
+				dst.stems[i].size += sm.size
+				dst.stems[i].stats.Builds += sm.stats.Builds
+				dst.stems[i].stats.Probes += sm.stats.Probes
+				dst.stems[i].stats.Matches += sm.stats.Matches
+				dst.stems[i].stats.Evicted += sm.stats.Evicted
+				dst.stems[i].stats.IndexProbes += sm.stats.IndexProbes
+				dst.stems[i].stats.ScanProbes += sm.stats.ScanProbes
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst.stems = append(dst.stems, sm)
+		}
+	}
+	for _, qi := range src.queries {
+		found := false
+		for i := range dst.queries {
+			if dst.queries[i].ID == qi.ID {
+				dst.queries[i].Delivered += qi.Delivered
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst.queries = append(dst.queries, qi)
+		}
+	}
 }
 
 // statsSnapshot round-trips a ctlStats envelope through the EO's
@@ -161,6 +244,17 @@ func (x *Executor) registerSystemStreams() {
 			col("source", tuple.KindString), col("state", tuple.KindString),
 			col("restarts", tuple.KindInt), col("failures", tuple.KindInt),
 			col("rows", tuple.KindInt), col("last_error", tuple.KindString),
+		}},
+		// One row per eddy shard of each sharded EO (empty for classic
+		// single-engine EOs).
+		{StreamShards, []tuple.Column{
+			col("eo", tuple.KindInt), col("shard", tuple.KindInt),
+			col("catch_all", tuple.KindInt),
+			col("ingress", tuple.KindInt), col("fwd_out", tuple.KindInt),
+			col("fwd_in", tuple.KindInt), col("fwd_dropped", tuple.KindInt),
+			col("egress", tuple.KindInt),
+			col("admitted", tuple.KindInt), col("outputs", tuple.KindInt),
+			col("ingress_depth", tuple.KindInt), col("egress_depth", tuple.KindInt),
 		}},
 		// One aggregate row per fan-out query (not per subscriber — at
 		// 100k subscribers, per-subscriber rows would be a cardinality
@@ -254,6 +348,20 @@ func (x *Executor) SampleSystemStreams() {
 				tuple.Int(int64(qi.ID)), tuple.Int(qi.Delivered),
 				tuple.Int(pending), tuple.Int(dropped),
 				tuple.String("running"),
+			})
+		}
+		for _, sh := range s.shards {
+			catchAll := int64(0)
+			if sh.catchAll {
+				catchAll = 1
+			}
+			_, _ = x.Push(StreamShards, []tuple.Value{
+				tuple.Int(eoID), tuple.Int(int64(sh.id)), tuple.Int(catchAll),
+				tuple.Int(sh.stats.Ingress), tuple.Int(sh.stats.FwdOut),
+				tuple.Int(sh.stats.FwdIn), tuple.Int(sh.stats.FwdDrop),
+				tuple.Int(sh.stats.Egress),
+				tuple.Int(sh.eddy.Admitted), tuple.Int(sh.eddy.Outputs),
+				tuple.Int(int64(sh.ingressLen)), tuple.Int(int64(sh.egressLen)),
 			})
 		}
 	}
@@ -399,6 +507,26 @@ func (x *Executor) registerCollectors() {
 			// Engine totals.
 			counter("tcq_engine_pushed_total", "tuples pushed into the CACQ engine", s.engine.Pushed, lEO)
 			counter("tcq_engine_delivered_total", "result rows delivered by the engine", s.engine.Delivered, lEO)
+
+			// Multi-eddy shard detail (sharded EOs only).
+			gauge("tcq_eo_shards", "hash shards of the EO (1 = classic single engine)", float64(eo.shardCount()), lEO)
+			for _, sh := range s.shards {
+				lSh := telemetry.L("shard", strconv.Itoa(sh.id))
+				role := "hash"
+				if sh.catchAll {
+					role = "catchall"
+				}
+				lRole := telemetry.L("role", role)
+				counter("tcq_shard_ingress_total", "tuples partitioned into the shard", sh.stats.Ingress, lEO, lSh, lRole)
+				counter("tcq_shard_fwd_out_total", "tuples repartitioned to sibling shards", sh.stats.FwdOut, lEO, lSh, lRole)
+				counter("tcq_shard_fwd_in_total", "tuples received over the exchange", sh.stats.FwdIn, lEO, lSh, lRole)
+				counter("tcq_shard_fwd_dropped_total", "exchange forwards dropped at shutdown", sh.stats.FwdDrop, lEO, lSh, lRole)
+				counter("tcq_shard_egress_total", "result rows merged from the shard", sh.stats.Egress, lEO, lSh, lRole)
+				counter("tcq_shard_admitted_total", "tuples admitted into the shard's eddy", sh.eddy.Admitted, lEO, lSh, lRole)
+				counter("tcq_shard_outputs_total", "tuples completing the shard's modules", sh.eddy.Outputs, lEO, lSh, lRole)
+				gauge("tcq_shard_ingress_depth", "shard ingress ring occupancy", float64(sh.ingressLen), lEO, lSh, lRole)
+				gauge("tcq_shard_egress_depth", "shard egress ring occupancy", float64(sh.egressLen), lEO, lSh, lRole)
+			}
 
 			// Shared state: grouped filters and SteMs.
 			for _, gf := range s.filters {

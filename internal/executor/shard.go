@@ -1,0 +1,1144 @@
+// Multi-eddy SMP sharding: when Options.Shards > 1 each Execution
+// Object becomes a *shard group* — N hash shards plus one catch-all
+// shard, each owning a private CACQ engine (its own eddy loop, SteMs,
+// grouped filters, and batch freelist) on its own goroutine. The EO
+// goroutine becomes the group's coordinator: it hash-partitions ingress
+// tuples by each stream's dominant join key into per-shard SPSC fjords
+// (round-robin for keyless streams), merges per-shard egress back into
+// the Hub seam in deterministic shard order, and serializes all control
+// traffic (query add/remove, barriers, telemetry scrapes) so no shard
+// state is ever touched off its owning thread.
+//
+// Queries whose joins partition cleanly (plan.Partition.Keys) register
+// on every hash shard; tuples that can ever join hash to the same shard,
+// so no cross-shard coordination is needed on the hot path. When an
+// alias's join key differs from the stream's ingress partitioning (a
+// self-join on different columns, or a second query keying the stream
+// differently), the arrival shard *repartitions mid-plan*: it clones the
+// tuple and moves it through the exchange — a mesh of per-pair SPSC
+// rings — to the shard its key hashes to. Pinned queries (aggregates,
+// band/Cartesian joins, table readers, conflicting keys) live on the
+// catch-all shard, which receives every tuple of its streams through
+// the same exchange and therefore behaves exactly like a single-shard
+// engine.
+//
+// Windowed-join correctness across shards: the engine implements join
+// windows by SteM eviction against each stream's sequence high-water
+// mark. A shard only sees its hash class of a stream, so its local
+// high-water mark would lag and stale state would answer probes a
+// single-shard engine would never match. The coordinator therefore
+// maintains a per-stream frontier (it routes every tuple, so it knows
+// the global maximum) published through the route table; each shard
+// applies it via Engine.AdvanceSeq before admitting work. Under barrier
+// discipline the horizons are exact; between barriers they are within
+// the in-flight batch — the same indeterminacy eddy routing order
+// already admits.
+package executor
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"telegraphcq/internal/cacq"
+	"telegraphcq/internal/fjord"
+	"telegraphcq/internal/plan"
+	"telegraphcq/internal/tuple"
+)
+
+const (
+	// shardIngressCap bounds each shard's coordinator→shard SPSC ring.
+	shardIngressCap = 4096
+	// exchangeRingCap bounds each per-pair exchange ring.
+	exchangeRingCap = 1024
+	// egressRingCap bounds each shard's shard→coordinator delivery ring.
+	egressRingCap = 8192
+	// exchangeFlushBatch is the outbound buffer size that forces a flush
+	// mid-quantum (buffers always flush at quantum end and barriers).
+	exchangeFlushBatch = 64
+)
+
+// ------------------------------------------------------------ route table
+
+// routeTable is the coordinator-built, atomically published partitioning
+// plan: per-stream dominant keys, per-alias destinations, and the
+// per-stream sequence frontier. Shards read it lock-free.
+type routeTable struct {
+	streams  map[string]*streamRoute
+	frontier []*streamFrontier
+}
+
+// streamFrontier is one stream's sequence high-water mark as observed by
+// the coordinator (the sole writer); shards load it to keep their
+// eviction horizons on the global frontier.
+type streamFrontier struct {
+	stream  string
+	aliases []string // dataflow names this stream feeds (AdvanceSeq targets)
+	seq     atomic.Int64
+}
+
+type streamRoute struct {
+	stream   string
+	dominant int  // ingress hash column; -1 = round-robin
+	hashAny  bool // at least one alias is read by shardable queries
+	anyPin   bool // at least one alias is read by pinned queries
+	aliases  []aliasRoute
+	front    *streamFrontier
+}
+
+type aliasRoute struct {
+	alias  string
+	keyIdx int  // partition key column; -1 = stay on the arrival shard
+	toHash bool // delivered into the hash shards (shardable readers)
+	toPin  bool // forwarded to the catch-all shard (pinned readers)
+}
+
+// shardQuery is the coordinator's record of one registered query.
+type shardQuery struct {
+	part   *plan.Partition
+	feeds  []plan.Feed
+	pinned bool
+}
+
+// ------------------------------------------------------------ shard group
+
+// shardGroup owns one EO's shards. All fields except the explicitly
+// synchronized ones are coordinator-owned.
+type shardGroup struct {
+	eo     *execObject
+	n      int // hash shards; shards[n] is the catch-all
+	shards []*eddyShard
+	mesh   *fjord.Mesh[*tuple.Tuple]
+	route  atomic.Pointer[routeTable]
+
+	rr      map[string]int // per-stream round-robin cursors
+	order   []int          // query registration order (stable rebuilds)
+	records map[int]*shardQuery
+
+	// Shard-death signalling: the first panicking shard records its
+	// cause and closes deadCh; the coordinator quarantines the group.
+	aborting  atomic.Bool
+	deadOnce  sync.Once
+	deadCh    chan struct{}
+	deadMu    sync.Mutex
+	deadCause any
+	deadStack []byte
+	deadID    int
+
+	// Coordinator-owned egress scratch.
+	egScratch []delivery
+	rowBuf    []*tuple.Tuple
+}
+
+type shardCmd struct {
+	kind  ctlKind
+	query *cacq.Query
+	qid   int
+	rows  []*tuple.Tuple
+	reply chan shardReply
+}
+
+type shardReply struct {
+	moved int
+	err   error
+	snap  *eoSnapshot
+	stats shardStats
+}
+
+// shardStats are one shard's plain counters (worker-owned; snapshotted
+// through the command channel, never read in place).
+type shardStats struct {
+	Ingress int64 // tuples delivered by the coordinator
+	FwdOut  int64 // tuples repartitioned to siblings via the exchange
+	FwdIn   int64 // tuples received from siblings via the exchange
+	FwdDrop int64 // forwards dropped (destination ring closed)
+	Egress  int64 // result rows handed to the coordinator
+}
+
+func newShardGroup(eo *execObject, n int) *shardGroup {
+	g := &shardGroup{
+		eo:        eo,
+		n:         n,
+		mesh:      fjord.NewMesh[*tuple.Tuple](n+1, exchangeRingCap),
+		rr:        map[string]int{},
+		records:   map[int]*shardQuery{},
+		deadCh:    make(chan struct{}),
+		egScratch: make([]delivery, eoDrainBatch),
+	}
+	g.route.Store(&routeTable{streams: map[string]*streamRoute{}})
+	for i := 0; i <= n; i++ {
+		sh := &eddyShard{
+			id:      i,
+			g:       g,
+			in:      fjord.NewSPSC[*tuple.Tuple](shardIngressCap),
+			cmd:     make(chan shardCmd, 16),
+			egress:  fjord.NewSPSC[delivery](egressRingCap),
+			done:    make(chan struct{}),
+			drain:   make([]*tuple.Tuple, eoDrainBatch),
+			xdrain:  make([]*tuple.Tuple, eoDrainBatch),
+			fwd:     make([][]*tuple.Tuple, n+1),
+			applied: map[string]int64{},
+		}
+		sh.inbound = g.mesh.Inbound(i, nil)
+		sh.engine = cacq.NewEngine(eo.x.opts.Policy(int64(eo.idx)*64+int64(i)+1), func(id int, row *tuple.Tuple) {
+			sh.out = append(sh.out, delivery{id: id, row: row})
+		})
+		if eo.x.opts.Batch > 1 {
+			sh.engine.Eddy().BatchSize = eo.x.opts.Batch
+		}
+		if eo.x.opts.FixedHops > 1 {
+			sh.engine.Eddy().FixedHops = eo.x.opts.FixedHops
+		}
+		g.shards = append(g.shards, sh)
+	}
+	for _, sh := range g.shards {
+		go sh.loop()
+	}
+	return g
+}
+
+// run is the coordinator loop (replaces the legacy EO scheduler when
+// sharding is on).
+func (g *shardGroup) run() {
+	defer close(g.eo.done)
+	idle := 0
+	for {
+		if g.step(&idle) {
+			return
+		}
+	}
+}
+
+func (g *shardGroup) step(idle *int) (exit bool) {
+	eo := g.eo
+	defer func() {
+		if r := recover(); r != nil {
+			g.quarantineGroup(r, debug.Stack())
+			exit = true
+		}
+	}()
+	if g.isDead() {
+		g.deadMu.Lock()
+		cause, stack := g.deadCause, g.deadStack
+		g.deadMu.Unlock()
+		g.quarantineGroup(cause, stack)
+		return true
+	}
+	progressed := false
+	if env, ok := eo.ctl.TryDequeue(); ok {
+		g.control(env)
+		progressed = true
+	} else if n := eo.data.DequeueBatch(eo.drain); n > 0 {
+		g.partition(eo.drain[:n])
+		progressed = true
+	}
+	if g.drainEgress() > 0 {
+		progressed = true
+	}
+	if progressed {
+		*idle = 0
+		return false
+	}
+	if eo.ctl.Closed() {
+		g.shutdown()
+		return true
+	}
+	*idle++
+	if *idle > 8 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	return false
+}
+
+func (g *shardGroup) isDead() bool {
+	select {
+	case <-g.deadCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g *shardGroup) deadErr() error {
+	g.deadMu.Lock()
+	defer g.deadMu.Unlock()
+	return fmt.Errorf("%w: EO %d shard %d: %v", ErrQuarantined, g.eo.idx, g.deadID, g.deadCause)
+}
+
+// partition routes one drained ingress batch. A tuple of a stream with
+// shardable readers goes to its dominant-key hash shard (round-robin
+// when keyless); a stream with pinned readers additionally delivers to
+// the catch-all — directly from the coordinator, never via the hash
+// shards, because the coordinator is the only point that still sees the
+// stream's global arrival order and the catch-all's tuple-order-driven
+// state (aggregate window closes, probe ordering) depends on it. The
+// coordinator→catch-all ring is SPSC FIFO, so that order survives.
+func (g *shardGroup) partition(batch []*tuple.Tuple) {
+	rt := g.route.Load()
+	for i, t := range batch {
+		batch[i] = nil
+		sr := rt.streams[t.Schema.Sources[0]]
+		if sr == nil {
+			tuple.Recycle(t) // no query reads this stream here (yet)
+			continue
+		}
+		if t.TS.Seq > sr.front.seq.Load() {
+			sr.front.seq.Store(t.TS.Seq) // coordinator is the sole writer
+		}
+		var pinT *tuple.Tuple
+		if sr.anyPin {
+			pinT = t
+			if sr.hashAny {
+				pinT = t.Clone()
+			}
+		}
+		if sr.hashAny {
+			var dest int
+			if sr.dominant >= 0 {
+				dest = int(t.Values[sr.dominant].Hash() % uint64(g.n))
+			} else {
+				dest = g.rr[sr.stream] % g.n
+				g.rr[sr.stream]++
+			}
+			g.offerShard(g.shards[dest], t)
+		}
+		if pinT != nil {
+			g.offerShard(g.shards[g.n], pinT)
+		}
+	}
+}
+
+// offerShard enqueues into a shard's ingress ring, draining egress while
+// the ring is full so the group can never deadlock on its own output.
+func (g *shardGroup) offerShard(sh *eddyShard, t *tuple.Tuple) {
+	for {
+		if sh.in.TryEnqueue(t) {
+			return
+		}
+		if g.aborting.Load() || g.isDead() || sh.in.Closed() {
+			tuple.Recycle(t)
+			return
+		}
+		g.drainEgress()
+		runtime.Gosched()
+	}
+}
+
+// drainEgress empties every shard's delivery ring in shard order (the
+// deterministic merge into the Hub seam) and returns rows moved.
+func (g *shardGroup) drainEgress() int {
+	total := 0
+	for _, sh := range g.shards {
+		for {
+			n := sh.egress.DequeueBatch(g.egScratch)
+			if n == 0 {
+				break
+			}
+			total += n
+			g.deliverRuns(g.egScratch[:n])
+		}
+	}
+	return total
+}
+
+// deliverRuns hands deliveries to the executor in runs of consecutive
+// same-query rows (mirrors the legacy EO's flushOut batching).
+func (g *shardGroup) deliverRuns(pend []delivery) {
+	for i := 0; i < len(pend); {
+		id := pend[i].id
+		g.rowBuf = g.rowBuf[:0]
+		j := i
+		for ; j < len(pend) && pend[j].id == id; j++ {
+			g.rowBuf = append(g.rowBuf, pend[j].row)
+			pend[j] = delivery{}
+		}
+		g.eo.x.deliverBatch(id, g.rowBuf)
+		i = j
+	}
+}
+
+// drainEgressRecycle empties delivery rings during quarantine: the
+// group's queries are failing, so rows are retired, not delivered.
+func (g *shardGroup) drainEgressRecycle() {
+	for _, sh := range g.shards {
+		for {
+			n := sh.egress.DequeueBatch(g.egScratch)
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				tuple.Recycle(g.egScratch[i].row)
+				g.egScratch[i] = delivery{}
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------- control
+
+func (g *shardGroup) control(env envelope) {
+	acked := false
+	defer func() {
+		if r := recover(); r != nil {
+			if env.ack != nil && !acked {
+				env.ack <- fmt.Errorf("executor: EO %d panicked in control handler: %v", g.eo.idx, r)
+			}
+			panic(r)
+		}
+	}()
+	var err error
+	switch env.ctl {
+	case ctlAddQuery:
+		err = g.addQuery(env)
+	case ctlRemoveQuery:
+		err = g.removeQuery(env.qid)
+	case ctlLoadTable:
+		// Table readers are always pinned, so loads feed the catch-all.
+		_, err = g.askShard(g.shards[g.n], shardCmd{kind: ctlLoadTable, rows: env.rows})
+	case ctlBarrier:
+		err = g.barrier()
+	case ctlStats:
+		env.snap <- g.statsMerged()
+	}
+	if env.ack != nil {
+		acked = true
+		env.ack <- err
+	}
+}
+
+// conflicts reports whether a shardable query's keys clash with the
+// keys already in force (two queries hashing one alias by different
+// columns cannot share the hash shards; the later one is pinned).
+func (g *shardGroup) conflicts(part *plan.Partition) bool {
+	for _, k := range part.Keys {
+		if k.KeyIdx < 0 {
+			continue
+		}
+		for _, qid := range g.order {
+			rec := g.records[qid]
+			if rec.pinned || rec.part == nil {
+				continue
+			}
+			for _, ok := range rec.part.Keys {
+				if ok.Stream == k.Stream && ok.Alias == k.Alias && ok.KeyIdx >= 0 && ok.KeyIdx != k.KeyIdx {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (g *shardGroup) addQuery(env envelope) error {
+	part := env.part
+	pin := part == nil || part.Pinned || g.conflicts(part)
+	var err error
+	if pin {
+		_, err = g.askShard(g.shards[g.n], shardCmd{kind: ctlAddQuery, query: env.query})
+	} else {
+		var added []int
+		for i := 0; i < g.n && err == nil; i++ {
+			if _, e := g.askShard(g.shards[i], shardCmd{kind: ctlAddQuery, query: env.query}); e != nil {
+				err = e
+			} else {
+				added = append(added, i)
+			}
+		}
+		if err != nil {
+			for _, i := range added { // roll back the partial registration
+				_, _ = g.askShard(g.shards[i], shardCmd{kind: ctlRemoveQuery, qid: env.query.ID})
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	g.records[env.query.ID] = &shardQuery{part: part, feeds: env.feeds, pinned: pin}
+	g.order = append(g.order, env.query.ID)
+	g.rebuildRoute()
+	return nil
+}
+
+func (g *shardGroup) removeQuery(qid int) error {
+	rec := g.records[qid]
+	if rec == nil {
+		return nil
+	}
+	delete(g.records, qid)
+	for i, id := range g.order {
+		if id == qid {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	var err error
+	if rec.pinned {
+		_, err = g.askShard(g.shards[g.n], shardCmd{kind: ctlRemoveQuery, qid: qid})
+	} else {
+		for i := 0; i < g.n; i++ {
+			if _, e := g.askShard(g.shards[i], shardCmd{kind: ctlRemoveQuery, qid: qid}); e != nil && err == nil {
+				err = e
+			}
+		}
+	}
+	g.rebuildRoute()
+	return err
+}
+
+// rebuildRoute recomputes the published route table from the registered
+// queries, preserving each stream's frontier value. Stable: iteration
+// follows registration order, and conflicting keys were pinned at add
+// time, so surviving shardable queries agree on every alias's key.
+func (g *shardGroup) rebuildRoute() {
+	old := g.route.Load()
+	type aliasAcc struct {
+		keyIdx int
+		toHash bool
+		toPin  bool
+	}
+	acc := map[string]map[string]*aliasAcc{}
+	var streamOrder []string
+	aliasOrder := map[string][]string{}
+	add := func(stream, alias string, keyIdx int, pinnedQ bool) {
+		m := acc[stream]
+		if m == nil {
+			m = map[string]*aliasAcc{}
+			acc[stream] = m
+			streamOrder = append(streamOrder, stream)
+		}
+		a := m[alias]
+		if a == nil {
+			a = &aliasAcc{keyIdx: -1}
+			m[alias] = a
+			aliasOrder[stream] = append(aliasOrder[stream], alias)
+		}
+		if pinnedQ {
+			a.toPin = true
+			return
+		}
+		a.toHash = true
+		if keyIdx >= 0 {
+			a.keyIdx = keyIdx
+		}
+	}
+	for _, qid := range g.order {
+		rec := g.records[qid]
+		if rec.pinned {
+			for _, f := range rec.feeds {
+				add(f.Stream, f.As, -1, true)
+			}
+			continue
+		}
+		for _, k := range rec.part.Keys {
+			add(k.Stream, k.Alias, k.KeyIdx, false)
+		}
+	}
+	rt := &routeTable{streams: map[string]*streamRoute{}}
+	for _, stream := range streamOrder {
+		fr := &streamFrontier{stream: stream}
+		if osr := old.streams[stream]; osr != nil {
+			fr.seq.Store(osr.front.seq.Load())
+		}
+		sr := &streamRoute{stream: stream, dominant: -1, front: fr}
+		for _, alias := range aliasOrder[stream] {
+			a := acc[stream][alias]
+			fr.aliases = append(fr.aliases, alias)
+			keyIdx := -1
+			if a.toHash {
+				sr.hashAny = true
+				keyIdx = a.keyIdx
+				if keyIdx >= 0 && sr.dominant < 0 {
+					sr.dominant = keyIdx
+				}
+			}
+			if a.toPin {
+				sr.anyPin = true
+			}
+			sr.aliases = append(sr.aliases, aliasRoute{alias: alias, keyIdx: keyIdx, toHash: a.toHash, toPin: a.toPin})
+		}
+		rt.streams[stream] = sr
+		rt.frontier = append(rt.frontier, fr)
+	}
+	g.route.Store(rt)
+}
+
+// askShard sends a command and waits for its reply, staying live: while
+// the command channel is full it drains egress, and a shard death
+// releases the wait with the quarantine error.
+func (g *shardGroup) askShard(sh *eddyShard, c shardCmd) (shardReply, error) {
+	c.reply = make(chan shardReply, 1)
+	for sent := false; !sent; {
+		select {
+		case sh.cmd <- c:
+			sent = true
+		case <-g.deadCh:
+			return shardReply{}, g.deadErr()
+		default:
+			g.drainEgress()
+			runtime.Gosched()
+		}
+	}
+	select {
+	case r := <-c.reply:
+		return r, r.err
+	case <-g.deadCh:
+		return shardReply{}, g.deadErr()
+	}
+}
+
+// barrier quiesces the whole group: rounds of (drain executor ingress →
+// per-shard quiesce in shard order → egress drain) until a full round
+// moves nothing. Shard quiesce counts exchanged tuples, so work bouncing
+// between shards keeps the barrier open until the mesh is dry.
+func (g *shardGroup) barrier() error {
+	eo := g.eo
+	var firstErr error
+	for {
+		moved := 0
+		for {
+			n := eo.data.DequeueBatch(eo.drain)
+			if n == 0 {
+				break
+			}
+			moved += n
+			g.partition(eo.drain[:n])
+		}
+		g.drainEgress()
+		for _, sh := range g.shards {
+			r, err := g.askShard(sh, shardCmd{kind: ctlBarrier})
+			if err != nil {
+				return err
+			}
+			moved += r.moved
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+			g.drainEgress()
+		}
+		if moved == 0 && eo.data.Len() == 0 {
+			break
+		}
+	}
+	g.drainEgress()
+	return firstErr
+}
+
+// statsMerged snapshots every shard through its command channel and sums
+// the copies into one EO-level snapshot (plus the per-shard detail).
+// Concurrent scrapes are race-free: each counter is only ever read by
+// its owning shard goroutine, and only snapshots are merged.
+func (g *shardGroup) statsMerged() *eoSnapshot {
+	out := &eoSnapshot{}
+	for _, sh := range g.shards {
+		r, err := g.askShard(sh, shardCmd{kind: ctlStats})
+		if err != nil || r.snap == nil {
+			continue
+		}
+		mergeSnapshot(out, r.snap)
+		out.shards = append(out.shards, shardSnapshot{
+			id:         sh.id,
+			catchAll:   sh.id == g.n,
+			eddy:       r.snap.eddy,
+			engine:     r.snap.engine,
+			stats:      r.stats,
+			ingressLen: sh.in.Len(),
+			egressLen:  sh.egress.Len(),
+		})
+	}
+	return out
+}
+
+// shutdown runs after the executor closes the EO's queues: quiesce so
+// queued work drains (the legacy EO drains before exit too), then tear
+// the shards down.
+func (g *shardGroup) shutdown() {
+	_ = g.barrier() // best effort; a dead shard aborts below
+	for _, sh := range g.shards {
+		sh.in.Close()
+	}
+	g.mesh.CloseAll()
+	for _, sh := range g.shards {
+		g.waitShard(sh)
+	}
+	g.drainEgress()
+	g.mesh.DrainAll(tuple.Recycle)
+}
+
+func (g *shardGroup) waitShard(sh *eddyShard) {
+	for {
+		select {
+		case <-sh.done:
+			return
+		default:
+			g.drainEgress()
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// shardPanic runs on the panicking shard's goroutine: record the cause,
+// signal the coordinator, and release queued command waiters so nothing
+// hangs on a reply that will never come.
+func (g *shardGroup) shardPanic(sh *eddyShard, cause any, stack []byte) {
+	g.deadMu.Lock()
+	if g.deadCause == nil {
+		g.deadCause, g.deadStack, g.deadID = cause, stack, sh.id
+	}
+	g.deadMu.Unlock()
+	g.deadOnce.Do(func() { close(g.deadCh) })
+	for {
+		select {
+		case c := <-sh.cmd:
+			if c.reply != nil {
+				c.reply <- shardReply{err: g.deadErr()}
+			}
+		default:
+			return
+		}
+	}
+}
+
+// quarantineGroup retires the whole shard group after a panic (in a
+// shard or in the coordinator itself): admission stops, sibling shards
+// exit cleanly (they are victims, not culprits — but they host the same
+// queries, so the group fails as a unit), queued work is recycled, and
+// the EO's queries fail exactly as in the single-shard quarantine path.
+// Other EOs keep running.
+func (g *shardGroup) quarantineGroup(cause any, stack []byte) {
+	eo := g.eo
+	eo.dead.Store(true)
+	g.aborting.Store(true)
+	g.deadOnce.Do(func() { close(g.deadCh) })
+	err := fmt.Errorf("%w: EO %d: %v", ErrQuarantined, eo.idx, cause)
+	fmt.Fprintf(os.Stderr, "telegraphcq: %v\n%s", err, stack)
+
+	eo.data.Close()
+	eo.ctl.Close()
+	for _, sh := range g.shards {
+		sh.in.Close()
+	}
+	g.mesh.CloseAll()
+	// Wait for the surviving shards, recycling egress so a shard blocked
+	// publishing results can always finish its abort check.
+	for _, sh := range g.shards {
+		for exited := false; !exited; {
+			select {
+			case <-sh.done:
+				exited = true
+			default:
+				g.drainEgressRecycle()
+				runtime.Gosched()
+			}
+		}
+	}
+	g.drainEgressRecycle()
+	for i := range eo.drain {
+		if eo.drain[i] != nil {
+			tuple.Recycle(eo.drain[i])
+			eo.drain[i] = nil
+		}
+	}
+	for {
+		t, ok := eo.data.TryDequeue()
+		if !ok {
+			break
+		}
+		tuple.Recycle(t)
+	}
+	for _, sh := range g.shards {
+		for {
+			t, ok := sh.in.TryDequeue()
+			if !ok {
+				break
+			}
+			tuple.Recycle(t)
+		}
+	}
+	g.mesh.DrainAll(tuple.Recycle)
+	for {
+		env, ok := eo.ctl.TryDequeue()
+		if !ok {
+			break
+		}
+		if env.ack != nil {
+			env.ack <- err
+		}
+		if env.snap != nil {
+			close(env.snap)
+		}
+	}
+	eo.x.failEO(eo, err)
+}
+
+// ------------------------------------------------------------- shard
+
+// eddyShard is one shard: a goroutine owning a private CACQ engine, an
+// ingress SPSC ring fed by the coordinator, the exchange rings of its
+// row/column of the mesh, and an egress ring the coordinator drains.
+type eddyShard struct {
+	id      int
+	g       *shardGroup
+	engine  *cacq.Engine
+	in      *fjord.SPSC[*tuple.Tuple]
+	cmd     chan shardCmd
+	egress  *fjord.SPSC[delivery]
+	inbound []*fjord.SPSC[*tuple.Tuple]
+	done    chan struct{}
+
+	// Worker-owned scratch (never shared).
+	drain   []*tuple.Tuple
+	xdrain  []*tuple.Tuple
+	out     []delivery
+	fwd     [][]*tuple.Tuple
+	dests   []destAlias
+	applied map[string]int64
+	stats   shardStats
+}
+
+type destAlias struct {
+	dest  int
+	alias string
+}
+
+func (sh *eddyShard) loop() {
+	defer close(sh.done)
+	idle := 0
+	for {
+		if sh.g.aborting.Load() {
+			sh.teardown()
+			return
+		}
+		if sh.step(&idle) {
+			sh.teardown()
+			return
+		}
+	}
+}
+
+func (sh *eddyShard) step(idle *int) (exit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.g.shardPanic(sh, r, debug.Stack())
+			exit = true
+		}
+	}()
+	progressed := false
+	select {
+	case c := <-sh.cmd:
+		sh.handle(c)
+		progressed = true
+	default:
+	}
+	if sh.drainExchange() > 0 {
+		progressed = true
+	}
+	sh.syncFrontier()
+	if n := sh.in.DequeueBatch(sh.drain); n > 0 {
+		sh.stats.Ingress += int64(n)
+		for i := 0; i < n; i++ {
+			t := sh.drain[i]
+			sh.drain[i] = nil
+			sh.process(t)
+		}
+		progressed = true
+	}
+	_ = sh.runEngine()
+	sh.flushForwards()
+	if progressed {
+		*idle = 0
+		return false
+	}
+	if sh.in.Closed() && sh.in.Len() == 0 && sh.exchangeDry() {
+		return true
+	}
+	*idle++
+	if *idle > 8 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	return false
+}
+
+// exchangeDry reports whether every inbound exchange ring is closed and
+// empty — the shard's signal that the group is shutting down.
+func (sh *eddyShard) exchangeDry() bool {
+	for _, r := range sh.inbound {
+		if !r.Closed() || r.Len() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (sh *eddyShard) handle(c shardCmd) {
+	var r shardReply
+	switch c.kind {
+	case ctlAddQuery:
+		r.err = sh.engine.AddQuery(c.query)
+	case ctlRemoveQuery:
+		sh.engine.RemoveQuery(c.qid)
+	case ctlLoadTable:
+		for _, row := range c.rows {
+			if e := sh.engine.Push(row); e != nil && r.err == nil {
+				r.err = e
+			}
+		}
+		if e := sh.runEngine(); e != nil && r.err == nil {
+			r.err = e
+		}
+		sh.flushForwards()
+	case ctlBarrier:
+		// One quiesce round: drain exchange and ingress, run the engine
+		// to idle, flush outbound. The coordinator loops rounds until
+		// every shard reports zero movement.
+		r.moved += sh.drainExchange()
+		sh.syncFrontier()
+		for {
+			n := sh.in.DequeueBatch(sh.drain)
+			if n == 0 {
+				break
+			}
+			sh.stats.Ingress += int64(n)
+			r.moved += n
+			for i := 0; i < n; i++ {
+				t := sh.drain[i]
+				sh.drain[i] = nil
+				sh.process(t)
+			}
+		}
+		r.err = sh.runEngine()
+		r.moved += sh.flushForwards()
+	case ctlStats:
+		r.snap = snapshotEngine(sh.engine)
+		r.stats = sh.stats
+	}
+	if c.reply != nil {
+		c.reply <- r
+	}
+}
+
+// syncFrontier applies the coordinator's per-stream sequence frontier so
+// this shard's eviction horizons match a single-shard engine's. The
+// catch-all never needs it: every stream it has state for is delivered
+// to it in full, in global order, so its own maxSeq is already exact —
+// and advancing it early would evict ahead of tuples still queued on
+// its ingress ring.
+func (sh *eddyShard) syncFrontier() {
+	if sh.id == sh.g.n {
+		return
+	}
+	rt := sh.g.route.Load()
+	for _, f := range rt.frontier {
+		v := f.seq.Load()
+		if v <= sh.applied[f.stream] {
+			continue
+		}
+		sh.applied[f.stream] = v
+		for _, alias := range f.aliases {
+			sh.engine.AdvanceSeq(alias, v)
+		}
+	}
+}
+
+// drainExchange admits every tuple queued on the inbound exchange rings
+// (pre-renamed by the sender; they go straight into the engine).
+func (sh *eddyShard) drainExchange() int {
+	total := 0
+	for _, ring := range sh.inbound {
+		for {
+			n := ring.DequeueBatch(sh.xdrain)
+			if n == 0 {
+				break
+			}
+			sh.stats.FwdIn += int64(n)
+			total += n
+			for i := 0; i < n; i++ {
+				_ = sh.engine.Push(sh.xdrain[i])
+				sh.xdrain[i] = nil
+			}
+		}
+	}
+	return total
+}
+
+// process applies the per-alias routing of one ingress tuple: aliases
+// whose key matches the arrival shard are admitted locally; aliases
+// keyed differently are repartitioned through the exchange; aliases with
+// pinned readers are forwarded to the catch-all.
+func (sh *eddyShard) process(t *tuple.Tuple) {
+	src := t.Schema.Sources[0]
+	if sh.g.eo.x.opts.Chaos.PanicFor(src) {
+		panic(fmt.Sprintf("chaos: injected operator panic on stream %s (EO %d shard %d)", src, sh.g.eo.idx, sh.id))
+	}
+	rt := sh.g.route.Load()
+	sr := rt.streams[src]
+	if sr == nil {
+		tuple.Recycle(t)
+		return
+	}
+	// Role split: the coordinator already fans each tuple out between
+	// the hash tier and the catch-all (see partition), so a hash shard
+	// serves only the shardable aliases and the catch-all only the
+	// pinned ones — always locally, in coordinator order.
+	sh.dests = sh.dests[:0]
+	for _, ar := range sr.aliases {
+		if sh.id == sh.g.n {
+			if ar.toPin {
+				sh.dests = append(sh.dests, destAlias{dest: sh.id, alias: ar.alias})
+			}
+			continue
+		}
+		if ar.toHash {
+			d := sh.id
+			if ar.keyIdx >= 0 {
+				d = int(t.Values[ar.keyIdx].Hash() % uint64(sh.g.n))
+			}
+			sh.dests = append(sh.dests, destAlias{dest: d, alias: ar.alias})
+		}
+	}
+	switch {
+	case len(sh.dests) == 0:
+		tuple.Recycle(t)
+		return
+	case len(sh.dests) == 1 && sh.dests[0].alias == src:
+		// Common fast path: one destination, no rename — move the
+		// original without cloning.
+		if d := sh.dests[0].dest; d == sh.id {
+			_ = sh.engine.Push(t)
+		} else {
+			sh.forward(d, t)
+		}
+		return
+	}
+	for _, da := range sh.dests {
+		tt := t.Clone()
+		if da.alias != src {
+			tt.Schema = t.Schema.Rename(da.alias)
+		}
+		if da.dest == sh.id {
+			_ = sh.engine.Push(tt)
+		} else {
+			sh.forward(da.dest, tt)
+		}
+	}
+	tuple.Recycle(t)
+}
+
+// forward buffers one tuple for the exchange ring to dest, flushing when
+// the buffer fills (quantum end and barriers flush the remainder).
+func (sh *eddyShard) forward(dest int, t *tuple.Tuple) {
+	sh.fwd[dest] = append(sh.fwd[dest], t)
+	if len(sh.fwd[dest]) >= exchangeFlushBatch {
+		sh.flushTo(dest)
+	}
+}
+
+// flushForwards flushes every non-empty outbound buffer; returns tuples
+// actually moved onto exchange rings.
+func (sh *eddyShard) flushForwards() int {
+	total := 0
+	for dest := range sh.fwd {
+		if len(sh.fwd[dest]) > 0 {
+			total += sh.flushTo(dest)
+		}
+	}
+	return total
+}
+
+// flushTo publishes one outbound buffer onto its exchange ring. While
+// the ring is full it drains this shard's own inbound rings — the
+// "helping" rule that makes a saturated mesh deadlock-free: in any wait
+// cycle every waiter is also a consumer, so some ring always empties.
+func (sh *eddyShard) flushTo(dest int) int {
+	buf := sh.fwd[dest]
+	ring := sh.g.mesh.Ring(sh.id, dest)
+	sent := 0
+	for sent < len(buf) {
+		n := ring.TryEnqueueBatch(buf[sent:])
+		if n > 0 {
+			sent += n
+			continue
+		}
+		if sh.g.aborting.Load() || ring.Closed() {
+			for _, t := range buf[sent:] {
+				tuple.Recycle(t)
+				sh.stats.FwdDrop++
+			}
+			break
+		}
+		sh.drainExchange()
+		runtime.Gosched()
+	}
+	sh.stats.FwdOut += int64(sent)
+	for i := range buf {
+		buf[i] = nil
+	}
+	sh.fwd[dest] = buf[:0]
+	return sent
+}
+
+// runEngine gives the shard engine a quantum and publishes its buffered
+// deliveries onto the egress ring.
+func (sh *eddyShard) runEngine() error {
+	err := sh.engine.Run()
+	if len(sh.out) > 0 {
+		sh.flushOut()
+	}
+	return err
+}
+
+func (sh *eddyShard) flushOut() {
+	sent := 0
+	for sent < len(sh.out) {
+		n := sh.egress.TryEnqueueBatch(sh.out[sent:])
+		if n > 0 {
+			sh.stats.Egress += int64(n)
+			sent += n
+			continue
+		}
+		if sh.g.aborting.Load() {
+			for _, d := range sh.out[sent:] {
+				tuple.Recycle(d.row)
+			}
+			break
+		}
+		// Coordinator is behind; keep our inbound moving meanwhile.
+		sh.drainExchange()
+		runtime.Gosched()
+	}
+	for i := range sh.out {
+		sh.out[i] = delivery{}
+	}
+	sh.out = sh.out[:0]
+}
+
+// teardown recycles worker-owned buffers on exit (they are empty on a
+// clean shutdown; on abort they may hold in-flight tuples).
+func (sh *eddyShard) teardown() {
+	for i := range sh.drain {
+		if sh.drain[i] != nil {
+			tuple.Recycle(sh.drain[i])
+			sh.drain[i] = nil
+		}
+	}
+	for i := range sh.xdrain {
+		if sh.xdrain[i] != nil {
+			tuple.Recycle(sh.xdrain[i])
+			sh.xdrain[i] = nil
+		}
+	}
+	for dest := range sh.fwd {
+		for _, t := range sh.fwd[dest] {
+			tuple.Recycle(t)
+		}
+		sh.fwd[dest] = nil
+	}
+	for i := range sh.out {
+		tuple.Recycle(sh.out[i].row)
+		sh.out[i] = delivery{}
+	}
+	sh.out = sh.out[:0]
+}

@@ -1,0 +1,351 @@
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"telegraphcq/internal/catalog"
+	"telegraphcq/internal/chaos"
+	"telegraphcq/internal/egress"
+	"telegraphcq/internal/tuple"
+)
+
+// rowKey canonicalizes one result row for multiset comparison.
+func rowKey(t *tuple.Tuple) string {
+	s := ""
+	for _, v := range t.Values {
+		s += v.String() + "|"
+	}
+	return s
+}
+
+// drainKeys drains a subscription after a barrier and returns the
+// sorted multiset of row keys.
+func drainKeys(t *testing.T, x *Executor, sub *egress.Subscription) []string {
+	t.Helper()
+	rows := drain(t, x, sub)
+	keys := make([]string, 0, len(rows))
+	for _, r := range rows {
+		keys = append(keys, rowKey(r))
+		tuple.Recycle(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// joinWorkload pushes an interleaved two-stream workload with a barrier
+// after every push (the deterministic discipline the oracle uses) and
+// returns the query's output multiset.
+func joinWorkload(t *testing.T, shards, batch int) []string {
+	t.Helper()
+	x := New(newCat(t), Options{Shards: shards, Batch: batch, SampleInterval: -1})
+	defer x.Close()
+	_, sub := submit(t, x, `
+		SELECT stocks.sym, price, score FROM stocks, news
+		WHERE stocks.sym = news.sym
+		for (t = ST; ; t += 1) { WindowIs(stocks, t - 3, t); WindowIs(news, t - 3, t); }`)
+	syms := []string{"MSFT", "IBM", "ORCL", "AAPL", "TSLA"}
+	for i := 0; i < 40; i++ {
+		sym := syms[i%len(syms)]
+		if _, err := x.Push("stocks", []tuple.Value{tuple.String(sym), tuple.Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := x.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := x.Push("news", []tuple.Value{tuple.String(syms[(i+2)%len(syms)]), tuple.Float(float64(i) / 10)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := x.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return drainKeys(t, x, sub)
+}
+
+// TestShardedJoinMatchesSingleShard is the tentpole's correctness gate:
+// a windowed equi-join repartitioned across hash shards must produce the
+// byte-identical output multiset of the single-shard engine, across
+// admission batch sizes.
+func TestShardedJoinMatchesSingleShard(t *testing.T) {
+	for _, batch := range []int{1, 64, 512} {
+		batch := batch
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			want := joinWorkload(t, 0, batch)
+			if len(want) == 0 {
+				t.Fatal("single-shard workload produced no rows")
+			}
+			for _, shards := range []int{2, 4} {
+				got := joinWorkload(t, shards, batch)
+				if len(got) != len(want) {
+					t.Fatalf("shards=%d: %d rows, want %d", shards, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("shards=%d: row %d = %q, want %q", shards, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedRepartitioningExchange forces a mid-plan repartition: the
+// self-join keys alias a by buyer but alias b by sym, so ingress hashes
+// by buyer and every b-tuple must cross the exchange to its sym shard.
+func TestShardedRepartitioningExchange(t *testing.T) {
+	build := func(shards int) ([]string, *Executor) {
+		cat := catalog.New()
+		if _, err := cat.CreateStream("trades", []tuple.Column{
+			{Name: "sym", Kind: tuple.KindString},
+			{Name: "buyer", Kind: tuple.KindString},
+		}, false); err != nil {
+			t.Fatal(err)
+		}
+		x := New(cat, Options{Shards: shards, SampleInterval: -1})
+		_, sub := submit(t, x, `
+			SELECT a.sym, b.buyer FROM trades a, trades b
+			WHERE a.buyer = b.sym
+			for (t = ST; ; t += 1) { WindowIs(a, t - 3, t); WindowIs(b, t - 3, t); }`)
+		names := []string{"MSFT", "IBM", "ORCL", "AAPL"}
+		for i := 0; i < 30; i++ {
+			if _, err := x.Push("trades", []tuple.Value{
+				tuple.String(names[i%len(names)]), tuple.String(names[(i+1)%len(names)]),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := x.Barrier(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return drainKeys(t, x, sub), x
+	}
+	want, x1 := build(0)
+	x1.Close()
+	if len(want) == 0 {
+		t.Fatal("single-shard workload produced no rows")
+	}
+	got, x4 := build(4)
+	defer x4.Close()
+	if len(got) != len(want) {
+		t.Fatalf("sharded rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// The exchange must actually have moved tuples (b-tuples repartition
+	// by sym while ingress hashes by buyer).
+	var fwd float64
+	for _, s := range x4.Metrics().Gather() {
+		if s.Name == "tcq_shard_fwd_out_total" {
+			fwd += s.Value
+		}
+	}
+	if fwd == 0 {
+		t.Fatal("no exchange traffic: repartitioning path was not exercised")
+	}
+}
+
+// TestShardedPinnedAggregate checks the catch-all seam: a windowed
+// aggregate (pinned — hash shards would stall window closes) must
+// produce single-shard results even on a sharded EO, fed through the
+// exchange alongside a shardable filter on the same stream.
+func TestShardedPinnedAggregate(t *testing.T) {
+	run := func(shards int) ([]string, []string) {
+		x := New(newCat(t), Options{Shards: shards, SampleInterval: -1})
+		defer x.Close()
+		_, aggSub := submit(t, x, `
+			SELECT avg(price) FROM stocks WHERE sym = 'MSFT'
+			for (t = ST; ; t += 5) { WindowIs(stocks, t + 1, t + 5); }`)
+		_, filtSub := submit(t, x, `SELECT sym, price FROM stocks WHERE price > 3`)
+		for i := 1; i <= 11; i++ {
+			pushStocks(t, x, [2]any{"MSFT", float64(i)})
+			if err := x.Barrier(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return drainKeys(t, x, aggSub), drainKeys(t, x, filtSub)
+	}
+	wantAgg, wantFilt := run(0)
+	gotAgg, gotFilt := run(4)
+	if len(wantAgg) != 2 {
+		t.Fatalf("single-shard agg rows = %d, want 2", len(wantAgg))
+	}
+	if fmt.Sprint(gotAgg) != fmt.Sprint(wantAgg) {
+		t.Fatalf("sharded agg %v, want %v", gotAgg, wantAgg)
+	}
+	if fmt.Sprint(gotFilt) != fmt.Sprint(wantFilt) {
+		t.Fatalf("sharded filter %v, want %v", gotFilt, wantFilt)
+	}
+}
+
+// TestWithShardsClause drives sharding purely from SQL.
+func TestWithShardsClause(t *testing.T) {
+	x := New(newCat(t), Options{SampleInterval: -1})
+	defer x.Close()
+	_, sub := submit(t, x, `SELECT sym, price FROM stocks WHERE price > 50 WITH (shards=3)`)
+	if x.EOCount() != 1 {
+		t.Fatalf("EOs = %d", x.EOCount())
+	}
+	x.mu.Lock()
+	sc := x.eos[0].shardCount()
+	x.mu.Unlock()
+	if sc != 3 {
+		t.Fatalf("shardCount = %d, want 3", sc)
+	}
+	pushStocks(t, x, [2]any{"MSFT", 60.0}, [2]any{"IBM", 40.0}, [2]any{"AAPL", 55.0})
+	rows := drain(t, x, sub)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		tuple.Recycle(r)
+	}
+}
+
+// TestShardPanicQuarantinesGroupOnly injects an operator panic inside
+// one shard of a sharded EO and verifies the blast radius: the group's
+// query dies with a diagnosable error while a sibling EO (different
+// footprint) keeps delivering, and Barrier/Close stay usable.
+func TestShardPanicQuarantinesGroupOnly(t *testing.T) {
+	x := New(newCat(t), Options{
+		Mode:           ClassByFootprint,
+		Shards:         4,
+		SampleInterval: -1,
+		Chaos:          chaos.New(chaos.Config{Seed: 3, PanicStream: "stocks"}),
+	})
+	defer x.Close()
+	idStocks, subStocks := submit(t, x, `SELECT sym, price FROM stocks`)
+	idNews, subNews := submit(t, x, `SELECT sym, score FROM news`)
+	if x.EOCount() != 2 {
+		t.Fatalf("EOCount=%d, want 2", x.EOCount())
+	}
+
+	for i := 0; i < 5; i++ {
+		if _, err := x.Push("stocks", []tuple.Value{tuple.String("S"), tuple.Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for x.Quarantines() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for the shard group to quarantine")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := x.QueryErr(idStocks); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("QueryErr(stocks)=%v, want ErrQuarantined", err)
+	}
+	if err := subStocks.Err(); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("subscription Err=%v, want ErrQuarantined", err)
+	}
+
+	// The sibling EO's query (its own shard group) is untouched.
+	for i := 0; i < 10; i++ {
+		if _, err := x.Push("news", []tuple.Value{tuple.String("N"), tuple.Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := len(drainKeys(t, x, subNews))
+	if got != 10 {
+		t.Fatalf("news delivered %d of 10 after sibling shard-group quarantine", got)
+	}
+	if err := x.QueryErr(idNews); err != nil {
+		t.Fatalf("QueryErr(news)=%v, want nil", err)
+	}
+	if err := x.Barrier(); err != nil {
+		t.Fatalf("barrier after quarantine: %v", err)
+	}
+	if err := x.Cancel(idStocks); err != nil {
+		t.Fatalf("cancel quarantined query: %v", err)
+	}
+}
+
+// TestShardedStatsConcurrentScrape hammers the telemetry seam while a
+// sharded workload runs: metric scrapes and system-stream sampling from
+// multiple goroutines must stay race-free (each shard's counters are
+// only read by the shard itself; scrapers see merged snapshots).
+func TestShardedStatsConcurrentScrape(t *testing.T) {
+	x := New(newCat(t), Options{Shards: 4, SampleInterval: -1})
+	defer x.Close()
+	_, sub := submit(t, x, `
+		SELECT stocks.sym, price, score FROM stocks, news
+		WHERE stocks.sym = news.sym
+		for (t = ST; ; t += 1) { WindowIs(stocks, t - 3, t); WindowIs(news, t - 3, t); }`)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					x.SampleSystemStreams()
+					_ = x.Metrics().Gather()
+				}
+			}
+		}()
+	}
+	syms := []string{"A", "B", "C", "D"}
+	for i := 0; i < 300; i++ {
+		if _, err := x.Push("stocks", []tuple.Value{tuple.String(syms[i%4]), tuple.Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := x.Push("news", []tuple.Value{tuple.String(syms[i%4]), tuple.Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := x.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The merged snapshot must surface per-shard series.
+	found := false
+	for _, s := range x.Metrics().Gather() {
+		if s.Name == "tcq_shard_ingress_total" && s.Value > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("tcq_shard_ingress_total not reported for the sharded EO")
+	}
+	for _, r := range drain(t, x, sub) {
+		tuple.Recycle(r)
+	}
+}
+
+// TestShardedCancelAndResubmit exercises route-table rebuilds: removing
+// a query and adding another on the same sharded EO keeps delivering.
+func TestShardedCancelAndResubmit(t *testing.T) {
+	x := New(newCat(t), Options{Shards: 2, SampleInterval: -1})
+	defer x.Close()
+	id1, sub1 := submit(t, x, `SELECT sym FROM stocks WHERE price > 10`)
+	pushStocks(t, x, [2]any{"A", 50.0}, [2]any{"B", 5.0})
+	if got := len(drainKeys(t, x, sub1)); got != 1 {
+		t.Fatalf("rows = %d, want 1", got)
+	}
+	if err := x.Cancel(id1); err != nil {
+		t.Fatal(err)
+	}
+	_, sub2 := submit(t, x, `SELECT sym, price FROM stocks WHERE price > 1`)
+	pushStocks(t, x, [2]any{"C", 7.0}, [2]any{"D", 0.5})
+	if got := len(drainKeys(t, x, sub2)); got != 1 {
+		t.Fatalf("rows after resubmit = %d, want 1", got)
+	}
+	if x.EOCount() != 1 {
+		t.Fatalf("EOs = %d", x.EOCount())
+	}
+}

@@ -18,9 +18,9 @@ import (
 func E10Executor(scale int) *Table {
 	t := &Table{
 		ID:      "E10",
-		Title:   "Execution Objects: query-class placement",
-		Claim:   "footprint-grouped EOs exploit SMP across disjoint classes while sharing work within a class (§4.2.2)",
-		Columns: []string{"mode", "EOs", "time", "per-tuple"},
+		Title:   "Execution Objects: query-class placement and intra-EO sharding",
+		Claim:   "footprint-grouped EOs exploit SMP across disjoint classes while sharing work within a class (§4.2.2); hash-partitioned eddy shards scale one EO across cores (§2.4)",
+		Columns: []string{"mode", "EOs", "shards", "time", "per-tuple"},
 	}
 	const (
 		streams       = 8
@@ -28,7 +28,7 @@ func E10Executor(scale int) *Table {
 	)
 	n := 2000 * scale // tuples per stream
 
-	run := func(mode executor.ClassMode) (int, time.Duration) {
+	run := func(mode executor.ClassMode, shards int) (int, time.Duration) {
 		cat := catalog.New()
 		for s := 0; s < streams; s++ {
 			_, err := cat.CreateStream(fmt.Sprintf("s%d", s), []tuple.Column{
@@ -38,7 +38,7 @@ func E10Executor(scale int) *Table {
 				panic(err)
 			}
 		}
-		x := executor.New(cat, executor.Options{Mode: mode, QueueCap: 1 << 16})
+		x := executor.New(cat, executor.Options{Mode: mode, Shards: shards, QueueCap: 1 << 16})
 		defer x.Close()
 		for s := 0; s < streams; s++ {
 			for q := 0; q < queriesPerStr; q++ {
@@ -67,22 +67,35 @@ func E10Executor(scale int) *Table {
 		return x.EOCount(), time.Since(start)
 	}
 
-	for _, c := range []struct {
-		name string
-		mode executor.ClassMode
+	cases := []struct {
+		name   string
+		mode   executor.ClassMode
+		shards int
 	}{
-		{"single EO (CACQ-style)", executor.ClassSingle},
-		{"EO per footprint class", executor.ClassByFootprint},
-		{"EO per query", executor.ClassPerQuery},
-	} {
-		eos, el := run(c.mode)
+		{"single EO (CACQ-style)", executor.ClassSingle, 1},
+		{"EO per footprint class", executor.ClassByFootprint, 1},
+		{"EO per query", executor.ClassPerQuery, 1},
+	}
+	for _, s := range ShardSweep {
+		if s <= 1 {
+			continue // the footprint row above is the 1-shard baseline
+		}
+		cases = append(cases, struct {
+			name   string
+			mode   executor.ClassMode
+			shards int
+		}{fmt.Sprintf("footprint EOs, %d eddy shards", s), executor.ClassByFootprint, s})
+	}
+	for _, c := range cases {
+		eos, el := run(c.mode, c.shards)
 		t.Rows = append(t.Rows, []string{
-			c.name, fmt.Sprint(eos),
+			c.name, fmt.Sprint(eos), fmt.Sprint(c.shards),
 			el.Round(time.Millisecond).String(),
 			ns(float64(el.Nanoseconds()) / float64(n*streams)),
 		})
 	}
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("%d streams × %d queries, %d tuples per stream; queries on one stream share grouped filters within an EO", streams, queriesPerStr, n))
+		fmt.Sprintf("%d streams × %d queries, %d tuples per stream; queries on one stream share grouped filters within an EO", streams, queriesPerStr, n),
+		"sharded rows hash-partition each EO's eddy across per-core shards; speedup requires real cores (see GOMAXPROCS in BENCH_E10.json)")
 	return t
 }

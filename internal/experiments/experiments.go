@@ -11,6 +11,12 @@ import (
 	"strings"
 )
 
+// ShardSweep is the per-EO eddy shard counts the sharded rows of E10
+// run (1 is always the baseline). cmd/tcqbench's -shards flag overrides
+// it; recorded in BENCH_*.json alongside GOMAXPROCS so speedups are
+// interpretable on the host they were measured on.
+var ShardSweep = []int{1, 2, 4}
+
 // Table is one experiment's result.
 type Table struct {
 	ID      string // "E1" ... "E10"

@@ -1,0 +1,77 @@
+package fjord
+
+// Mesh is the all-pairs exchange fabric between N dataflow shards: one
+// SPSC ring per ordered (producer, consumer) pair. Each ring has exactly
+// one producer (the source shard) and one consumer (the destination
+// shard), so the lock-free single-producer/single-consumer discipline
+// holds across the whole matrix without any cross-shard locks. The
+// executor's repartitioning exchange operator moves tuples through it
+// when a join's key does not match the ingress partitioning.
+type Mesh[T any] struct {
+	n     int
+	rings []*SPSC[T] // row-major: rings[from*n+to]; diagonal entries nil
+}
+
+// NewMesh builds an n×n mesh whose rings hold capacity elements each.
+// Diagonal (self) edges are not materialized: a shard never exchanges
+// with itself.
+func NewMesh[T any](n, capacity int) *Mesh[T] {
+	m := &Mesh[T]{n: n, rings: make([]*SPSC[T], n*n)}
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			m.rings[from*n+to] = NewSPSC[T](capacity)
+		}
+	}
+	return m
+}
+
+// N returns the number of shards the mesh connects.
+func (m *Mesh[T]) N() int { return m.n }
+
+// Ring returns the ring carrying elements from shard `from` to shard
+// `to` (nil when from == to).
+func (m *Mesh[T]) Ring(from, to int) *SPSC[T] {
+	return m.rings[from*m.n+to]
+}
+
+// Inbound appends every ring delivering into shard `to` onto dst and
+// returns it, ordered by producer index — the deterministic drain order
+// the exchange consumer uses.
+func (m *Mesh[T]) Inbound(to int, dst []*SPSC[T]) []*SPSC[T] {
+	for from := 0; from < m.n; from++ {
+		if r := m.Ring(from, to); r != nil {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// CloseAll closes every ring: producers fail fast, consumers drain what
+// remains. Used at shard-group teardown and quarantine.
+func (m *Mesh[T]) CloseAll() {
+	for _, r := range m.rings {
+		if r != nil {
+			r.Close()
+		}
+	}
+}
+
+// DrainAll dequeues every element left anywhere in the mesh into fn
+// (teardown: the caller recycles them).
+func (m *Mesh[T]) DrainAll(fn func(T)) {
+	for _, r := range m.rings {
+		if r == nil {
+			continue
+		}
+		for {
+			v, ok := r.TryDequeue()
+			if !ok {
+				break
+			}
+			fn(v)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package fjord
+
+import (
+	"testing"
+)
+
+func TestMeshTopology(t *testing.T) {
+	m := NewMesh[int](3, 8)
+	if m.N() != 3 {
+		t.Fatalf("N = %d", m.N())
+	}
+	for from := 0; from < 3; from++ {
+		for to := 0; to < 3; to++ {
+			r := m.Ring(from, to)
+			if from == to && r != nil {
+				t.Fatalf("diagonal ring (%d,%d) not nil", from, to)
+			}
+			if from != to && r == nil {
+				t.Fatalf("ring (%d,%d) is nil", from, to)
+			}
+		}
+	}
+	// Inbound order is by producer index — the deterministic drain order.
+	in := m.Inbound(1, nil)
+	if len(in) != 2 {
+		t.Fatalf("inbound count = %d", len(in))
+	}
+	if in[0] != m.Ring(0, 1) || in[1] != m.Ring(2, 1) {
+		t.Fatal("inbound rings out of producer order")
+	}
+}
+
+func TestMeshMovesBatches(t *testing.T) {
+	m := NewMesh[int](2, 16)
+	out := m.Ring(0, 1)
+	if n := out.TryEnqueueBatch([]int{1, 2, 3}); n != 3 {
+		t.Fatalf("enqueued %d", n)
+	}
+	buf := make([]int, 8)
+	if n := m.Inbound(1, nil)[0].DequeueBatch(buf); n != 3 || buf[0] != 1 || buf[2] != 3 {
+		t.Fatalf("dequeued %d: %v", n, buf[:n])
+	}
+	m.CloseAll()
+	got := 0
+	m.DrainAll(func(int) { got++ })
+	if got != 0 {
+		t.Fatalf("drained %d from empty mesh", got)
+	}
+}
+
+func TestMeshDrainAll(t *testing.T) {
+	m := NewMesh[int](3, 8)
+	m.Ring(0, 1).TryEnqueue(1)
+	m.Ring(2, 0).TryEnqueue(2)
+	m.Ring(1, 2).TryEnqueue(3)
+	m.CloseAll()
+	sum := 0
+	m.DrainAll(func(v int) { sum += v })
+	if sum != 6 {
+		t.Fatalf("drained sum = %d", sum)
+	}
+}
+
+// TestExchangeEnqueueZeroAlloc pins the exchange hot path: moving a
+// batch across a mesh ring must not allocate (the repartitioning cost is
+// the clone, paid by the sender's tuple pool, never the ring).
+func TestExchangeEnqueueZeroAlloc(t *testing.T) {
+	m := NewMesh[*int](2, 256)
+	ring := m.Ring(0, 1)
+	vals := make([]*int, 64)
+	for i := range vals {
+		v := i
+		vals[i] = &v
+	}
+	sink := make([]*int, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if n := ring.TryEnqueueBatch(vals); n != len(vals) {
+			t.Fatalf("enqueued %d", n)
+		}
+		if n := ring.DequeueBatch(sink); n != len(vals) {
+			t.Fatalf("dequeued %d", n)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("exchange enqueue allocates: %.1f allocs/op", allocs)
+	}
+}

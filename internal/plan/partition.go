@@ -1,0 +1,132 @@
+// Partition-key inference: decide, per planned query, whether the query
+// can run on hash-partitioned eddy shards and if so which column of each
+// feed is its partition key. The rules are conservative — any shape whose
+// result could depend on tuples meeting across partitions is pinned to
+// the catch-all shard, which sees every tuple of its streams and is
+// therefore semantically identical to a single-shard engine.
+package plan
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/cacq"
+	"telegraphcq/internal/expr"
+)
+
+// AliasKey is one feed's ingress partitioning requirement.
+type AliasKey struct {
+	Stream string // underlying catalog stream
+	Alias  string // dataflow name (self-joins read one stream twice)
+	// KeyIdx is the column index (in the stream's schema) whose value
+	// hash-routes tuples of this alias; -1 means any placement works
+	// (the query never matches this alias's tuples against each other).
+	KeyIdx int
+	KeyCol string // column name, "" when KeyIdx is -1
+}
+
+// Partition is a planned query's shard-placement contract.
+type Partition struct {
+	// Pinned queries run on the catch-all shard only (it receives every
+	// tuple of their streams, so results match a single-shard engine).
+	Pinned bool
+	// Reason documents why the query was pinned ("" when shardable).
+	Reason string
+	// Keys has one entry per stream feed when the query is shardable.
+	Keys []AliasKey
+}
+
+// pinned builds a pinned Partition with a reason.
+func pinned(reason string) *Partition { return &Partition{Pinned: true, Reason: reason} }
+
+// inferPartition classifies a lowered query. colIndex resolves (alias,
+// column) to the column's index within the alias's (renamed) schema —
+// positions are identical to the underlying stream schema.
+func inferPartition(q *cacq.Query, out *Planned, colIndex func(alias, col string) (int, bool)) *Partition {
+	// Static tables are loaded once into whichever engines host their
+	// readers; replicating them across hash shards would duplicate
+	// table-only results, so table readers are pinned wholesale.
+	if len(out.Tables) > 0 {
+		return pinned("reads static tables")
+	}
+	// Window aggregates close a window only when some tuple's instant
+	// moves past its right edge; a shard seeing only its hash class of
+	// tuples would stall closes, so every aggregate is pinned.
+	if len(q.Aggs) > 0 {
+		return pinned("windowed aggregate")
+	}
+	// LIMIT takes a prefix of the *global* arrival order, and ORDER BY's
+	// Juggle reorders within a bounded window of it — across shards the
+	// prefix (and the Juggle's view) would depend on egress drain timing,
+	// not arrival. Found by the oracle shard sweep (seeds 42, 57).
+	if out.Limit > 0 || len(out.OrderBy) > 0 {
+		return pinned("order-sensitive delivery (LIMIT/ORDER BY)")
+	}
+	p := &Partition{}
+	if len(q.Sources) == 1 {
+		// Single-source selection/projection: per-tuple decidable, any
+		// placement works.
+		p.Keys = append(p.Keys, AliasKey{Stream: feedStream(out, q.Sources[0]), Alias: q.Sources[0], KeyIdx: -1})
+		return p
+	}
+
+	// Multi-source: every source pair must be linked by an equality join
+	// factor, and the factors must agree on a single key column per
+	// alias. Then tuples that can ever join hash to the same shard, and
+	// pairs split across shards could never have joined anyway. Band
+	// joins, Cartesian pairs, and conflicting keys fall back to the
+	// catch-all shard.
+	keys := map[string]string{}    // alias → key column name
+	pairEq := map[[2]string]bool{} // unordered source pair → has eq factor
+	record := func(c *expr.ColumnRef) bool {
+		if prev, ok := keys[c.Source]; ok && prev != c.Name {
+			return false
+		}
+		keys[c.Source] = c.Name
+		return true
+	}
+	for _, factor := range expr.Conjuncts(q.Where) {
+		jf, ok := expr.AsJoinFactor(factor)
+		if !ok || jf.Left.Source == "" || jf.Right.Source == "" || jf.Left.Source == jf.Right.Source {
+			continue // single-variable factor or residual: placement-neutral
+		}
+		if jf.Op != expr.OpEq {
+			continue // band factor alone cannot partition; the pair needs an eq factor too
+		}
+		if !record(jf.Left) || !record(jf.Right) {
+			return pinned(fmt.Sprintf("conflicting partition keys on %s/%s", jf.Left.Source, jf.Right.Source))
+		}
+		pairEq[pairKey(jf.Left.Source, jf.Right.Source)] = true
+	}
+	for i, a := range q.Sources {
+		for _, b := range q.Sources[i+1:] {
+			if !pairEq[pairKey(a, b)] {
+				return pinned(fmt.Sprintf("no equality join between %s and %s", a, b))
+			}
+		}
+	}
+	for _, alias := range q.Sources {
+		col := keys[alias]
+		idx, ok := colIndex(alias, col)
+		if !ok {
+			return pinned(fmt.Sprintf("cannot resolve partition key %s.%s", alias, col))
+		}
+		p.Keys = append(p.Keys, AliasKey{Stream: feedStream(out, alias), Alias: alias, KeyIdx: idx, KeyCol: col})
+	}
+	return p
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+func feedStream(out *Planned, alias string) string {
+	for _, f := range out.Feeds {
+		if f.As == alias {
+			return f.Stream
+		}
+	}
+	return alias
+}

@@ -1,0 +1,82 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// keyOf returns alias → key column for a shardable partition.
+func keyOf(t *testing.T, p *Partition) map[string]string {
+	t.Helper()
+	if p == nil {
+		t.Fatal("nil partition")
+	}
+	if p.Pinned {
+		t.Fatalf("pinned (%s), want shardable", p.Reason)
+	}
+	out := map[string]string{}
+	for _, k := range p.Keys {
+		out[k.Alias] = k.KeyCol
+	}
+	return out
+}
+
+func TestPartitionSingleSourceAnyPlacement(t *testing.T) {
+	p := mustPlan(t, `SELECT sym FROM stocks WHERE price > 10`).Partition
+	if p.Pinned {
+		t.Fatalf("pinned: %s", p.Reason)
+	}
+	if len(p.Keys) != 1 || p.Keys[0].KeyIdx != -1 {
+		t.Fatalf("keys = %+v, want one any-placement key", p.Keys)
+	}
+}
+
+func TestPartitionEquiJoinKeys(t *testing.T) {
+	keys := keyOf(t, mustPlan(t,
+		`SELECT s.price FROM stocks AS s, news AS n WHERE s.sym = n.headline`).Partition)
+	if keys["s"] != "sym" || keys["n"] != "headline" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestPartitionPinsOrderSensitiveShapes(t *testing.T) {
+	for _, tc := range []struct {
+		sql    string
+		reason string
+	}{
+		{`SELECT count(*) FROM stocks FOR (t = st; ; t += 1) { WindowIs(stocks, t - 2, t); }`, "aggregate"},
+		{`SELECT sym FROM stocks LIMIT 3`, "LIMIT"},
+		{`SELECT sym FROM stocks ORDER BY price`, "ORDER BY"},
+		{`SELECT hq FROM companies`, "table"},
+		{`SELECT s.sym FROM stocks AS s, news AS n`, "no equality join"},
+		{`SELECT s.sym FROM stocks AS s, news AS n WHERE s.price > n.score`, "no equality join"},
+	} {
+		p := mustPlan(t, tc.sql).Partition
+		if p == nil || !p.Pinned {
+			t.Errorf("%s: not pinned (%+v)", tc.sql, p)
+			continue
+		}
+		if !strings.Contains(p.Reason, tc.reason) {
+			t.Errorf("%s: reason %q, want mention of %q", tc.sql, p.Reason, tc.reason)
+		}
+	}
+}
+
+func TestPartitionConflictingKeysPinned(t *testing.T) {
+	// One alias used with two different key columns cannot hash-route.
+	p := mustPlan(t,
+		`SELECT a.sym FROM stocks AS a, stocks AS b, news AS n WHERE a.sym = b.sym AND a.price = n.score AND b.price = n.headline`).Partition
+	if p == nil || !p.Pinned {
+		t.Fatalf("conflicting keys not pinned: %+v", p)
+	}
+}
+
+func TestPartitionSelfJoinDistinctKeys(t *testing.T) {
+	// Self-join keyed differently per alias is shardable — the exchange
+	// repartitions the alias whose key differs from ingress routing.
+	keys := keyOf(t, mustPlan(t,
+		`SELECT a.sym FROM stocks AS a, stocks AS b WHERE a.sym = b.price`).Partition)
+	if keys["a"] != "sym" || keys["b"] != "price" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

@@ -41,6 +41,8 @@ type Planned struct {
 	Distinct bool
 	OrderBy  []operator.SortKey
 	Limit    int64
+	// Partition is the shard-placement contract (see partition.go).
+	Partition *Partition
 }
 
 // Planner lowers ASTs against a catalog.
@@ -226,6 +228,19 @@ func (p *Planner) PlanSelect(s *sql.Select, id int) (*Planned, error) {
 			out.Tables = append(out.Tables, TableLoad{Table: f.item.Source, As: f.item.Name()})
 		}
 	}
+	out.Partition = inferPartition(q, out, func(alias, col string) (int, bool) {
+		for _, f := range froms {
+			if f.item.Name() != alias {
+				continue
+			}
+			idx, err := f.schema.ColumnIndex(alias, col)
+			if err != nil {
+				return -1, false
+			}
+			return idx, true
+		}
+		return -1, false
+	})
 	return out, nil
 }
 

@@ -21,26 +21,33 @@ type EngineConfig struct {
 	Batch  int
 	Mode   executor.ClassMode
 	Policy func(seed int64) eddy.Policy
+	// Shards is the multi-eddy shard count per EO (0/1 = classic single
+	// engine; N>1 = hash shards + catch-all). Sharding must be invisible
+	// to query answers, so the sweep crosses it with the other knobs.
+	Shards int
 	// Chaos is a chaos.Parse spec ("" = none). The oracle only injects
 	// lossless faults (queue-full bursts against blocking QoS), so
 	// answers must still match exactly.
 	Chaos string
 }
 
-// Configs returns the standard sweep: batch size × routing policy, with
-// the EO class mode cycled across cells so all three appear with each
-// batch size. withChaos appends a backpressure-burst config.
+// Configs returns the standard sweep: shard count × routing policy,
+// with batch size and EO class mode cycled across cells so every value
+// of each knob appears against every shard count. withChaos appends a
+// backpressure-burst config.
 func Configs(withChaos bool) []EngineConfig {
 	return buildConfigs(withChaos, false)
 }
 
-// SmokeConfigs is the 3-config subset the in-tree smoke test uses.
+// SmokeConfigs is the 3-config subset the in-tree smoke test uses (one
+// per shard count).
 func SmokeConfigs() []EngineConfig {
 	all := buildConfigs(false, false)
 	return []EngineConfig{all[0], all[4], all[8]}
 }
 
 func buildConfigs(withChaos, _ bool) []EngineConfig {
+	shardCounts := []int{1, 2, 4}
 	batches := []int{1, 64, 512}
 	policies := []struct {
 		name string
@@ -52,23 +59,26 @@ func buildConfigs(withChaos, _ bool) []EngineConfig {
 	}
 	modes := []executor.ClassMode{executor.ClassByFootprint, executor.ClassSingle, executor.ClassPerQuery}
 	var out []EngineConfig
-	for bi, b := range batches {
+	for si, sc := range shardCounts {
 		for pi, p := range policies {
-			m := modes[(bi+pi)%len(modes)]
+			b := batches[(si+pi)%len(batches)]
+			m := modes[(si+pi)%len(modes)]
 			out = append(out, EngineConfig{
-				Label:  fmt.Sprintf("batch=%d/policy=%s/mode=%s", b, p.name, m),
+				Label:  fmt.Sprintf("shards=%d/policy=%s/batch=%d/mode=%s", sc, p.name, b, m),
 				Batch:  b,
 				Mode:   m,
 				Policy: p.fn,
+				Shards: sc,
 			})
 		}
 	}
 	if withChaos {
 		out = append(out, EngineConfig{
-			Label:  "batch=1/policy=lottery/mode=footprint/chaos=full",
+			Label:  "shards=2/policy=lottery/batch=1/mode=footprint/chaos=full",
 			Batch:  1,
 			Mode:   executor.ClassByFootprint,
 			Policy: func(seed int64) eddy.Policy { return eddy.NewLottery(seed) },
+			Shards: 2,
 			Chaos:  "seed=7,full=0.2",
 		})
 	}
@@ -94,6 +104,7 @@ func RunEngine(w *Workload, cfg EngineConfig) (map[int]Multiset, error) {
 		QueueCap:        1 << 15,
 		SubscriptionCap: 1 << 17,
 		Batch:           cfg.Batch,
+		Shards:          cfg.Shards,
 		SampleInterval:  -1,
 		Chaos:           inj,
 	}}

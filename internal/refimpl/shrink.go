@@ -178,6 +178,11 @@ func (s *shrinker) simplifyQueries(w *Workload) *Workload {
 		for i := range g.Where {
 			i := i
 			edits = append(edits, func(c *GenQuery) bool {
+				// Earlier edits may have mutated the query this clone came
+				// from; a stale index is a no-op, not a crash.
+				if i >= len(c.Where) {
+					return false
+				}
 				c.Where = append(slices.Clone(c.Where[:i]), c.Where[i+1:]...)
 				return true
 			})
@@ -220,7 +225,10 @@ func (s *shrinker) simplifyQueries(w *Workload) *Workload {
 					continue
 				}
 				edits = append(edits, func(c *GenQuery) bool {
-					if countAggs(c) <= 1 {
+					// Item positions shift when earlier edits (GROUP BY
+					// removal filters scalars) rewrite Items — guard the
+					// stale index and re-check it still names an aggregate.
+					if countAggs(c) <= 1 || i >= len(c.Items) || c.Items[i].Agg == "" {
 						return false
 					}
 					c.Items = append(slices.Clone(c.Items[:i]), c.Items[i+1:]...)

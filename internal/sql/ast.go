@@ -118,6 +118,9 @@ type Select struct {
 	Limit    int64 // 0 = unlimited
 	// Window is the parsed for-loop construct; nil for unwindowed CQs.
 	Window *window.Spec
+	// Shards is the WITH (shards=N) placement hint: run the query's EO
+	// as N hash-partitioned eddy shards. 0 = executor default.
+	Shards int
 }
 
 func (*CreateStream) stmt() {}

@@ -581,6 +581,36 @@ func (p *parser) selectStmt() (Statement, error) {
 		}
 		s.Window = w
 	}
+	// Optional SELECT-level options: WITH (shards=N). Only a block whose
+	// first key is "shards" belongs to the SELECT; anything else is left
+	// for the caller (SUBSCRIBE parses its own WITH after the query).
+	if t := p.peek(); t.kind == tokIdent && strings.ToLower(t.text) == "with" {
+		save := p.i
+		p.i++
+		consumed := false
+		if p.expect("(") == nil {
+			if key, err := p.ident(); err == nil && strings.ToLower(key) == "shards" {
+				if err := p.expect("="); err != nil {
+					return nil, err
+				}
+				n, err := p.signedInt()
+				if err != nil {
+					return nil, err
+				}
+				if n < 1 || n > 64 {
+					return nil, fmt.Errorf("sql: shards wants a count in [1,64], got %d", n)
+				}
+				s.Shards = int(n)
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				consumed = true
+			}
+		}
+		if !consumed {
+			p.i = save
+		}
+	}
 	return s, nil
 }
 
