@@ -1,0 +1,288 @@
+// End-to-end kill-recovery harness: real tcqd processes, a real
+// SIGKILL, and a byte-for-byte comparison against a single-process run.
+//
+// Topology: one coordinator + three workers over loopback TCP, plus a
+// local-fold coordinator fed the identical stream as the reference. A
+// primary worker is killed -9 mid-stream; the test then asserts
+//
+//   - the stream finishes and BARRIER succeeds (zero acked-tuple loss),
+//   - COLLECT output is byte-identical to the single-process run,
+//   - STATS shows promotions > 0, lost = 0, and a detection latency
+//     within two heartbeat intervals.
+//
+// Set TCQD_E2E_LOG_DIR to keep per-node logs (CI uploads them as an
+// artifact on failure); TCQD_E2E_RACE=1 builds the nodes with -race.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTCQD compiles the daemon once per test binary.
+func buildTCQD(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tcqd")
+	args := []string{"build"}
+	if os.Getenv("TCQD_E2E_RACE") == "1" {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, "telegraphcq/cmd/tcqd")
+	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build tcqd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// node is one spawned tcqd process with its stdout scanned for the
+// listen-address announcement and teed to a log file.
+type node struct {
+	name string
+	cmd  *exec.Cmd
+	addr chan string
+}
+
+// startNode launches tcqd with args and resolves the address announced
+// with the given prefix (e.g. "telegraphcq: exchange on ").
+func startNode(t *testing.T, bin, logDir, name, announce string, args ...string) *node {
+	t.Helper()
+	logf, err := os.Create(filepath.Join(logDir, name+".log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = logf
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n := &node{name: name, cmd: cmd, addr: make(chan string, 1)}
+	go func() {
+		defer logf.Close()
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(logf, line)
+			if rest, ok := strings.CutPrefix(line, announce); ok {
+				select {
+				case n.addr <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return n
+}
+
+func (n *node) waitAddr(t *testing.T) string {
+	t.Helper()
+	select {
+	case a := <-n.addr:
+		return a
+	case <-time.After(15 * time.Second):
+		t.Fatalf("%s: no listen announcement within 15s", n.name)
+		return ""
+	}
+}
+
+// ingestConn wraps the coordinator's line protocol.
+type ingestConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func dialIngest(t *testing.T, addr string) *ingestConn {
+	t.Helper()
+	var c net.Conn
+	var err error
+	for i := 0; i < 50; i++ {
+		c, err = net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("dial ingest %s: %v", addr, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &ingestConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+}
+
+func (ic *ingestConn) send(t *testing.T, line string) {
+	t.Helper()
+	if _, err := ic.w.WriteString(line + "\n"); err != nil {
+		t.Fatalf("ingest write: %v", err)
+	}
+}
+
+func (ic *ingestConn) cmd(t *testing.T, cmd string) string {
+	t.Helper()
+	ic.send(t, cmd)
+	if err := ic.w.Flush(); err != nil {
+		t.Fatalf("ingest flush: %v", err)
+	}
+	ic.c.SetReadDeadline(time.Now().Add(60 * time.Second))
+	line, err := ic.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("ingest read after %s: %v", cmd, err)
+	}
+	return strings.TrimSpace(line)
+}
+
+// collect issues COLLECT and returns the raw reply up to END.
+func (ic *ingestConn) collect(t *testing.T) string {
+	t.Helper()
+	ic.send(t, "COLLECT")
+	if err := ic.w.Flush(); err != nil {
+		t.Fatalf("ingest flush: %v", err)
+	}
+	var sb strings.Builder
+	ic.c.SetReadDeadline(time.Now().Add(60 * time.Second))
+	for {
+		line, err := ic.r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("ingest read during COLLECT: %v", err)
+		}
+		if strings.TrimSpace(line) == "END" {
+			return sb.String()
+		}
+		if strings.HasPrefix(line, "ERR") {
+			t.Fatalf("COLLECT failed: %s", line)
+		}
+		sb.WriteString(line)
+	}
+}
+
+func statsField(t *testing.T, stats, key string) int64 {
+	t.Helper()
+	for _, f := range strings.Fields(stats) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			var n int64
+			if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+				t.Fatalf("bad %s in %q", key, stats)
+			}
+			return n
+		}
+	}
+	t.Fatalf("no %s in %q", key, stats)
+	return 0
+}
+
+func TestE2EKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped in -short")
+	}
+	logDir := os.Getenv("TCQD_E2E_LOG_DIR")
+	if logDir == "" {
+		logDir = t.TempDir()
+	} else if err := os.MkdirAll(logDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("node logs in %s", logDir)
+	bin := buildTCQD(t)
+
+	const heartbeat = 150 * time.Millisecond
+
+	// Three workers, then the coordinator over them, then the
+	// single-process reference.
+	var workerAddrs []string
+	var workerNodes []*node
+	for i := 0; i < 3; i++ {
+		n := startNode(t, bin, logDir, fmt.Sprintf("worker%d", i), "telegraphcq: exchange on ",
+			"-role=worker", "-exchange", "127.0.0.1:0")
+		workerNodes = append(workerNodes, n)
+		workerAddrs = append(workerAddrs, n.waitAddr(t))
+	}
+	coord := startNode(t, bin, logDir, "coordinator", "telegraphcq: ingest on ",
+		"-role=coordinator", "-ingest", "127.0.0.1:0",
+		"-workers", strings.Join(workerAddrs, ","),
+		"-heartbeat", heartbeat.String())
+	ref := startNode(t, bin, logDir, "reference", "telegraphcq: ingest on ",
+		"-role=coordinator", "-ingest", "127.0.0.1:0")
+
+	clusterIn := dialIngest(t, coord.waitAddr(t))
+	refIn := dialIngest(t, ref.waitAddr(t))
+
+	// Integer values keep every per-group sum exactly representable, so
+	// fold order cannot perturb the bytes of the final output.
+	line := func(i int) string {
+		return fmt.Sprintf("sensor-%03d,%d", i%101, i%23)
+	}
+	route := func(i int) {
+		l := line(i)
+		clusterIn.send(t, l)
+		refIn.send(t, l)
+	}
+
+	for i := 0; i < 2000; i++ {
+		route(i)
+	}
+	if got := clusterIn.cmd(t, "BARRIER"); got != "OK" {
+		t.Fatalf("pre-kill barrier: %s", got)
+	}
+
+	// Kill a primary with prejudice. Worker 0 is a primary for a third
+	// of the buckets under the static shard map.
+	killed := workerNodes[0]
+	if err := killed.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill -9 %s: %v", killed.name, err)
+	}
+	killed.cmd.Wait()
+	t.Logf("killed %s mid-stream", killed.name)
+
+	// Keep streaming through detection, promotion, and repair.
+	for i := 2000; i < 6000; i++ {
+		route(i)
+		if i%200 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	if got := clusterIn.cmd(t, "BARRIER"); got != "OK" {
+		t.Fatalf("post-kill barrier (acked tuples lost?): %s", got)
+	}
+	clusterOut := clusterIn.collect(t)
+	refOut := refIn.collect(t)
+	if clusterOut != refOut {
+		t.Fatalf("cluster output diverged from single-process run:\n--- cluster ---\n%s--- reference ---\n%s",
+			clusterOut, refOut)
+	}
+	if clusterOut == "" {
+		t.Fatal("empty COLLECT output")
+	}
+
+	stats := clusterIn.cmd(t, "STATS")
+	t.Logf("cluster stats: %s", stats)
+	if statsField(t, stats, "promotions") == 0 {
+		t.Fatal("no promotions recorded after killing a primary")
+	}
+	if statsField(t, stats, "lost") != 0 {
+		t.Fatal("buckets lost despite process pairs")
+	}
+	if d := statsField(t, stats, "detect_ms"); d > 2*heartbeat.Milliseconds() {
+		t.Fatalf("detection latency %dms exceeds 2 heartbeats (%dms)", d, 2*heartbeat.Milliseconds())
+	}
+	if statsField(t, stats, "routed") != 6000 || statsField(t, stats, "acked") != 6000 {
+		t.Fatalf("routed/acked mismatch: %s", stats)
+	}
+}

@@ -8,6 +8,12 @@
 //
 // Try it with cmd/tcq (interactive client) and cmd/tcqgen (data
 // generator).
+//
+// With -role, tcqd instead joins a networked Flux deployment (see
+// internal/cluster and cluster.go in this package):
+//
+//	tcqd -role=worker -exchange 127.0.0.1:6001
+//	tcqd -role=coordinator -workers 127.0.0.1:6001,127.0.0.1:6002 -ingest 127.0.0.1:6000
 package main
 
 import (
@@ -33,7 +39,24 @@ func main() {
 	hops := flag.Int("fixed-hops", 1, "eddy operator-fixing knob")
 	chaosSpec := flag.String("chaos", "", `fault injection spec, e.g. "seed=7,drop=0.01,stall=0.05,corrupt=0.02" (see internal/chaos)`)
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "max time to flush in-flight tuples on SIGINT/SIGTERM")
+	role := flag.String("role", "", "cluster role: coordinator|worker (empty = standalone engine)")
+	exchange := flag.String("exchange", "127.0.0.1:6001", "worker role: exchange listen address")
+	workers := flag.String("workers", "", "coordinator role: comma-separated worker exchange addresses (empty = local fold)")
+	ingest := flag.String("ingest", "127.0.0.1:6000", "coordinator role: ingest listen address")
+	buckets := flag.Int("buckets", 0, "coordinator role: partition bucket count (0 = 8 per worker)")
+	heartbeat := flag.Duration("heartbeat", 100*time.Millisecond, "coordinator role: failure-detection interval")
 	flag.Parse()
+
+	switch *role {
+	case "":
+	case "worker":
+		os.Exit(runWorker(*exchange, *chaosSpec))
+	case "coordinator":
+		os.Exit(runCoordinator(*ingest, *workers, *buckets, *heartbeat, *metricsAddr))
+	default:
+		fmt.Fprintf(os.Stderr, "bad -role %q (want coordinator or worker)\n", *role)
+		os.Exit(2)
+	}
 
 	if *shards < 0 || *shards > 64 {
 		fmt.Fprintf(os.Stderr, "bad -shards %d (want 0..64)\n", *shards)

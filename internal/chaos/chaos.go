@@ -53,6 +53,20 @@ type Config struct {
 	// tuples of that stream — a deliberately faulty operator used to
 	// prove panic quarantine.
 	PanicStream string
+	// ConnDrop is the probability a wrapped network connection is
+	// severed (both directions, like a TCP RST) at its next I/O point.
+	ConnDrop float64
+	// HalfOpen is the probability a wrapped connection goes half-open
+	// at its next read point: reads hang forever (the silent-peer
+	// partition heartbeat deadlines exist to catch) while writes keep
+	// succeeding.
+	HalfOpen float64
+	// AckDelay is the probability an acknowledgement send is delayed by
+	// AckDelayFor before hitting the wire (late acks must be absorbed
+	// by retry/dedup, never double-counted).
+	AckDelay float64
+	// AckDelayFor is the injected ack delay (0 → 20ms).
+	AckDelayFor time.Duration
 }
 
 // Stats counts faults actually injected, per kind.
@@ -64,6 +78,9 @@ type Stats struct {
 	Reordered   int64
 	QueueFulls  int64
 	Panics      int64
+	ConnDrops   int64
+	HalfOpens   int64
+	AckDelays   int64
 }
 
 // Injector makes fault decisions. Safe for concurrent use; decisions
@@ -81,12 +98,18 @@ type Injector struct {
 	reordered   atomic.Int64
 	queueFulls  atomic.Int64
 	panics      atomic.Int64
+	connDrops   atomic.Int64
+	halfOpens   atomic.Int64
+	ackDelays   atomic.Int64
 }
 
 // New builds an injector from a config.
 func New(cfg Config) *Injector {
 	if cfg.StallFor <= 0 {
 		cfg.StallFor = 2 * time.Millisecond
+	}
+	if cfg.AckDelayFor <= 0 {
+		cfg.AckDelayFor = 20 * time.Millisecond
 	}
 	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
 }
@@ -135,6 +158,16 @@ func Parse(spec string) (*Injector, error) {
 			cfg.QueueFull, err = num()
 		case "panic":
 			cfg.PanicStream = val
+		case "conndrop":
+			cfg.ConnDrop, err = num()
+		case "halfopen":
+			cfg.HalfOpen, err = num()
+		case "ackdelay":
+			cfg.AckDelay, err = num()
+		case "ackdelayms":
+			var ms int64
+			ms, err = strconv.ParseInt(val, 10, 64)
+			cfg.AckDelayFor = time.Duration(ms) * time.Millisecond
 		default:
 			return nil, fmt.Errorf("chaos: unknown spec key %q", key)
 		}
@@ -238,6 +271,36 @@ func (in *Injector) PanicFor(stream string) bool {
 	return true
 }
 
+// DropConn reports whether a wrapped connection should be severed at
+// its next I/O point.
+func (in *Injector) DropConn() bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(in.cfg.ConnDrop, &in.connDrops)
+}
+
+// HalfOpenConn reports whether a wrapped connection should go half-open
+// (reads hang, writes succeed) at its next read point.
+func (in *Injector) HalfOpenConn() bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(in.cfg.HalfOpen, &in.halfOpens)
+}
+
+// DelayAck returns how long an acknowledgement send should be held
+// before the write (0 = deliver immediately).
+func (in *Injector) DelayAck() time.Duration {
+	if in == nil {
+		return 0
+	}
+	if !in.decide(in.cfg.AckDelay, &in.ackDelays) {
+		return 0
+	}
+	return in.cfg.AckDelayFor
+}
+
 // Stats snapshots the injected-fault counters.
 func (in *Injector) Stats() Stats {
 	if in == nil {
@@ -251,5 +314,8 @@ func (in *Injector) Stats() Stats {
 		Reordered:   in.reordered.Load(),
 		QueueFulls:  in.queueFulls.Load(),
 		Panics:      in.panics.Load(),
+		ConnDrops:   in.connDrops.Load(),
+		HalfOpens:   in.halfOpens.Load(),
+		AckDelays:   in.ackDelays.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"net"
 	"testing"
 	"time"
 )
@@ -98,5 +99,102 @@ func TestParse(t *testing.T) {
 	// Empty spec parses to a no-op injector.
 	if in, err := Parse(""); err != nil || in == nil {
 		t.Fatalf("empty spec: %v", err)
+	}
+}
+
+// Connection-level faults: drops sever both directions, half-open
+// partitions hang reads while writes succeed, ack delays come from the
+// seeded PRNG like every other decision.
+func TestConnFaultParse(t *testing.T) {
+	in, err := Parse("seed=3,conndrop=0.5,halfopen=0.25,ackdelay=1,ackdelayms=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.DelayAck(); d != 7*time.Millisecond {
+		t.Fatalf("DelayAck = %v, want 7ms", d)
+	}
+	saw := false
+	for i := 0; i < 100; i++ {
+		if in.DropConn() {
+			saw = true
+		}
+	}
+	if !saw || in.Stats().ConnDrops == 0 {
+		t.Fatal("no conn drops at p=0.5 over 100 draws")
+	}
+	if _, err := Parse("conndrop=2"); err == nil {
+		t.Fatal("out-of-range conndrop accepted")
+	}
+}
+
+func TestConnFaultNilSafe(t *testing.T) {
+	var in *Injector
+	if in.DropConn() || in.HalfOpenConn() || in.DelayAck() != 0 {
+		t.Fatal("nil injector injected a connection fault")
+	}
+}
+
+func TestFaultyConnDrop(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := WrapConn(client, New(Config{Seed: 1, ConnDrop: 1}))
+	if _, err := fc.Write([]byte("x")); !IsInjected(err) {
+		t.Fatalf("write err = %v, want injected drop", err)
+	}
+	// The sever closes the underlying conn: the peer sees EOF.
+	buf := make([]byte, 1)
+	if _, err := server.Read(buf); err == nil {
+		t.Fatal("peer still readable after injected drop")
+	}
+	// Subsequent I/O stays dead.
+	if _, err := fc.Read(buf); err == nil {
+		t.Fatal("read succeeded on severed conn")
+	}
+}
+
+func TestFaultyConnHalfOpen(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := WrapConn(client, New(Config{Seed: 1, HalfOpen: 1}))
+
+	// Writes keep succeeding while reads hang: serve the peer side.
+	go func() {
+		buf := make([]byte, 8)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(make([]byte, 1))
+		readErr <- err
+	}()
+	select {
+	case err := <-readErr:
+		t.Fatalf("half-open read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := fc.Write([]byte("still-writable")); err != nil {
+		t.Fatalf("half-open write failed: %v", err)
+	}
+	fc.Close()
+	select {
+	case err := <-readErr:
+		if !IsInjected(err) {
+			t.Fatalf("hung read err = %v, want injected", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not release the hung read")
+	}
+}
+
+func TestFaultyConnNilInjectorPassthrough(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	if c := WrapConn(client, nil); c != client {
+		t.Fatal("nil injector should return the conn unchanged")
 	}
 }

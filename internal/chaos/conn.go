@@ -1,0 +1,98 @@
+// Connection-level fault injection: a net.Conn wrapper that consults
+// the Injector at every I/O point, so cluster exchanges can be tested
+// against the failures real networks produce — abrupt severs, half-open
+// partitions where a peer silently stops answering, and delayed
+// acknowledgements — deterministically, from a seed, instead of with
+// ad-hoc sleeps and hand-closed sockets.
+package chaos
+
+import (
+	"net"
+	"sync"
+)
+
+// errInjected is the error surfaced by injected connection faults.
+type errInjected struct{ what string }
+
+func (e errInjected) Error() string { return "chaos: injected " + e.what }
+
+// IsInjected reports whether err came from an injected connection fault
+// (as opposed to a real network error).
+func IsInjected(err error) bool {
+	_, ok := err.(errInjected)
+	return ok
+}
+
+// FaultyConn wraps a net.Conn with injector-driven faults. A nil
+// injector makes every method a passthrough.
+type FaultyConn struct {
+	net.Conn
+	in *Injector
+
+	mu       sync.Mutex
+	halfOpen bool
+	dead     chan struct{} // closed on Close or injected sever
+	once     sync.Once
+}
+
+// WrapConn wraps c; with a nil injector c is returned unchanged.
+func WrapConn(c net.Conn, in *Injector) net.Conn {
+	if in == nil {
+		return c
+	}
+	return &FaultyConn{Conn: c, in: in, dead: make(chan struct{})}
+}
+
+func (f *FaultyConn) sever() {
+	f.once.Do(func() {
+		close(f.dead)
+		f.Conn.Close()
+	})
+}
+
+// Read consults the injector first: a drop severs the connection, a
+// half-open transition makes this and every later read hang until the
+// connection is closed — the silent peer a failure detector must catch
+// by deadline, because the socket itself reports nothing.
+func (f *FaultyConn) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	ho := f.halfOpen
+	if !ho && f.in.HalfOpenConn() {
+		f.halfOpen = true
+		ho = true
+	}
+	f.mu.Unlock()
+	if ho {
+		<-f.dead
+		return 0, errInjected{"half-open partition"}
+	}
+	if f.in.DropConn() {
+		f.sever()
+		return 0, errInjected{"connection drop"}
+	}
+	return f.Conn.Read(p)
+}
+
+// Write severs on an injected drop; half-open connections keep writing
+// successfully (the defining asymmetry of a half-open partition).
+func (f *FaultyConn) Write(p []byte) (int, error) {
+	select {
+	case <-f.dead:
+		return 0, errInjected{"connection drop"}
+	default:
+	}
+	f.mu.Lock()
+	ho := f.halfOpen
+	f.mu.Unlock()
+	if !ho && f.in.DropConn() {
+		f.sever()
+		return 0, errInjected{"connection drop"}
+	}
+	return f.Conn.Write(p)
+}
+
+// Close releases any read blocked in a half-open hang.
+func (f *FaultyConn) Close() error {
+	f.sever()
+	return nil
+}

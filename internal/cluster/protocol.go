@@ -1,0 +1,268 @@
+// Package cluster is the networked Flux deployment (§2.4; Shah et al.):
+// real tcqd processes in coordinator and worker roles connected by a
+// length-prefixed TCP exchange. The coordinator owns the bucket→node
+// shard map and routes partitioned consumer input; workers hold the
+// movable flux.BucketState partitions. Robustness properties:
+//
+//   - At-least-once delivery with per-bucket sequence dedup: the
+//     coordinator retains every routed entry until both replicas have
+//     acknowledged it and retransmits after reconnects and failovers;
+//     workers skip (but re-ack) any sequence at or below their applied
+//     floor, so retries never double-count.
+//   - Loosely coupled process pairs: every bucket has a primary and a
+//     secondary fed the same input (the data frame is encoded once and
+//     the same bytes written to both — the encode-once discipline of
+//     internal/fanout applied to the exchange).
+//   - Heartbeat failure detection with deadlines: a node that stays
+//     silent past its deadline is declared dead and every bucket it
+//     ran as primary is promoted to its secondary, losing zero acked
+//     tuples; replication is then repaired onto a surviving node by
+//     state movement.
+//   - Online state movement: flux.BucketState serializes over the wire
+//     (flux.AppendState/DecodeState) for both failover catch-up and
+//     bucket handoff under skew.
+//
+// This file defines the wire protocol shared by both roles.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"telegraphcq/internal/flux"
+)
+
+// Message types. Every frame is u32 little-endian payload length, then
+// a payload beginning with one of these bytes.
+const (
+	mHello    byte = iota + 1 // coordinator → worker: node id assignment
+	mData                     // a batch of (key,val) entries for one bucket
+	mAck                      // worker → coordinator: applied floor for one bucket
+	mPing                     // coordinator → worker: heartbeat probe
+	mPong                     // worker → coordinator: heartbeat reply + processed count
+	mFetch                    // fetch one bucket's state (optionally dropping it)
+	mState                    // reply to mFetch: serialized state + applied floor
+	mInstall                  // install state + applied floor on a worker
+	mInstalled                // reply to mInstall
+	mCollect                  // fetch the merged state of a bucket list
+	mCollectReply
+)
+
+// maxFrame bounds one frame; state frames dominate (a bucket's groups).
+const maxFrame = 64 << 20
+
+// Entry is one routed (key, value) observation — the flattened tuple
+// the partitioned consumer folds.
+type Entry struct {
+	Key string
+	Val float64
+}
+
+// wire is a framed duplex connection: reads are exclusive to one reader
+// goroutine; writes are serialized by the mutex so routing, heartbeats,
+// and control traffic can share the connection.
+type wire struct {
+	c  net.Conn
+	r  *bufio.Reader
+	wm sync.Mutex
+	w  *bufio.Writer
+}
+
+func newWire(c net.Conn) *wire {
+	return &wire{c: c, r: bufio.NewReaderSize(c, 64<<10), w: bufio.NewWriterSize(c, 64<<10)}
+}
+
+// writeFrame sends one already-encoded payload. The payload is only
+// read, so the same buffer may be written to several wires (the
+// encode-once path for process pairs).
+func (w *wire) writeFrame(payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	w.wm.Lock()
+	defer w.wm.Unlock()
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// readFrame returns the next payload. The returned slice is owned by
+// the caller.
+func (w *wire) readFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(w.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("cluster: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(w.r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (w *wire) close() { w.c.Close() }
+
+// ---------------------------------------------------------------- encode
+
+func appendHello(dst []byte, nodeID int) []byte {
+	dst = append(dst, mHello)
+	return binary.AppendUvarint(dst, uint64(nodeID))
+}
+
+// appendData encodes one bucket's entry batch with contiguous sequence
+// numbers baseSeq..baseSeq+len(entries)-1. Encoded once per batch; the
+// identical bytes go to the primary and the secondary.
+func appendData(dst []byte, bucket int, baseSeq int64, entries []Entry) []byte {
+	dst = append(dst, mData)
+	dst = binary.AppendUvarint(dst, uint64(bucket))
+	dst = binary.AppendVarint(dst, baseSeq)
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = binary.AppendUvarint(dst, uint64(len(e.Key)))
+		dst = append(dst, e.Key...)
+		dst = binary.AppendUvarint(dst, math.Float64bits(e.Val))
+	}
+	return dst
+}
+
+func appendAck(dst []byte, bucket int, upTo int64) []byte {
+	dst = append(dst, mAck)
+	dst = binary.AppendUvarint(dst, uint64(bucket))
+	return binary.AppendVarint(dst, upTo)
+}
+
+func appendPing(dst []byte) []byte { return append(dst, mPing) }
+
+func appendPong(dst []byte, processed int64) []byte {
+	dst = append(dst, mPong)
+	return binary.AppendVarint(dst, processed)
+}
+
+func appendFetch(dst []byte, bucket int, drop bool) []byte {
+	dst = append(dst, mFetch)
+	dst = binary.AppendUvarint(dst, uint64(bucket))
+	if drop {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendState(dst []byte, msg byte, bucket int, upTo int64, st flux.BucketState) []byte {
+	dst = append(dst, msg)
+	dst = binary.AppendUvarint(dst, uint64(bucket))
+	dst = binary.AppendVarint(dst, upTo)
+	return flux.AppendState(dst, st)
+}
+
+func appendInstalled(dst []byte, bucket int) []byte {
+	dst = append(dst, mInstalled)
+	return binary.AppendUvarint(dst, uint64(bucket))
+}
+
+func appendCollect(dst []byte, buckets []int) []byte {
+	dst = append(dst, mCollect)
+	dst = binary.AppendUvarint(dst, uint64(len(buckets)))
+	for _, b := range buckets {
+		dst = binary.AppendUvarint(dst, uint64(b))
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------- decode
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("cluster: truncated uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("cluster: truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)) < n {
+		d.err = fmt.Errorf("cluster: truncated bytes")
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) byteVal() byte {
+	b := d.bytes(1)
+	if d.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) state() flux.BucketState {
+	if d.err != nil {
+		return nil
+	}
+	st, rest, err := flux.DecodeState(d.buf)
+	if err != nil {
+		d.err = err
+		return nil
+	}
+	d.buf = rest
+	return st
+}
+
+func decodeData(d *decoder) (bucket int, baseSeq int64, entries []Entry) {
+	bucket = int(d.uvarint())
+	baseSeq = d.varint()
+	n := d.uvarint()
+	if d.err != nil || n > maxFrame {
+		return
+	}
+	entries = make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		kl := d.uvarint()
+		key := string(d.bytes(kl))
+		val := math.Float64frombits(d.uvarint())
+		if d.err != nil {
+			return
+		}
+		entries = append(entries, Entry{Key: key, Val: val})
+	}
+	return
+}

@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"telegraphcq/internal/chaos"
+	"telegraphcq/internal/flux"
+)
+
+// Worker runs the partitioned consumer state of one cluster node: a set
+// of flux.BucketState partitions behind the framed TCP exchange. It is
+// role-agnostic about replication — a worker does not know whether it
+// holds a bucket as primary or secondary; the coordinator owns that
+// map. All a worker guarantees is the dedup contract: a sequence is
+// folded exactly once — arrivals at or below the bucket's contiguous
+// applied floor, or already present in its above-floor applied set, are
+// skipped (but still acked), so retransmits and out-of-order delivery
+// never double-count.
+type Worker struct {
+	// Logf receives node lifecycle events (default log.Printf).
+	Logf func(format string, args ...any)
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	mu        sync.Mutex
+	chaos     *chaos.Injector
+	conns     map[net.Conn]struct{}
+	id        int // assigned by the coordinator's hello
+	buckets   map[int]flux.BucketState
+	applied   map[int]int64          // per-bucket contiguous applied floor
+	above     map[int]map[int64]bool // applied sequences above the floor (out-of-order arrivals)
+	processed int64                  // entries folded (post-dedup)
+	deduped   int64                  // entries skipped as already applied
+}
+
+// NewWorker builds an idle worker; Listen starts serving.
+func NewWorker() *Worker {
+	return &Worker{
+		conns:   map[net.Conn]struct{}{},
+		buckets: map[int]flux.BucketState{},
+		applied: map[int]int64{},
+		above:   map[int]map[int64]bool{},
+	}
+}
+
+// SetChaos installs (or clears) seeded connection-level fault
+// injection — drops, half-open partitions, delayed acks — on every
+// exchange connection accepted from now on: the deterministic injector
+// the cluster tests use instead of ad-hoc sleeps.
+func (w *Worker) SetChaos(in *chaos.Injector) {
+	w.mu.Lock()
+	w.chaos = in
+	w.mu.Unlock()
+}
+
+func (w *Worker) chaosInjector() *chaos.Injector {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.chaos
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Listen binds the exchange port (use ":0" in tests) and serves until
+// Close; returns the bound address.
+func (w *Worker) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	w.ln = ln
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (w *Worker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return
+		}
+		wrapped := chaos.WrapConn(conn, w.chaosInjector())
+		w.mu.Lock()
+		if w.closed.Load() {
+			w.mu.Unlock()
+			wrapped.Close()
+			return
+		}
+		w.conns[wrapped] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer func() {
+				w.mu.Lock()
+				delete(w.conns, wrapped)
+				w.mu.Unlock()
+			}()
+			w.serve(wrapped)
+		}()
+	}
+}
+
+// serve handles one coordinator connection. A connection failure is not
+// fatal to the worker: state stays, and a reconnecting coordinator
+// resumes against the same applied floors.
+func (w *Worker) serve(conn net.Conn) {
+	wr := newWire(conn)
+	defer wr.close()
+	var out []byte // reused reply buffer
+	for {
+		payload, err := wr.readFrame()
+		if err != nil {
+			return
+		}
+		d := &decoder{buf: payload[1:]}
+		out = out[:0]
+		switch payload[0] {
+		case mHello:
+			id := int(d.uvarint())
+			if d.err != nil {
+				return
+			}
+			w.mu.Lock()
+			w.id = id
+			w.mu.Unlock()
+			w.logf("cluster worker %d: coordinator connected", id)
+			continue
+		case mData:
+			bucket, baseSeq, entries := decodeData(d)
+			if d.err != nil {
+				return
+			}
+			upTo := w.applyData(bucket, baseSeq, entries)
+			// A delayed ack is the classic ambiguous-failure window: the
+			// coordinator may retransmit entries the worker already
+			// applied; the dedup floor above is what keeps the retry
+			// harmless.
+			if delay := w.chaosInjector().DelayAck(); delay > 0 {
+				time.Sleep(delay)
+			}
+			out = appendAck(out, bucket, upTo)
+		case mPing:
+			w.mu.Lock()
+			processed := w.processed
+			w.mu.Unlock()
+			out = appendPong(out, processed)
+		case mFetch:
+			bucket := int(d.uvarint())
+			drop := d.byteVal() == 1
+			if d.err != nil {
+				return
+			}
+			st, upTo := w.fetchState(bucket, drop)
+			out = appendState(out, mState, bucket, upTo, st)
+		case mInstall:
+			bucket := int(d.uvarint())
+			upTo := d.varint()
+			st := d.state()
+			if d.err != nil {
+				return
+			}
+			w.installState(bucket, upTo, st)
+			out = appendInstalled(out, bucket)
+		case mCollect:
+			n := d.uvarint()
+			if d.err != nil || n > maxFrame {
+				return
+			}
+			merged := flux.BucketState{}
+			w.mu.Lock()
+			for i := uint64(0); i < n; i++ {
+				if st := w.buckets[int(d.uvarint())]; st != nil {
+					merged.Merge(st)
+				}
+			}
+			w.mu.Unlock()
+			if d.err != nil {
+				return
+			}
+			out = appendState(out, mCollectReply, 0, 0, merged)
+		default:
+			w.logf("cluster worker: unknown message type %d", payload[0])
+			return
+		}
+		if err := wr.writeFrame(out); err != nil {
+			return
+		}
+	}
+}
+
+// applyData folds an entry batch into its bucket exactly once per
+// sequence and returns the new contiguous applied floor — the only
+// value it is safe to acknowledge. Sequences may arrive out of order
+// (concurrent routers, retransmit racing a delayed original), so dedup
+// is exact: floor plus the set of applied sequences above it, with the
+// floor advanced only across a contiguous prefix.
+func (w *Worker) applyData(bucket int, baseSeq int64, entries []Entry) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.buckets[bucket]
+	if st == nil {
+		st = flux.BucketState{}
+		w.buckets[bucket] = st
+	}
+	floor := w.applied[bucket]
+	above := w.above[bucket]
+	for i, e := range entries {
+		seq := baseSeq + int64(i)
+		if seq <= floor || above[seq] {
+			w.deduped++
+			continue
+		}
+		st.Fold(e.Key, e.Val)
+		w.processed++
+		if above == nil {
+			above = map[int64]bool{}
+			w.above[bucket] = above
+		}
+		above[seq] = true
+	}
+	for above[floor+1] {
+		delete(above, floor+1)
+		floor++
+	}
+	w.applied[bucket] = floor
+	return floor
+}
+
+// fetchState snapshots (and with drop, removes) one bucket's state.
+func (w *Worker) fetchState(bucket int, drop bool) (flux.BucketState, int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.buckets[bucket]
+	upTo := w.applied[bucket]
+	if st == nil {
+		st = flux.BucketState{}
+	}
+	if drop {
+		delete(w.buckets, bucket)
+		delete(w.applied, bucket)
+		delete(w.above, bucket)
+		return st, upTo
+	}
+	return st.Clone(), upTo
+}
+
+// installState replaces a bucket's state and dedup floor (failover
+// catch-up and handoff both land here; the moved state supersedes any
+// replica the node already held).
+func (w *Worker) installState(bucket int, upTo int64, st flux.BucketState) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buckets[bucket] = st
+	w.applied[bucket] = upTo
+	delete(w.above, bucket) // the installed floor supersedes any gap set
+}
+
+// WorkerStats is a worker's observable state (tests, logs, telemetry).
+type WorkerStats struct {
+	ID        int
+	Buckets   int
+	Processed int64
+	Deduped   int64
+}
+
+// Stats snapshots the worker.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WorkerStats{ID: w.id, Buckets: len(w.buckets), Processed: w.processed, Deduped: w.deduped}
+}
+
+// Addr returns the bound exchange address ("" before Listen).
+func (w *Worker) Addr() string {
+	if w.ln == nil {
+		return ""
+	}
+	return w.ln.Addr().String()
+}
+
+// Close stops the listener and severs live connections. State is kept:
+// a closed worker models a partitioned node, not a wiped one.
+func (w *Worker) Close() error {
+	if !w.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var err error
+	if w.ln != nil {
+		err = w.ln.Close()
+	}
+	// Serve loops block in readFrame; closing the listener does not
+	// unblock them, so sever the live connections too.
+	w.mu.Lock()
+	for c := range w.conns {
+		c.Close()
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+	return err
+}
+
+// String identifies the worker in logs.
+func (w *Worker) String() string {
+	return fmt.Sprintf("worker[%d]@%s", w.id, w.Addr())
+}

@@ -1,0 +1,74 @@
+package executor
+
+import (
+	"testing"
+
+	"telegraphcq/internal/telemetry"
+)
+
+// The tcq_cluster system stream and its metrics mirror the tcq_sources
+// seam: a coordinator installs a callback, the sampler turns it into
+// queryable rows, and the collector turns it into /metrics samples.
+func TestClusterSystemStreamAndMetrics(t *testing.T) {
+	x := New(newCat(t), Options{SampleInterval: -1})
+	defer x.Close()
+	_, sub := submit(t, x, `SELECT node, state, promotions FROM tcq_cluster`)
+
+	x.SetClusterStats(func() []ClusterStat {
+		return []ClusterStat{
+			{Node: "0", Addr: "127.0.0.1:6001", State: "up", Primaries: 4, Secondaries: 4, Processed: 100},
+			{Node: "1", Addr: "127.0.0.1:6002", State: "dead"},
+			{Node: "coordinator", Routed: 50, Acked: 50, Promotions: 2, DetectMs: 120},
+		}
+	})
+	x.SampleSystemStreams()
+	rows := drain(t, x, sub)
+	if len(rows) != 3 {
+		t.Fatalf("tcq_cluster rows = %d, want 3", len(rows))
+	}
+	if rows[0].Values[0].S != "0" || rows[0].Values[1].S != "up" {
+		t.Fatalf("node row: %v", rows[0].Values)
+	}
+	if rows[1].Values[1].S != "dead" {
+		t.Fatalf("dead node row: %v", rows[1].Values)
+	}
+	if rows[2].Values[0].S != "coordinator" || rows[2].Values[2].I != 2 {
+		t.Fatalf("summary row: %v", rows[2].Values)
+	}
+
+	// The same callback feeds /metrics.
+	want := map[string]float64{}
+	label := func(s telemetry.Sample, key string) string {
+		for _, l := range s.Labels {
+			if l.Key == key {
+				return l.Value
+			}
+		}
+		return ""
+	}
+	for _, s := range x.Metrics().Gather() {
+		switch s.Name {
+		case "tcq_cluster_node_up":
+			want["up:"+label(s, "node")] = s.Value
+		case "tcq_cluster_promotions_total":
+			want["promotions"] = s.Value
+		case "tcq_cluster_node_processed_total":
+			if label(s, "node") == "0" {
+				want["processed0"] = s.Value
+			}
+		}
+	}
+	if want["up:0"] != 1 || want["up:1"] != 0 {
+		t.Fatalf("node_up samples: %v", want)
+	}
+	if want["promotions"] != 2 || want["processed0"] != 100 {
+		t.Fatalf("counter samples: %v", want)
+	}
+
+	// Clearing the callback stops the rows.
+	x.SetClusterStats(nil)
+	x.SampleSystemStreams()
+	if extra := drain(t, x, sub); len(extra) != 0 {
+		t.Fatalf("rows after clearing callback: %d", len(extra))
+	}
+}

@@ -116,6 +116,9 @@ type Executor struct {
 	// sourceStats, when set, reports wrapper-side source health for the
 	// tcq_sources system stream and /metrics (see SetSourceStats).
 	sourceStats atomic.Pointer[func() []SourceStat]
+	// clusterStats, when set, reports networked-Flux cluster health for
+	// the tcq_cluster system stream and /metrics (see SetClusterStats).
+	clusterStats atomic.Pointer[func() []ClusterStat]
 }
 
 type runningQuery struct {

@@ -32,6 +32,7 @@ const (
 	StreamSources     = "tcq_sources"
 	StreamSubscribers = "tcq_subscribers"
 	StreamShards      = "tcq_shards"
+	StreamCluster     = "tcq_cluster"
 )
 
 // SourceStat is one wrapper-side source's health as reported into the
@@ -60,6 +61,50 @@ func (x *Executor) SetSourceStats(fn func() []SourceStat) {
 
 func (x *Executor) sourceStatsSnapshot() []SourceStat {
 	if fn := x.sourceStats.Load(); fn != nil {
+		return (*fn)()
+	}
+	return nil
+}
+
+// ClusterStat is one row of the tcq_cluster system stream: networked
+// Flux health as observed by a coordinator (internal/cluster). Node
+// rows carry the per-worker fields (State, Primaries, Secondaries,
+// Processed); a summary row with Node == "coordinator" carries the
+// coordinator-wide delivery and failover counters. Like SourceStat,
+// the producer installs a callback — the executor knows nothing about
+// the cluster beyond this shape, so the dependency points outward.
+type ClusterStat struct {
+	Node        string
+	Addr        string
+	State       string // "up", "disconnected", "dead"; "" on the summary row
+	Primaries   int64  // buckets this node is primary for
+	Secondaries int64  // buckets this node is secondary for
+	Processed   int64  // entries the node acked
+
+	// Coordinator-wide counters (summary row only).
+	Routed      int64
+	Acked       int64
+	Retransmits int64
+	Promotions  int64
+	Moves       int64
+	Repairs     int64
+	BucketsLost int64
+	DetectMs    int64 // last failure-detection latency
+}
+
+// SetClusterStats installs the callback the sampler and the metrics
+// collector use to observe networked-Flux cluster health (nil clears
+// it). Mirrors SetSourceStats.
+func (x *Executor) SetClusterStats(fn func() []ClusterStat) {
+	if fn == nil {
+		x.clusterStats.Store(nil)
+		return
+	}
+	x.clusterStats.Store(&fn)
+}
+
+func (x *Executor) clusterStatsSnapshot() []ClusterStat {
+	if fn := x.clusterStats.Load(); fn != nil {
 		return (*fn)()
 	}
 	return nil
@@ -245,6 +290,18 @@ func (x *Executor) registerSystemStreams() {
 			col("restarts", tuple.KindInt), col("failures", tuple.KindInt),
 			col("rows", tuple.KindInt), col("last_error", tuple.KindString),
 		}},
+		// One row per cluster node plus a "coordinator" summary row with
+		// the failover counters (networked Flux, internal/cluster).
+		{StreamCluster, []tuple.Column{
+			col("node", tuple.KindString), col("addr", tuple.KindString),
+			col("state", tuple.KindString),
+			col("primaries", tuple.KindInt), col("secondaries", tuple.KindInt),
+			col("processed", tuple.KindInt),
+			col("routed", tuple.KindInt), col("acked", tuple.KindInt),
+			col("retransmits", tuple.KindInt), col("promotions", tuple.KindInt),
+			col("moves", tuple.KindInt), col("repairs", tuple.KindInt),
+			col("lost", tuple.KindInt), col("detect_ms", tuple.KindInt),
+		}},
 		// One row per eddy shard of each sharded EO (empty for classic
 		// single-engine EOs).
 		{StreamShards, []tuple.Column{
@@ -393,6 +450,20 @@ func (x *Executor) SampleSystemStreams() {
 		})
 	}
 
+	// Networked-Flux cluster health (coordinator-installed callback).
+	for _, st := range x.clusterStatsSnapshot() {
+		_, _ = x.Push(StreamCluster, []tuple.Value{
+			tuple.String(st.Node), tuple.String(st.Addr),
+			tuple.String(st.State),
+			tuple.Int(st.Primaries), tuple.Int(st.Secondaries),
+			tuple.Int(st.Processed),
+			tuple.Int(st.Routed), tuple.Int(st.Acked),
+			tuple.Int(st.Retransmits), tuple.Int(st.Promotions),
+			tuple.Int(st.Moves), tuple.Int(st.Repairs),
+			tuple.Int(st.BucketsLost), tuple.Int(st.DetectMs),
+		})
+	}
+
 	// Fan-out delivery (one aggregate row per query's subscriber tree).
 	for _, tr := range x.FanoutTrees() {
 		st := tr.Stats()
@@ -457,6 +528,34 @@ func (x *Executor) registerCollectors() {
 			counter("tcq_source_restarts_total", "successful source reconnects", st.Restarts, lSrc)
 			counter("tcq_source_failures_total", "source run attempts that failed", st.Failures, lSrc)
 			counter("tcq_source_rows_total", "rows delivered by the source", st.Rows, lSrc)
+		}
+
+		// Networked-Flux cluster health (coordinator-installed callback):
+		// per-node gauges plus the coordinator summary row's counters.
+		for _, st := range x.clusterStatsSnapshot() {
+			if st.Node == "coordinator" {
+				counter("tcq_cluster_routed_total", "entries routed to the cluster", st.Routed)
+				counter("tcq_cluster_acked_total", "entries acknowledged by primaries", st.Acked)
+				counter("tcq_cluster_retransmits_total", "entries re-sent after reconnect or promotion", st.Retransmits)
+				counter("tcq_cluster_promotions_total", "secondaries promoted after a primary death", st.Promotions)
+				counter("tcq_cluster_moves_total", "online bucket handoffs", st.Moves)
+				counter("tcq_cluster_repairs_total", "replication repairs after failover", st.Repairs)
+				counter("tcq_cluster_buckets_lost_total", "buckets restarted empty (no replica survived)", st.BucketsLost)
+				gauge("tcq_cluster_detect_ms", "last failure-detection latency", float64(st.DetectMs))
+				continue
+			}
+			lN := telemetry.L("node", st.Node)
+			up := 0.0
+			switch st.State {
+			case "up":
+				up = 1
+			case "disconnected":
+				up = 0.5
+			}
+			gauge("tcq_cluster_node_up", "cluster node health (1 up, 0.5 disconnected, 0 dead)", up, lN)
+			gauge("tcq_cluster_node_primaries", "buckets the node is primary for", float64(st.Primaries), lN)
+			gauge("tcq_cluster_node_secondaries", "buckets the node is secondary for", float64(st.Secondaries), lN)
+			counter("tcq_cluster_node_processed_total", "entries the node acked", st.Processed, lN)
 		}
 
 		for _, eo := range eos {

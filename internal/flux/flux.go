@@ -39,18 +39,6 @@ type GroupState struct {
 	Sum   float64
 }
 
-// bucketState is the movable unit of operator state.
-type bucketState map[string]*GroupState
-
-func (b bucketState) clone() bucketState {
-	c := make(bucketState, len(b))
-	for k, g := range b {
-		cp := *g
-		c[k] = &cp
-	}
-	return c
-}
-
 // Config sizes the simulated cluster.
 type Config struct {
 	Machines int
@@ -82,8 +70,8 @@ type message struct {
 	kind   msgKind
 	bucket int
 	t      *tuple.Tuple
-	state  bucketState
-	reply  chan bucketState
+	state  BucketState
+	reply  chan BucketState
 	ack    chan struct{}
 }
 
@@ -92,7 +80,7 @@ type machine struct {
 	speed     float64
 	costNs    int64
 	in        fjord.Queue[message]
-	buckets   map[int]bucketState
+	buckets   map[int]BucketState
 	processed atomic.Int64
 	// stalls counts producer blocks on this machine's full queue — the
 	// load signal the rebalancer acts on (queue *length* is useless
@@ -162,7 +150,7 @@ func New(cfg Config, keyExpr, valExpr expr.Expr) (*Flux, error) {
 			speed:   cfg.Speeds[i],
 			costNs:  cfg.PerTupleCostNs,
 			in:      fjord.NewPull[message](cfg.QueueCap),
-			buckets: map[int]bucketState{},
+			buckets: map[int]BucketState{},
 			done:    make(chan struct{}),
 		}
 		m.alive.Store(true)
@@ -194,7 +182,7 @@ func (m *machine) run() {
 			st := m.buckets[msg.bucket]
 			delete(m.buckets, msg.bucket)
 			if st == nil {
-				st = bucketState{}
+				st = BucketState{}
 			}
 			msg.reply <- st
 		case msgInstall:
@@ -218,17 +206,11 @@ func (m *machine) run() {
 func (m *machine) process(msg message) {
 	st := m.buckets[msg.bucket]
 	if st == nil {
-		st = bucketState{}
+		st = BucketState{}
 		m.buckets[msg.bucket] = st
 	}
-	key := msg.t.Values[0].String() // key materialized by router
-	g := st[key]
-	if g == nil {
-		g = &GroupState{Key: key}
-		st[key] = g
-	}
-	g.Count++
-	g.Sum += msg.t.Values[1].AsFloat()
+	// key materialized by the router at Values[0], value at Values[1]
+	st.Fold(msg.t.Values[0].String(), msg.t.Values[1].AsFloat())
 	if m.costNs > 0 {
 		m.owedNs += int64(float64(m.costNs) / m.speed)
 		if m.owedNs >= int64(time.Millisecond) {
@@ -339,15 +321,15 @@ func (f *Flux) MoveBucket(bucket, dst int) error {
 
 	// Fetch state from the source (processed in queue order, so all
 	// previously routed data is folded in first).
-	var st bucketState
+	var st BucketState
 	if f.machines[src].alive.Load() {
-		reply := make(chan bucketState, 1)
+		reply := make(chan BucketState, 1)
 		if err := f.machines[src].in.Enqueue(message{kind: msgFetch, bucket: bucket, reply: reply}); err == nil {
 			st = <-reply
 		}
 	}
 	if st == nil {
-		st = bucketState{}
+		st = BucketState{}
 	}
 	// Install at destination.
 	ack := make(chan struct{}, 1)
@@ -370,7 +352,7 @@ func (f *Flux) MoveBucket(bucket, dst int) error {
 		if newSec >= 0 && f.machines[newSec].alive.Load() {
 			ack2 := make(chan struct{}, 1)
 			if err := f.machines[newSec].in.Enqueue(message{
-				kind: msgInstall, bucket: bucket, state: st.clone(), ack: ack2,
+				kind: msgInstall, bucket: bucket, state: st.Clone(), ack: ack2,
 			}); err == nil {
 				<-ack2
 			} else {
@@ -512,18 +494,18 @@ func (f *Flux) Barrier() {
 // bucket into the final grouped result.
 func (f *Flux) Collect() map[string]*GroupState {
 	f.Barrier()
-	out := map[string]*GroupState{}
+	out := BucketState{}
 	f.mu.Lock()
 	primary := append([]int(nil), f.primary...)
 	f.mu.Unlock()
 	// Fetch each bucket from its primary.
-	states := make([]bucketState, f.cfg.Buckets)
+	states := make([]BucketState, f.cfg.Buckets)
 	for b := 0; b < f.cfg.Buckets; b++ {
 		m := f.machines[primary[b]]
 		if !m.alive.Load() {
 			continue
 		}
-		reply := make(chan bucketState, 1)
+		reply := make(chan BucketState, 1)
 		if err := m.in.Enqueue(message{kind: msgFetch, bucket: b, reply: reply}); err != nil {
 			continue
 		}
@@ -533,15 +515,7 @@ func (f *Flux) Collect() map[string]*GroupState {
 		if st == nil {
 			continue
 		}
-		for k, g := range st {
-			o := out[k]
-			if o == nil {
-				out[k] = &GroupState{Key: k, Count: g.Count, Sum: g.Sum}
-			} else {
-				o.Count += g.Count
-				o.Sum += g.Sum
-			}
-		}
+		out.Merge(st)
 		// Re-install so Collect is not destructive.
 		m := f.machines[primary[b]]
 		ack := make(chan struct{}, 1)

@@ -322,6 +322,8 @@ type PushServer struct {
 	ln      net.Listener
 	sink    Sink
 	wg      sync.WaitGroup
+	conns   map[net.Conn]struct{}
+	closed  bool
 	rows    atomic.Int64
 	errs    atomic.Int64
 
@@ -332,7 +334,11 @@ type PushServer struct {
 
 // NewPushServer builds a push-server delivering into sink.
 func NewPushServer(sink Sink) *PushServer {
-	return &PushServer{schemas: map[string]*tuple.Schema{}, sink: sink}
+	return &PushServer{
+		schemas: map[string]*tuple.Schema{},
+		conns:   map[net.Conn]struct{}{},
+		sink:    sink,
+	}
 }
 
 // Register makes a stream's schema known to the wrapper.
@@ -362,10 +368,23 @@ func (s *PushServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
 			s.serve(conn)
 		}()
 	}
@@ -434,8 +453,18 @@ func (s *PushServer) Rows() int64 { return s.rows.Load() }
 // Errs returns the count of rejected input lines.
 func (s *PushServer) Errs() int64 { return s.errs.Load() }
 
-// Close stops the listener and waits for connections to finish.
+// Close stops the listener, severs live source connections, and waits
+// for their goroutines to finish. Severing matters: a remote source
+// that never hangs up must not wedge a draining (or force-closing)
+// server, so ingress shutdown cuts the wire instead of waiting for the
+// other end's goodwill.
 func (s *PushServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -444,15 +473,33 @@ func (s *PushServer) Close() {
 
 // ----------------------------------------------------------- PushClient
 
+// ClientOptions bounds a PushClient's network waits. Zero values leave
+// the corresponding wait unbounded, so the zero ClientOptions keeps the
+// old behavior.
+type ClientOptions struct {
+	// DialTimeout bounds the initial connect.
+	DialTimeout time.Duration
+	// ReadTimeout bounds the silence between lines. A source that stalls
+	// longer than this — a half-open connection, a wedged remote — makes
+	// Run return a timeout error so the Supervisor can reconnect instead
+	// of hanging forever on a dead socket.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds any write back to the source (applied as the
+	// connection's write deadline alongside each read).
+	WriteTimeout time.Duration
+}
+
 // PushClient connects out to a data source that speaks the same line
 // protocol (push-client sources: "connections can be initiated ... by
 // the Wrapper"). It is built to live on an unreliable wire: a row that
 // fails to parse is counted and skipped (one corrupt reading must not
-// kill the feed), and Stop closes the live connection so a Supervisor
-// can interrupt a blocked read.
+// kill the feed), Opts deadlines turn silent stalls into errors, and
+// Stop closes the live connection so a Supervisor can interrupt a
+// blocked read.
 type PushClient struct {
 	Stream string
 	Schema *tuple.Schema
+	Opts   ClientOptions
 
 	badRows atomic.Int64
 
@@ -485,7 +532,7 @@ func (c *PushClient) Run(addr string, sink Sink) (int64, error) {
 		return 0, nil
 	}
 	c.mu.Unlock()
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, c.Opts.DialTimeout)
 	if err != nil {
 		return 0, err
 	}
@@ -508,7 +555,18 @@ func (c *PushClient) Run(addr string, sink Sink) (int64, error) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var n int64
-	for sc.Scan() {
+	for {
+		// Arm the deadlines per line, not per connection: a live feed may
+		// run for days, but the gap between two lines is bounded.
+		if c.Opts.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(c.Opts.ReadTimeout))
+		}
+		if c.Opts.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(c.Opts.WriteTimeout))
+		}
+		if !sc.Scan() {
+			break
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue

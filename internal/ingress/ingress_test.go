@@ -1,6 +1,7 @@
 package ingress
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -283,5 +284,82 @@ func TestPushClient(t *testing.T) {
 	n, err := c.Run(ln.Addr().String(), m.sink)
 	if err != nil || n != 2 {
 		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+// A server that accepts and then goes silent must not hang the client
+// forever: with a ReadTimeout set, Run returns a timeout error the
+// Supervisor can act on, and rows delivered before the stall survive.
+func TestPushClientReadDeadlineOnStalledServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	hold := make(chan struct{})
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		fmt.Fprintln(conn, "MSFT,50,1,true")
+		<-hold // stall: never send another byte, never close
+	}()
+	defer close(hold)
+
+	var m memSink
+	c := &PushClient{
+		Stream: "s", Schema: schema,
+		Opts: ClientOptions{
+			DialTimeout:  time.Second,
+			ReadTimeout:  150 * time.Millisecond,
+			WriteTimeout: time.Second,
+		},
+	}
+	start := time.Now()
+	n, err := c.Run(ln.Addr().String(), m.sink)
+	if n != 1 {
+		t.Fatalf("rows before stall = %d, want 1", n)
+	}
+	if err == nil {
+		t.Fatal("stalled server produced no error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want a net timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}
+
+// The per-line deadline must not kill a slow-but-alive feed: lines
+// arriving within the timeout keep resetting it.
+func TestPushClientDeadlineSlidesPerLine(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for i := 0; i < 4; i++ {
+			fmt.Fprintln(conn, "MSFT,50,1,true")
+			time.Sleep(60 * time.Millisecond) // under the 250ms deadline
+		}
+		conn.Close()
+	}()
+	var m memSink
+	c := &PushClient{
+		Stream: "s", Schema: schema,
+		Opts: ClientOptions{ReadTimeout: 250 * time.Millisecond},
+	}
+	n, err := c.Run(ln.Addr().String(), m.sink)
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v (deadline fired on a live feed?)", n, err)
 	}
 }

@@ -1,8 +1,11 @@
 package server
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -519,5 +522,97 @@ func TestSubscribeUnknownQueryRejected(t *testing.T) {
 	defer cli.Close()
 	if _, _, err := cli.Query(`SUBSCRIBE 424242`); err == nil {
 		t.Fatal("subscribe to unknown query succeeded")
+	}
+}
+
+// The forced-exit path: an operator's second signal calls Close while
+// Drain is still waiting on a backlog. The forced Close must sever live
+// sessions — even one whose pump is wedged against a client that never
+// reads — and let the pending Drain finish instead of wedging shutdown.
+func TestDrainForcedCloseSeversLiveSessions(t *testing.T) {
+	srv, front, wrapper := startServer(t)
+	cli, err := Dial(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Exec(`CREATE STREAM s (payload string)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw subscriber that opens a cursor and then never reads: its
+	// session pump backs up against the TCP buffer, so the subscription
+	// queue cannot drain on its own.
+	raw, err := net.Dial("tcp", front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	fmt.Fprintln(raw, "SELECT payload FROM s;")
+	br := bufio.NewReader(raw)
+	ack, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(ack, "cursor ") {
+		t.Fatalf("cursor ack: %q %v", ack, err)
+	}
+
+	// Enough data to fill the socket buffers and leave a stuck backlog.
+	push, err := DialPush(wrapper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer push.Close()
+	payload := strings.Repeat("x", 512)
+	for i := 0; i < 16384; i++ {
+		_ = push.Push("s", payload)
+	}
+	_ = push.Flush()
+	queued := func() int {
+		n := 0
+		for _, sub := range srv.Exec.Hub().Subscriptions() {
+			n += sub.Len()
+		}
+		return n
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if queued() == 0 {
+		t.Fatal("subscription backlog never formed")
+	}
+
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		srv.Drain(60 * time.Second)
+	}()
+	// Give Drain time to stop ingress and enter its wait loop; with the
+	// backlog stuck it must still be pending when the force arrives.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-drainDone:
+		t.Fatal("drain finished with a wedged subscriber backlog")
+	default:
+	}
+
+	srv.Close() // second signal: force
+
+	select {
+	case <-drainDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("forced close did not unblock the pending drain")
+	}
+	// The wedged session was severed: the socket reaches EOF/reset even
+	// though its queue never drained.
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.Copy(io.Discard, raw); err != nil && !errors.Is(err, io.EOF) {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			t.Fatal("severed session still open after forced close")
+		}
+	}
+	// And the control session is dead too: the next statement fails.
+	if err := cli.Exec(`CREATE STREAM late (v float)`); err == nil {
+		t.Fatal("statement succeeded on a force-closed server")
 	}
 }

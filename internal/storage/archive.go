@@ -234,9 +234,15 @@ func (a *Archive) flushPageLocked() error {
 		return err
 	}
 	a.pages = append(a.pages, a.curMeta)
-	// Advance the write cursor, rolling to a new segment when full.
+	// Advance the write cursor, rolling to a new segment when full. A
+	// filled segment is fsynced before the cursor leaves it: after
+	// rotation the file is never written again, so a crash can only
+	// tear the segment currently being appended.
 	a.nextPage++
 	if a.nextPage >= a.segSize {
+		if err := f.Sync(); err != nil {
+			return err
+		}
 		a.fileID++
 		a.nextPage = 0
 	}
@@ -244,11 +250,33 @@ func (a *Archive) flushPageLocked() error {
 	return nil
 }
 
-// Flush forces the open page to disk (end of burst / shutdown).
+// Flush forces the open page to disk and fsyncs it (end of burst /
+// shutdown): every tuple appended before Flush survives a crash.
 func (a *Archive) Flush() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.flushPageLocked()
+	if err := a.flushPageLocked(); err != nil {
+		return err
+	}
+	return a.syncLocked()
+}
+
+// Sync fsyncs the flushed pages without forcing out the partial open
+// page, so callers can bound data loss periodically while Append keeps
+// packing pages tightly.
+func (a *Archive) Sync() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.syncLocked()
+}
+
+// syncLocked fsyncs the segment under the write cursor. Earlier
+// segments were made durable when they filled; truncated ones are gone.
+func (a *Archive) syncLocked() error {
+	if f, ok := a.files[a.fileID]; ok {
+		return f.Sync()
+	}
+	return nil
 }
 
 func (a *Archive) segmentFile(id int32) (*os.File, error) {
@@ -437,11 +465,14 @@ func (a *Archive) TruncateBefore(seq int64) error {
 	return nil
 }
 
-// Close flushes and closes segment files.
+// Close flushes, fsyncs, and closes segment files.
 func (a *Archive) Close() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if err := a.flushPageLocked(); err != nil {
+		return err
+	}
+	if err := a.syncLocked(); err != nil {
 		return err
 	}
 	for _, f := range a.files {

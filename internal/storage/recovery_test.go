@@ -113,6 +113,64 @@ func TestArchiveRecoveryTornPage(t *testing.T) {
 	}
 }
 
+// A crash can leave a partially written page at the segment tail (the
+// file length is not a page multiple). Recovery must drop only the torn
+// tail, keep every synced page, and let appends overwrite the debris.
+func TestArchiveRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewArchive("tt", schema, NewPool(8, LRU), ArchiveConfig{Dir: dir, PagesPerSegment: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(1); seq <= 2000; seq++ {
+		_ = a.Append(row(seq, "A", 1))
+	}
+	if err := a.Flush(); err != nil { // fsyncs: these pages must survive
+		t.Fatal(err)
+	}
+	pagesBefore := a.Pages()
+	var lastSeq int64
+	_ = a.ScanRange(1, 2000, func(tp *tuple.Tuple) bool { lastSeq = tp.TS.Seq; return true })
+	_ = a.Close()
+	if pagesBefore < 2 {
+		t.Fatalf("need several pages, got %d", pagesBefore)
+	}
+
+	// Tear the tail: keep all full pages plus half of one more page's
+	// worth of garbage-free truncation — the shape a crash mid-WriteAt
+	// leaves behind.
+	path := filepath.Join(dir, "tt.000000.seg")
+	if err := os.Truncate(path, int64(pagesBefore)*PageSize-PageSize/2); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewArchive("tt", schema, NewPool(8, LRU), ArchiveConfig{Dir: dir, PagesPerSegment: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Pages() != pagesBefore-1 {
+		t.Fatalf("recovered pages = %d, want %d", b.Pages(), pagesBefore-1)
+	}
+	var got, recoveredLast int64
+	_ = b.ScanRange(1, 2000, func(tp *tuple.Tuple) bool { got++; recoveredLast = tp.TS.Seq; return true })
+	if got == 0 || recoveredLast >= lastSeq {
+		t.Fatalf("torn-tail recovery kept %d rows through seq %d (pre-tear last %d)", got, recoveredLast, lastSeq)
+	}
+	// Appends resume on the torn page slot and stay readable.
+	if err := b.Append(row(3000, "B", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	_ = b.ScanRange(3000, 3000, func(*tuple.Tuple) bool { n++; return true })
+	if n != 1 {
+		t.Fatal("append after torn-tail recovery unreadable")
+	}
+}
+
 // Recovery spans multiple segment files.
 func TestArchiveRecoveryMultiSegment(t *testing.T) {
 	dir := t.TempDir()
