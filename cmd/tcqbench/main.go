@@ -73,7 +73,7 @@ func main() {
 	}
 	experiments.ShardSweep = sweep
 
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E12"}
 	if *run != "" {
 		ids = ids[:0]
 		for _, id := range strings.Split(*run, ",") {
@@ -88,7 +88,7 @@ func main() {
 		t0 := time.Now()
 		tab := experiments.ByID(id, *scale)
 		if tab == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E10)\n", id)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E10, E12)\n", id)
 			os.Exit(2)
 		}
 		tables = append(tables, tab)

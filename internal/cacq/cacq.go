@@ -15,6 +15,7 @@ import (
 	"telegraphcq/internal/bitset"
 	"telegraphcq/internal/eddy"
 	"telegraphcq/internal/expr"
+	"telegraphcq/internal/expr/prog"
 	"telegraphcq/internal/operator"
 	"telegraphcq/internal/stem"
 	"telegraphcq/internal/tuple"
@@ -59,7 +60,9 @@ type registered struct {
 	q        *Query
 	fpKey    string
 	residual expr.Expr
-	project  *operator.Project
+	// resid is the compiled form of residual (nil when interpreting).
+	resid   *prog.PredCache
+	project *operator.Project
 	agg      *operator.WindowAgg
 	// retention is the per-source tuple retention width implied by the
 	// query's window (math.MaxInt64 = keep forever).
@@ -78,6 +81,11 @@ type Engine struct {
 	// interest maps source → bitset of query IDs reading it.
 	interest map[string]*bitset.Set
 	maxSeq   map[string]int64
+
+	// compiled selects the expression path: bytecode programs over
+	// columnar batches (default), or the tree-walking interpreter
+	// (WITH (compiled=off), the oracle's reference sweep).
+	compiled bool
 
 	stats EngineStats
 }
@@ -118,9 +126,29 @@ func NewEngine(policy eddy.Policy, deliver Deliver) *Engine {
 		queries:  map[int]*registered{},
 		interest: map[string]*bitset.Set{},
 		maxSeq:   map[string]int64{},
+		compiled: true,
 	}
 	e.ed = eddy.New(nil, policy, e.output)
+	e.ed.Vectorized = true
 	return e
+}
+
+// SetCompiled toggles compiled expression evaluation for the whole
+// engine: the eddy's vectorized batch path plus compiled residual and
+// projection evaluation. Queries already registered are retargeted.
+func (e *Engine) SetCompiled(on bool) {
+	e.compiled = on
+	e.ed.Vectorized = on
+	for _, r := range e.queries {
+		if on && r.residual != nil {
+			r.resid = prog.NewPredCache(r.residual)
+		} else {
+			r.resid = nil
+		}
+		if r.project != nil {
+			r.project.SetCompiled(on)
+		}
+	}
 }
 
 // Eddy exposes the underlying router (stats, knobs).
@@ -198,6 +226,9 @@ func (e *Engine) AddQuery(q *Query) error {
 		residuals = append(residuals, factor)
 	}
 	r.residual = expr.Conjoin(residuals)
+	if e.compiled && r.residual != nil {
+		r.resid = prog.NewPredCache(r.residual)
+	}
 
 	// Join factors: ensure a SteM per joined source, register factors.
 	for _, jf := range joinFactors {
@@ -268,6 +299,9 @@ func (e *Engine) AddQuery(q *Query) error {
 		r.agg = agg
 	} else if len(q.Select) > 0 {
 		r.project = operator.NewProject(fmt.Sprintf("q%d", q.ID), q.Select, q.SelectNames)
+		if !e.compiled {
+			r.project.SetCompiled(false)
+		}
 	}
 
 	for _, src := range q.Sources {
@@ -439,7 +473,13 @@ func sameSources(a, b []string) bool {
 
 func (e *Engine) deliverTo(id int, r *registered, t *tuple.Tuple) {
 	if r.residual != nil {
-		ok, err := expr.Truthy(r.residual, t)
+		var ok bool
+		var err error
+		if r.resid != nil {
+			ok, err = r.resid.Truthy(t) // compiled, interpreter fallback
+		} else {
+			ok, err = expr.Truthy(r.residual, t)
+		}
 		if err != nil || !ok {
 			return
 		}

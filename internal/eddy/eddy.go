@@ -83,6 +83,12 @@ type Eddy struct {
 	// covers many tuples (§4.3 "batching tuples ... reduce per-tuple
 	// costs"). 1 disables batching.
 	BatchSize int
+	// Vectorized enables the columnar fast path: batches routed to
+	// modules implementing operator.VecModule are transposed into a
+	// ColBatch and processed column-at-a-time (compiled predicates,
+	// selection vectors) instead of tuple-at-a-time. Any failure falls
+	// back to the per-tuple interpreter path for that batch.
+	Vectorized bool
 	// FixedHops routes each batch through this many modules per policy
 	// decision (§4.3 "fixing operators"). 1 re-decides every hop.
 	FixedHops int
@@ -100,6 +106,10 @@ type Eddy struct {
 	// closure replaces a per-batch clone + closure allocation.
 	inherit bitset.Set
 	emitFn  operator.Emit
+
+	// Columnar scratch for the vectorized path, reused across batches.
+	cb   tuple.ColBatch
+	keep []bool
 }
 
 // freeBatchCap bounds the batch freelist.
@@ -451,6 +461,11 @@ func (e *Eddy) Step() (bool, error) {
 // them) so that tuples that did pass are never re-processed by m.
 func (e *Eddy) routeBatch(b *batch, m int) error {
 	mod := e.modules[m]
+	if e.Vectorized && len(b.tuples) > 1 {
+		if vm, ok := mod.(operator.VecModule); ok && e.routeVec(b, m, vm) {
+			return nil
+		}
+	}
 	survivors := b.tuples[:0]
 	var bounced []*tuple.Tuple
 	// Emissions during this batch inherit the batch's done set plus the
@@ -522,6 +537,53 @@ func (e *Eddy) routeBatch(b *batch, m int) error {
 	}
 	e.markDone(b, m)
 	return nil
+}
+
+// routeVec tries the columnar fast path: one ProcessVec call covers the
+// whole batch, with the routing bookkeeping (stats, policy
+// observations, survivor compaction) applied per lane afterwards. It
+// reports false when the batch cannot be vectorized — mixed schema
+// pointers, an uncompilable predicate, or a lane evaluation error — and
+// the caller then replays tuple-at-a-time, which re-establishes exact
+// interpreter semantics (including which tuple an error surfaces on).
+func (e *Eddy) routeVec(b *batch, m int, vm operator.VecModule) bool {
+	if !e.cb.Load(b.tuples) {
+		return false
+	}
+	n := len(b.tuples)
+	if cap(e.keep) < n {
+		e.keep = make([]bool, n)
+	}
+	keep := e.keep[:n]
+	start := time.Now()
+	if !vm.ProcessVec(&e.cb, b.tuples, keep) {
+		return false
+	}
+	cost := time.Since(start).Nanoseconds()
+	per := cost / int64(n)
+	mc := &e.mstats[m]
+	mc.WorkNs += cost
+	survivors := b.tuples[:0]
+	for i, t := range b.tuples {
+		e.stats.Routed++
+		mc.Routed++
+		if keep[i] {
+			survivors = append(survivors, t)
+			mc.Passed++
+			e.policy.Observe(m, operator.Pass, 1, per)
+		} else {
+			e.stats.Dropped++
+			mc.Dropped++
+			tuple.Recycle(t)
+			e.policy.Observe(m, operator.Drop, 0, per)
+		}
+	}
+	for i := len(survivors); i < n; i++ {
+		b.tuples[i] = nil
+	}
+	b.tuples = survivors
+	e.markDone(b, m)
+	return true
 }
 
 // markDone clears the module — and its whole alternative group — from

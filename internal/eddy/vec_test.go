@@ -1,0 +1,96 @@
+package eddy
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/operator"
+	"telegraphcq/internal/tuple"
+)
+
+// runFiltered drives 200 rows through a filter eddy with the given
+// vectorization/batching knobs and returns the sorted output keys.
+func runFiltered(t *testing.T, pred expr.Expr, vectorized bool, batch int) ([]int64, Stats) {
+	t.Helper()
+	f := operator.NewFilter("f", pred)
+	var keys []int64
+	e := New([]operator.Module{f}, NewFixed([]int{0}), func(x *tuple.Tuple) {
+		keys = append(keys, x.Values[0].I)
+	})
+	e.BatchSize = batch
+	e.Vectorized = vectorized
+	for i := int64(0); i < 200; i++ {
+		if err := e.Admit(row("S", i+1, i, float64(i%17))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, e.Stats()
+}
+
+// The vectorized fast path must be invisible: same outputs, same
+// admitted/output/dropped accounting as the per-tuple route, across
+// batch sizes, both for clean predicates and for predicates that force
+// the interpreter-replay fallback mid-batch.
+func TestVectorizedRouteIsInvisible(t *testing.T) {
+	preds := map[string]expr.Expr{
+		"clean": expr.Bin(expr.OpAnd,
+			expr.Bin(expr.OpGt, expr.Col("S", "v"), expr.Lit(tuple.Float(3))),
+			expr.Bin(expr.OpLt, expr.Col("S", "v"), expr.Lit(tuple.Float(12)))),
+		// v=8 lanes divide by zero on the eagerly-evaluated right arm,
+		// aborting every vector batch; the interpreter short-circuits
+		// past it (left arm true), so the per-tuple replay is clean.
+		// Vectorized and plain runs must still agree exactly.
+		"fallback": expr.Bin(expr.OpOr,
+			expr.Bin(expr.OpEq, expr.Col("S", "v"), expr.Lit(tuple.Float(8))),
+			expr.Bin(expr.OpGt,
+				expr.Bin(expr.OpDiv, expr.Lit(tuple.Float(10)),
+					expr.Bin(expr.OpSub, expr.Col("S", "v"), expr.Lit(tuple.Float(8)))),
+				expr.Lit(tuple.Float(1)))),
+	}
+	for name, pred := range preds {
+		t.Run(name, func(t *testing.T) {
+			wantKeys, wantStats := runFiltered(t, pred, false, 1)
+			for _, batch := range []int{16, 64, 256} {
+				gotKeys, gotStats := runFiltered(t, pred, true, batch)
+				if fmt.Sprint(gotKeys) != fmt.Sprint(wantKeys) {
+					t.Fatalf("batch=%d: outputs %v, want %v", batch, gotKeys, wantKeys)
+				}
+				if gotStats.Admitted != wantStats.Admitted ||
+					gotStats.Outputs != wantStats.Outputs ||
+					gotStats.Dropped != wantStats.Dropped {
+					t.Fatalf("batch=%d: stats %+v, want %+v", batch, gotStats, wantStats)
+				}
+			}
+		})
+	}
+}
+
+// Vectorized routing must keep feeding the policy: a lottery observing
+// per-lane outcomes through routeVec should still learn selectivities.
+func TestVectorizedRouteObservesPolicy(t *testing.T) {
+	f := operator.NewFilter("f", expr.Bin(expr.OpGt, expr.Col("S", "v"), expr.Lit(tuple.Float(100))))
+	e := New([]operator.Module{f}, NewLottery(1), func(*tuple.Tuple) {})
+	e.BatchSize = 64
+	e.Vectorized = true
+	for i := int64(0); i < 512; i++ {
+		if err := e.Admit(row("S", i+1, i, float64(i%10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunUntilIdle(0); err != nil {
+		t.Fatal(err)
+	}
+	ms := e.ModuleStatsSnapshot()
+	if len(ms) != 1 || ms[0].Routed != 512 || ms[0].Passed != 0 {
+		t.Fatalf("module stats = %+v, want 512 routed, 0 passed", ms)
+	}
+	if e.Stats().Dropped != 512 {
+		t.Fatalf("dropped = %d, want 512", e.Stats().Dropped)
+	}
+}

@@ -58,6 +58,19 @@ func (m ClassMode) String() string {
 	}
 }
 
+// ExprMode selects how engines evaluate predicates and projections.
+type ExprMode uint8
+
+const (
+	// ExprCompiled (the default) compiles expressions to register
+	// bytecode evaluated over columnar batches, with the interpreter as
+	// fallback for anything uncompilable and for error replay.
+	ExprCompiled ExprMode = iota
+	// ExprInterpreted forces the tree-walking reference interpreter
+	// everywhere (the oracle's reference sweep, WITH (compiled=off)).
+	ExprInterpreted
+)
+
 // Options configures an Executor.
 type Options struct {
 	Mode ClassMode
@@ -69,8 +82,16 @@ type Options struct {
 	// SubscriptionCap bounds each query's result queue.
 	SubscriptionCap int
 	// Batch and FixedHops set the adapting-adaptivity knobs on every EO.
+	// Batch 0 means "engine default": eoDrainBatch when the compiled
+	// path is on (vectorized runs want real batches), 1 otherwise.
+	// Batch 1 explicitly disables batching.
 	Batch     int
 	FixedHops int
+	// CompiledExpr selects the expression-evaluation path for every
+	// engine this executor creates. The zero value is ExprCompiled; a
+	// query's WITH (compiled=off|on) overrides it for the EO the query
+	// creates, mirroring WITH (shards=N).
+	CompiledExpr ExprMode
 	// Shards splits each EO into that many hash-partitioned eddy shards
 	// plus a catch-all shard (see shard.go). 0 or 1 keeps the classic
 	// single-engine EO. A query's WITH (shards=N) overrides this for the
@@ -243,6 +264,10 @@ type execObject struct {
 	sources map[string]bool              // footprint covered by this EO
 	done    chan struct{}
 	x       *Executor
+	// compiled records this EO's expression path (Options.CompiledExpr,
+	// possibly overridden by WITH (compiled=...) at creation); shard
+	// groups read it when building their per-shard engines.
+	compiled bool
 
 	// EO-goroutine scratch (never shared): the drain buffer for
 	// DequeueBatch, the buffered deliveries of the current quantum, and
@@ -268,16 +293,17 @@ func (eo *execObject) shardCount() int {
 	return 1
 }
 
-func (x *Executor) newEO(shards int) *execObject {
+func (x *Executor) newEO(shards int, compiled bool) *execObject {
 	eo := &execObject{
-		idx:     len(x.eos),
-		ctl:     fjord.Count(fjord.NewPush[envelope](256)),
-		data:    fjord.Count(fjord.NewPush[*tuple.Tuple](x.opts.QueueCap)),
-		feeds:   map[string][]string{},
-		sources: map[string]bool{},
-		done:    make(chan struct{}),
-		x:       x,
-		drain:   make([]*tuple.Tuple, eoDrainBatch),
+		idx:      len(x.eos),
+		ctl:      fjord.Count(fjord.NewPush[envelope](256)),
+		data:     fjord.Count(fjord.NewPush[*tuple.Tuple](x.opts.QueueCap)),
+		feeds:    map[string][]string{},
+		sources:  map[string]bool{},
+		done:     make(chan struct{}),
+		x:        x,
+		drain:    make([]*tuple.Tuple, eoDrainBatch),
+		compiled: compiled,
 	}
 	if shards > 1 {
 		eo.group = newShardGroup(eo, shards)
@@ -288,15 +314,28 @@ func (x *Executor) newEO(shards int) *execObject {
 	eo.engine = cacq.NewEngine(x.opts.Policy(int64(eo.idx)+1), func(id int, row *tuple.Tuple) {
 		eo.out = append(eo.out, delivery{id: id, row: row})
 	})
-	if x.opts.Batch > 1 {
-		eo.engine.Eddy().BatchSize = x.opts.Batch
-	}
+	eo.engine.SetCompiled(compiled)
+	eo.engine.Eddy().BatchSize = x.opts.engineBatch(compiled)
 	if x.opts.FixedHops > 1 {
 		eo.engine.Eddy().FixedHops = x.opts.FixedHops
 	}
 	x.eos = append(x.eos, eo)
 	go eo.run()
 	return eo
+}
+
+// engineBatch resolves the effective eddy batch size: an explicit Batch
+// wins; otherwise compiled engines default to full drain batches so the
+// vectorized path has runs to work on, and interpreted engines stay
+// tuple-at-a-time (the historical default).
+func (o *Options) engineBatch(compiled bool) int {
+	if o.Batch > 0 {
+		return o.Batch
+	}
+	if compiled {
+		return eoDrainBatch
+	}
+	return 1
 }
 
 // run is the EO scheduler loop: drain control, drain a batch of data
@@ -414,7 +453,7 @@ func (eo *execObject) push(t *tuple.Tuple) {
 		tt := t
 		if alias != src {
 			tt = t.Clone()
-			tt.Schema = t.Schema.Rename(alias)
+			tt.Schema = t.Schema.RenameShared(alias)
 		} else if len(aliases) > 1 {
 			tt = t.Clone()
 		}
@@ -621,9 +660,15 @@ func (x *Executor) submit(sel *sql.Select, attach bool) (int, *egress.Subscripti
 	if sel.Shards > 0 {
 		shards = sel.Shards
 	}
+	// WITH (compiled=on|off) works the same way: it picks the
+	// expression path of the EO the query creates.
+	compiled := x.opts.CompiledExpr == ExprCompiled
+	if sel.Compiled != 0 {
+		compiled = sel.Compiled > 0
+	}
 
 	x.mu.Lock()
-	eo := x.placeLocked(planned, shards)
+	eo := x.placeLocked(planned, shards, compiled)
 	// Register feeds before the query so data admitted concurrently is
 	// seen; the engine ignores tuples with no interested query.
 	for _, f := range planned.Feeds {
@@ -667,7 +712,7 @@ func (x *Executor) submit(sel *sql.Select, attach bool) (int, *egress.Subscripti
 		for i, r := range rows {
 			rr := r.Clone()
 			if tl.As != tl.Table {
-				rr.Schema = r.Schema.Rename(tl.As)
+				rr.Schema = r.Schema.RenameShared(tl.As)
 			}
 			renamed[i] = rr
 		}
@@ -694,10 +739,10 @@ func (x *Executor) submit(sel *sql.Select, attach bool) (int, *egress.Subscripti
 	return id, sub, nil
 }
 
-// placeLocked picks (or creates) the EO for a planned query; shards is
-// the shard count for a newly created EO. Quarantined EOs are never
+// placeLocked picks (or creates) the EO for a planned query; shards
+// and compiled configure a newly created EO. Quarantined EOs are never
 // placement candidates.
-func (x *Executor) placeLocked(p *plan.Planned, shards int) *execObject {
+func (x *Executor) placeLocked(p *plan.Planned, shards int, compiled bool) *execObject {
 	switch x.opts.Mode {
 	case ClassSingle:
 		for _, eo := range x.eos {
@@ -705,9 +750,9 @@ func (x *Executor) placeLocked(p *plan.Planned, shards int) *execObject {
 				return eo
 			}
 		}
-		return x.newEO(shards)
+		return x.newEO(shards, compiled)
 	case ClassPerQuery:
-		return x.newEO(shards)
+		return x.newEO(shards, compiled)
 	default:
 		// Footprint overlap: first live EO sharing any source.
 		fp := p.CQ.Footprint()
@@ -721,7 +766,7 @@ func (x *Executor) placeLocked(p *plan.Planned, shards int) *execObject {
 				}
 			}
 		}
-		return x.newEO(shards)
+		return x.newEO(shards, compiled)
 	}
 }
 

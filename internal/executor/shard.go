@@ -187,8 +187,9 @@ func newShardGroup(eo *execObject, n int) *shardGroup {
 		sh.engine = cacq.NewEngine(eo.x.opts.Policy(int64(eo.idx)*64+int64(i)+1), func(id int, row *tuple.Tuple) {
 			sh.out = append(sh.out, delivery{id: id, row: row})
 		})
-		if eo.x.opts.Batch > 1 {
-			sh.engine.Eddy().BatchSize = eo.x.opts.Batch
+		sh.engine.SetCompiled(eo.compiled)
+		if b := eo.x.opts.engineBatch(eo.compiled); b > 1 {
+			sh.engine.Eddy().BatchSize = b
 		}
 		if eo.x.opts.FixedHops > 1 {
 			sh.engine.Eddy().FixedHops = eo.x.opts.FixedHops
@@ -1016,7 +1017,7 @@ func (sh *eddyShard) process(t *tuple.Tuple) {
 	for _, da := range sh.dests {
 		tt := t.Clone()
 		if da.alias != src {
-			tt.Schema = t.Schema.Rename(da.alias)
+			tt.Schema = t.Schema.RenameShared(da.alias)
 		}
 		if da.dest == sh.id {
 			_ = sh.engine.Push(tt)

@@ -84,10 +84,11 @@ func All(scale int) []*Table {
 		E8Fjords(scale),
 		E9Batching(scale),
 		E10Executor(scale),
+		E12CompiledExpr(scale),
 	}
 }
 
-// ByID returns one experiment by id ("E1".."E10"), or nil.
+// ByID returns one experiment by id ("E1".."E10", "E12"), or nil.
 func ByID(id string, scale int) *Table {
 	if scale < 1 {
 		scale = 1
@@ -113,6 +114,8 @@ func ByID(id string, scale int) *Table {
 		return E9Batching(scale)
 	case "E10":
 		return E10Executor(scale)
+	case "E12":
+		return E12CompiledExpr(scale)
 	}
 	return nil
 }

@@ -2,8 +2,9 @@
 // projections, and window bounds. Because an Eddy changes join order
 // continuously, intermediate tuples arrive in "a multitude of formats"
 // (§4.2.2): expressions therefore resolve column references against each
-// tuple's own schema at evaluation time, with a lock-free single-entry
-// cache keyed by schema identity so the hot path stays cheap.
+// tuple's own schema at evaluation time, with a lock-free fixed-size
+// cache keyed by schema identity so the hot path stays cheap even when
+// one shared plan expression alternates between intermediate formats.
 package expr
 
 import (
@@ -31,12 +32,25 @@ type Expr interface {
 type ColumnRef struct {
 	Source string
 	Name   string
-	cache  atomic.Pointer[colCache]
+	cache  atomic.Pointer[colCacheSet]
 }
 
 type colCache struct {
 	schema *tuple.Schema
 	idx    int
+}
+
+// colCacheSize is the number of schema resolutions one ColumnRef
+// remembers. A plan expression shared across eddy shards sees each
+// shard's intermediate formats interleaved; a single-entry cache
+// ping-pongs between them, so keep a small working set instead.
+const colCacheSize = 4
+
+// colCacheSet is an immutable snapshot of recent resolutions; Resolve
+// publishes a fresh copy on miss (lost updates only cost a re-lookup).
+type colCacheSet struct {
+	n       int // ring cursor for the next insertion
+	entries [colCacheSize]colCache
 }
 
 // Col returns a column reference expression.
@@ -46,14 +60,25 @@ func Col(source, name string) *ColumnRef {
 
 // Resolve returns the column index of the reference in s.
 func (c *ColumnRef) Resolve(s *tuple.Schema) (int, error) {
-	if cc := c.cache.Load(); cc != nil && cc.schema == s {
-		return cc.idx, nil
+	cs := c.cache.Load()
+	if cs != nil {
+		for i := range cs.entries {
+			if cs.entries[i].schema == s {
+				return cs.entries[i].idx, nil
+			}
+		}
 	}
 	i, err := s.ColumnIndex(c.Source, c.Name)
 	if err != nil {
 		return -1, err
 	}
-	c.cache.Store(&colCache{schema: s, idx: i})
+	next := &colCacheSet{}
+	if cs != nil {
+		*next = *cs
+	}
+	next.entries[next.n%colCacheSize] = colCache{schema: s, idx: i}
+	next.n++
+	c.cache.Store(next)
 	return i, nil
 }
 
@@ -153,7 +178,10 @@ func (b *Binary) Eval(t *tuple.Tuple) (tuple.Value, error) {
 		if err != nil {
 			return tuple.Null(), err
 		}
-		lb := lv.K == tuple.KindBool && lv.B
+		lb, err := TruthValue(b.Op, lv)
+		if err != nil {
+			return tuple.Null(), err
+		}
 		if b.Op == OpAnd && !lb {
 			return tuple.Bool(false), nil
 		}
@@ -164,7 +192,11 @@ func (b *Binary) Eval(t *tuple.Tuple) (tuple.Value, error) {
 		if err != nil {
 			return tuple.Null(), err
 		}
-		return tuple.Bool(rv.K == tuple.KindBool && rv.B), nil
+		rb, err := TruthValue(b.Op, rv)
+		if err != nil {
+			return tuple.Null(), err
+		}
+		return tuple.Bool(rb), nil
 	}
 
 	lv, err := b.Left.Eval(t)
@@ -177,35 +209,58 @@ func (b *Binary) Eval(t *tuple.Tuple) (tuple.Value, error) {
 	}
 
 	if b.Op.IsComparison() {
-		if lv.IsNull() || rv.IsNull() {
-			return tuple.Bool(false), nil // SQL unknown → false
-		}
-		cmp, ok := tuple.Compare(lv, rv)
-		if !ok {
-			return tuple.Null(), fmt.Errorf("cannot compare %s with %s", lv.K, rv.K)
-		}
-		var res bool
-		switch b.Op {
-		case OpEq:
-			res = cmp == 0
-		case OpNe:
-			res = cmp != 0
-		case OpLt:
-			res = cmp < 0
-		case OpLe:
-			res = cmp <= 0
-		case OpGt:
-			res = cmp > 0
-		case OpGe:
-			res = cmp >= 0
-		}
-		return tuple.Bool(res), nil
+		return Comparison(b.Op, lv, rv)
 	}
 
-	return evalArith(b.Op, lv, rv)
+	return Arith(b.Op, lv, rv)
 }
 
-func evalArith(op Op, lv, rv tuple.Value) (tuple.Value, error) {
+// TruthValue maps an AND/OR operand to its truth value: booleans as
+// themselves, NULL as false (SQL unknown), anything else a type error —
+// consistent with the comparison path, which also rejects mixed kinds.
+func TruthValue(op Op, v tuple.Value) (bool, error) {
+	switch v.K {
+	case tuple.KindBool:
+		return v.B, nil
+	case tuple.KindNull:
+		return false, nil
+	default:
+		return false, fmt.Errorf("boolean operator %s on %s", op, v.K)
+	}
+}
+
+// Comparison applies a comparison operator to two already-evaluated
+// values. Shared by the interpreter and the compiled bytecode path so
+// their semantics cannot diverge.
+func Comparison(op Op, lv, rv tuple.Value) (tuple.Value, error) {
+	if lv.IsNull() || rv.IsNull() {
+		return tuple.Bool(false), nil // SQL unknown → false
+	}
+	cmp, ok := tuple.Compare(lv, rv)
+	if !ok {
+		return tuple.Null(), fmt.Errorf("cannot compare %s with %s", lv.K, rv.K)
+	}
+	var res bool
+	switch op {
+	case OpEq:
+		res = cmp == 0
+	case OpNe:
+		res = cmp != 0
+	case OpLt:
+		res = cmp < 0
+	case OpLe:
+		res = cmp <= 0
+	case OpGt:
+		res = cmp > 0
+	case OpGe:
+		res = cmp >= 0
+	}
+	return tuple.Bool(res), nil
+}
+
+// Arith applies an arithmetic operator to two already-evaluated values.
+// Shared by the interpreter and the compiled bytecode path.
+func Arith(op Op, lv, rv tuple.Value) (tuple.Value, error) {
 	if lv.IsNull() || rv.IsNull() {
 		return tuple.Null(), nil
 	}
@@ -248,6 +303,11 @@ func evalArith(op Op, lv, rv tuple.Value) (tuple.Value, error) {
 		}
 		return tuple.Float(a / b), nil
 	case OpMod:
+		if b == 0 {
+			// Keep parity with the integer path: math.Mod(a, 0) would
+			// silently yield NaN where `x % 0` raises.
+			return tuple.Null(), fmt.Errorf("division by zero")
+		}
 		return tuple.Float(math.Mod(a, b)), nil
 	}
 	return tuple.Null(), fmt.Errorf("unknown operator %v", op)
@@ -277,17 +337,29 @@ func (u *Unary) Eval(t *tuple.Tuple) (tuple.Value, error) {
 		return tuple.Null(), err
 	}
 	if u.Neg {
-		switch v.K {
-		case tuple.KindInt:
-			return tuple.Int(-v.I), nil
-		case tuple.KindFloat:
-			return tuple.Float(-v.F), nil
-		case tuple.KindNull:
-			return v, nil
-		default:
-			return tuple.Null(), fmt.Errorf("negation of %s", v.K)
-		}
+		return Negate(v)
 	}
+	return NotValue(v)
+}
+
+// Negate applies arithmetic negation to an already-evaluated value.
+// Shared by the interpreter and the compiled bytecode path.
+func Negate(v tuple.Value) (tuple.Value, error) {
+	switch v.K {
+	case tuple.KindInt:
+		return tuple.Int(-v.I), nil
+	case tuple.KindFloat:
+		return tuple.Float(-v.F), nil
+	case tuple.KindNull:
+		return v, nil
+	default:
+		return tuple.Null(), fmt.Errorf("negation of %s", v.K)
+	}
+}
+
+// NotValue applies logical NOT to an already-evaluated value. Shared by
+// the interpreter and the compiled bytecode path.
+func NotValue(v tuple.Value) (tuple.Value, error) {
 	if v.K != tuple.KindBool {
 		if v.IsNull() {
 			return tuple.Bool(false), nil

@@ -2,6 +2,7 @@ package expr
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -61,6 +62,71 @@ func TestColumnRefCacheAcrossSchemas(t *testing.T) {
 			t.Fatalf("s2: %v", v)
 		}
 	}
+}
+
+func TestColumnRefCacheNoThrash(t *testing.T) {
+	// A plan expression shared across eddy shards alternates between
+	// intermediate schemas; the resolution cache must hold all of them
+	// rather than ping-pong (each miss publishes a fresh cache object).
+	c := Col("", "x")
+	s1 := tuple.NewSchema(tuple.Column{Source: "a", Name: "x", Kind: tuple.KindInt})
+	s2 := tuple.NewSchema(
+		tuple.Column{Source: "a", Name: "pad", Kind: tuple.KindInt},
+		tuple.Column{Source: "a", Name: "x", Kind: tuple.KindInt},
+	)
+	t1 := tuple.New(s1, tuple.Int(11))
+	t2 := tuple.New(s2, tuple.Int(0), tuple.Int(22))
+	// Warm both entries, then the alternating steady state must not
+	// allocate at all.
+	mustEval(t, c, t1)
+	mustEval(t, c, t2)
+	allocs := testing.AllocsPerRun(200, func() {
+		if v, _ := c.Eval(t1); v.I != 11 {
+			t.Fatal("wrong value for s1")
+		}
+		if v, _ := c.Eval(t2); v.I != 22 {
+			t.Fatal("wrong value for s2")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("alternating-schema Resolve allocates %v/op (cache thrash)", allocs)
+	}
+}
+
+func TestColumnRefConcurrentEval(t *testing.T) {
+	// Shards share plan expressions: concurrent Eval against distinct
+	// schemas must be race-free and always return the right column.
+	c := Col("", "x")
+	schemas := make([]*tuple.Schema, 4)
+	tuples := make([]*tuple.Tuple, 4)
+	for i := range schemas {
+		cols := make([]tuple.Column, i+1)
+		vals := make([]tuple.Value, i+1)
+		for j := 0; j <= i; j++ {
+			cols[j] = tuple.Column{Source: "a", Name: "pad" + string(rune('0'+j)), Kind: tuple.KindInt}
+			vals[j] = tuple.Int(0)
+		}
+		cols[i] = tuple.Column{Source: "a", Name: "x", Kind: tuple.KindInt}
+		vals[i] = tuple.Int(int64(100 + i))
+		schemas[i] = tuple.NewSchema(cols...)
+		tuples[i] = tuple.New(schemas[i], vals...)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (g + i) % len(tuples)
+				v, err := c.Eval(tuples[k])
+				if err != nil || v.I != int64(100+k) {
+					t.Errorf("goroutine %d: schema %d → %v, %v", g, k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestComparisons(t *testing.T) {
@@ -152,15 +218,63 @@ func TestArithmetic(t *testing.T) {
 }
 
 func TestDivisionByZero(t *testing.T) {
+	// int/float × div/mod × zero: every combination must raise the same
+	// "division by zero" error. The float-mod case regressed once —
+	// math.Mod(x, 0) silently yields NaN where the int path raises.
 	tp := row(1, "X", 1)
-	if _, err := Bin(OpDiv, Lit(tuple.Int(1)), Lit(tuple.Int(0))).Eval(tp); err == nil {
-		t.Error("int div by zero")
+	cases := []struct {
+		name string
+		e    Expr
+	}{
+		{"int div", Bin(OpDiv, Lit(tuple.Int(1)), Lit(tuple.Int(0)))},
+		{"int mod", Bin(OpMod, Lit(tuple.Int(1)), Lit(tuple.Int(0)))},
+		{"float div", Bin(OpDiv, Lit(tuple.Float(1)), Lit(tuple.Float(0)))},
+		{"float mod", Bin(OpMod, Lit(tuple.Float(1)), Lit(tuple.Float(0)))},
+		{"mixed div", Bin(OpDiv, Lit(tuple.Int(1)), Lit(tuple.Float(0)))},
+		{"mixed mod", Bin(OpMod, Lit(tuple.Int(1)), Lit(tuple.Float(0)))},
+		{"float mod by -0.0", Bin(OpMod, Lit(tuple.Float(1)), Neg(Lit(tuple.Float(0))))},
+		{"column mod zero", Bin(OpMod, Col("", "price"), Lit(tuple.Float(0)))},
 	}
-	if _, err := Bin(OpDiv, Lit(tuple.Float(1)), Lit(tuple.Float(0))).Eval(tp); err == nil {
-		t.Error("float div by zero")
+	for _, c := range cases {
+		if _, err := c.e.Eval(tp); err == nil || !strings.Contains(err.Error(), "division by zero") {
+			t.Errorf("%s: err = %v, want division by zero", c.name, err)
+		}
 	}
-	if _, err := Bin(OpMod, Lit(tuple.Int(1)), Lit(tuple.Int(0))).Eval(tp); err == nil {
-		t.Error("int mod by zero")
+}
+
+func TestBooleanOperatorTypeErrors(t *testing.T) {
+	// AND/OR on a non-bool, non-null operand is a type error, consistent
+	// with the comparison path — not a silent coercion to false.
+	tp := row(5, "MSFT", 50)
+	tr := Bin(OpEq, Lit(tuple.Int(1)), Lit(tuple.Int(1)))
+	fa := Bin(OpEq, Lit(tuple.Int(1)), Lit(tuple.Int(2)))
+	num := Lit(tuple.Int(7))
+	str := Lit(tuple.String("x"))
+	for _, e := range []Expr{
+		Bin(OpAnd, num, tr),
+		Bin(OpAnd, tr, num),
+		Bin(OpOr, str, tr),
+		Bin(OpOr, fa, str),
+	} {
+		if _, err := e.Eval(tp); err == nil || !strings.Contains(err.Error(), "boolean operator") {
+			t.Errorf("%s: err = %v, want boolean operator type error", e, err)
+		}
+	}
+	// NULL operands still read as SQL unknown → false, never an error.
+	null := Lit(tuple.Null())
+	if ok, err := Truthy(Bin(OpAnd, tr, null), tp); err != nil || ok {
+		t.Errorf("true AND NULL = %v, %v; want false", ok, err)
+	}
+	if ok, err := Truthy(Bin(OpOr, null, tr), tp); err != nil || !ok {
+		t.Errorf("NULL OR true = %v, %v; want true", ok, err)
+	}
+	// Short circuit is unchanged: a decided result must not type-check
+	// the unevaluated right side.
+	if ok, err := Truthy(Bin(OpAnd, fa, num), tp); err != nil || ok {
+		t.Errorf("false AND <int>: %v, %v; want false without error", ok, err)
+	}
+	if ok, err := Truthy(Bin(OpOr, tr, num), tp); err != nil || !ok {
+		t.Errorf("true OR <int>: %v, %v; want true without error", ok, err)
 	}
 }
 
@@ -299,6 +413,54 @@ func TestQuickRangeFactorAgreesWithEval(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestLiteralOfEdgeCases(t *testing.T) {
+	// Double negation folds to the positive literal.
+	rf, ok := AsRangeFactor(Bin(OpLt, Col("", "x"), Neg(Neg(Lit(tuple.Int(5))))))
+	if !ok || rf.Op != OpLt || rf.Val.I != 5 {
+		t.Fatalf("--5: rf = %+v, %v", rf, ok)
+	}
+	rf, ok = AsRangeFactor(Bin(OpGe, Col("", "x"), Neg(Neg(Lit(tuple.Float(2.5))))))
+	if !ok || rf.Val.F != 2.5 {
+		t.Fatalf("--2.5: rf = %+v, %v", rf, ok)
+	}
+	// Negating a non-numeric literal is not a literal (direct Eval
+	// errors on it too, so rejecting keeps the index honest).
+	for _, e := range []Expr{
+		Bin(OpEq, Col("", "x"), Neg(Lit(tuple.String("a")))),
+		Bin(OpEq, Col("", "x"), Neg(Lit(tuple.Bool(true)))),
+		Bin(OpEq, Col("", "x"), Neg(Lit(tuple.Null()))),
+		Bin(OpEq, Col("", "x"), Not(Lit(tuple.Bool(true)))),
+	} {
+		if _, ok := AsRangeFactor(e); ok {
+			t.Errorf("%s recognized as range factor", e)
+		}
+	}
+}
+
+func BenchmarkColumnRefAlternatingSchemas(b *testing.B) {
+	// Regression benchmark for the single-entry cache thrash: with one
+	// cache slot, every Eval below missed and allocated a fresh cache
+	// entry; the fixed-size set makes the steady state allocation-free.
+	c := Col("", "x")
+	s1 := tuple.NewSchema(tuple.Column{Source: "a", Name: "x", Kind: tuple.KindInt})
+	s2 := tuple.NewSchema(
+		tuple.Column{Source: "a", Name: "pad", Kind: tuple.KindInt},
+		tuple.Column{Source: "a", Name: "x", Kind: tuple.KindInt},
+	)
+	t1 := tuple.New(s1, tuple.Int(11))
+	t2 := tuple.New(s2, tuple.Int(0), tuple.Int(22))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Eval(t1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Eval(t2); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

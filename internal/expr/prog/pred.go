@@ -1,0 +1,206 @@
+package prog
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// Pred is a compiled predicate. The predicate is split into its
+// top-level conjuncts and each factor compiled separately; Select runs
+// the factors in order, narrowing the selection vector between them.
+// That replicates the interpreter's left-to-right AND short-circuit
+// exactly: a lane dropped by factor k never evaluates factor k+1, so
+// guard idioms like "x != 0 AND 10/x > 1" stay on the fast path.
+//
+// Truthiness follows expr.Truthy on the whole expression: with several
+// factors the connective itself demands boolean operands (non-bool,
+// non-null factor values are type errors, NULL is false); with a single
+// factor any non-true value — including non-boolean — is silently
+// false, exactly as Truthy reads it.
+type Pred struct {
+	factors []*Program
+	multi   bool
+}
+
+// CompilePred compiles predicate e against batch schema s.
+func CompilePred(e expr.Expr, s *tuple.Schema) (*Pred, error) {
+	fs := expr.Conjuncts(e)
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("empty predicate")
+	}
+	p := &Pred{multi: len(fs) > 1}
+	for _, f := range fs {
+		prog, err := Compile(f, s)
+		if err != nil {
+			return nil, err
+		}
+		p.factors = append(p.factors, prog)
+	}
+	return p, nil
+}
+
+// Select narrows sel, in place, to the lanes where the predicate is
+// true and returns the narrowed slice. On error the caller must replay
+// the batch through the interpreter (sel is clobbered).
+func (p *Pred) Select(cb *tuple.ColBatch, sel []int32) ([]int32, error) {
+	for _, f := range p.factors {
+		if len(sel) == 0 {
+			return sel, nil
+		}
+		if err := f.Run(cb, sel); err != nil {
+			return nil, err
+		}
+		out, scalar := f.vec(cb, f.out)
+		kept := sel[:0]
+		for _, l := range sel {
+			v := lane(out, scalar, l)
+			if v.K == tuple.KindBool {
+				if v.B {
+					kept = append(kept, l)
+				}
+				continue
+			}
+			if p.multi && v.K != tuple.KindNull {
+				// The AND connective would type-error on this operand.
+				return nil, fmt.Errorf("boolean operator AND on %s", v.K)
+			}
+			// Single factor: Truthy reads any non-true value as false.
+			// NULL is false in both contexts.
+		}
+		sel = kept
+	}
+	return sel, nil
+}
+
+// EvalTruthy evaluates the predicate on a single row with the same
+// semantics as Select. Errors mean "ask the interpreter".
+func (p *Pred) EvalTruthy(t *tuple.Tuple) (bool, error) {
+	for _, f := range p.factors {
+		v, err := f.EvalRow(t)
+		if err != nil {
+			return false, err
+		}
+		if v.K == tuple.KindBool {
+			if !v.B {
+				return false, nil
+			}
+			continue
+		}
+		if p.multi && v.K != tuple.KindNull {
+			return false, fmt.Errorf("boolean operator AND on %s", v.K)
+		}
+		return false, nil
+	}
+	return true, nil
+}
+
+// cacheCap bounds the per-owner compiled caches. Schemas are interned,
+// so real plans see a handful of entries; the cap only guards against
+// a pathological stream of novel schemas turning the cache into a leak.
+const cacheCap = 64
+
+// PredCache memoizes compiled forms of one predicate per batch schema.
+// A nil *Pred is cached for uncompilable pairs so the owner falls back
+// to the interpreter without retrying the compile each batch. Owners
+// are single-goroutine (one EO shard); the cache is not locked.
+type PredCache struct {
+	e expr.Expr
+	m map[*tuple.Schema]*Pred
+}
+
+// NewPredCache builds a cache for predicate e (nil e yields nil cache).
+func NewPredCache(e expr.Expr) *PredCache {
+	if e == nil {
+		return nil
+	}
+	return &PredCache{e: e, m: make(map[*tuple.Schema]*Pred)}
+}
+
+// For returns the compiled predicate for schema s, or nil when the
+// expression does not compile (caller interprets).
+func (c *PredCache) For(s *tuple.Schema) *Pred {
+	p, ok := c.m[s]
+	if !ok {
+		if len(c.m) < cacheCap {
+			p, _ = CompilePred(c.e, s)
+			c.m[s] = p
+		}
+	}
+	return p
+}
+
+// Truthy evaluates the predicate on one row: compiled when possible,
+// interpreted on compile failure or on any compiled-path error, so the
+// result (value or error) is always the interpreter's.
+func (c *PredCache) Truthy(t *tuple.Tuple) (bool, error) {
+	if p := c.For(t.Schema); p != nil {
+		ok, err := p.EvalTruthy(t)
+		if err == nil {
+			return ok, nil
+		}
+	}
+	return expr.Truthy(c.e, t)
+}
+
+// ProjCache memoizes compiled forms of a projection list per schema,
+// with the same ownership rules as PredCache.
+type ProjCache struct {
+	exprs []expr.Expr
+	m     map[*tuple.Schema][]*Program
+}
+
+// NewProjCache builds a cache for the projection expressions.
+func NewProjCache(exprs []expr.Expr) *ProjCache {
+	if len(exprs) == 0 {
+		return nil
+	}
+	return &ProjCache{exprs: exprs, m: make(map[*tuple.Schema][]*Program)}
+}
+
+// forSchema returns one compiled program per expression (entries may be
+// nil when that expression does not compile), or nil for a schema where
+// nothing compiled.
+func (c *ProjCache) forSchema(s *tuple.Schema) []*Program {
+	ps, ok := c.m[s]
+	if !ok {
+		if len(c.m) >= cacheCap {
+			return nil
+		}
+		any := false
+		ps = make([]*Program, len(c.exprs))
+		for i, e := range c.exprs {
+			if p, err := Compile(e, s); err == nil {
+				ps[i] = p
+				any = true
+			}
+		}
+		if !any {
+			ps = nil
+		}
+		c.m[s] = ps
+	}
+	return ps
+}
+
+// EvalInto evaluates every projection expression against t into dst
+// (which must have len(exprs)), compiled where possible with per-expr
+// interpreter fallback — results and errors match interpretation.
+func (c *ProjCache) EvalInto(t *tuple.Tuple, dst []tuple.Value) error {
+	ps := c.forSchema(t.Schema)
+	for i, e := range c.exprs {
+		if ps != nil && ps[i] != nil {
+			if v, err := ps[i].EvalRow(t); err == nil {
+				dst[i] = v
+				continue
+			}
+		}
+		v, err := e.Eval(t)
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
+}

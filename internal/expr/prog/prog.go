@@ -1,0 +1,342 @@
+// Package prog compiles expression trees to flat register-based
+// bytecode evaluated over columnar mini-batches (tuple.ColBatch). The
+// tree-walking interpreter in internal/expr stays the reference
+// semantics; compiled programs share its scalar kernels (expr.Arith,
+// expr.Comparison, expr.Negate, ...) so a value they produce is the
+// value the interpreter would produce, and ANY evaluation error aborts
+// the vectorized run so the caller can replay the batch row-at-a-time
+// through the interpreter — errors therefore surface with exactly the
+// interpreter's semantics, including AND/OR short-circuit ordering.
+//
+// Layout: a program is a straight-line instruction list. Column
+// references resolve to column indexes once, at compile time, against
+// the batch schema; literals load from a constant pool; every
+// instruction reads two operands (register, column, or constant) and
+// writes one register vector. Registers are reused once dead, so the
+// register file stays small and the scratch vectors are recycled
+// across runs — the steady state allocates nothing.
+package prog
+
+import (
+	"fmt"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// operandKind says where an instruction input comes from.
+type operandKind uint8
+
+const (
+	opdReg   operandKind = iota // register vector, one value per lane
+	opdCol                      // batch column, one value per lane
+	opdConst                    // constant pool entry, broadcast to all lanes
+)
+
+type operand struct {
+	kind operandKind
+	idx  uint16
+}
+
+type opcode uint8
+
+const (
+	opArith opcode = iota // dst ← Arith(bop, a, b)
+	opCmp                 // dst ← Comparison(bop, a, b)
+	opAnd                 // dst ← a AND b (eager; see note in run)
+	opOr                  // dst ← a OR b
+	opNot                 // dst ← NOT a
+	opNeg                 // dst ← -a
+)
+
+type inst struct {
+	op   opcode
+	bop  expr.Op // operator for opArith/opCmp
+	dst  uint16
+	a, b operand
+}
+
+// Program is a compiled expression bound to one batch schema.
+type Program struct {
+	schema *tuple.Schema
+	insts  []inst
+	consts []tuple.Value
+	nregs  int
+	out    operand
+
+	regs    [][]tuple.Value // vector register file, sized lazily to batch length
+	rowRegs []tuple.Value   // single-row register file for EvalRow
+}
+
+// Compile translates e into a program whose column references are
+// resolved against s. It fails (and the caller keeps interpreting) on
+// unknown columns or expression nodes it does not understand.
+func Compile(e expr.Expr, s *tuple.Schema) (*Program, error) {
+	p := &Program{schema: s}
+	c := compiler{p: p}
+	out, err := c.emit(e)
+	if err != nil {
+		return nil, err
+	}
+	p.out = out
+	p.nregs = int(c.high)
+	p.rowRegs = make([]tuple.Value, p.nregs)
+	return p, nil
+}
+
+type compiler struct {
+	p    *Program
+	free []uint16 // dead registers available for reuse
+	high uint16   // registers allocated so far
+}
+
+func (c *compiler) alloc() uint16 {
+	if n := len(c.free); n > 0 {
+		r := c.free[n-1]
+		c.free = c.free[:n-1]
+		return r
+	}
+	r := c.high
+	c.high++
+	return r
+}
+
+func (c *compiler) release(o operand) {
+	if o.kind == opdReg {
+		c.free = append(c.free, o.idx)
+	}
+}
+
+func (c *compiler) emit(e expr.Expr) (operand, error) {
+	switch x := e.(type) {
+	case *expr.ColumnRef:
+		i, err := x.Resolve(c.p.schema)
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{kind: opdCol, idx: uint16(i)}, nil
+	case expr.Literal:
+		return c.constant(x.V), nil
+	case *expr.Literal:
+		return c.constant(x.V), nil
+	case *expr.Binary:
+		a, err := c.emit(x.Left)
+		if err != nil {
+			return operand{}, err
+		}
+		b, err := c.emit(x.Right)
+		if err != nil {
+			return operand{}, err
+		}
+		var op opcode
+		switch {
+		case x.Op == expr.OpAnd:
+			op = opAnd
+		case x.Op == expr.OpOr:
+			op = opOr
+		case x.Op.IsComparison():
+			op = opCmp
+		default:
+			op = opArith
+		}
+		c.release(a)
+		c.release(b)
+		dst := c.alloc()
+		c.p.insts = append(c.p.insts, inst{op: op, bop: x.Op, dst: dst, a: a, b: b})
+		return operand{kind: opdReg, idx: dst}, nil
+	case *expr.Unary:
+		a, err := c.emit(x.Child)
+		if err != nil {
+			return operand{}, err
+		}
+		op := opNot
+		if x.Neg {
+			op = opNeg
+		}
+		c.release(a)
+		dst := c.alloc()
+		c.p.insts = append(c.p.insts, inst{op: op, dst: dst, a: a})
+		return operand{kind: opdReg, idx: dst}, nil
+	default:
+		return operand{}, fmt.Errorf("uncompilable expression node %T", e)
+	}
+}
+
+func (c *compiler) constant(v tuple.Value) operand {
+	c.p.consts = append(c.p.consts, v)
+	return operand{kind: opdConst, idx: uint16(len(c.p.consts) - 1)}
+}
+
+// andValue / orValue mirror the interpreter's connective semantics on
+// already-evaluated operands: bool as itself, NULL as false, anything
+// else a type error. They are eager where the interpreter
+// short-circuits; a decided left side therefore never inspects the
+// right VALUE's kind (matching the interpreter), but the right side has
+// already been *evaluated* — if that evaluation errored, run() aborted
+// before reaching here and the caller replays through the interpreter,
+// which re-establishes true short-circuit behavior.
+func andValue(lv, rv tuple.Value) (tuple.Value, error) {
+	lb, err := expr.TruthValue(expr.OpAnd, lv)
+	if err != nil {
+		return tuple.Null(), err
+	}
+	if !lb {
+		return tuple.Bool(false), nil
+	}
+	rb, err := expr.TruthValue(expr.OpAnd, rv)
+	if err != nil {
+		return tuple.Null(), err
+	}
+	return tuple.Bool(rb), nil
+}
+
+func orValue(lv, rv tuple.Value) (tuple.Value, error) {
+	lb, err := expr.TruthValue(expr.OpOr, lv)
+	if err != nil {
+		return tuple.Null(), err
+	}
+	if lb {
+		return tuple.Bool(true), nil
+	}
+	rb, err := expr.TruthValue(expr.OpOr, rv)
+	if err != nil {
+		return tuple.Null(), err
+	}
+	return tuple.Bool(rb), nil
+}
+
+// vec returns the vector backing operand o plus whether it is a
+// broadcast scalar (constant pool entry).
+func (p *Program) vec(cb *tuple.ColBatch, o operand) (vals []tuple.Value, scalar bool) {
+	switch o.kind {
+	case opdReg:
+		return p.regs[o.idx], false
+	case opdCol:
+		return cb.Col(int(o.idx)), false
+	default:
+		return p.consts[o.idx : o.idx+1], true
+	}
+}
+
+func lane(vals []tuple.Value, scalar bool, l int32) tuple.Value {
+	if scalar {
+		return vals[0]
+	}
+	return vals[l]
+}
+
+func (p *Program) ensureRegs(n int) {
+	if cap(p.regs) < p.nregs {
+		p.regs = make([][]tuple.Value, p.nregs)
+	}
+	p.regs = p.regs[:p.nregs]
+	for i := range p.regs {
+		if cap(p.regs[i]) < n {
+			p.regs[i] = make([]tuple.Value, n)
+		}
+		p.regs[i] = p.regs[i][:n]
+	}
+}
+
+// Run evaluates the program over the lanes of cb named by sel, leaving
+// per-lane results readable through Out. Any lane error aborts the
+// whole run: the caller must replay the batch through the interpreter.
+// Results are valid until the next Run on this program.
+func (p *Program) Run(cb *tuple.ColBatch, sel []int32) error {
+	p.ensureRegs(cb.Len())
+	for i := range p.insts {
+		in := &p.insts[i]
+		as, asc := p.vec(cb, in.a)
+		dst := p.regs[in.dst]
+		var err error
+		switch in.op {
+		case opNot:
+			for _, l := range sel {
+				if dst[l], err = expr.NotValue(lane(as, asc, l)); err != nil {
+					return err
+				}
+			}
+		case opNeg:
+			for _, l := range sel {
+				if dst[l], err = expr.Negate(lane(as, asc, l)); err != nil {
+					return err
+				}
+			}
+		case opCmp:
+			bs, bsc := p.vec(cb, in.b)
+			for _, l := range sel {
+				if dst[l], err = expr.Comparison(in.bop, lane(as, asc, l), lane(bs, bsc, l)); err != nil {
+					return err
+				}
+			}
+		case opArith:
+			bs, bsc := p.vec(cb, in.b)
+			for _, l := range sel {
+				if dst[l], err = expr.Arith(in.bop, lane(as, asc, l), lane(bs, bsc, l)); err != nil {
+					return err
+				}
+			}
+		case opAnd:
+			bs, bsc := p.vec(cb, in.b)
+			for _, l := range sel {
+				if dst[l], err = andValue(lane(as, asc, l), lane(bs, bsc, l)); err != nil {
+					return err
+				}
+			}
+		case opOr:
+			bs, bsc := p.vec(cb, in.b)
+			for _, l := range sel {
+				if dst[l], err = orValue(lane(as, asc, l), lane(bs, bsc, l)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Out returns the result for lane l of the last Run.
+func (p *Program) Out(cb *tuple.ColBatch, l int32) tuple.Value {
+	vals, scalar := p.vec(cb, p.out)
+	return lane(vals, scalar, l)
+}
+
+// EvalRow evaluates the program against a single row tuple, for the
+// per-row paths (residual predicates, projections) that are not
+// batched. The tuple must have the program's schema.
+func (p *Program) EvalRow(t *tuple.Tuple) (tuple.Value, error) {
+	for i := range p.insts {
+		in := &p.insts[i]
+		av := p.rowOperand(t, in.a)
+		var err error
+		switch in.op {
+		case opNot:
+			p.rowRegs[in.dst], err = expr.NotValue(av)
+		case opNeg:
+			p.rowRegs[in.dst], err = expr.Negate(av)
+		case opCmp:
+			p.rowRegs[in.dst], err = expr.Comparison(in.bop, av, p.rowOperand(t, in.b))
+		case opArith:
+			p.rowRegs[in.dst], err = expr.Arith(in.bop, av, p.rowOperand(t, in.b))
+		case opAnd:
+			p.rowRegs[in.dst], err = andValue(av, p.rowOperand(t, in.b))
+		case opOr:
+			p.rowRegs[in.dst], err = orValue(av, p.rowOperand(t, in.b))
+		}
+		if err != nil {
+			return tuple.Null(), err
+		}
+	}
+	return p.rowOperand(t, p.out), nil
+}
+
+func (p *Program) rowOperand(t *tuple.Tuple, o operand) tuple.Value {
+	switch o.kind {
+	case opdReg:
+		return p.rowRegs[o.idx]
+	case opdCol:
+		return t.Values[o.idx]
+	default:
+		return p.consts[o.idx]
+	}
+}

@@ -1,0 +1,406 @@
+package prog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+// sameValue is strict value identity: same kind, same payload.
+func sameValue(a, b tuple.Value) bool {
+	if a.K != b.K {
+		return false
+	}
+	if a.K == tuple.KindNull {
+		return true
+	}
+	cmp, ok := tuple.Compare(a, b)
+	return ok && cmp == 0
+}
+
+var testSchema = tuple.NewSchema(
+	tuple.Column{Name: "i", Kind: tuple.KindInt},
+	tuple.Column{Name: "f", Kind: tuple.KindFloat},
+	tuple.Column{Name: "s", Kind: tuple.KindString},
+	tuple.Column{Name: "b", Kind: tuple.KindBool},
+)
+
+// randValue draws values that exercise every kernel branch: zeros for
+// division errors, strings and nulls for type errors.
+func randValue(r *rand.Rand) tuple.Value {
+	switch r.Intn(6) {
+	case 0:
+		return tuple.Int(int64(r.Intn(5)) - 2)
+	case 1:
+		return tuple.Float(float64(r.Intn(5)) - 2)
+	case 2:
+		return tuple.String([]string{"x", "y"}[r.Intn(2)])
+	case 3:
+		return tuple.Bool(r.Intn(2) == 0)
+	case 4:
+		return tuple.Null()
+	default:
+		return tuple.Int(int64(r.Intn(10)))
+	}
+}
+
+func randTuple(r *rand.Rand) *tuple.Tuple {
+	return tuple.New(testSchema,
+		tuple.Int(int64(r.Intn(5))-2),
+		tuple.Float(float64(r.Intn(5))-2),
+		tuple.String([]string{"x", "y"}[r.Intn(2)]),
+		tuple.Bool(r.Intn(2) == 0),
+	)
+}
+
+// randMixedExpr builds expressions over mixed-kind columns and
+// literals, deliberately including type errors, division by zero, and
+// boolean operators on non-booleans.
+func randMixedExpr(r *rand.Rand, depth int) expr.Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return expr.Col("", []string{"i", "f", "s", "b"}[r.Intn(4)])
+		}
+		return expr.Lit(randValue(r))
+	}
+	switch r.Intn(5) {
+	case 0:
+		op := []expr.Op{expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv, expr.OpMod}[r.Intn(5)]
+		return expr.Bin(op, randMixedExpr(r, depth-1), randMixedExpr(r, depth-1))
+	case 1:
+		op := []expr.Op{expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe}[r.Intn(6)]
+		return expr.Bin(op, randMixedExpr(r, depth-1), randMixedExpr(r, depth-1))
+	case 2:
+		op := []expr.Op{expr.OpAnd, expr.OpOr}[r.Intn(2)]
+		return expr.Bin(op, randMixedExpr(r, depth-1), randMixedExpr(r, depth-1))
+	case 3:
+		return expr.Not(randMixedExpr(r, depth-1))
+	default:
+		return expr.Neg(randMixedExpr(r, depth-1))
+	}
+}
+
+// Property: if the compiled program evaluates a row without error, the
+// interpreter must agree exactly. (The converse is not required: the
+// compiled path evaluates eagerly, so a short-circuited subtree error
+// aborts it — that is what the interpreter-replay fallback is for.)
+func TestQuickEvalRowAgreesWithInterpreter(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	agreed := 0
+	for trial := 0; trial < 2000; trial++ {
+		e := randMixedExpr(r, 3)
+		p, err := Compile(e, testSchema)
+		if err != nil {
+			t.Fatalf("trial %d: compile %s: %v", trial, e, err)
+		}
+		for probe := 0; probe < 5; probe++ {
+			tp := randTuple(r)
+			got, cerr := p.EvalRow(tp)
+			want, ierr := e.Eval(tp)
+			if cerr != nil {
+				// Eager evaluation may surface an error the interpreter
+				// short-circuits past; the caller replays via the
+				// interpreter, so only the reverse direction must hold.
+				continue
+			}
+			if ierr != nil {
+				t.Fatalf("trial %d: %s on %s: compiled ok (%v) but interpreter error %v",
+					trial, e, tp, got, ierr)
+			}
+			if !sameValue(got, want) {
+				t.Fatalf("trial %d: %s on %s: compiled %v, interpreter %v",
+					trial, e, tp, got, want)
+			}
+			agreed++
+		}
+	}
+	if agreed < 1000 {
+		t.Fatalf("only %d clean agreements — generator too error-heavy to be meaningful", agreed)
+	}
+}
+
+// Property: Program.Run over a batch produces, lane by lane, exactly
+// what EvalRow produces on the corresponding row — and when Run fails,
+// at least one row must fail EvalRow (the abort is never spurious).
+func TestQuickRunAgreesWithEvalRow(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 500; trial++ {
+		e := randMixedExpr(r, 3)
+		p, err := Compile(e, testSchema)
+		if err != nil {
+			t.Fatalf("compile %s: %v", e, err)
+		}
+		rows := make([]*tuple.Tuple, 16)
+		for i := range rows {
+			rows[i] = randTuple(r)
+		}
+		var cb tuple.ColBatch
+		if !cb.Load(rows) {
+			t.Fatal("Load failed")
+		}
+		sel := make([]int32, len(rows))
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		if err := p.Run(&cb, sel); err != nil {
+			anyRowErr := false
+			for _, row := range rows {
+				if _, rerr := p.EvalRow(row); rerr != nil {
+					anyRowErr = true
+					break
+				}
+			}
+			if !anyRowErr {
+				t.Fatalf("trial %d: %s: Run error %v but every row evaluates cleanly", trial, e, err)
+			}
+			continue
+		}
+		for l, row := range rows {
+			want, rerr := p.EvalRow(row)
+			if rerr != nil {
+				t.Fatalf("trial %d: %s: Run ok but row %d errors: %v", trial, e, l, rerr)
+			}
+			got := p.Out(&cb, int32(l))
+			if !sameValue(got, want) {
+				t.Fatalf("trial %d: %s lane %d: Run %v, EvalRow %v", trial, e, l, got, want)
+			}
+		}
+	}
+}
+
+// Property: PredCache.Truthy (compiled with interpreter fallback) is
+// observationally identical to expr.Truthy — value and error-ness —
+// on arbitrary expressions. This is the equivalence contract the
+// tentpole exists to enforce.
+func TestQuickPredCacheMatchesTruthy(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 1500; trial++ {
+		e := randMixedExpr(r, 3)
+		pc := NewPredCache(e)
+		for probe := 0; probe < 5; probe++ {
+			tp := randTuple(r)
+			got, gerr := pc.Truthy(tp)
+			want, werr := expr.Truthy(e, tp)
+			if got != want || (gerr == nil) != (werr == nil) {
+				t.Fatalf("trial %d: %s on %s: cache (%v,%v), interpreter (%v,%v)",
+					trial, e, tp, got, gerr, want, werr)
+			}
+		}
+	}
+}
+
+// Property: Pred.Select keeps exactly the lanes the interpreter calls
+// true, whenever it succeeds; on error the caller's per-row replay
+// (PredCache.Truthy) restores interpreter semantics, checked above.
+func TestQuickSelectAgreesWithTruthy(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	clean := 0
+	for trial := 0; trial < 600; trial++ {
+		e := randMixedExpr(r, 3)
+		p, err := CompilePred(e, testSchema)
+		if err != nil {
+			continue
+		}
+		rows := make([]*tuple.Tuple, 32)
+		for i := range rows {
+			rows[i] = randTuple(r)
+		}
+		var cb tuple.ColBatch
+		cb.Load(rows)
+		sel := make([]int32, len(rows))
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		kept, serr := p.Select(&cb, sel)
+		if serr != nil {
+			continue
+		}
+		clean++
+		keep := map[int32]bool{}
+		for _, l := range kept {
+			keep[l] = true
+		}
+		for l, row := range rows {
+			want, werr := expr.Truthy(e, row)
+			if werr != nil {
+				t.Fatalf("trial %d: %s: Select ok but Truthy(row %d) errors: %v", trial, e, l, werr)
+			}
+			if keep[int32(l)] != want {
+				t.Fatalf("trial %d: %s lane %d: Select kept=%v, Truthy=%v", trial, e, l, keep[int32(l)], want)
+			}
+		}
+	}
+	if clean < 100 {
+		t.Fatalf("only %d clean Selects — generator too error-heavy", clean)
+	}
+}
+
+// Pinned semantics: a multi-factor predicate whose factor value is a
+// non-bool non-null must error (boolean AND on that kind), while a
+// single-factor predicate reads the same value as silently false —
+// both exactly as the interpreter does.
+func TestSelectBooleanContext(t *testing.T) {
+	rows := []*tuple.Tuple{
+		tuple.New(testSchema, tuple.Int(1), tuple.Float(0), tuple.String("x"), tuple.Bool(true)),
+	}
+	var cb tuple.ColBatch
+	cb.Load(rows)
+
+	single, err := CompilePred(expr.Col("", "i"), testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := single.Select(&cb, []int32{0})
+	if err != nil || len(kept) != 0 {
+		t.Fatalf("single int factor: kept=%v err=%v, want silently false", kept, err)
+	}
+
+	multi, err := CompilePred(
+		expr.Bin(expr.OpAnd, expr.Col("", "i"), expr.Col("", "b")), testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := multi.Select(&cb, []int32{0}); err == nil ||
+		!strings.Contains(err.Error(), "boolean operator") {
+		t.Fatalf("multi-factor int operand: err=%v, want boolean operator error", err)
+	}
+	// And the fallback path must agree with the interpreter's error.
+	pc := NewPredCache(expr.Bin(expr.OpAnd, expr.Col("", "i"), expr.Col("", "b")))
+	_, gerr := pc.Truthy(rows[0])
+	_, werr := expr.Truthy(expr.Bin(expr.OpAnd, expr.Col("", "i"), expr.Col("", "b")), rows[0])
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("fallback: cache err=%v, interpreter err=%v", gerr, werr)
+	}
+}
+
+// Pinned semantics: division by zero aborts the batch so the caller
+// replays through the interpreter; the row path errors identically.
+func TestRunDivisionByZeroAborts(t *testing.T) {
+	e := expr.Bin(expr.OpGt,
+		expr.Bin(expr.OpDiv, expr.Lit(tuple.Int(10)), expr.Col("", "i")),
+		expr.Lit(tuple.Int(1)))
+	p, err := Compile(e, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []*tuple.Tuple{
+		tuple.New(testSchema, tuple.Int(5), tuple.Float(1), tuple.String("x"), tuple.Bool(true)),
+		tuple.New(testSchema, tuple.Int(0), tuple.Float(1), tuple.String("x"), tuple.Bool(true)),
+	}
+	var cb tuple.ColBatch
+	cb.Load(rows)
+	if err := p.Run(&cb, []int32{0, 1}); err == nil ||
+		!strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("Run err = %v, want division by zero", err)
+	}
+	if _, err := p.EvalRow(rows[1]); err == nil ||
+		!strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("EvalRow err = %v, want division by zero", err)
+	}
+	// The guarded form must stay clean: the failing lane is dropped by
+	// the first factor before the division ever runs.
+	guarded, err := CompilePred(expr.Bin(expr.OpAnd,
+		expr.Bin(expr.OpNe, expr.Col("", "i"), expr.Lit(tuple.Int(0))), e), testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := guarded.Select(&cb, []int32{0, 1})
+	if err != nil || len(kept) != 1 || kept[0] != 0 {
+		t.Fatalf("guarded Select kept=%v err=%v, want lane 0 only", kept, err)
+	}
+}
+
+// The steady-state vector path must not allocate: the E1/E2 win comes
+// from amortizing dispatch, not trading it for garbage.
+func TestRunZeroAllocSteadyState(t *testing.T) {
+	e := expr.Bin(expr.OpAnd,
+		expr.Bin(expr.OpGt, expr.Col("", "i"), expr.Lit(tuple.Int(0))),
+		expr.Bin(expr.OpLt, expr.Bin(expr.OpMul, expr.Col("", "f"), expr.Lit(tuple.Float(2))),
+			expr.Lit(tuple.Float(3))))
+	p, err := CompilePred(e, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(59))
+	rows := make([]*tuple.Tuple, 256)
+	for i := range rows {
+		rows[i] = randTuple(r)
+	}
+	var cb tuple.ColBatch
+	cb.Load(rows)
+	sel := make([]int32, len(rows))
+	warm := func() {
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		if _, err := p.Select(&cb, sel[:len(rows)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	if n := testing.AllocsPerRun(100, warm); n != 0 {
+		t.Fatalf("Pred.Select allocates %v per batch in steady state, want 0", n)
+	}
+	// ColBatch reload over the same backing tuples must also be free.
+	reload := func() {
+		if !cb.Load(rows) {
+			t.Fatal("Load failed")
+		}
+	}
+	reload()
+	if n := testing.AllocsPerRun(100, reload); n != 0 {
+		t.Fatalf("ColBatch.Load allocates %v per batch in steady state, want 0", n)
+	}
+}
+
+func BenchmarkSelect256(b *testing.B) {
+	e := expr.Bin(expr.OpGt, expr.Col("", "i"), expr.Lit(tuple.Int(2)))
+	p, err := CompilePred(e, testSchema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(61))
+	rows := make([]*tuple.Tuple, 256)
+	for i := range rows {
+		rows[i] = randTuple(r)
+	}
+	var cb tuple.ColBatch
+	cb.Load(rows)
+	sel := make([]int32, len(rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range sel {
+			sel[j] = int32(j)
+		}
+		if _, err := p.Select(&cb, sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(256)
+}
+
+func BenchmarkEvalRowVsInterp(b *testing.B) {
+	e := expr.Bin(expr.OpGt, expr.Col("", "i"), expr.Lit(tuple.Int(2)))
+	p, err := Compile(e, testSchema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tp := tuple.New(testSchema, tuple.Int(3), tuple.Float(1), tuple.String("x"), tuple.Bool(true))
+	b.Run("compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.EvalRow(tp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Eval(tp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -93,6 +93,52 @@ func TestQuickDeMorgan(t *testing.T) {
 	}
 }
 
+// Property: "literal OP column" factors — normalized through Op.Negate,
+// with the literal optionally wrapped in one or two unary negations —
+// evaluate identically to the original comparison. This is the contract
+// that lets grouped filters index reversed predicates.
+func TestQuickNormalizedRangeFactorAgreesWithEval(t *testing.T) {
+	schema := tuple.NewSchema(tuple.Column{Name: "v", Kind: tuple.KindFloat})
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 500; trial++ {
+		op := ops[r.Intn(len(ops))]
+		var lit Expr
+		var want tuple.Value
+		if r.Intn(2) == 0 {
+			n := int64(r.Intn(20) - 10)
+			lit, want = Lit(tuple.Int(n)), tuple.Int(n)
+		} else {
+			f := float64(r.Intn(40))/2 - 10
+			lit, want = Lit(tuple.Float(f)), tuple.Float(f)
+		}
+		// Wrap in 0, 1, or 2 negations; literalOf must fold them.
+		for negs := r.Intn(3); negs > 0; negs-- {
+			lit = Neg(lit)
+			want, _ = Negate(want)
+		}
+		e := Bin(op, lit, Col("", "v")) // literal on the LEFT
+		rf, ok := AsRangeFactor(e)
+		if !ok {
+			t.Fatalf("not recognized: %s", e)
+		}
+		if !tuple.Equal(rf.Val, want) {
+			t.Fatalf("%s: folded literal %v, want %v", e, rf.Val, want)
+		}
+		for probe := 0; probe < 10; probe++ {
+			v := tuple.Float(float64(r.Intn(40))/2 - 10)
+			tp := tuple.New(schema, v)
+			evWant, err := Truthy(e, tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rf.Matches(v) != evWant {
+				t.Fatalf("normalized factor %s disagrees with %s at %v", rf, e, v)
+			}
+		}
+	}
+}
+
 // Property: a range factor recognized by AsRangeFactor evaluates
 // identically to the original comparison for any value, including across
 // int/float kind boundaries.

@@ -28,6 +28,7 @@ type GroupedFilter struct {
 	eq             map[uint64][]eqEntry
 	allEq          *bitset.Set // queries with any = factor on this attribute
 	eqConjuncts    map[int]int // queryID → number of = factors it registered
+	multiEq        []int       // queries with >1 = factor, sorted (normally empty)
 	ne             map[uint64][]eqEntry
 
 	queries map[int][]expr.RangeFactor // per-query factors (for removal)
@@ -56,6 +57,12 @@ type rangeClass struct {
 	entries []eqEntry // sorted by val
 	fail    []*bitset.Set
 	dirty   bool
+	// fkeys/ikeys mirror entries' values when every bound in the class
+	// is a float (resp. int): the probe's binary search then compares
+	// raw machine numbers instead of calling tuple.Compare per step,
+	// with semantics identical to Compare's same-kind branches.
+	fkeys []float64
+	ikeys []int64
 }
 
 // NewGroupedFilter creates a grouped filter over one attribute.
@@ -117,6 +124,7 @@ func (g *GroupedFilter) AddFactor(q int, f expr.RangeFactor) error {
 		g.eq[h] = append(g.eq[h], e)
 		g.allEq.Add(q)
 		g.eqConjuncts[q]++
+		g.rebuildMultiEq()
 	case expr.OpNe:
 		h := f.Val.Hash()
 		g.ne[h] = append(g.ne[h], e)
@@ -153,6 +161,7 @@ func (g *GroupedFilter) RemoveQuery(q int) {
 	drop(g.ne)
 	g.allEq.Remove(q)
 	delete(g.eqConjuncts, q)
+	g.rebuildMultiEq()
 	for _, rc := range []*rangeClass{g.gt, g.ge, g.lt, g.le} {
 		kept := rc.entries[:0]
 		for _, e := range rc.entries {
@@ -197,6 +206,19 @@ func (g *GroupedFilter) Process(t *tuple.Tuple, _ Emit) (Outcome, error) {
 	return Pass, nil
 }
 
+// rebuildMultiEq refreshes the registration-time list of queries
+// holding more than one = factor (the probe path iterates only this,
+// not the whole eqConjuncts map).
+func (g *GroupedFilter) rebuildMultiEq() {
+	g.multiEq = g.multiEq[:0]
+	for q, k := range g.eqConjuncts {
+		if k > 1 {
+			g.multiEq = append(g.multiEq, q)
+		}
+	}
+	sort.Ints(g.multiEq)
+}
+
 // collectFailures unions into failed the queries whose factors reject v.
 func (g *GroupedFilter) collectFailures(v tuple.Value, failed *bitset.Set) error {
 	// Range classes.
@@ -237,17 +259,20 @@ func (g *GroupedFilter) collectFailures(v tuple.Value, failed *bitset.Set) error
 		failed.Union(&g.eqScratch)
 		// Contradictory conjunctions: if query q has k>=2 equality
 		// factors, v can match at most one unless values are equal.
-		for q, k := range g.eqConjuncts {
-			if k > 1 {
-				n := 0
-				for _, e := range g.eq[h] {
-					if e.query == q && tuple.Equal(e.val, v) {
-						n++
-					}
+		// multiEq is maintained at registration time precisely so this
+		// probe-path check touches nothing in the common k==1 case —
+		// iterating eqConjuncts here put an O(queries) map walk on
+		// every probe.
+		for _, q := range g.multiEq {
+			k := g.eqConjuncts[q]
+			n := 0
+			for _, e := range g.eq[h] {
+				if e.query == q && tuple.Equal(e.val, v) {
+					n++
 				}
-				if n < k {
-					failed.Add(q)
-				}
+			}
+			if n < k {
+				failed.Add(q)
 			}
 		}
 	}
@@ -258,6 +283,40 @@ func (g *GroupedFilter) collectFailures(v tuple.Value, failed *bitset.Set) error
 		}
 	}
 	return nil
+}
+
+// ProcessVec implements VecModule: one probe pass over the batch's key
+// column. The column resolves once per batch instead of per tuple, and
+// the router's per-tuple dispatch/observation overhead amortizes across
+// the run. Lineage subtraction is idempotent, so returning false after
+// a mid-batch error is safe: the per-tuple replay re-subtracts the same
+// failure sets and re-raises the error at the offending tuple.
+func (g *GroupedFilter) ProcessVec(cb *tuple.ColBatch, ts []*tuple.Tuple, keep []bool) bool {
+	i, err := g.col.Resolve(cb.Schema())
+	if err != nil {
+		return false
+	}
+	col := cb.Col(i)
+	dropped := 0
+	for l, t := range ts {
+		g.failScratch.Clear()
+		if err := g.collectFailures(col[l], &g.failScratch); err != nil {
+			return false
+		}
+		lin := t.Lineage()
+		lin.Queries.Subtract(&g.failScratch)
+		if lin.Queries.Empty() {
+			keep[l] = false
+			dropped++
+		} else {
+			keep[l] = true
+		}
+	}
+	n := int64(len(ts))
+	g.stats.In += n
+	g.stats.Dropped += int64(dropped)
+	g.stats.Out += n - int64(dropped)
+	return true
 }
 
 // MatchQueries is the PSoup-facing probe: it returns the set of queries
@@ -328,6 +387,22 @@ func (rc *rangeClass) rebuild() error {
 		}
 	}
 	rc.dirty = false
+	rc.fkeys, rc.ikeys = rc.fkeys[:0], rc.ikeys[:0]
+	allF, allI := true, true
+	for _, e := range rc.entries {
+		allF = allF && e.val.K == tuple.KindFloat
+		allI = allI && e.val.K == tuple.KindInt
+	}
+	if allF {
+		for _, e := range rc.entries {
+			rc.fkeys = append(rc.fkeys, e.val.F)
+		}
+	}
+	if allI {
+		for _, e := range rc.entries {
+			rc.ikeys = append(rc.ikeys, e.val.I)
+		}
+	}
 	return nil
 }
 
@@ -352,6 +427,32 @@ func (rc *rangeClass) failures(v tuple.Value) (*bitset.Set, error) {
 	//   <= : fails iff v >  bound ⇒ prefix of bounds <  v   (cmp >= 0)
 	geq := rc.op == expr.OpGt || rc.op == expr.OpLe
 	lo, hi := 0, n
+	// Same-kind numeric classes search raw keys (the common case: every
+	// bound on a float attribute is a float literal).
+	switch {
+	case len(rc.fkeys) == n && v.K == tuple.KindFloat:
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			k := rc.fkeys[mid]
+			if (geq && k >= v.F) || (!geq && k > v.F) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return rc.fail[lo], nil
+	case len(rc.ikeys) == n && v.K == tuple.KindInt:
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			k := rc.ikeys[mid]
+			if (geq && k >= v.I) || (!geq && k > v.I) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return rc.fail[lo], nil
+	}
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		c, ok := tuple.Compare(rc.entries[mid].val, v)

@@ -59,6 +59,21 @@ type Module interface {
 	Process(t *tuple.Tuple, emit Emit) (Outcome, error)
 }
 
+// VecModule is implemented by modules that can process a whole
+// same-schema batch column-at-a-time over a columnar view. ProcessVec
+// must be externally indistinguishable from calling Process on each
+// tuple of ts in order: keep[i]=false marks lane i dropped, and stats
+// advance exactly as the per-tuple path would. Only modules that never
+// emit, bounce, or consume qualify. handled=false means the caller must
+// replay the batch tuple-at-a-time through Process; an implementation
+// may return false after partial work only if that work is idempotent
+// under replay (grouped-filter lineage subtraction is — Subtract of the
+// same failure set twice is a no-op) and leaves stats untouched.
+type VecModule interface {
+	Module
+	ProcessVec(cb *tuple.ColBatch, ts []*tuple.Tuple, keep []bool) (handled bool)
+}
+
 // Idler is implemented by modules with internal asynchrony (e.g. an
 // asynchronous index join waiting on remote lookups). The scheduler calls
 // Idle when it has spare cycles — the Fjords discipline of using

@@ -2,17 +2,21 @@ package operator
 
 import (
 	"telegraphcq/internal/expr"
+	"telegraphcq/internal/expr/prog"
 	"telegraphcq/internal/tuple"
 )
 
 // Project evaluates a list of output expressions, producing result tuples
 // with a fixed schema. It replaces the routed tuple in place of emitting:
-// the projected tuple continues through the dataflow.
+// the projected tuple continues through the dataflow. Output expressions
+// are compiled per input schema by default, with per-expression
+// interpreter fallback (see internal/expr/prog).
 type Project struct {
-	name  string
-	exprs []expr.Expr
-	out   *tuple.Schema
-	stats Stats
+	name     string
+	exprs    []expr.Expr
+	out      *tuple.Schema
+	stats    Stats
+	compiled *prog.ProjCache
 }
 
 // NewProject builds a projection. Column names come from names (same
@@ -33,11 +37,23 @@ func NewProject(name string, exprs []expr.Expr, names []string) *Project {
 		}
 		cols[i] = tuple.Column{Source: name, Name: n, Kind: tuple.KindNull}
 	}
-	return &Project{name: name, exprs: exprs, out: tuple.NewSchema(cols...)}
+	return &Project{
+		name: name, exprs: exprs, out: tuple.NewSchema(cols...),
+		compiled: prog.NewProjCache(exprs),
+	}
 }
 
 // Name implements Module.
 func (p *Project) Name() string { return p.name }
+
+// SetCompiled toggles the compiled bytecode path (on by default).
+func (p *Project) SetCompiled(on bool) {
+	if on {
+		p.compiled = prog.NewProjCache(p.exprs)
+	} else {
+		p.compiled = nil
+	}
+}
 
 // OutputSchema returns the schema of projected tuples.
 func (p *Project) OutputSchema() *tuple.Schema { return p.out }
@@ -59,12 +75,18 @@ func (p *Project) Interested(t *tuple.Tuple) bool {
 func (p *Project) Process(t *tuple.Tuple, emit Emit) (Outcome, error) {
 	p.stats.In++
 	vals := make([]tuple.Value, len(p.exprs))
-	for i, e := range p.exprs {
-		v, err := e.Eval(t)
-		if err != nil {
+	if p.compiled != nil {
+		if err := p.compiled.EvalInto(t, vals); err != nil {
 			return Drop, err
 		}
-		vals[i] = v
+	} else {
+		for i, e := range p.exprs {
+			v, err := e.Eval(t)
+			if err != nil {
+				return Drop, err
+			}
+			vals[i] = v
+		}
 	}
 	out := tuple.New(p.out, vals...)
 	out.TS = t.TS

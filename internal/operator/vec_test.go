@@ -1,0 +1,164 @@
+package operator
+
+import (
+	"math/rand"
+	"testing"
+
+	"telegraphcq/internal/expr"
+	"telegraphcq/internal/tuple"
+)
+
+func stockBatch(r *rand.Rand, n int) ([]*tuple.Tuple, *tuple.ColBatch) {
+	ts := make([]*tuple.Tuple, n)
+	for i := range ts {
+		ts[i] = stock(int64(i), []string{"A", "B", "C"}[r.Intn(3)], float64(r.Intn(100)))
+	}
+	var cb tuple.ColBatch
+	if !cb.Load(ts) {
+		panic("Load failed")
+	}
+	return ts, &cb
+}
+
+// Filter.ProcessVec must make exactly the keep/drop decisions Process
+// makes tuple by tuple, and account stats identically.
+func TestFilterProcessVecMatchesProcess(t *testing.T) {
+	pred := expr.Bin(expr.OpAnd,
+		expr.Bin(expr.OpGt, expr.Col("", "price"), expr.Lit(tuple.Float(25))),
+		expr.Bin(expr.OpNe, expr.Col("", "sym"), expr.Lit(tuple.String("C"))))
+	r := rand.New(rand.NewSource(7))
+	ts, cb := stockBatch(r, 64)
+
+	vecF := NewFilter("vec", pred)
+	rowF := NewFilter("row", pred)
+	keep := make([]bool, len(ts))
+	if !vecF.ProcessVec(cb, ts, keep) {
+		t.Fatal("ProcessVec declined a compilable predicate")
+	}
+	for i, tp := range ts {
+		out, err := rowF.Process(tp, noEmit)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if keep[i] != (out == Pass) {
+			t.Fatalf("row %d (price=%v sym=%v): vec keep=%v, row outcome=%v",
+				i, tp.Values[2], tp.Values[1], keep[i], out)
+		}
+	}
+	if vs, rs := vecF.ModuleStats(), rowF.ModuleStats(); vs != rs {
+		t.Fatalf("stats diverge: vec %+v, row %+v", vs, rs)
+	}
+}
+
+// A predicate that errors mid-batch must refuse the vector path with
+// stats untouched, so the eddy's per-tuple replay is authoritative.
+func TestFilterProcessVecErrorLeavesStatsUntouched(t *testing.T) {
+	pred := expr.Bin(expr.OpGt,
+		expr.Bin(expr.OpDiv, expr.Lit(tuple.Float(100)), expr.Col("", "price")),
+		expr.Lit(tuple.Float(2)))
+	f := NewFilter("f", pred)
+	ts := []*tuple.Tuple{stock(0, "A", 50), stock(1, "A", 0)} // lane 1 divides by zero
+	var cb tuple.ColBatch
+	cb.Load(ts)
+	keep := make([]bool, len(ts))
+	if f.ProcessVec(&cb, ts, keep) {
+		t.Fatal("ProcessVec handled a batch that must error")
+	}
+	if s := f.ModuleStats(); s != (Stats{}) {
+		t.Fatalf("stats touched on declined batch: %+v", s)
+	}
+	// The replay path then surfaces the error per tuple.
+	if _, err := f.Process(ts[1], noEmit); err == nil {
+		t.Fatal("Process must re-raise the division error")
+	}
+}
+
+// GroupedFilter.ProcessVec must subtract the same lineage bits and make
+// the same keep/drop decisions as per-tuple Process.
+func TestGroupedFilterProcessVecMatchesProcess(t *testing.T) {
+	build := func() *GroupedFilter {
+		g := NewGroupedFilter(expr.Col("", "price"))
+		addFactor(t, g, 0, expr.OpGt, 50)
+		addFactor(t, g, 1, expr.OpLt, 30)
+		addFactor(t, g, 2, expr.OpGe, 75)
+		return g
+	}
+	r := rand.New(rand.NewSource(11))
+	mk := func() []*tuple.Tuple {
+		ts := make([]*tuple.Tuple, 32)
+		for i := range ts {
+			ts[i] = gfTuple(float64(r.Intn(100)), 0, 1, 2)
+		}
+		return ts
+	}
+	vecTs := mk()
+	r = rand.New(rand.NewSource(11)) // same draw for the row-path copy
+	rowTs := mk()
+
+	vecG, rowG := build(), build()
+	var cb tuple.ColBatch
+	cb.Load(vecTs)
+	keep := make([]bool, len(vecTs))
+	if !vecG.ProcessVec(&cb, vecTs, keep) {
+		t.Fatal("ProcessVec declined")
+	}
+	for i := range rowTs {
+		out, err := rowG.Process(rowTs[i], noEmit)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if keep[i] != (out == Pass) {
+			t.Fatalf("row %d: vec keep=%v, row outcome=%v", i, keep[i], out)
+		}
+		for q := 0; q < 3; q++ {
+			if vecTs[i].Lineage().Queries.Contains(q) != rowTs[i].Lineage().Queries.Contains(q) {
+				t.Fatalf("row %d q%d: lineage diverges", i, q)
+			}
+		}
+	}
+	if vs, rs := vecG.ModuleStats(), rowG.ModuleStats(); vs != rs {
+		t.Fatalf("stats diverge: vec %+v, row %+v", vs, rs)
+	}
+}
+
+// The vectorized operator paths must be allocation-free in steady
+// state: the compiled hot path trades none of its dispatch win for GC.
+func TestProcessVecZeroAllocSteadyState(t *testing.T) {
+	pred := expr.Bin(expr.OpGt, expr.Col("", "price"), expr.Lit(tuple.Float(50)))
+	f := NewFilter("f", pred)
+	r := rand.New(rand.NewSource(13))
+	ts, cb := stockBatch(r, 256)
+	keep := make([]bool, len(ts))
+	runFilter := func() {
+		if !f.ProcessVec(cb, ts, keep) {
+			t.Fatal("declined")
+		}
+	}
+	runFilter()
+	if n := testing.AllocsPerRun(100, runFilter); n != 0 {
+		t.Fatalf("Filter.ProcessVec allocates %v per batch, want 0", n)
+	}
+
+	g := NewGroupedFilter(expr.Col("", "price"))
+	addFactor(t, g, 0, expr.OpGt, 50)
+	addFactor(t, g, 1, expr.OpLt, 30)
+	for _, tp := range ts {
+		tp.Lineage().Queries.Add(0)
+		tp.Lineage().Queries.Add(1)
+	}
+	runGF := func() {
+		// Re-arm lineage so Subtract has work every pass; Add on a
+		// warmed bitset does not allocate.
+		for _, tp := range ts {
+			tp.Lineage().Queries.Add(0)
+			tp.Lineage().Queries.Add(1)
+		}
+		if !g.ProcessVec(cb, ts, keep) {
+			t.Fatal("declined")
+		}
+	}
+	runGF()
+	if n := testing.AllocsPerRun(100, runGF); n != 0 {
+		t.Fatalf("GroupedFilter.ProcessVec allocates %v per batch, want 0", n)
+	}
+}

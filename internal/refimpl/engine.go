@@ -29,6 +29,10 @@ type EngineConfig struct {
 	// lossless faults (queue-full bursts against blocking QoS), so
 	// answers must still match exactly.
 	Chaos string
+	// Interpreted forces the tree-walking expression interpreter
+	// (executor.ExprInterpreted). The default sweeps run compiled; the
+	// interpreted mirrors pin compiled-vs-interpreted equivalence.
+	Interpreted bool
 }
 
 // Configs returns the standard sweep: shard count × routing policy,
@@ -39,11 +43,11 @@ func Configs(withChaos bool) []EngineConfig {
 	return buildConfigs(withChaos, false)
 }
 
-// SmokeConfigs is the 3-config subset the in-tree smoke test uses (one
-// per shard count).
+// SmokeConfigs is the 4-config subset the in-tree smoke test uses (one
+// per shard count, plus one interpreted mirror).
 func SmokeConfigs() []EngineConfig {
 	all := buildConfigs(false, false)
-	return []EngineConfig{all[0], all[4], all[8]}
+	return []EngineConfig{all[0], all[4], all[8], all[9]}
 }
 
 func buildConfigs(withChaos, _ bool) []EngineConfig {
@@ -71,6 +75,22 @@ func buildConfigs(withChaos, _ bool) []EngineConfig {
 				Shards: sc,
 			})
 		}
+	}
+	// Interpreted mirrors: same workload through the reference
+	// interpreter so the compiled bytecode path can never silently
+	// diverge (shards {1,4} x batch {1,64,512}, policies cycled).
+	for i, sc := range []int{1, 1, 1, 4, 4, 4} {
+		b := batches[i%len(batches)]
+		p := policies[i%len(policies)]
+		m := modes[i%len(modes)]
+		out = append(out, EngineConfig{
+			Label:       fmt.Sprintf("shards=%d/policy=%s/batch=%d/mode=%s/expr=interpreted", sc, p.name, b, m),
+			Batch:       b,
+			Mode:        m,
+			Policy:      p.fn,
+			Shards:      sc,
+			Interpreted: true,
+		})
 	}
 	if withChaos {
 		out = append(out, EngineConfig{
@@ -108,6 +128,9 @@ func RunEngine(w *Workload, cfg EngineConfig) (map[int]Multiset, error) {
 		SampleInterval:  -1,
 		Chaos:           inj,
 	}}
+	if cfg.Interpreted {
+		opts.Executor.CompiledExpr = executor.ExprInterpreted
+	}
 	for _, s := range w.Streams {
 		if s.Archived {
 			dir, err := os.MkdirTemp("", "tcqcheck-*")

@@ -1,0 +1,58 @@
+package tuple
+
+// ColBatch is a columnar view over a run of same-schema tuples: one
+// value slice per column. Compiled expression programs evaluate over it
+// a column at a time, with selection vectors naming the live lanes, so
+// a 256-tuple executor drain becomes a handful of tight loops instead
+// of 256 tree walks.
+//
+// The batch borrows values from the backing tuples (Value is a small
+// struct; strings share their backing arrays), so it is only valid
+// until the tuples are recycled. A ColBatch is owned by one goroutine
+// and reused across loads; the steady state allocates nothing.
+type ColBatch struct {
+	schema *Schema
+	cols   [][]Value
+	n      int
+}
+
+// Load transposes ts into columns. All tuples must share one schema
+// pointer (the engine interns derived schemas to make this hold for
+// join and alias formats); Load reports false and leaves the batch
+// unusable when they don't, and the caller falls back to row-at-a-time
+// processing.
+func (cb *ColBatch) Load(ts []*Tuple) bool {
+	if len(ts) == 0 {
+		return false
+	}
+	s := ts[0].Schema
+	for _, t := range ts[1:] {
+		if t.Schema != s {
+			return false
+		}
+	}
+	arity := len(s.Cols)
+	cb.schema = s
+	cb.n = len(ts)
+	if cap(cb.cols) < arity {
+		cb.cols = make([][]Value, arity)
+	}
+	cb.cols = cb.cols[:arity]
+	for j := 0; j < arity; j++ {
+		col := cb.cols[j][:0]
+		for _, t := range ts {
+			col = append(col, t.Values[j])
+		}
+		cb.cols[j] = col
+	}
+	return true
+}
+
+// Schema returns the shared schema of the loaded batch.
+func (cb *ColBatch) Schema() *Schema { return cb.schema }
+
+// Len returns the number of lanes (tuples) in the batch.
+func (cb *ColBatch) Len() int { return cb.n }
+
+// Col returns the value vector of column j, one entry per lane.
+func (cb *ColBatch) Col(j int) []Value { return cb.cols[j] }

@@ -1,0 +1,51 @@
+package tuple
+
+import "sync"
+
+// Schema interning.
+//
+// Pointer identity is what every schema-keyed cache in the engine hashes
+// on: ColumnRef resolution, compiled-program caches, and the columnar
+// batch loader all compare *Schema directly. Join and alias paths used
+// to mint a fresh *Schema per tuple, so those caches could never hit on
+// intermediate formats. Interning derived schemas by their inputs makes
+// "same shape" imply "same pointer" for every schema the engine derives
+// from the (stable) catalog schemas.
+//
+// The tables grow with the number of distinct derivations, which is
+// bounded by the plan shapes in play, not by tuple volume: interned
+// inputs produce interned outputs, so nested joins reuse entries.
+
+type concatKey struct{ a, b *Schema }
+
+type renameKey struct {
+	s      *Schema
+	source string
+}
+
+var (
+	concatCache sync.Map // concatKey → *Schema
+	renameCache sync.Map // renameKey → *Schema
+)
+
+// ConcatShared returns the interned join schema of s followed by o:
+// repeated calls with the same operand pointers return the same pointer.
+func (s *Schema) ConcatShared(o *Schema) *Schema {
+	k := concatKey{s, o}
+	if v, ok := concatCache.Load(k); ok {
+		return v.(*Schema)
+	}
+	v, _ := concatCache.LoadOrStore(k, s.Concat(o))
+	return v.(*Schema)
+}
+
+// RenameShared returns the interned aliased schema: repeated calls with
+// the same schema pointer and alias return the same pointer.
+func (s *Schema) RenameShared(source string) *Schema {
+	k := renameKey{s, source}
+	if v, ok := renameCache.Load(k); ok {
+		return v.(*Schema)
+	}
+	v, _ := renameCache.LoadOrStore(k, s.Rename(source))
+	return v.(*Schema)
+}

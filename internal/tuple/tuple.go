@@ -84,7 +84,7 @@ func (t *Tuple) Clone() *Tuple {
 // timestamping); lineage is not propagated — the Eddy re-derives it.
 func Concat(t, o *Tuple) *Tuple {
 	c := getTuple()
-	c.Schema = t.Schema.Concat(o.Schema)
+	c.Schema = t.Schema.ConcatShared(o.Schema)
 	c.Values = append(append(c.Values, t.Values...), o.Values...)
 	c.TS = t.TS
 	if o.TS.Seq > c.TS.Seq {
