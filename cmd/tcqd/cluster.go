@@ -26,6 +26,7 @@ import (
 	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/cluster"
 	"telegraphcq/internal/flux"
+	"telegraphcq/internal/ingress"
 	"telegraphcq/internal/telemetry"
 )
 
@@ -48,9 +49,9 @@ func (s coordSink) Collect(d time.Duration) (flux.BucketState, error) {
 }
 func (s coordSink) StatsLine() string {
 	st := s.c.Stats()
-	return fmt.Sprintf("routed=%d acked=%d retransmits=%d promotions=%d moves=%d repairs=%d lost=%d detect_ms=%d",
+	return fmt.Sprintf("routed=%d acked=%d retransmits=%d promotions=%d moves=%d repairs=%d lost=%d detect_ms=%d epoch=%d joins=%d rebalances=%d",
 		st.Routed, st.Acked, st.Retransmits, st.Promotions, st.Moves, st.Repairs, st.BucketsLost,
-		st.LastDetect.Milliseconds())
+		st.LastDetect.Milliseconds(), st.Epoch, st.Joins, st.RebalanceMovesSkew+st.RebalanceMovesJoin)
 }
 
 // localSink is the single-process reference: same ingest protocol, one
@@ -79,13 +80,16 @@ func (s *localSink) Collect(time.Duration) (flux.BucketState, error) {
 func (s *localSink) StatsLine() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return fmt.Sprintf("routed=%d acked=%d retransmits=0 promotions=0 moves=0 repairs=0 lost=0 detect_ms=0",
+	return fmt.Sprintf("routed=%d acked=%d retransmits=0 promotions=0 moves=0 repairs=0 lost=0 detect_ms=0 epoch=0 joins=0 rebalances=0",
 		s.routed, s.routed)
 }
 
 // runWorker is the `-role=worker` main: one exchange listener, state in
-// memory, runs until signaled.
-func runWorker(exchange, chaosSpec string) int {
+// memory, runs until signaled. The exchange bind retries under backoff
+// (a restarting node races its own port's TIME_WAIT), and with
+// -coordinator set the worker registers itself — started before the
+// coordinator exists, it converges instead of dying.
+func runWorker(exchange, coordinator, name, chaosSpec string) int {
 	w := cluster.NewWorker()
 	if chaosSpec != "" {
 		inj, err := chaos.Parse(chaosSpec)
@@ -96,32 +100,85 @@ func runWorker(exchange, chaosSpec string) int {
 		w.SetChaos(inj)
 		fmt.Printf("telegraphcq: CHAOS MODE %s\n", chaosSpec)
 	}
-	addr, err := w.Listen(exchange)
+	addr, err := listenWithRetry(w, exchange)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	fmt.Printf("telegraphcq: exchange on %s\n", addr)
+	if coordinator != "" {
+		if name == "" {
+			name = addr
+		}
+		w.StartRegister(coordinator, name, ingress.Backoff{})
+		fmt.Printf("telegraphcq: registering %q with coordinator %s\n", name, coordinator)
+	}
 	waitForSignal()
 	w.Close()
 	fmt.Println("telegraphcq: worker shut down")
 	return 0
 }
 
+// listenWithRetry binds the exchange listener under the same supervised
+// exponential backoff + jitter the source wrappers use; a held port (a
+// predecessor draining, TIME_WAIT) is a transient fault, not a reason
+// to exit.
+func listenWithRetry(w *cluster.Worker, exchange string) (string, error) {
+	var mu sync.Mutex
+	var addr string
+	done := make(chan struct{})
+	sup := ingress.NewSupervisor("exchange-bind", func(stop <-chan struct{}) error {
+		a, err := w.Listen(exchange)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		addr = a
+		mu.Unlock()
+		close(done)
+		return nil // clean completion: the bind is held, supervision ends
+	}, ingress.Backoff{Budget: 10})
+	sup.Start()
+	for {
+		select {
+		case <-done:
+			mu.Lock()
+			defer mu.Unlock()
+			return addr, nil
+		case <-time.After(50 * time.Millisecond):
+			if sup.State() == ingress.HealthDown {
+				select {
+				case <-done: // bound succeeded just as supervision wound down
+					mu.Lock()
+					defer mu.Unlock()
+					return addr, nil
+				default:
+					return "", fmt.Errorf("exchange bind %s: %s", exchange, sup.Snapshot().LastErr)
+				}
+			}
+		}
+	}
+}
+
 // runCoordinator is the `-role=coordinator` main: connect the worker
-// fleet (or fold locally with none), then serve the ingest front until
-// signaled.
-func runCoordinator(ingest, workersCSV string, buckets int, heartbeat time.Duration, metricsAddr string) int {
+// fleet (statically dialed, journal-recovered, and/or self-registering
+// through -listen — or fold locally with none of those), then serve the
+// ingest front until signaled.
+func runCoordinator(ingest, workersCSV, listen, journal string, buckets int, heartbeat time.Duration, metricsAddr string) int {
 	var s sink
 	var coord *cluster.Coordinator
-	if workersCSV == "" {
+	if workersCSV == "" && listen == "" && journal == "" {
 		s = newLocalSink()
 		fmt.Println("telegraphcq: coordinator in local-fold mode (no -workers)")
 	} else {
 		cfg := cluster.Config{
-			Workers:   strings.Split(workersCSV, ","),
 			Buckets:   buckets,
 			Heartbeat: heartbeat,
+			Listen:    listen,
+			Journal:   journal,
+		}
+		if workersCSV != "" {
+			cfg.Workers = strings.Split(workersCSV, ",")
 		}
 		var err error
 		coord, err = cluster.NewCoordinator(cfg)
@@ -134,7 +191,10 @@ func runCoordinator(ingest, workersCSV string, buckets int, heartbeat time.Durat
 			return 1
 		}
 		s = coordSink{coord}
-		fmt.Printf("telegraphcq: coordinating %d workers\n", len(cfg.Workers))
+		if ra := coord.RegistryAddr(); ra != "" {
+			fmt.Printf("telegraphcq: registry on %s\n", ra)
+		}
+		fmt.Printf("telegraphcq: coordinating %d workers (epoch %d)\n", len(coord.NodeStates()), coord.Epoch())
 	}
 
 	if metricsAddr != "" && coord != nil {

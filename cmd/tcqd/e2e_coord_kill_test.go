@@ -1,0 +1,172 @@
+// End-to-end coordinator kill-recovery: real tcqd processes, a SIGKILL
+// of the *coordinator* mid-stream, restart from the durable journal, and
+// a hot-join — with a byte-for-byte comparison against a single-process
+// run.
+//
+// Topology: two self-registering workers (started BEFORE the
+// coordinator exists, so the registration backoff path is exercised),
+// one coordinator with -listen and -journal, and a local-fold reference
+// fed the identical stream. The coordinator is killed -9 after a
+// barrier, restarted on the same registry address and journal, a third
+// worker hot-joins, and the test asserts
+//
+//   - the restarted coordinator resumes from the journal (epoch ≥ 2),
+//   - streaming continues and BARRIER succeeds (zero acked-tuple loss),
+//   - the joiner is admitted and filled by the rebalancer,
+//   - COLLECT output is byte-identical to the single-process run.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// reservePort picks a loopback address that is free right now — the
+// registry must live at a known address before the coordinator exists,
+// because the workers are started first and dial it under backoff.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestE2ECoordinatorKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped in -short")
+	}
+	logDir := os.Getenv("TCQD_E2E_LOG_DIR")
+	if logDir == "" {
+		logDir = t.TempDir()
+	} else if err := os.MkdirAll(logDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("node logs in %s", logDir)
+	bin := buildTCQD(t)
+
+	const heartbeat = 150 * time.Millisecond
+	regAddr := reservePort(t)
+	journal := filepath.Join(t.TempDir(), "coord.journal")
+
+	// Workers first: they must converge onto a coordinator that does not
+	// exist yet — the registration supervisor's backoff, not a crash.
+	for i := 0; i < 2; i++ {
+		n := startNode(t, bin, logDir, fmt.Sprintf("worker%d", i), "telegraphcq: exchange on ",
+			"-role=worker", "-exchange", "127.0.0.1:0",
+			"-coordinator", regAddr, "-name", fmt.Sprintf("w%d", i))
+		n.waitAddr(t)
+	}
+
+	coordArgs := func() []string {
+		return []string{
+			"-role=coordinator", "-ingest", "127.0.0.1:0",
+			"-listen", regAddr, "-journal", journal,
+			"-heartbeat", heartbeat.String(),
+		}
+	}
+	coord := startNode(t, bin, logDir, "coordinator", "telegraphcq: ingest on ", coordArgs()...)
+	ref := startNode(t, bin, logDir, "reference", "telegraphcq: ingest on ",
+		"-role=coordinator", "-ingest", "127.0.0.1:0")
+
+	clusterIn := dialIngest(t, coord.waitAddr(t))
+	refIn := dialIngest(t, ref.waitAddr(t))
+
+	// Integer values keep every per-group sum exactly representable, so
+	// fold order cannot perturb the bytes of the final output.
+	line := func(i int) string {
+		return fmt.Sprintf("sensor-%03d,%d", i%101, i%23)
+	}
+	route := func(ic *ingestConn, i int) {
+		l := line(i)
+		ic.send(t, l)
+		refIn.send(t, l)
+	}
+
+	for i := 0; i < 2000; i++ {
+		route(clusterIn, i)
+	}
+	// The barrier bounds the blast radius of the kill: everything acked
+	// is journal-covered (floors) or worker-held; nothing the reference
+	// has seen can be lost.
+	if got := clusterIn.cmd(t, "BARRIER"); got != "OK" {
+		t.Fatalf("pre-kill barrier: %s", got)
+	}
+
+	if err := coord.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill -9 coordinator: %v", err)
+	}
+	coord.cmd.Wait()
+	t.Logf("killed coordinator mid-stream")
+
+	// Restart from the journal on the same registry address: the roster,
+	// shard map, and ack floors replay; the fleet reconnects.
+	coord2 := startNode(t, bin, logDir, "coordinator2", "telegraphcq: ingest on ", coordArgs()...)
+	clusterIn2 := dialIngest(t, coord2.waitAddr(t))
+
+	for i := 2000; i < 4000; i++ {
+		route(clusterIn2, i)
+		if i%200 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Hot-join a third worker at runtime; the rebalancer must fill it.
+	joiner := startNode(t, bin, logDir, "worker2", "telegraphcq: exchange on ",
+		"-role=worker", "-exchange", "127.0.0.1:0",
+		"-coordinator", regAddr, "-name", "w2")
+	joiner.waitAddr(t)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		stats := clusterIn2.cmd(t, "STATS")
+		if statsField(t, stats, "joins") >= 1 && statsField(t, stats, "rebalances") >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("joiner never admitted+rebalanced: %s", stats)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	for i := 4000; i < 6000; i++ {
+		route(clusterIn2, i)
+		if i%200 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	if got := clusterIn2.cmd(t, "BARRIER"); got != "OK" {
+		t.Fatalf("post-recovery barrier (acked tuples lost?): %s", got)
+	}
+	clusterOut := clusterIn2.collect(t)
+	refOut := refIn.collect(t)
+	if clusterOut != refOut {
+		t.Fatalf("cluster output diverged from single-process run after coordinator recovery:\n--- cluster ---\n%s--- reference ---\n%s",
+			clusterOut, refOut)
+	}
+	if clusterOut == "" {
+		t.Fatal("empty COLLECT output")
+	}
+
+	stats := clusterIn2.cmd(t, "STATS")
+	t.Logf("recovered-coordinator stats: %s", stats)
+	if statsField(t, stats, "epoch") < 2 {
+		t.Fatalf("restart did not bump the fencing epoch: %s", stats)
+	}
+	if statsField(t, stats, "lost") != 0 {
+		t.Fatalf("buckets lost across coordinator restart: %s", stats)
+	}
+	// The new incarnation's counters cover only post-restart routing:
+	// 4000 entries, each acked exactly once.
+	if statsField(t, stats, "routed") != 4000 || statsField(t, stats, "acked") != 4000 {
+		t.Fatalf("routed/acked mismatch after recovery: %s", stats)
+	}
+}

@@ -14,6 +14,11 @@
 //
 //	tcqd -role=worker -exchange 127.0.0.1:6001
 //	tcqd -role=coordinator -workers 127.0.0.1:6001,127.0.0.1:6002 -ingest 127.0.0.1:6000
+//
+// Dynamic membership (workers find the coordinator, not the reverse):
+//
+//	tcqd -role=coordinator -listen 127.0.0.1:6005 -journal /var/lib/tcq/coord.journal -ingest 127.0.0.1:6000
+//	tcqd -role=worker -exchange 127.0.0.1:6001 -coordinator 127.0.0.1:6005 -name node-a
 package main
 
 import (
@@ -46,14 +51,18 @@ func main() {
 	ingest := flag.String("ingest", "127.0.0.1:6000", "coordinator role: ingest listen address")
 	buckets := flag.Int("buckets", 0, "coordinator role: partition bucket count (0 = 8 per worker)")
 	heartbeat := flag.Duration("heartbeat", 100*time.Millisecond, "coordinator role: failure-detection interval")
+	listen := flag.String("listen", "", "coordinator role: worker registry listen address (empty = static -workers membership only)")
+	journal := flag.String("journal", "", "coordinator role: durable shard-map journal path (empty = in-memory only)")
+	coordinator := flag.String("coordinator", "", "worker role: coordinator registry address to register with (empty = wait to be dialed)")
+	name := flag.String("name", "", "worker role: stable node name for rejoin identity (default = exchange address)")
 	flag.Parse()
 
 	switch *role {
 	case "":
 	case "worker":
-		os.Exit(runWorker(*exchange, *chaosSpec))
+		os.Exit(runWorker(*exchange, *coordinator, *name, *chaosSpec))
 	case "coordinator":
-		os.Exit(runCoordinator(*ingest, *workers, *buckets, *heartbeat, *metricsAddr))
+		os.Exit(runCoordinator(*ingest, *workers, *listen, *journal, *buckets, *heartbeat, *metricsAddr))
 	default:
 		fmt.Fprintf(os.Stderr, "bad -role %q (want coordinator or worker)\n", *role)
 		os.Exit(2)

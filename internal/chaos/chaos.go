@@ -67,6 +67,10 @@ type Config struct {
 	AckDelay float64
 	// AckDelayFor is the injected ack delay (0 → 20ms).
 	AckDelayFor time.Duration
+	// Churn is the probability a membership event is a node *leave*
+	// rather than a *join* — the knob the cluster's join/leave storm
+	// soak draws from to decide each round of its membership churn.
+	Churn float64
 }
 
 // Stats counts faults actually injected, per kind.
@@ -81,6 +85,7 @@ type Stats struct {
 	ConnDrops   int64
 	HalfOpens   int64
 	AckDelays   int64
+	Churns      int64
 }
 
 // Injector makes fault decisions. Safe for concurrent use; decisions
@@ -101,6 +106,7 @@ type Injector struct {
 	connDrops   atomic.Int64
 	halfOpens   atomic.Int64
 	ackDelays   atomic.Int64
+	churns      atomic.Int64
 }
 
 // New builds an injector from a config.
@@ -168,6 +174,8 @@ func Parse(spec string) (*Injector, error) {
 			var ms int64
 			ms, err = strconv.ParseInt(val, 10, 64)
 			cfg.AckDelayFor = time.Duration(ms) * time.Millisecond
+		case "churn":
+			cfg.Churn, err = num()
 		default:
 			return nil, fmt.Errorf("chaos: unknown spec key %q", key)
 		}
@@ -301,6 +309,16 @@ func (in *Injector) DelayAck() time.Duration {
 	return in.cfg.AckDelayFor
 }
 
+// Churn decides one membership event in a join/leave storm: true means
+// a node leaves (is killed), false means one joins. Seeded like every
+// other decision, so a churn soak replays the same storm per seed.
+func (in *Injector) Churn() bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(in.cfg.Churn, &in.churns)
+}
+
 // Stats snapshots the injected-fault counters.
 func (in *Injector) Stats() Stats {
 	if in == nil {
@@ -317,5 +335,6 @@ func (in *Injector) Stats() Stats {
 		ConnDrops:   in.connDrops.Load(),
 		HalfOpens:   in.halfOpens.Load(),
 		AckDelays:   in.ackDelays.Load(),
+		Churns:      in.churns.Load(),
 	}
 }

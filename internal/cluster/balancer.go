@@ -1,0 +1,194 @@
+package cluster
+
+import "time"
+
+// The skew-driven rebalancing policy (tentpole c). Flux's insight
+// (§2.4) is that load balancing and fault tolerance are the same
+// mechanism — moving a bucket's state between nodes; PR 7 built the
+// mechanism (MoveBucket) and this file is the policy that invokes it.
+// Per-bucket routed counters (already maintained for retransmit
+// accounting) are differenced once per interval into per-node arrival
+// rates; a node whose rate stays above Ratio × the connected-node mean
+// for After consecutive intervals is declared hot, and one bucket moves
+// off it to the coldest node — the *largest* bucket whose departure
+// still leaves the hot node hotter than it makes the destination, so a
+// single inherently-hot key (one bucket carrying the whole skew) sheds
+// its neighbors instead of ping-ponging itself. A Cooldown of quiet
+// intervals follows every move and the streak resets, so the policy
+// can never flap: a uniform workload never triggers it at all, and a
+// skewed one moves at most one bucket per cooldown window.
+
+// BalanceConfig tunes the skew balancer. Zero values take defaults.
+type BalanceConfig struct {
+	// Disabled turns the policy off (manual MoveBucket still works).
+	Disabled bool
+	// Interval is how often rates are measured (default 10 heartbeats).
+	Interval time.Duration
+	// Ratio is the hot threshold: a node is hot when its interval rate
+	// exceeds Ratio × the mean rate of connected nodes (default 1.5).
+	Ratio float64
+	// After is how many consecutive hot intervals arm a move (default
+	// 3) — transient bursts never trigger state movement.
+	After int
+	// Cooldown is how many intervals after a move the policy holds
+	// still, letting the new placement's rates settle (default 5).
+	Cooldown int
+	// MinRate is the minimum per-interval arrival rate on the hot node
+	// for the policy to act (default 256): idle clusters never move.
+	MinRate int64
+}
+
+func (b BalanceConfig) withDefaults(hb time.Duration) BalanceConfig {
+	if b.Interval <= 0 {
+		b.Interval = 10 * hb
+	}
+	if b.Ratio <= 1 {
+		b.Ratio = 1.5
+	}
+	if b.After <= 0 {
+		b.After = 3
+	}
+	if b.Cooldown <= 0 {
+		b.Cooldown = 5
+	}
+	if b.MinRate <= 0 {
+		b.MinRate = 256
+	}
+	return b
+}
+
+// balancer is the policy state (guarded by Coordinator.mu except where
+// noted; balanceTick is only called from the healer goroutine).
+type balancer struct {
+	cfg      BalanceConfig
+	lastRun  time.Time
+	prev     []int64 // previous routed snapshot per bucket
+	hotNode  int     // node hot last interval (-1 none)
+	streak   int     // consecutive intervals hotNode stayed hot
+	cooldown int     // intervals to hold still after a move
+
+	checks    int64
+	movesSkew int64
+	movesJoin int64
+	skips     int64
+}
+
+func (b *balancer) init(cfg BalanceConfig, hb time.Duration, buckets int) {
+	b.cfg = cfg.withDefaults(hb)
+	b.prev = make([]int64, buckets)
+	b.hotNode = -1
+	b.lastRun = time.Now()
+}
+
+// balanceTick runs the policy once per Interval (called every healer
+// pass; cheap no-op between intervals). A decided move executes outside
+// c.mu through the ordinary MoveBucket handoff.
+func (c *Coordinator) balanceTick() {
+	c.mu.Lock()
+	b := &c.bal
+	if b.cfg.Disabled || time.Since(b.lastRun) < b.cfg.Interval {
+		c.mu.Unlock()
+		return
+	}
+	b.lastRun = time.Now()
+	b.checks++
+
+	// Difference the per-bucket routed counters into this interval's
+	// per-bucket and per-node rates.
+	delta := make([]int64, len(c.buckets))
+	rate := map[int]int64{} // node → interval arrivals
+	var conn []int
+	for _, n := range c.nodes {
+		if c.nodeConnectedLocked(n.id) {
+			conn = append(conn, n.id)
+			rate[n.id] = 0
+		}
+	}
+	for i, bm := range c.buckets {
+		delta[i] = bm.routed - b.prev[i]
+		b.prev[i] = bm.routed
+		if bm.primary >= 0 {
+			if _, ok := rate[bm.primary]; ok {
+				rate[bm.primary] += delta[i]
+			}
+		}
+	}
+	if len(conn) < 2 {
+		b.hotNode, b.streak = -1, 0
+		c.mu.Unlock()
+		return
+	}
+	if b.cooldown > 0 {
+		b.cooldown--
+		b.skips++
+		c.mu.Unlock()
+		return
+	}
+
+	var total int64
+	hot, cold := conn[0], conn[0]
+	for _, id := range conn {
+		total += rate[id]
+		if rate[id] > rate[hot] {
+			hot = id
+		}
+		if rate[id] < rate[cold] {
+			cold = id
+		}
+	}
+	mean := float64(total) / float64(len(conn))
+	isHot := rate[hot] >= b.cfg.MinRate && float64(rate[hot]) > b.cfg.Ratio*mean
+	if !isHot {
+		b.hotNode, b.streak = -1, 0
+		c.mu.Unlock()
+		return
+	}
+	if hot != b.hotNode {
+		b.hotNode, b.streak = hot, 1 // hysteresis restarts on a new culprit
+		b.skips++
+		c.mu.Unlock()
+		return
+	}
+	b.streak++
+	if b.streak < b.cfg.After {
+		b.skips++
+		c.mu.Unlock()
+		return
+	}
+
+	// Armed: pick the largest bucket on the hot node whose departure is
+	// a strict improvement (the destination must stay below the donor),
+	// so relocating a single inherently-hot bucket to a quieter node —
+	// which would just move the hotspot — is never chosen.
+	best, bestRate := -1, int64(-1)
+	for i, bm := range c.buckets {
+		if bm.primary != hot || bm.paused {
+			continue
+		}
+		if rate[cold]+delta[i] >= rate[hot]-delta[i] {
+			continue
+		}
+		if delta[i] > bestRate {
+			best, bestRate = i, delta[i]
+		}
+	}
+	if best < 0 {
+		b.skips++
+		b.streak = 0 // nothing movable helps; re-observe from scratch
+		c.mu.Unlock()
+		return
+	}
+	b.streak = 0
+	b.cooldown = b.cfg.Cooldown
+	b.hotNode = -1
+	c.mu.Unlock()
+
+	if err := c.MoveBucket(best, cold); err != nil {
+		c.logf("cluster: skew rebalance bucket %d → node %d: %v", best, cold, err)
+		return
+	}
+	c.mu.Lock()
+	c.bal.movesSkew++
+	c.mu.Unlock()
+	c.logf("cluster: skew rebalance moved bucket %d (rate %d) off node %d → node %d", best, bestRate, hot, cold)
+}

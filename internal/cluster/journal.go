@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"telegraphcq/internal/storage"
+)
+
+// Coordinator journal records. The journal (storage.Journal: framed,
+// CRC'd, fsync'd, torn-tail-truncated on recovery) holds everything a
+// restarted coordinator needs to resume the cluster without losing one
+// acked tuple: the epoch, the bucket count, the node roster, the shard
+// map, and periodic floor snapshots. Floors are a *lower bound* — the
+// workers are the source of truth above the journaled floor and a
+// recovering coordinator reconciles upward from their mFloors reports.
+const (
+	jEpoch   byte = iota + 1 // varint epoch
+	jBuckets                 // uvarint bucket count (written once, first open)
+	jNode                    // uvarint id, string name, string addr
+	jDead                    // uvarint id (terminal)
+	jAssign                  // uvarint bucket, varint primary, varint secondary
+	jFloors                  // uvarint count, then per bucket: uvarint bucket, varint floor, varint hi(=nextSeq-1)
+)
+
+func jrEpoch(epoch int64) []byte {
+	return binary.AppendVarint([]byte{jEpoch}, epoch)
+}
+
+func jrBuckets(n int) []byte {
+	return binary.AppendUvarint([]byte{jBuckets}, uint64(n))
+}
+
+func jrNode(id int, name, addr string) []byte {
+	rec := binary.AppendUvarint([]byte{jNode}, uint64(id))
+	rec = binary.AppendUvarint(rec, uint64(len(name)))
+	rec = append(rec, name...)
+	rec = binary.AppendUvarint(rec, uint64(len(addr)))
+	return append(rec, addr...)
+}
+
+func jrDead(id int) []byte {
+	return binary.AppendUvarint([]byte{jDead}, uint64(id))
+}
+
+func jrAssign(bucket, primary, secondary int) []byte {
+	rec := binary.AppendUvarint([]byte{jAssign}, uint64(bucket))
+	rec = binary.AppendVarint(rec, int64(primary))
+	return binary.AppendVarint(rec, int64(secondary))
+}
+
+// jrFloors snapshots every bucket's released floor and assignment
+// high-water mark in one record.
+func jrFloors(floors []journalFloor) []byte {
+	rec := binary.AppendUvarint([]byte{jFloors}, uint64(len(floors)))
+	for _, f := range floors {
+		rec = binary.AppendUvarint(rec, uint64(f.bucket))
+		rec = binary.AppendVarint(rec, f.floor)
+		rec = binary.AppendVarint(rec, f.hi)
+	}
+	return rec
+}
+
+type journalFloor struct {
+	bucket int
+	floor  int64 // released floor (acked by every responsible replica)
+	hi     int64 // highest sequence ever assigned (nextSeq-1)
+}
+
+// journalNode is one roster entry recovered from the journal.
+type journalNode struct {
+	id         int
+	name, addr string
+	dead       bool
+}
+
+// journalState is everything a replayed journal describes.
+type journalState struct {
+	epoch   int64
+	buckets int
+	nodes   []journalNode
+	assign  map[int][2]int // bucket → {primary, secondary}
+	floors  map[int]journalFloor
+}
+
+// replayJournal opens (creating) the journal at path and folds its
+// records into a journalState snapshot. Later records supersede earlier
+// ones (assignments and floors are last-writer-wins), which is what
+// makes plain appending on every mutation correct.
+func replayJournal(path string) (*storage.Journal, *journalState, error) {
+	st := &journalState{assign: map[int][2]int{}, floors: map[int]journalFloor{}}
+	byID := map[int]int{} // node id → index in st.nodes
+	jr, err := storage.OpenJournal(path, func(rec []byte) error {
+		if len(rec) == 0 {
+			return fmt.Errorf("empty record")
+		}
+		d := &decoder{buf: rec[1:]}
+		switch rec[0] {
+		case jEpoch:
+			st.epoch = d.varint()
+		case jBuckets:
+			st.buckets = int(d.uvarint())
+		case jNode:
+			id := int(d.uvarint())
+			name := string(d.bytes(d.uvarint()))
+			addr := string(d.bytes(d.uvarint()))
+			if d.err != nil {
+				return d.err
+			}
+			if i, ok := byID[id]; ok {
+				st.nodes[i].name, st.nodes[i].addr = name, addr
+			} else {
+				byID[id] = len(st.nodes)
+				st.nodes = append(st.nodes, journalNode{id: id, name: name, addr: addr})
+			}
+		case jDead:
+			id := int(d.uvarint())
+			if i, ok := byID[id]; ok {
+				st.nodes[i].dead = true
+			}
+		case jAssign:
+			b := int(d.uvarint())
+			p := int(d.varint())
+			s := int(d.varint())
+			if d.err != nil {
+				return d.err
+			}
+			st.assign[b] = [2]int{p, s}
+		case jFloors:
+			n := d.uvarint()
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				f := journalFloor{bucket: int(d.uvarint())}
+				f.floor = d.varint()
+				f.hi = d.varint()
+				if d.err == nil {
+					st.floors[f.bucket] = f
+				}
+			}
+		default:
+			return fmt.Errorf("unknown journal record type %d", rec[0])
+		}
+		return d.err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return jr, st, nil
+}

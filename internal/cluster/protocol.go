@@ -51,6 +51,10 @@ const (
 	mInstalled                // reply to mInstall
 	mCollect                  // fetch the merged state of a bucket list
 	mCollectReply
+	mJoin     // worker → coordinator registry: HELLO (name, exchange addr, max epoch seen)
+	mAdmit    // coordinator → worker registry: ADMIT (node id, epoch)
+	mFloors   // worker → coordinator: applied floors for every held bucket
+	mAckBatch // worker → coordinator: coalesced applied floors for dirty buckets
 )
 
 // maxFrame bounds one frame; state frames dominate (a bucket's groups).
@@ -116,9 +120,81 @@ func (w *wire) close() { w.c.Close() }
 
 // ---------------------------------------------------------------- encode
 
-func appendHello(dst []byte, nodeID int) []byte {
+// appendHello opens an exchange connection: the worker learns its node
+// id, the coordinator's epoch (workers fence anything older than the
+// highest epoch they have seen), and the heartbeat interval that paces
+// its ack coalescing.
+func appendHello(dst []byte, nodeID int, epoch int64, heartbeatMs int64) []byte {
 	dst = append(dst, mHello)
-	return binary.AppendUvarint(dst, uint64(nodeID))
+	dst = binary.AppendUvarint(dst, uint64(nodeID))
+	dst = binary.AppendVarint(dst, epoch)
+	return binary.AppendVarint(dst, heartbeatMs)
+}
+
+// appendJoin is the registry HELLO: a worker announces its stable name,
+// the exchange address the coordinator should dial back, and the
+// highest coordinator epoch it has ever been admitted under (so a new
+// coordinator can detect that it is the stale one and self-fence).
+func appendJoin(dst []byte, name, exchangeAddr string, maxEpoch int64) []byte {
+	dst = append(dst, mJoin)
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	dst = append(dst, name...)
+	dst = binary.AppendUvarint(dst, uint64(len(exchangeAddr)))
+	dst = append(dst, exchangeAddr...)
+	return binary.AppendVarint(dst, maxEpoch)
+}
+
+// appendAdmit is the registry ADMIT reply carrying the worker's node id
+// and the admitting coordinator's epoch.
+func appendAdmit(dst []byte, nodeID int, epoch int64) []byte {
+	dst = append(dst, mAdmit)
+	dst = binary.AppendUvarint(dst, uint64(nodeID))
+	return binary.AppendVarint(dst, epoch)
+}
+
+// appendFloors reports every bucket floor a worker holds; sent once as
+// the first frame after an exchange hello so a recovered coordinator
+// can reconcile journaled floors against worker truth before any data
+// or control traffic for those buckets.
+func appendFloors(dst []byte, floors map[int]int64) []byte {
+	dst = append(dst, mFloors)
+	dst = binary.AppendUvarint(dst, uint64(len(floors)))
+	for b, f := range floors {
+		dst = binary.AppendUvarint(dst, uint64(b))
+		dst = binary.AppendVarint(dst, f)
+	}
+	return dst
+}
+
+// appendAckBatch coalesces the applied floors of every bucket dirtied
+// since the last flush into one frame.
+func appendAckBatch(dst []byte, buckets []int, floors []int64) []byte {
+	dst = append(dst, mAckBatch)
+	dst = binary.AppendUvarint(dst, uint64(len(buckets)))
+	for i, b := range buckets {
+		dst = binary.AppendUvarint(dst, uint64(b))
+		dst = binary.AppendVarint(dst, floors[i])
+	}
+	return dst
+}
+
+// decodeFloorPairs decodes the (bucket, floor) list shared by mFloors
+// and mAckBatch.
+func decodeFloorPairs(d *decoder) map[int]int64 {
+	n := d.uvarint()
+	if d.err != nil || n > maxFrame {
+		return nil
+	}
+	m := make(map[int]int64, n)
+	for i := uint64(0); i < n; i++ {
+		b := int(d.uvarint())
+		f := d.varint()
+		if d.err != nil {
+			return nil
+		}
+		m[b] = f
+	}
+	return m
 }
 
 // appendData encodes one bucket's entry batch with contiguous sequence

@@ -10,6 +10,7 @@ import (
 
 	"telegraphcq/internal/chaos"
 	"telegraphcq/internal/flux"
+	"telegraphcq/internal/ingress"
 )
 
 // Worker runs the partitioned consumer state of one cluster node: a set
@@ -21,6 +22,18 @@ import (
 // applied floor, or already present in its above-floor applied set, are
 // skipped (but still acked), so retransmits and out-of-order delivery
 // never double-count.
+//
+// Membership is worker-initiated: StartRegister dials the coordinator's
+// registry address under an ingress.Supervisor (exponential backoff +
+// jitter), sends a JOIN hello, and re-registers whenever the admitted
+// exchange connection drops — so a worker started before its
+// coordinator, or surviving a coordinator restart, converges instead of
+// dying. Coordinator epochs fence staleness: the worker remembers the
+// highest epoch it has been greeted with, refuses exchange connections
+// from anything older, and on an epoch bump seals each bucket's dedup
+// floor past its above-floor set (a new epoch is a new
+// sequence-assignment authority; the old coordinator's unacked gaps
+// will never be filled).
 type Worker struct {
 	// Logf receives node lifecycle events (default log.Printf).
 	Logf func(format string, args ...any)
@@ -32,18 +45,23 @@ type Worker struct {
 	mu        sync.Mutex
 	chaos     *chaos.Injector
 	conns     map[net.Conn]struct{}
-	id        int // assigned by the coordinator's hello
+	helloed   map[net.Conn]int64 // exchange conns past hello → coordinator epoch
+	id        int                // assigned by the coordinator's hello
+	maxEpoch  int64              // highest coordinator epoch ever seen (fence floor)
 	buckets   map[int]flux.BucketState
 	applied   map[int]int64          // per-bucket contiguous applied floor
 	above     map[int]map[int64]bool // applied sequences above the floor (out-of-order arrivals)
 	processed int64                  // entries folded (post-dedup)
 	deduped   int64                  // entries skipped as already applied
+	admits    int64                  // successful registry admissions
+	reg       *ingress.Supervisor
 }
 
 // NewWorker builds an idle worker; Listen starts serving.
 func NewWorker() *Worker {
 	return &Worker{
 		conns:   map[net.Conn]struct{}{},
+		helloed: map[net.Conn]int64{},
 		buckets: map[int]flux.BucketState{},
 		applied: map[int]int64{},
 		above:   map[int]map[int64]bool{},
@@ -109,10 +127,96 @@ func (w *Worker) acceptLoop() {
 			defer func() {
 				w.mu.Lock()
 				delete(w.conns, wrapped)
+				delete(w.helloed, wrapped)
 				w.mu.Unlock()
 			}()
 			w.serve(wrapped)
 		}()
+	}
+}
+
+// ackBatcher coalesces per-bucket acks on one exchange connection: data
+// frames mark buckets dirty, and a flusher paced by the coordinator's
+// heartbeat sends one mAckBatch frame carrying every dirty bucket's
+// current floor. Pings flush immediately so barrier latency stays at
+// the probe cadence, not the flush cadence.
+type ackBatcher struct {
+	w     *Worker
+	wr    *wire
+	mu    sync.Mutex
+	dirty map[int]bool
+	stop  chan struct{}
+}
+
+func (w *Worker) newAckBatcher(wr *wire, interval time.Duration) *ackBatcher {
+	b := &ackBatcher{w: w, wr: wr, dirty: map[int]bool{}, stop: make(chan struct{})}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-b.stop:
+				return
+			case <-t.C:
+				b.flush()
+			}
+		}
+	}()
+	return b
+}
+
+func (b *ackBatcher) mark(bucket int) {
+	b.mu.Lock()
+	b.dirty[bucket] = true
+	b.mu.Unlock()
+}
+
+// flush sends the coalesced floors for every dirty bucket. Floors are
+// read at flush time, after the marking applies completed, so the frame
+// always carries each bucket's latest contiguous floor — the value the
+// coordinator's release math needs; intermediate floors are skipped,
+// which is exactly the coalescing win.
+func (b *ackBatcher) flush() {
+	b.mu.Lock()
+	if len(b.dirty) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	buckets := make([]int, 0, len(b.dirty))
+	for bk := range b.dirty {
+		buckets = append(buckets, bk)
+	}
+	b.dirty = map[int]bool{}
+	b.mu.Unlock()
+
+	floors := make([]int64, len(buckets))
+	b.w.mu.Lock()
+	for i, bk := range buckets {
+		floors[i] = b.w.applied[bk]
+	}
+	b.w.mu.Unlock()
+	// A delayed ack is the classic ambiguous-failure window: the
+	// coordinator may retransmit entries the worker already applied; the
+	// dedup floor is what keeps the retry harmless. Teardown interrupts
+	// the delay — a closing worker must not linger in injected latency.
+	if delay := b.w.chaosInjector().DelayAck(); delay > 0 {
+		select {
+		case <-b.stop:
+		case <-time.After(delay):
+		}
+	}
+	if err := b.wr.writeFrame(appendAckBatch(nil, buckets, floors)); err != nil {
+		b.wr.close() // wake the serve loop; reconnect retransmits
+	}
+}
+
+func (b *ackBatcher) close() {
+	select {
+	case <-b.stop:
+	default:
+		close(b.stop)
 	}
 }
 
@@ -122,6 +226,13 @@ func (w *Worker) acceptLoop() {
 func (w *Worker) serve(conn net.Conn) {
 	wr := newWire(conn)
 	defer wr.close()
+	var batcher *ackBatcher
+	defer func() {
+		if batcher != nil {
+			batcher.close()
+			batcher.flush() // best effort: don't strand floors on teardown
+		}
+	}()
 	var out []byte // reused reply buffer
 	for {
 		payload, err := wr.readFrame()
@@ -133,29 +244,52 @@ func (w *Worker) serve(conn net.Conn) {
 		switch payload[0] {
 		case mHello:
 			id := int(d.uvarint())
+			epoch := d.varint()
+			hbMs := d.varint()
 			if d.err != nil {
 				return
 			}
-			w.mu.Lock()
-			w.id = id
-			w.mu.Unlock()
-			w.logf("cluster worker %d: coordinator connected", id)
-			continue
+			floors, ok := w.greet(conn, id, epoch)
+			if !ok {
+				w.logf("cluster worker %d: fenced stale coordinator (epoch %d < %d)", id, epoch, w.MaxEpoch())
+				return
+			}
+			hb := time.Duration(hbMs) * time.Millisecond
+			if hb <= 0 {
+				hb = 100 * time.Millisecond
+			}
+			if batcher != nil {
+				batcher.close()
+			}
+			batcher = w.newAckBatcher(wr, hb/4)
+			w.logf("cluster worker %d: coordinator connected (epoch %d)", id, epoch)
+			// First frame back: every floor this worker holds, so a
+			// recovering coordinator reconciles against worker truth
+			// before routing or moving anything.
+			out = appendFloors(out, floors)
 		case mData:
 			bucket, baseSeq, entries := decodeData(d)
 			if d.err != nil {
 				return
 			}
-			upTo := w.applyData(bucket, baseSeq, entries)
-			// A delayed ack is the classic ambiguous-failure window: the
-			// coordinator may retransmit entries the worker already
-			// applied; the dedup floor above is what keeps the retry
-			// harmless.
+			w.applyData(bucket, baseSeq, entries)
+			if batcher != nil {
+				batcher.mark(bucket)
+				continue
+			}
+			// Data before hello (not a path the coordinator takes, but
+			// the protocol stays safe): ack inline.
 			if delay := w.chaosInjector().DelayAck(); delay > 0 {
 				time.Sleep(delay)
 			}
-			out = appendAck(out, bucket, upTo)
+			w.mu.Lock()
+			floor := w.applied[bucket]
+			w.mu.Unlock()
+			out = appendAck(out, bucket, floor)
 		case mPing:
+			if batcher != nil {
+				batcher.flush()
+			}
 			w.mu.Lock()
 			processed := w.processed
 			w.mu.Unlock()
@@ -202,6 +336,172 @@ func (w *Worker) serve(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// greet applies a coordinator hello's epoch fencing and returns the
+// floors to report. A hello older than the highest epoch seen is
+// refused (ok=false → sever the connection: a stale coordinator must
+// never route or move buckets). A hello from a *newer* epoch seals
+// every bucket: the floor jumps past the above-floor applied set and
+// the set clears, because sequence numbers from the old epoch's
+// authority will never be completed — the new coordinator starts its
+// own assignment above the floors the worker reports here. Connections
+// still open from older epochs are severed.
+func (w *Worker) greet(conn net.Conn, id int, epoch int64) (map[int]int64, bool) {
+	w.mu.Lock()
+	if epoch < w.maxEpoch {
+		w.mu.Unlock()
+		return nil, false
+	}
+	if epoch > w.maxEpoch {
+		sealed := 0
+		for b, above := range w.above {
+			floor := w.applied[b]
+			for seq := range above {
+				if seq > floor {
+					floor = seq
+				}
+			}
+			if floor != w.applied[b] {
+				sealed++
+			}
+			w.applied[b] = floor
+			delete(w.above, b)
+		}
+		var stale []net.Conn
+		for c, e := range w.helloed {
+			if e < epoch && c != conn {
+				stale = append(stale, c)
+			}
+		}
+		w.maxEpoch = epoch
+		if sealed > 0 || len(stale) > 0 {
+			w.logf("cluster worker %d: epoch %d sealed %d bucket floors, severing %d stale conns", id, epoch, sealed, len(stale))
+		}
+		w.mu.Unlock()
+		for _, c := range stale {
+			c.Close()
+		}
+		w.mu.Lock()
+	}
+	w.id = id
+	w.helloed[conn] = epoch
+	floors := make(map[int]int64, len(w.applied))
+	for b, f := range w.applied {
+		floors[b] = f
+	}
+	w.mu.Unlock()
+	return floors, true
+}
+
+// MaxEpoch returns the highest coordinator epoch this worker has seen.
+func (w *Worker) MaxEpoch() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.maxEpoch
+}
+
+// connectedAtEpoch reports whether a live exchange connection from a
+// coordinator at least as new as epoch exists.
+func (w *Worker) connectedAtEpoch(epoch int64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, e := range w.helloed {
+		if e >= epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// registerDialTimeout bounds one registry dial; admitWait bounds how
+// long an admitted worker waits for the coordinator to dial back before
+// the attempt is retried under backoff.
+const (
+	registerDialTimeout = 2 * time.Second
+	admitWait           = 10 * time.Second
+)
+
+// StartRegister launches the supervised registration loop: dial the
+// coordinator's registry address, send JOIN (name, exchange address,
+// max epoch seen), wait for ADMIT and the coordinator's exchange
+// dial-back, then watch the connection; if it drops, the run returns an
+// error and the supervisor re-registers with exponential backoff +
+// jitter. Safe to call before the coordinator exists — that is the
+// point. Returns the supervisor (exposed for health introspection);
+// Close stops it.
+func (w *Worker) StartRegister(coordAddr, name string, b ingress.Backoff) *ingress.Supervisor {
+	run := func(stop <-chan struct{}) error {
+		return w.registerOnce(coordAddr, name, stop)
+	}
+	sup := ingress.NewSupervisor("cluster-join:"+name, run, b)
+	w.mu.Lock()
+	w.reg = sup
+	w.mu.Unlock()
+	sup.Start()
+	return sup
+}
+
+func (w *Worker) registerOnce(coordAddr, name string, stop <-chan struct{}) error {
+	if w.closed.Load() {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", coordAddr, registerDialTimeout)
+	if err != nil {
+		return fmt.Errorf("registry dial %s: %w", coordAddr, err)
+	}
+	conn.SetDeadline(time.Now().Add(registerDialTimeout + 3*time.Second))
+	wr := newWire(conn)
+	if err := wr.writeFrame(appendJoin(nil, name, w.Addr(), w.MaxEpoch())); err != nil {
+		conn.Close()
+		return fmt.Errorf("registry join: %w", err)
+	}
+	payload, err := wr.readFrame()
+	conn.Close()
+	if err != nil {
+		return fmt.Errorf("registry admit: %w", err)
+	}
+	if len(payload) == 0 || payload[0] != mAdmit {
+		return fmt.Errorf("registry admit: unexpected reply %d", payload[0])
+	}
+	d := &decoder{buf: payload[1:]}
+	id := int(d.uvarint())
+	epoch := d.varint()
+	if d.err != nil {
+		return fmt.Errorf("registry admit: %w", d.err)
+	}
+	w.mu.Lock()
+	w.admits++
+	w.mu.Unlock()
+	w.logf("cluster worker: admitted as node %d (epoch %d) by %s", id, epoch, coordAddr)
+
+	// Wait for the coordinator's exchange dial-back, then hold until the
+	// connection is lost — at which point re-register under backoff.
+	deadline := time.Now().Add(admitWait)
+	for !w.connectedAtEpoch(epoch) {
+		if w.closed.Load() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("admitted by %s but no exchange dial-back", coordAddr)
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	for w.connectedAtEpoch(epoch) {
+		if w.closed.Load() {
+			return nil
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return fmt.Errorf("exchange connection to coordinator lost")
 }
 
 // applyData folds an entry batch into its bucket exactly once per
@@ -277,13 +577,22 @@ type WorkerStats struct {
 	Buckets   int
 	Processed int64
 	Deduped   int64
+	Epoch     int64
+	Admits    int64
 }
 
 // Stats snapshots the worker.
 func (w *Worker) Stats() WorkerStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return WorkerStats{ID: w.id, Buckets: len(w.buckets), Processed: w.processed, Deduped: w.deduped}
+	return WorkerStats{
+		ID:        w.id,
+		Buckets:   len(w.buckets),
+		Processed: w.processed,
+		Deduped:   w.deduped,
+		Epoch:     w.maxEpoch,
+		Admits:    w.admits,
+	}
 }
 
 // Addr returns the bound exchange address ("" before Listen).
@@ -294,11 +603,18 @@ func (w *Worker) Addr() string {
 	return w.ln.Addr().String()
 }
 
-// Close stops the listener and severs live connections. State is kept:
-// a closed worker models a partitioned node, not a wiped one.
+// Close stops the registration loop and the listener and severs live
+// connections. State is kept: a closed worker models a partitioned
+// node, not a wiped one.
 func (w *Worker) Close() error {
 	if !w.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	w.mu.Lock()
+	reg := w.reg
+	w.mu.Unlock()
+	if reg != nil {
+		reg.Stop()
 	}
 	var err error
 	if w.ln != nil {

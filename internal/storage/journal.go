@@ -1,0 +1,176 @@
+// Journal is the generic append-only record log under the coordinator's
+// durable state (and any future subsystem that needs one): fixed-framed
+// records (u32 LE payload length, u32 LE CRC32, payload) appended to a
+// single file, made durable with explicit fsync, and recovered with the
+// same torn-tail-truncate discipline the Archive uses for segment files
+// — replay reads the longest valid record prefix, and anything after
+// the first short, oversized, or checksum-failing record is assumed to
+// be a crash-torn tail and truncated away so appends resume on a clean
+// boundary.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// journalHeaderSize frames each record: payload length + CRC32 (IEEE).
+const journalHeaderSize = 8
+
+// maxJournalRecord bounds one record (a full shard-map snapshot fits
+// comfortably; anything larger is corruption, not data).
+const maxJournalRecord = 16 << 20
+
+// Journal is an fsync'd record log. Append/Sync/Rewrite serialize on an
+// internal file handle; callers provide their own higher-level locking
+// if records must be ordered against other state.
+type Journal struct {
+	path string
+	f    *os.File
+	size int64 // valid bytes (append offset)
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays
+// every valid record into replay in order, truncates any torn tail, and
+// returns the journal positioned to append. A nil replay just recovers
+// the append position.
+func OpenJournal(path string, replay func(rec []byte) error) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{path: path, f: f}
+	if err := j.recover(replay); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// recover scans records from the start, stopping at the first torn or
+// corrupt one, and truncates the file there.
+func (j *Journal) recover(replay func(rec []byte) error) error {
+	var hdr [journalHeaderSize]byte
+	off := int64(0)
+	for {
+		if _, err := j.f.ReadAt(hdr[:], off); err != nil {
+			break // EOF or short header: tail ends here
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxJournalRecord {
+			break // torn or garbage length
+		}
+		rec := make([]byte, n)
+		if _, err := j.f.ReadAt(rec, off+journalHeaderSize); err != nil {
+			break // record body torn mid-write
+		}
+		if crc32.ChecksumIEEE(rec) != sum {
+			break // bit rot or a torn overwrite
+		}
+		if replay != nil {
+			if err := replay(rec); err != nil {
+				return fmt.Errorf("storage: journal %s replay at %d: %w", j.path, off, err)
+			}
+		}
+		off += journalHeaderSize + int64(n)
+	}
+	j.size = off
+	// Drop the torn tail so the next append starts on a clean frame.
+	if info, err := j.f.Stat(); err == nil && info.Size() > off {
+		if err := j.f.Truncate(off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append writes one record at the append offset. It does not fsync;
+// call Sync when the record must survive a crash (batching appends
+// between syncs is the intended use).
+func (j *Journal) Append(rec []byte) error {
+	if len(rec) == 0 || len(rec) > maxJournalRecord {
+		return fmt.Errorf("storage: journal record of %d bytes", len(rec))
+	}
+	buf := make([]byte, journalHeaderSize+len(rec))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(rec))
+	copy(buf[journalHeaderSize:], rec)
+	if _, err := j.f.WriteAt(buf, j.size); err != nil {
+		return err
+	}
+	j.size += int64(len(buf))
+	return nil
+}
+
+// Sync fsyncs everything appended so far.
+func (j *Journal) Sync() error { return j.f.Sync() }
+
+// Size returns the valid (recovered + appended) byte length.
+func (j *Journal) Size() int64 { return j.size }
+
+// Rewrite atomically replaces the journal's contents with recs — the
+// compaction path: a caller snapshots its live state as a fresh record
+// sequence, and the history of superseded records is dropped. The new
+// contents are written to a temp file, fsynced, and renamed over the
+// journal, so a crash at any point leaves either the old or the new
+// journal intact, never a mix.
+func (j *Journal) Rewrite(recs [][]byte) error {
+	tmp := j.path + ".rewrite"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	size := int64(0)
+	for _, rec := range recs {
+		var hdr [journalHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(rec))
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if _, err := f.Write(rec); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		size += journalHeaderSize + int64(len(rec))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	old := j.f
+	j.f = f
+	j.size = size
+	old.Close()
+	// Make the rename durable: fsync the directory entry.
+	if d, err := os.Open(filepath.Dir(j.path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Close fsyncs and closes the journal file.
+func (j *Journal) Close() error {
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openReplay(t *testing.T, path string) (*Journal, [][]byte) {
+	t.Helper()
+	var recs [][]byte
+	j, err := OpenJournal(path, func(rec []byte) error {
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		recs = append(recs, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	return j, recs
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster", "coord.journal")
+	j, recs := openReplay(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := [][]byte{[]byte("epoch:1"), []byte("node:0:w0"), []byte("assign:3:0:1")}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, got := openReplay(t, path)
+	defer j2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Appends resume cleanly after reopen.
+	if err := j2.Append([]byte("floors:v2")); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if err := j2.Sync(); err != nil {
+		t.Fatalf("Sync after reopen: %v", err)
+	}
+	_, got = openReplay(t, path)
+	if len(got) != 4 || string(got[3]) != "floors:v2" {
+		t.Fatalf("after resume got %d records, last %q", len(got), got[len(got)-1])
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coord.journal")
+	j, _ := openReplay(t, path)
+	for i := 0; i < 5; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	goodSize := j.Size()
+	// Simulate a crash mid-append: a header promising more bytes than
+	// were ever written.
+	if err := j.Append([]byte("this record will be torn")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := os.Truncate(path, goodSize+journalHeaderSize+3); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+
+	j2, recs := openReplay(t, path)
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records after torn tail, want 5", len(recs))
+	}
+	if j2.Size() != goodSize {
+		t.Fatalf("recovered size %d, want %d (torn tail not truncated)", j2.Size(), goodSize)
+	}
+	if info, err := os.Stat(path); err != nil || info.Size() != goodSize {
+		t.Fatalf("file size %d, want %d", info.Size(), goodSize)
+	}
+	// Appends land on the clean boundary and survive another reopen.
+	if err := j2.Append([]byte("after-recovery")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, recs = openReplay(t, path)
+	if len(recs) != 6 || string(recs[5]) != "after-recovery" {
+		t.Fatalf("after recovery+append got %d records", len(recs))
+	}
+}
+
+func TestJournalCorruptRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coord.journal")
+	j, _ := openReplay(t, path)
+	offsets := []int64{}
+	for i := 0; i < 4; i++ {
+		offsets = append(offsets, j.Size())
+		if err := j.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Flip a payload byte of record 2: CRC fails, replay stops there.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, offsets[2]+journalHeaderSize); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	f.Close()
+
+	j2, recs := openReplay(t, path)
+	defer j2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records past corruption, want 2", len(recs))
+	}
+	if j2.Size() != offsets[2] {
+		t.Fatalf("recovered size %d, want %d", j2.Size(), offsets[2])
+	}
+}
+
+func TestJournalRewriteCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coord.journal")
+	j, _ := openReplay(t, path)
+	for i := 0; i < 100; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("superseded-%04d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	before := j.Size()
+	snapshot := [][]byte{[]byte("epoch:7"), []byte("snapshot:final")}
+	if err := j.Rewrite(snapshot); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if j.Size() >= before {
+		t.Fatalf("Rewrite did not shrink: %d >= %d", j.Size(), before)
+	}
+	// Journal stays appendable on the new file handle.
+	if err := j.Append([]byte("post-compact")); err != nil {
+		t.Fatalf("Append after Rewrite: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, recs := openReplay(t, path)
+	want := []string{"epoch:7", "snapshot:final", "post-compact"}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, w := range want {
+		if string(recs[i]) != w {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], w)
+		}
+	}
+	if _, err := os.Stat(path + ".rewrite"); !os.IsNotExist(err) {
+		t.Fatalf("temp rewrite file left behind: %v", err)
+	}
+}
+
+func TestJournalRejectsBadRecordSizes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coord.journal")
+	j, _ := openReplay(t, path)
+	defer j.Close()
+	if err := j.Append(nil); err == nil {
+		t.Fatal("Append(nil) succeeded")
+	}
+	if err := j.Append(make([]byte, maxJournalRecord+1)); err == nil {
+		t.Fatal("oversized Append succeeded")
+	}
+}
